@@ -1,0 +1,227 @@
+package pnn
+
+// One benchmark per reproduced table/figure (the paper's evaluation has no
+// numbered tables; Figures 6-14 carry all quantitative results), plus the
+// ablation benchmarks called out in DESIGN.md §6. Figure benchmarks run
+// the full experiment pipeline at the Tiny scale — dataset generation,
+// indexing, model adaptation and querying — so one iteration corresponds
+// to one complete regeneration of the figure's data.
+
+import (
+	"math/rand"
+	"testing"
+
+	"pnn/internal/datagen"
+	"pnn/internal/exp"
+	"pnn/internal/inference"
+	"pnn/internal/markov"
+	"pnn/internal/query"
+	"pnn/internal/space"
+	"pnn/internal/sparse"
+	"pnn/internal/uncertain"
+	"pnn/internal/ustree"
+)
+
+func benchFigure(b *testing.B, run func(exp.Config) (*exp.Table, error)) {
+	b.Helper()
+	cfg := exp.TinyConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		if _, err := run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExample1(b *testing.B) { benchFigure(b, exp.Example1) }
+func BenchmarkFig6(b *testing.B)     { benchFigure(b, exp.Fig6) }
+func BenchmarkFig7(b *testing.B)     { benchFigure(b, exp.Fig7) }
+func BenchmarkFig8(b *testing.B)     { benchFigure(b, exp.Fig8) }
+func BenchmarkFig9(b *testing.B)     { benchFigure(b, exp.Fig9) }
+func BenchmarkFig10(b *testing.B)    { benchFigure(b, exp.Fig10) }
+func BenchmarkFig11(b *testing.B)    { benchFigure(b, exp.Fig11) }
+func BenchmarkFig12(b *testing.B)    { benchFigure(b, exp.Fig12) }
+func BenchmarkFig13(b *testing.B)    { benchFigure(b, exp.Fig13) }
+func BenchmarkFig14(b *testing.B)    { benchFigure(b, exp.Fig14) }
+
+// benchDB builds one reusable dataset+tree for the query-path ablations.
+func benchDB(b *testing.B) (*datagen.Dataset, *ustree.Tree) {
+	b.Helper()
+	cfg := datagen.DefaultSyntheticConfig()
+	cfg.States = 3000
+	cfg.Objects = 300
+	ds, err := datagen.Synthetic(cfg, rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	tree, err := ustree.Build(ds.Space, ds.Objects, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ds, tree
+}
+
+func runQueries(b *testing.B, ds *datagen.Dataset, eng *query.Engine) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(2))
+	if _, err := eng.PrepareAll(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o := ds.Objects[rng.Intn(len(ds.Objects))]
+		q := query.StateQuery(ds.Space.Point(datagen.RandomQueryState(ds.Space, rng)))
+		ts := o.First().T + 1
+		if _, _, err := eng.ForAllNN(q, ts, ts+9, 0, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationPruning quantifies the UST-tree filter step: identical
+// queries with the spatial filter on vs. lifetime-only filtering.
+func BenchmarkAblationPruning(b *testing.B) {
+	ds, tree := benchDB(b)
+	b.Run("ust-filter", func(b *testing.B) {
+		runQueries(b, ds, query.NewEngine(tree, 1000))
+	})
+	b.Run("no-filter", func(b *testing.B) {
+		eng := query.NewEngine(tree, 1000)
+		eng.DisablePruning()
+		runQueries(b, ds, eng)
+	})
+}
+
+// BenchmarkAblationSamples compares a fixed paper-style sample count with
+// Hoeffding-derived counts at two accuracy targets.
+func BenchmarkAblationSamples(b *testing.B) {
+	ds, tree := benchDB(b)
+	for _, tc := range []struct {
+		name string
+		n    int
+	}{
+		{"fixed-10000", 10000},
+		{"hoeffding-eps0.02", query.RequiredSamples(0.02, 0.05)},
+		{"hoeffding-eps0.05", query.RequiredSamples(0.05, 0.05)},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			runQueries(b, ds, query.NewEngine(tree, tc.n))
+		})
+	}
+}
+
+// BenchmarkAblationDenseVsSparse compares the sparse forward kernel of
+// Algorithm 2 with a dense |S|² matrix-vector product, the representation
+// the paper's complexity analysis assumes.
+func BenchmarkAblationDenseVsSparse(b *testing.B) {
+	const n = 500
+	rng := rand.New(rand.NewSource(3))
+	sp, err := space.Synthetic(n, 8, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := sp.TransitionMatrix(0.5)
+	dense := make([][]float64, n)
+	for i := range dense {
+		dense[i] = make([]float64, n)
+		cols, vals := m.Row(i)
+		for k, c := range cols {
+			dense[i][c] = vals[k]
+		}
+	}
+	start := sparse.UnitVec(0)
+
+	b.Run("sparse", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			v := start.Clone()
+			for t := 0; t < 20; t++ {
+				v = m.MulVecLeft(v)
+			}
+		}
+	})
+	b.Run("dense", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			v := make([]float64, n)
+			v[0] = 1
+			for t := 0; t < 20; t++ {
+				nv := make([]float64, n)
+				for row := 0; row < n; row++ {
+					x := v[row]
+					if x == 0 {
+						continue
+					}
+					for col := 0; col < n; col++ {
+						nv[col] += x * dense[row][col]
+					}
+				}
+				v = nv
+			}
+		}
+	})
+}
+
+// BenchmarkAblationApriori shows the PCNN lattice growth as τ shrinks
+// (Section 4.3: result sets explode for small τ).
+func BenchmarkAblationApriori(b *testing.B) {
+	ds, tree := benchDB(b)
+	rng := rand.New(rand.NewSource(4))
+	for _, tau := range []float64{0.9, 0.5, 0.1} {
+		b.Run(map[float64]string{0.9: "tau-0.9", 0.5: "tau-0.5", 0.1: "tau-0.1"}[tau], func(b *testing.B) {
+			eng := query.NewEngine(tree, 1000)
+			if _, err := eng.PrepareAll(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				o := ds.Objects[rng.Intn(len(ds.Objects))]
+				q := query.StateQuery(ds.Space.Point(datagen.RandomQueryState(ds.Space, rng)))
+				ts := o.First().T + 1
+				if _, _, err := eng.CNN(q, ts, ts+9, tau, rng); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationWindowSampling compares whole-lifetime sampling with
+// the window-restricted sampler used by the engine.
+func BenchmarkAblationWindowSampling(b *testing.B) {
+	sp, err := space.Line(200)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mat, err := sp.BuildTransitionMatrix(func(i, j int) float64 { return 1 })
+	if err != nil {
+		b.Fatal(err)
+	}
+	chain, err := markov.NewHomogeneous(mat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	o, err := uncertain.NewObject(1, []uncertain.Observation{
+		{T: 0, State: 100}, {T: 50, State: 120}, {T: 100, State: 80},
+	}, chain)
+	if err != nil {
+		b.Fatal(err)
+	}
+	model, err := inference.Adapt(o)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := inference.NewSampler(model)
+	rng := rand.New(rand.NewSource(5))
+	b.Run("full-lifetime", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s.Sample(rng)
+		}
+	})
+	b.Run("window-10", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, ok := s.SampleWindow(rng, 45, 54); !ok {
+				b.Fatal("window must intersect lifetime")
+			}
+		}
+	})
+}

@@ -1,0 +1,97 @@
+// Command geosocial models the paper's geo-social-network scenario: users
+// publish occasional check-ins, and for a historical event (a concert) one
+// user wants to know which friends were probably nearest to them during
+// the event — e.g. to share photos. Check-ins are sparse, so positions
+// between them are uncertain; the "k nearest friends" variant uses the
+// kNN extension of Section 8.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pnn"
+)
+
+func main() {
+	// The city is a synthetic network; check-ins are tied to venues
+	// (network states).
+	net, err := pnn.NewSyntheticNetwork(8000, 8, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The user attended a concert at tics 40-60 at a fixed venue.
+	venue := net.NearestState(pnn.Point{X: 0.55, Y: 0.45})
+	vp := net.StatePoint(venue)
+
+	// Friends with sparse check-ins around town. Tics are ~10 minutes:
+	// friends check in every hour or two.
+	db := pnn.NewDB(net)
+	state := func(x, y float64) int { return net.NearestState(pnn.Point{X: x, Y: y}) }
+	// loiter fabricates periodic check-ins at a fixed venue — always
+	// consistent because the motion model allows idling.
+	loiter := func(s, t0, t1, every int) []pnn.Observation {
+		var obs []pnn.Observation
+		for t := t0; t <= t1; t += every {
+			obs = append(obs, pnn.Observation{T: t, State: s})
+		}
+		return obs
+	}
+	friends := map[int][]pnn.Observation{
+		// Ana spent the evening at a bar next to the venue.
+		1: loiter(state(vp.X+0.012, vp.Y), 0, 80, 20),
+		// Bo started far away and drifted toward the venue along streets.
+		2: net.ObservationsAlong(state(vp.X+0.25, vp.Y+0.2), state(vp.X+0.03, vp.Y), 0, 3, 5),
+		// Cem stayed across town.
+		3: loiter(state(vp.X-0.4, vp.Y-0.3), 0, 80, 20),
+		// Dee only appeared after the concert.
+		4: loiter(state(vp.X, vp.Y), 62, 80, 18),
+	}
+	names := map[int]string{1: "ana", 2: "bo", 3: "cem", 4: "dee"}
+	for id, obs := range friends {
+		if len(obs) == 0 {
+			log.Fatalf("friend %d: no path between check-in venues", id)
+		}
+		if err := db.Add(id, obs); err != nil {
+			log.Fatal(err)
+		}
+	}
+	proc, err := db.Build(8000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	q := pnn.AtState(net, venue)
+
+	fmt.Printf("concert at state %d during tics [40, 60]\n\n", venue)
+	res, _, err := proc.ExistsNN(q, 40, 60, 0.05, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("friends probably nearest at some point (p ≥ 0.05):")
+	for _, r := range res {
+		fmt.Printf("  %-4s p=%.3f\n", names[r.ObjectID], r.Prob)
+	}
+
+	all, _, err := proc.ForAllNN(q, 40, 60, 0.05, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nfriends probably nearest the whole time (p ≥ 0.05):")
+	if len(all) == 0 {
+		fmt.Println("  none")
+	}
+	for _, r := range all {
+		fmt.Printf("  %-4s p=%.3f\n", names[r.ObjectID], r.Prob)
+	}
+
+	// "Were my two closest friends around?" — 2NN variant (Section 8).
+	knn, _, err := proc.ExistsKNN(q, 40, 60, 2, 0.05, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nfriends probably among the 2 nearest at some point (p ≥ 0.05):")
+	for _, r := range knn {
+		fmt.Printf("  %-4s p=%.3f\n", names[r.ObjectID], r.Prob)
+	}
+}

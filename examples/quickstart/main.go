@@ -1,0 +1,77 @@
+// Command quickstart is the smallest end-to-end use of the pnn library:
+// build a network, register two uncertain objects by their sparse
+// observations, and ask which one was probably the nearest neighbor of a
+// point throughout a time interval.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pnn"
+)
+
+func main() {
+	// A synthetic motion network: 5 000 states, average branching 8.
+	net, err := pnn.NewSyntheticNetwork(5000, 8, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A query location somewhere in the middle of the map.
+	qState := net.NearestState(pnn.Point{X: 0.5, Y: 0.5})
+	qPoint := net.StatePoint(qState)
+
+	// Two objects, each seen only three times over 20 tics. Between
+	// observations their positions are uncertain.
+	nearA := net.NearestState(pnn.Point{X: qPoint.X + 0.02, Y: qPoint.Y})
+	nearB := net.NearestState(pnn.Point{X: qPoint.X + 0.03, Y: qPoint.Y + 0.02})
+	farC := net.NearestState(pnn.Point{X: qPoint.X + 0.3, Y: qPoint.Y + 0.3})
+
+	db := pnn.NewDB(net)
+	must(db.Add(1, []pnn.Observation{{T: 0, State: nearA}, {T: 10, State: nearA}, {T: 20, State: nearA}}))
+	must(db.Add(2, []pnn.Observation{{T: 0, State: nearB}, {T: 10, State: nearB}, {T: 20, State: nearB}}))
+	must(db.Add(3, []pnn.Observation{{T: 0, State: farC}, {T: 10, State: farC}, {T: 20, State: farC}}))
+
+	// Index the database and prepare the sampler (10 000 worlds/query).
+	proc, err := db.Build(10000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eps := pnn.SampleBound(10000, 0.05)
+	fmt.Printf("estimates accurate to ±%.3f with 95%% confidence\n\n", eps)
+
+	q := pnn.AtState(net, qState)
+
+	forAll, stats, err := proc.ForAllNN(q, 2, 18, 0.05, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("P∀NN over [2,18] (τ=0.05): %d candidates, %d influencers\n",
+		stats.Candidates, stats.Influencers)
+	for _, r := range forAll {
+		fmt.Printf("  object %d always nearest with p=%.3f\n", r.ObjectID, r.Prob)
+	}
+
+	exists, _, err := proc.ExistsNN(q, 2, 18, 0.05, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("P∃NN over [2,18] (τ=0.05):\n")
+	for _, r := range exists {
+		fmt.Printf("  object %d nearest at some time with p=%.3f\n", r.ObjectID, r.Prob)
+	}
+
+	// One possible world for object 2, consistent with every observation.
+	traj, err := proc.SampleTrajectory(2, 99)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\na possible trajectory of object 2 (states): %v...\n", traj[:8])
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,249 @@
+package datagen
+
+import (
+	"math/rand"
+	"testing"
+
+	"pnn/internal/geo"
+	"pnn/internal/inference"
+	"pnn/internal/uncertain"
+	"pnn/internal/ustree"
+)
+
+func smallSynthetic(t testing.TB, objects int) *Dataset {
+	t.Helper()
+	cfg := SyntheticConfig{
+		States:      1500,
+		Branching:   8,
+		Objects:     objects,
+		Lifetime:    40,
+		Horizon:     200,
+		ObsInterval: 8,
+		Lag:         0.5,
+		SelfWeight:  0.5,
+	}
+	ds, err := Synthetic(cfg, rand.New(rand.NewSource(17)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestSyntheticShape(t *testing.T) {
+	ds := smallSynthetic(t, 30)
+	if len(ds.Objects) != 30 || len(ds.Truth) != 30 {
+		t.Fatalf("got %d objects, %d truths", len(ds.Objects), len(ds.Truth))
+	}
+	for i, o := range ds.Objects {
+		truth := ds.Truth[i]
+		if len(truth.States) != 41 {
+			t.Errorf("object %d truth has %d tics, want 41", i, len(truth.States))
+		}
+		if o.First().T != truth.Start || o.Last().T != truth.End() {
+			t.Errorf("object %d lifetime [%d,%d] does not match truth [%d,%d]",
+				i, o.First().T, o.Last().T, truth.Start, truth.End())
+		}
+		// Observations must lie on the ground truth.
+		for _, ob := range o.Obs {
+			s, ok := truth.At(ob.T)
+			if !ok || s != ob.State {
+				t.Errorf("object %d observation at t=%d (state %d) not on truth", i, ob.T, ob.State)
+			}
+		}
+		// Truth transitions must be chain-legal (edge or self-loop).
+		m := ds.Chain.At(0)
+		for k := 1; k < len(truth.States); k++ {
+			a, b := int(truth.States[k-1]), int(truth.States[k])
+			if m.At(a, b) == 0 {
+				t.Fatalf("object %d truth transition %d→%d impossible under chain", i, a, b)
+			}
+		}
+	}
+}
+
+func TestSyntheticConsistentWithModel(t *testing.T) {
+	// Every generated object must be adaptable: observations never
+	// contradict the chain. This is the property that makes the whole
+	// downstream pipeline usable.
+	ds := smallSynthetic(t, 20)
+	for _, o := range ds.Objects {
+		if _, err := inference.Adapt(o); err != nil {
+			t.Errorf("object %d: %v", o.ID, err)
+		}
+	}
+	// And indexable.
+	if _, err := ustree.Build(ds.Space, ds.Objects, uncertain.NewReach()); err != nil {
+		t.Errorf("Build: %v", err)
+	}
+}
+
+func TestSyntheticValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	bad := []SyntheticConfig{
+		{States: 1, Branching: 8, Objects: 1, Lifetime: 10, Horizon: 100, ObsInterval: 5, Lag: 0.5, SelfWeight: 0.5},
+		{States: 100, Branching: 0, Objects: 1, Lifetime: 10, Horizon: 100, ObsInterval: 5, Lag: 0.5, SelfWeight: 0.5},
+		{States: 100, Branching: 8, Objects: 0, Lifetime: 10, Horizon: 100, ObsInterval: 5, Lag: 0.5, SelfWeight: 0.5},
+		{States: 100, Branching: 8, Objects: 1, Lifetime: 0, Horizon: 100, ObsInterval: 5, Lag: 0.5, SelfWeight: 0.5},
+		{States: 100, Branching: 8, Objects: 1, Lifetime: 10, Horizon: 5, ObsInterval: 5, Lag: 0.5, SelfWeight: 0.5},
+		{States: 100, Branching: 8, Objects: 1, Lifetime: 10, Horizon: 100, ObsInterval: 0, Lag: 0.5, SelfWeight: 0.5},
+		{States: 100, Branching: 8, Objects: 1, Lifetime: 10, Horizon: 100, ObsInterval: 5, Lag: 1.5, SelfWeight: 0.5},
+		{States: 100, Branching: 8, Objects: 1, Lifetime: 10, Horizon: 100, ObsInterval: 5, Lag: 0.5, SelfWeight: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := Synthetic(cfg, rng); err == nil {
+			t.Errorf("config %d should fail validation: %+v", i, cfg)
+		}
+	}
+}
+
+func TestSyntheticLagWidensDiamonds(t *testing.T) {
+	// Smaller v means more idle time, hence more slack between
+	// observations and wider reachable sets.
+	width := func(lag float64) float64 {
+		cfg := SyntheticConfig{
+			States: 1500, Branching: 8, Objects: 15, Lifetime: 40,
+			Horizon: 41, ObsInterval: 8, Lag: lag, SelfWeight: 0.5,
+		}
+		ds, err := Synthetic(cfg, rand.New(rand.NewSource(23)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		reach := uncertain.NewReach()
+		total, n := 0.0, 0
+		for _, o := range ds.Objects {
+			for g := 0; g+1 < len(o.Obs); g++ {
+				d, err := reach.Diamond(o, g)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, states := range d {
+					total += float64(len(states))
+					n++
+				}
+			}
+		}
+		return total / float64(n)
+	}
+	slow := width(0.2)
+	fast := width(0.9)
+	if slow <= fast {
+		t.Errorf("lag 0.2 avg diamond width %v should exceed lag 0.9 width %v", slow, fast)
+	}
+}
+
+func TestObserveIncludesEndpoints(t *testing.T) {
+	truth := []int32{1, 2, 3, 4, 5, 6, 7}
+	obs := observe(truth, 10, 3)
+	if obs[0].T != 10 || obs[0].State != 1 {
+		t.Errorf("first obs = %+v", obs[0])
+	}
+	last := obs[len(obs)-1]
+	if last.T != 16 || last.State != 7 {
+		t.Errorf("last obs = %+v", last)
+	}
+	// Interval that divides the length exactly must not duplicate.
+	obs = observe([]int32{1, 2, 3, 4, 5}, 0, 2)
+	for i := 1; i < len(obs); i++ {
+		if obs[i].T <= obs[i-1].T {
+			t.Errorf("non-increasing observation times: %+v", obs)
+		}
+	}
+}
+
+func TestRandomQueryState(t *testing.T) {
+	ds := smallSynthetic(t, 1)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 50; i++ {
+		s := RandomQueryState(ds.Space, rng)
+		if s < 0 || s >= ds.Space.Len() {
+			t.Fatalf("query state %d out of range", s)
+		}
+	}
+}
+
+func TestTaxiDataset(t *testing.T) {
+	cfg := TaxiConfig{
+		States:      1200,
+		Taxis:       40,
+		Lifetime:    40,
+		Horizon:     200,
+		ObsInterval: 8,
+		ParkedFrac:  0.2,
+		FastFrac:    0.3,
+		TrainTraces: 300,
+	}
+	ds, err := Taxi(cfg, rand.New(rand.NewSource(29)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Objects) != 40 {
+		t.Fatalf("got %d taxis", len(ds.Objects))
+	}
+	// All objects adaptable (trained chain covers the trace transitions).
+	for _, o := range ds.Objects {
+		if _, err := inference.Adapt(o); err != nil {
+			t.Fatalf("taxi %d: %v", o.ID, err)
+		}
+	}
+	// Heterogeneous motion: some taxis nearly idle, others move a lot.
+	var minMoves, maxMoves = 1 << 30, 0
+	for i := range ds.Objects {
+		moves := 0
+		st := ds.Truth[i].States
+		for k := 1; k < len(st); k++ {
+			if st[k] != st[k-1] {
+				moves++
+			}
+		}
+		if moves < minMoves {
+			minMoves = moves
+		}
+		if moves > maxMoves {
+			maxMoves = moves
+		}
+	}
+	if minMoves > 10 || maxMoves < 25 {
+		t.Errorf("fleet not heterogeneous: moves range [%d, %d]", minMoves, maxMoves)
+	}
+	// Fleet concentrates toward the center: the average final distance to
+	// the center should not exceed the average initial distance.
+	center := geo.Point{X: 0.5, Y: 0.5}
+	var d0, d1 float64
+	for i := range ds.Objects {
+		st := ds.Truth[i].States
+		d0 += ds.Space.Point(int(st[0])).Dist(center)
+		d1 += ds.Space.Point(int(st[len(st)-1])).Dist(center)
+	}
+	if d1 > d0*1.05 {
+		t.Errorf("fleet drifted away from center: start %v, end %v", d0, d1)
+	}
+}
+
+func TestTaxiValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	bad := DefaultTaxiConfig()
+	bad.ParkedFrac = 0.9
+	bad.FastFrac = 0.5
+	if _, err := Taxi(bad, rng); err == nil {
+		t.Error("expected class-fraction validation error")
+	}
+	bad2 := DefaultTaxiConfig()
+	bad2.States = 1
+	if _, err := Taxi(bad2, rng); err == nil {
+		t.Error("expected states validation error")
+	}
+	bad3 := DefaultTaxiConfig()
+	bad3.TrainTraces = 0
+	if _, err := Taxi(bad3, rng); err == nil {
+		t.Error("expected train-traces validation error")
+	}
+}
+
+func TestDefaultConfigsValid(t *testing.T) {
+	if err := DefaultSyntheticConfig().validate(); err != nil {
+		t.Errorf("DefaultSyntheticConfig: %v", err)
+	}
+	if err := DefaultTaxiConfig().validate(); err != nil {
+		t.Errorf("DefaultTaxiConfig: %v", err)
+	}
+}

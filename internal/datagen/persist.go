@@ -1,0 +1,114 @@
+package datagen
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"pnn/internal/geo"
+	"pnn/internal/markov"
+	"pnn/internal/space"
+	"pnn/internal/sparse"
+	"pnn/internal/uncertain"
+)
+
+// gobDataset is the stable wire form of a Dataset: state-space geometry,
+// the shared homogeneous chain (as CSR triplets layout), per-object
+// observations and ground truth. Only homogeneous chains are persisted;
+// that covers both generators in this package.
+type gobDataset struct {
+	Version int
+
+	Points [][2]float64
+	Adj    [][]int32
+
+	ChainRowPtr []int32
+	ChainCol    []int32
+	ChainVal    []float64
+
+	Objects []gobObject
+}
+
+type gobObject struct {
+	ID     int
+	Obs    []uncertain.Observation
+	TruthT int
+	Truth  []int32
+}
+
+const gobVersion = 1
+
+// Save serializes the dataset to w in a self-contained binary form.
+// Datasets with non-homogeneous chains are rejected.
+func (d *Dataset) Save(w io.Writer) error {
+	h, ok := d.Chain.(*markov.Homogeneous)
+	if !ok {
+		return fmt.Errorf("datagen: can only persist homogeneous chains, got %T", d.Chain)
+	}
+	out := gobDataset{
+		Version:     gobVersion,
+		Points:      make([][2]float64, d.Space.Len()),
+		Adj:         make([][]int32, d.Space.Len()),
+		ChainRowPtr: h.M.RowPtr,
+		ChainCol:    h.M.Col,
+		ChainVal:    h.M.Val,
+	}
+	for i := 0; i < d.Space.Len(); i++ {
+		p := d.Space.Point(i)
+		out.Points[i] = [2]float64{p.X, p.Y}
+		out.Adj[i] = d.Space.Neighbors(i)
+	}
+	for i, o := range d.Objects {
+		g := gobObject{ID: o.ID, Obs: o.Obs}
+		if i < len(d.Truth) {
+			g.TruthT = d.Truth[i].Start
+			g.Truth = d.Truth[i].States
+		}
+		out.Objects = append(out.Objects, g)
+	}
+	return gob.NewEncoder(w).Encode(&out)
+}
+
+// Load reads a dataset previously written by Save and reconstructs the
+// space, chain and objects.
+func Load(r io.Reader) (*Dataset, error) {
+	var in gobDataset
+	if err := gob.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("datagen: decoding dataset: %w", err)
+	}
+	if in.Version != gobVersion {
+		return nil, fmt.Errorf("datagen: unsupported dataset version %d", in.Version)
+	}
+	pts := make([]geo.Point, len(in.Points))
+	for i, p := range in.Points {
+		pts[i] = geo.Point{X: p[0], Y: p[1]}
+	}
+	sp, err := space.New(pts, in.Adj)
+	if err != nil {
+		return nil, fmt.Errorf("datagen: rebuilding space: %w", err)
+	}
+	if len(in.ChainRowPtr) != len(pts)+1 {
+		return nil, fmt.Errorf("datagen: chain dimension %d does not match %d states",
+			len(in.ChainRowPtr)-1, len(pts))
+	}
+	csr := &sparse.CSR{
+		N:      len(pts),
+		RowPtr: in.ChainRowPtr,
+		Col:    in.ChainCol,
+		Val:    in.ChainVal,
+	}
+	chain, err := markov.NewHomogeneous(csr)
+	if err != nil {
+		return nil, fmt.Errorf("datagen: rebuilding chain: %w", err)
+	}
+	ds := &Dataset{Space: sp, Chain: chain}
+	for _, g := range in.Objects {
+		o, err := uncertain.NewObject(g.ID, g.Obs, chain)
+		if err != nil {
+			return nil, fmt.Errorf("datagen: rebuilding object %d: %w", g.ID, err)
+		}
+		ds.Objects = append(ds.Objects, o)
+		ds.Truth = append(ds.Truth, uncertain.Path{Start: g.TruthT, States: g.Truth})
+	}
+	return ds, nil
+}

@@ -1,0 +1,84 @@
+package datagen
+
+import (
+	"bytes"
+	"testing"
+
+	"pnn/internal/markov"
+	"pnn/internal/sparse"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	ds := smallSynthetic(t, 10)
+	var buf bytes.Buffer
+	if err := ds.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Space.Len() != ds.Space.Len() {
+		t.Fatalf("state count %d, want %d", got.Space.Len(), ds.Space.Len())
+	}
+	for i := 0; i < ds.Space.Len(); i += 97 {
+		if got.Space.Point(i) != ds.Space.Point(i) {
+			t.Fatalf("point %d differs", i)
+		}
+	}
+	if len(got.Objects) != len(ds.Objects) {
+		t.Fatalf("object count %d, want %d", len(got.Objects), len(ds.Objects))
+	}
+	for i, o := range ds.Objects {
+		g := got.Objects[i]
+		if g.ID != o.ID || len(g.Obs) != len(o.Obs) {
+			t.Fatalf("object %d metadata differs", i)
+		}
+		for k := range o.Obs {
+			if g.Obs[k] != o.Obs[k] {
+				t.Fatalf("object %d observation %d differs", i, k)
+			}
+		}
+		if got.Truth[i].Start != ds.Truth[i].Start || len(got.Truth[i].States) != len(ds.Truth[i].States) {
+			t.Fatalf("object %d truth differs", i)
+		}
+	}
+	// Chain matrices must be identical.
+	m1 := ds.Chain.At(0)
+	m2 := got.Chain.At(0)
+	if m1.NNZ() != m2.NNZ() {
+		t.Fatalf("chain nnz %d, want %d", m2.NNZ(), m1.NNZ())
+	}
+	for i := 0; i < m1.N; i += 131 {
+		c1, v1 := m1.Row(i)
+		c2, v2 := m2.Row(i)
+		if len(c1) != len(c2) {
+			t.Fatalf("chain row %d differs", i)
+		}
+		for k := range c1 {
+			if c1[k] != c2[k] || v1[k] != v2[k] {
+				t.Fatalf("chain row %d entry %d differs", i, k)
+			}
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a dataset"))); err == nil {
+		t.Error("expected decode error")
+	}
+}
+
+func TestSaveRejectsNonHomogeneous(t *testing.T) {
+	ds := smallSynthetic(t, 1)
+	m := ds.Chain.At(0)
+	pw, err := markov.NewPiecewise([]int{0}, []*sparse.CSR{m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds.Chain = pw
+	var buf bytes.Buffer
+	if err := ds.Save(&buf); err == nil {
+		t.Error("expected error for non-homogeneous chain")
+	}
+}

@@ -1,0 +1,56 @@
+package exp
+
+import (
+	"pnn/internal/geo"
+	"pnn/internal/query"
+	"pnn/internal/space"
+	"pnn/internal/uncertain"
+)
+
+// Example1 recomputes the paper's worked example (Figure 1) with the exact
+// possible-world engine: P∃NN(o2) = 0.25, P∀NN(o1) = 0.75, and the PCNN
+// probabilities behind the result {(o1, {1,2,3}), (o2, {2,3})} at τ = 0.1.
+func Example1(Config) (*Table, error) {
+	pts := []geo.Point{{X: 1}, {X: 2}, {X: 3}, {X: 4}} // s1..s4
+	sp, err := space.New(pts, nil)
+	if err != nil {
+		return nil, err
+	}
+	o1 := query.WorldObject{
+		Paths: []uncertain.Path{
+			{Start: 1, States: []int32{1, 0, 0}},
+			{Start: 1, States: []int32{1, 2, 0}},
+			{Start: 1, States: []int32{1, 2, 2}},
+		},
+		Probs: []float64{0.5, 0.25, 0.25},
+	}
+	o2 := query.WorldObject{
+		Paths: []uncertain.Path{
+			{Start: 1, States: []int32{2, 1, 1}},
+			{Start: 1, States: []int32{2, 3, 3}},
+		},
+		Probs: []float64{0.5, 0.5},
+	}
+	objs := []query.WorldObject{o1, o2}
+	q := query.StateQuery(geo.Point{})
+
+	res, err := query.ExactNN(sp, objs, q, 1, 3, 100)
+	if err != nil {
+		return nil, err
+	}
+	p23, err := query.ExactForAllProb(sp, objs, q, 1, []int{2, 3}, 100)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  "Example 1 (Figure 1): exact possible-world probabilities",
+		Note:   "paper values: P∃NN(o2)=0.25, P∀NN(o1)=0.75, P∀NN(o2,{2,3})=0.125 ≥ τ=0.1",
+		Header: []string{"quantity", "computed", "paper"},
+	}
+	t.AddRow("P∀NN(o1, {1,2,3})", f3(res.ForAll[0]), "0.750")
+	t.AddRow("P∃NN(o1, {1,2,3})", f3(res.Exists[0]), "1.000")
+	t.AddRow("P∀NN(o2, {1,2,3})", f3(res.ForAll[1]), "0.000")
+	t.AddRow("P∃NN(o2, {1,2,3})", f3(res.Exists[1]), "0.250")
+	t.AddRow("P∀NN(o2, {2,3})", f3(p23), "0.125")
+	return t, nil
+}

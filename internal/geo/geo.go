@@ -1,0 +1,235 @@
+// Package geo provides the planar geometry primitives used throughout the
+// library: points, axis-aligned rectangles, and the minimum/maximum distance
+// functions (dmin/dmax) that power spatio-temporal pruning (Section 6 of the
+// paper).
+//
+// All coordinates are float64 and distances are Euclidean, matching the
+// paper's distance function d(x, y).
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a location in the two-dimensional Euclidean plane.
+type Point struct {
+	X, Y float64
+}
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	dx := p.X - q.X
+	dy := p.Y - q.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// SqDist returns the squared Euclidean distance between p and q. It avoids
+// the square root for comparison-only code paths.
+func (p Point) SqDist(q Point) float64 {
+	dx := p.X - q.X
+	dy := p.Y - q.Y
+	return dx*dx + dy*dy
+}
+
+// Add returns the component-wise sum p + q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns the component-wise difference p - q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns p scaled by f.
+func (p Point) Scale(f float64) Point { return Point{p.X * f, p.Y * f} }
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("(%.4g, %.4g)", p.X, p.Y) }
+
+// Rect is a closed axis-aligned rectangle [Lo.X, Hi.X] × [Lo.Y, Hi.Y].
+// The zero value is the degenerate rectangle at the origin; use EmptyRect
+// for an identity element under Union.
+type Rect struct {
+	Lo, Hi Point
+}
+
+// EmptyRect returns the empty rectangle: the identity element for Union and
+// a rectangle that contains no point.
+func EmptyRect() Rect {
+	return Rect{
+		Lo: Point{math.Inf(1), math.Inf(1)},
+		Hi: Point{math.Inf(-1), math.Inf(-1)},
+	}
+}
+
+// RectFromPoint returns the degenerate rectangle containing exactly p.
+func RectFromPoint(p Point) Rect { return Rect{Lo: p, Hi: p} }
+
+// RectFromPoints returns the minimum bounding rectangle of pts. It returns
+// EmptyRect for an empty slice.
+func RectFromPoints(pts ...Point) Rect {
+	r := EmptyRect()
+	for _, p := range pts {
+		r = r.ExtendPoint(p)
+	}
+	return r
+}
+
+// IsEmpty reports whether r contains no point.
+func (r Rect) IsEmpty() bool { return r.Lo.X > r.Hi.X || r.Lo.Y > r.Hi.Y }
+
+// Contains reports whether p lies inside r (boundary inclusive).
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.Lo.X && p.X <= r.Hi.X && p.Y >= r.Lo.Y && p.Y <= r.Hi.Y
+}
+
+// ContainsRect reports whether s is entirely inside r (boundary inclusive).
+func (r Rect) ContainsRect(s Rect) bool {
+	if s.IsEmpty() {
+		return true
+	}
+	return r.Contains(s.Lo) && r.Contains(s.Hi)
+}
+
+// Intersects reports whether r and s share at least one point.
+func (r Rect) Intersects(s Rect) bool {
+	if r.IsEmpty() || s.IsEmpty() {
+		return false
+	}
+	return r.Lo.X <= s.Hi.X && s.Lo.X <= r.Hi.X && r.Lo.Y <= s.Hi.Y && s.Lo.Y <= r.Hi.Y
+}
+
+// Union returns the minimum bounding rectangle of r and s.
+func (r Rect) Union(s Rect) Rect {
+	if r.IsEmpty() {
+		return s
+	}
+	if s.IsEmpty() {
+		return r
+	}
+	return Rect{
+		Lo: Point{math.Min(r.Lo.X, s.Lo.X), math.Min(r.Lo.Y, s.Lo.Y)},
+		Hi: Point{math.Max(r.Hi.X, s.Hi.X), math.Max(r.Hi.Y, s.Hi.Y)},
+	}
+}
+
+// Intersect returns the common region of r and s, which may be empty.
+func (r Rect) Intersect(s Rect) Rect {
+	out := Rect{
+		Lo: Point{math.Max(r.Lo.X, s.Lo.X), math.Max(r.Lo.Y, s.Lo.Y)},
+		Hi: Point{math.Min(r.Hi.X, s.Hi.X), math.Min(r.Hi.Y, s.Hi.Y)},
+	}
+	if out.IsEmpty() {
+		return EmptyRect()
+	}
+	return out
+}
+
+// ExtendPoint returns the minimum bounding rectangle of r and p.
+func (r Rect) ExtendPoint(p Point) Rect {
+	return r.Union(RectFromPoint(p))
+}
+
+// Area returns the area of r; empty rectangles have area 0.
+func (r Rect) Area() float64 {
+	if r.IsEmpty() {
+		return 0
+	}
+	return (r.Hi.X - r.Lo.X) * (r.Hi.Y - r.Lo.Y)
+}
+
+// Margin returns half the perimeter of r (the R*-tree "margin" measure).
+func (r Rect) Margin() float64 {
+	if r.IsEmpty() {
+		return 0
+	}
+	return (r.Hi.X - r.Lo.X) + (r.Hi.Y - r.Lo.Y)
+}
+
+// Center returns the center point of r.
+func (r Rect) Center() Point {
+	return Point{(r.Lo.X + r.Hi.X) / 2, (r.Lo.Y + r.Hi.Y) / 2}
+}
+
+// MinDist returns dmin(p, r): the smallest Euclidean distance between p and
+// any point of r. It is 0 when p lies inside r. MinDist on an empty
+// rectangle returns +Inf.
+func (r Rect) MinDist(p Point) float64 {
+	if r.IsEmpty() {
+		return math.Inf(1)
+	}
+	dx := axisDist(p.X, r.Lo.X, r.Hi.X)
+	dy := axisDist(p.Y, r.Lo.Y, r.Hi.Y)
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// MaxDist returns dmax(p, r): the largest Euclidean distance between p and
+// any point of r. MaxDist on an empty rectangle returns -Inf so that empty
+// approximations can never act as pruners.
+func (r Rect) MaxDist(p Point) float64 {
+	if r.IsEmpty() {
+		return math.Inf(-1)
+	}
+	dx := math.Max(math.Abs(p.X-r.Lo.X), math.Abs(p.X-r.Hi.X))
+	dy := math.Max(math.Abs(p.Y-r.Lo.Y), math.Abs(p.Y-r.Hi.Y))
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// MinDistRect returns dmin(r, s): the smallest distance between any point of
+// r and any point of s; 0 if they intersect.
+func (r Rect) MinDistRect(s Rect) float64 {
+	if r.IsEmpty() || s.IsEmpty() {
+		return math.Inf(1)
+	}
+	dx := gapDist(r.Lo.X, r.Hi.X, s.Lo.X, s.Hi.X)
+	dy := gapDist(r.Lo.Y, r.Hi.Y, s.Lo.Y, s.Hi.Y)
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// MaxDistRect returns dmax(r, s): the largest distance between any point of
+// r and any point of s.
+func (r Rect) MaxDistRect(s Rect) float64 {
+	if r.IsEmpty() || s.IsEmpty() {
+		return math.Inf(-1)
+	}
+	dx := spanDist(r.Lo.X, r.Hi.X, s.Lo.X, s.Hi.X)
+	dy := spanDist(r.Lo.Y, r.Hi.Y, s.Lo.Y, s.Hi.Y)
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// String implements fmt.Stringer.
+func (r Rect) String() string {
+	if r.IsEmpty() {
+		return "Rect{empty}"
+	}
+	return fmt.Sprintf("Rect{%v-%v}", r.Lo, r.Hi)
+}
+
+// axisDist returns the distance from v to the interval [lo, hi] on one axis.
+func axisDist(v, lo, hi float64) float64 {
+	switch {
+	case v < lo:
+		return lo - v
+	case v > hi:
+		return v - hi
+	default:
+		return 0
+	}
+}
+
+// gapDist returns the gap between intervals [alo, ahi] and [blo, bhi];
+// 0 when they overlap.
+func gapDist(alo, ahi, blo, bhi float64) float64 {
+	switch {
+	case ahi < blo:
+		return blo - ahi
+	case bhi < alo:
+		return alo - bhi
+	default:
+		return 0
+	}
+}
+
+// spanDist returns the largest one-axis distance between a point of
+// [alo, ahi] and a point of [blo, bhi].
+func spanDist(alo, ahi, blo, bhi float64) float64 {
+	return math.Max(math.Abs(ahi-blo), math.Abs(bhi-alo))
+}

@@ -1,0 +1,294 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointDist(t *testing.T) {
+	tests := []struct {
+		name string
+		p, q Point
+		want float64
+	}{
+		{"same point", Point{1, 2}, Point{1, 2}, 0},
+		{"unit x", Point{0, 0}, Point{1, 0}, 1},
+		{"unit y", Point{0, 0}, Point{0, 1}, 1},
+		{"3-4-5", Point{0, 0}, Point{3, 4}, 5},
+		{"negative coords", Point{-1, -1}, Point{2, 3}, 5},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.p.Dist(tc.q); math.Abs(got-tc.want) > 1e-12 {
+				t.Errorf("Dist(%v, %v) = %v, want %v", tc.p, tc.q, got, tc.want)
+			}
+			if got := tc.p.SqDist(tc.q); math.Abs(got-tc.want*tc.want) > 1e-12 {
+				t.Errorf("SqDist(%v, %v) = %v, want %v", tc.p, tc.q, got, tc.want*tc.want)
+			}
+		})
+	}
+}
+
+func TestPointDistSymmetry(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		p, q := Point{ax, ay}, Point{bx, by}
+		return p.Dist(q) == q.Dist(p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPointArithmetic(t *testing.T) {
+	p := Point{1, 2}
+	q := Point{3, -1}
+	if got := p.Add(q); got != (Point{4, 1}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Sub(q); got != (Point{-2, 3}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Scale(2); got != (Point{2, 4}) {
+		t.Errorf("Scale = %v", got)
+	}
+}
+
+func TestEmptyRect(t *testing.T) {
+	e := EmptyRect()
+	if !e.IsEmpty() {
+		t.Fatal("EmptyRect should be empty")
+	}
+	if e.Area() != 0 {
+		t.Errorf("empty area = %v, want 0", e.Area())
+	}
+	if e.Contains(Point{0, 0}) {
+		t.Error("empty rect should contain nothing")
+	}
+	r := Rect{Point{0, 0}, Point{1, 1}}
+	if got := e.Union(r); got != r {
+		t.Errorf("empty union r = %v, want %v", got, r)
+	}
+	if got := r.Union(e); got != r {
+		t.Errorf("r union empty = %v, want %v", got, r)
+	}
+	if !math.IsInf(e.MinDist(Point{0, 0}), 1) {
+		t.Error("MinDist to empty rect should be +Inf")
+	}
+	if !math.IsInf(e.MaxDist(Point{0, 0}), -1) {
+		t.Error("MaxDist to empty rect should be -Inf")
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := Rect{Point{0, 0}, Point{2, 2}}
+	for _, p := range []Point{{0, 0}, {2, 2}, {1, 1}, {0, 2}} {
+		if !r.Contains(p) {
+			t.Errorf("expected %v contained in %v", p, r)
+		}
+	}
+	for _, p := range []Point{{-0.001, 0}, {2.001, 2}, {1, 3}} {
+		if r.Contains(p) {
+			t.Errorf("expected %v not contained in %v", p, r)
+		}
+	}
+}
+
+func TestRectIntersects(t *testing.T) {
+	a := Rect{Point{0, 0}, Point{2, 2}}
+	tests := []struct {
+		name string
+		b    Rect
+		want bool
+	}{
+		{"overlapping", Rect{Point{1, 1}, Point{3, 3}}, true},
+		{"touching edge", Rect{Point{2, 0}, Point{3, 2}}, true},
+		{"touching corner", Rect{Point{2, 2}, Point{3, 3}}, true},
+		{"disjoint x", Rect{Point{2.1, 0}, Point{3, 2}}, false},
+		{"disjoint y", Rect{Point{0, 2.1}, Point{2, 3}}, false},
+		{"contained", Rect{Point{0.5, 0.5}, Point{1, 1}}, true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := a.Intersects(tc.b); got != tc.want {
+				t.Errorf("Intersects = %v, want %v", got, tc.want)
+			}
+			if got := tc.b.Intersects(a); got != tc.want {
+				t.Errorf("Intersects not symmetric")
+			}
+		})
+	}
+}
+
+func TestRectUnionIntersect(t *testing.T) {
+	a := Rect{Point{0, 0}, Point{2, 2}}
+	b := Rect{Point{1, 1}, Point{3, 4}}
+	u := a.Union(b)
+	if u != (Rect{Point{0, 0}, Point{3, 4}}) {
+		t.Errorf("Union = %v", u)
+	}
+	i := a.Intersect(b)
+	if i != (Rect{Point{1, 1}, Point{2, 2}}) {
+		t.Errorf("Intersect = %v", i)
+	}
+	if got := a.Intersect(Rect{Point{5, 5}, Point{6, 6}}); !got.IsEmpty() {
+		t.Errorf("disjoint Intersect = %v, want empty", got)
+	}
+}
+
+func TestRectAreaMargin(t *testing.T) {
+	r := Rect{Point{0, 0}, Point{3, 4}}
+	if r.Area() != 12 {
+		t.Errorf("Area = %v", r.Area())
+	}
+	if r.Margin() != 7 {
+		t.Errorf("Margin = %v", r.Margin())
+	}
+	if r.Center() != (Point{1.5, 2}) {
+		t.Errorf("Center = %v", r.Center())
+	}
+}
+
+func TestMinMaxDistPoint(t *testing.T) {
+	r := Rect{Point{1, 1}, Point{3, 3}}
+	tests := []struct {
+		name     string
+		p        Point
+		min, max float64
+	}{
+		{"inside", Point{2, 2}, 0, math.Sqrt(2)},
+		{"left", Point{0, 2}, 1, math.Sqrt(9 + 1)},
+		{"corner diag", Point{0, 0}, math.Sqrt(2), math.Sqrt(18)},
+		{"on boundary", Point{1, 2}, 0, math.Sqrt(4 + 1)},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := r.MinDist(tc.p); math.Abs(got-tc.min) > 1e-12 {
+				t.Errorf("MinDist = %v, want %v", got, tc.min)
+			}
+			if got := r.MaxDist(tc.p); math.Abs(got-tc.max) > 1e-12 {
+				t.Errorf("MaxDist = %v, want %v", got, tc.max)
+			}
+		})
+	}
+}
+
+// TestMinMaxDistBracketsSamples verifies that for random rectangles, the
+// distance from a query point to any sampled point inside the rectangle lies
+// within [MinDist, MaxDist].
+func TestMinMaxDistBracketsSamples(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 200; i++ {
+		lo := Point{rng.Float64() * 10, rng.Float64() * 10}
+		hi := Point{lo.X + rng.Float64()*5, lo.Y + rng.Float64()*5}
+		r := Rect{lo, hi}
+		q := Point{rng.Float64()*20 - 5, rng.Float64()*20 - 5}
+		dmin, dmax := r.MinDist(q), r.MaxDist(q)
+		for j := 0; j < 20; j++ {
+			p := Point{
+				lo.X + rng.Float64()*(hi.X-lo.X),
+				lo.Y + rng.Float64()*(hi.Y-lo.Y),
+			}
+			d := q.Dist(p)
+			if d < dmin-1e-9 || d > dmax+1e-9 {
+				t.Fatalf("dist %v outside [%v, %v] for rect %v query %v", d, dmin, dmax, r, q)
+			}
+		}
+		// Corners must achieve MaxDist.
+		corners := []Point{lo, hi, {lo.X, hi.Y}, {hi.X, lo.Y}}
+		best := 0.0
+		for _, c := range corners {
+			if d := q.Dist(c); d > best {
+				best = d
+			}
+		}
+		if math.Abs(best-dmax) > 1e-9 {
+			t.Fatalf("MaxDist %v not achieved by corners (best %v)", dmax, best)
+		}
+	}
+}
+
+func TestMinMaxDistRect(t *testing.T) {
+	a := Rect{Point{0, 0}, Point{1, 1}}
+	b := Rect{Point{3, 0}, Point{4, 1}}
+	if got := a.MinDistRect(b); math.Abs(got-2) > 1e-12 {
+		t.Errorf("MinDistRect = %v, want 2", got)
+	}
+	if got := a.MaxDistRect(b); math.Abs(got-math.Sqrt(16+1)) > 1e-12 {
+		t.Errorf("MaxDistRect = %v, want sqrt(17)", got)
+	}
+	// Overlapping rects have dmin 0.
+	c := Rect{Point{0.5, 0.5}, Point{2, 2}}
+	if got := a.MinDistRect(c); got != 0 {
+		t.Errorf("overlapping MinDistRect = %v, want 0", got)
+	}
+}
+
+// TestMinMaxDistRectBracketsSamples cross-validates rect-rect distances
+// against sampled point pairs.
+func TestMinMaxDistRectBracketsSamples(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	randRect := func() Rect {
+		lo := Point{rng.Float64() * 10, rng.Float64() * 10}
+		return Rect{lo, Point{lo.X + rng.Float64()*4, lo.Y + rng.Float64()*4}}
+	}
+	sample := func(r Rect) Point {
+		return Point{
+			r.Lo.X + rng.Float64()*(r.Hi.X-r.Lo.X),
+			r.Lo.Y + rng.Float64()*(r.Hi.Y-r.Lo.Y),
+		}
+	}
+	for i := 0; i < 100; i++ {
+		a, b := randRect(), randRect()
+		dmin, dmax := a.MinDistRect(b), a.MaxDistRect(b)
+		if math.Abs(dmin-b.MinDistRect(a)) > 1e-12 || math.Abs(dmax-b.MaxDistRect(a)) > 1e-12 {
+			t.Fatal("rect-rect distances not symmetric")
+		}
+		for j := 0; j < 30; j++ {
+			d := sample(a).Dist(sample(b))
+			if d < dmin-1e-9 || d > dmax+1e-9 {
+				t.Fatalf("dist %v outside [%v, %v]", d, dmin, dmax)
+			}
+		}
+	}
+}
+
+func TestRectFromPoints(t *testing.T) {
+	r := RectFromPoints(Point{1, 5}, Point{-2, 3}, Point{0, 7})
+	want := Rect{Point{-2, 3}, Point{1, 7}}
+	if r != want {
+		t.Errorf("RectFromPoints = %v, want %v", r, want)
+	}
+	if !RectFromPoints().IsEmpty() {
+		t.Error("RectFromPoints() should be empty")
+	}
+}
+
+func TestContainsRect(t *testing.T) {
+	outer := Rect{Point{0, 0}, Point{10, 10}}
+	if !outer.ContainsRect(Rect{Point{1, 1}, Point{9, 9}}) {
+		t.Error("expected containment")
+	}
+	if !outer.ContainsRect(outer) {
+		t.Error("rect should contain itself")
+	}
+	if outer.ContainsRect(Rect{Point{1, 1}, Point{11, 9}}) {
+		t.Error("should not contain overflowing rect")
+	}
+	if !outer.ContainsRect(EmptyRect()) {
+		t.Error("any rect contains the empty rect")
+	}
+}
+
+func TestUnionProperties(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy, dx, dy float64) bool {
+		a := RectFromPoints(Point{ax, ay}, Point{bx, by})
+		b := RectFromPoints(Point{cx, cy}, Point{dx, dy})
+		u := a.Union(b)
+		return u.ContainsRect(a) && u.ContainsRect(b) && u == b.Union(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,206 @@
+package inference
+
+import (
+	"fmt"
+
+	"pnn/internal/markov"
+	"pnn/internal/sparse"
+	"pnn/internal/uncertain"
+)
+
+// MarginalModel yields a state distribution per timestep. It abstracts over
+// the five competitors of the paper's Figure 12 effectiveness study: the
+// forward-backward posterior (FB), the forward-only model (F), the
+// no-observation model (NO), the uniform-diamond model (U), and FB over a
+// uniformized chain (FBU).
+type MarginalModel interface {
+	// Marginal returns the model's state distribution at time t, or nil
+	// outside the model's span.
+	Marginal(t int) sparse.Vec
+	// Span returns the first and last timestep covered.
+	Span() (start, end int)
+	// Name identifies the model in experiment output.
+	Name() string
+}
+
+// PosteriorModel adapts a Model to MarginalModel using the full
+// forward-backward posterior (the paper's FB).
+type PosteriorModel struct{ M *Model }
+
+// Marginal implements MarginalModel.
+func (p PosteriorModel) Marginal(t int) sparse.Vec { return p.M.Posterior(t) }
+
+// Span implements MarginalModel.
+func (p PosteriorModel) Span() (int, int) { return p.M.Start(), p.M.End() }
+
+// Name implements MarginalModel.
+func (p PosteriorModel) Name() string { return "FB" }
+
+// ForwardModel uses only past observations (the paper's F): the
+// forward-filtered distribution, which is accurate right after an
+// observation and degrades as the next one approaches.
+type ForwardModel struct{ M *Model }
+
+// Marginal implements MarginalModel.
+func (f ForwardModel) Marginal(t int) sparse.Vec { return f.M.Forward(t) }
+
+// Span implements MarginalModel.
+func (f ForwardModel) Span() (int, int) { return f.M.Start(), f.M.End() }
+
+// Name implements MarginalModel.
+func (f ForwardModel) Name() string { return "F" }
+
+// NoObservationModel propagates the a-priori chain from the first
+// observation and ignores every later one (the paper's NO).
+type NoObservationModel struct {
+	obj        *uncertain.Object
+	start, end int
+	marginals  []sparse.Vec
+}
+
+// NewNoObservationModel precomputes the a-priori marginals of o over its
+// lifetime.
+func NewNoObservationModel(o *uncertain.Object) *NoObservationModel {
+	start, end := o.First().T, o.Last().T
+	m := &NoObservationModel{obj: o, start: start, end: end,
+		marginals: make([]sparse.Vec, end-start+1)}
+	v := sparse.UnitVec(o.First().State)
+	m.marginals[0] = v.Clone()
+	for t := start + 1; t <= end; t++ {
+		v = o.Chain.At(t - 1).MulVecLeft(v)
+		v.Prune(pruneEps)
+		m.marginals[t-start] = v.Clone()
+	}
+	return m
+}
+
+// Marginal implements MarginalModel.
+func (m *NoObservationModel) Marginal(t int) sparse.Vec {
+	if t < m.start || t > m.end {
+		return nil
+	}
+	return m.marginals[t-m.start]
+}
+
+// Span implements MarginalModel.
+func (m *NoObservationModel) Span() (int, int) { return m.start, m.end }
+
+// Name implements MarginalModel.
+func (m *NoObservationModel) Name() string { return "NO" }
+
+// UniformDiamondModel assigns equal probability to every state of the
+// object's reachability diamond at each timestep (the paper's U), modelling
+// the cylinders/beads approximations of related work that keep no
+// probability information.
+type UniformDiamondModel struct {
+	start, end int
+	marginals  []sparse.Vec
+}
+
+// NewUniformDiamondModel computes the diamond of every observation gap of o
+// and flattens it into uniform per-timestep distributions.
+func NewUniformDiamondModel(o *uncertain.Object, reach *uncertain.Reach) (*UniformDiamondModel, error) {
+	start, end := o.First().T, o.Last().T
+	m := &UniformDiamondModel{start: start, end: end,
+		marginals: make([]sparse.Vec, end-start+1)}
+	if len(o.Obs) == 1 {
+		m.marginals[0] = sparse.UnitVec(o.First().State)
+		return m, nil
+	}
+	for g := 0; g+1 < len(o.Obs); g++ {
+		d, err := reach.Diamond(o, g)
+		if err != nil {
+			return nil, err
+		}
+		t0 := o.Obs[g].T
+		for k, states := range d {
+			v := sparse.NewVec()
+			p := 1 / float64(len(states))
+			for _, s := range states {
+				v[int(s)] = p
+			}
+			m.marginals[t0+k-start] = v
+		}
+	}
+	return m, nil
+}
+
+// Marginal implements MarginalModel.
+func (m *UniformDiamondModel) Marginal(t int) sparse.Vec {
+	if t < m.start || t > m.end {
+		return nil
+	}
+	return m.marginals[t-m.start]
+}
+
+// Span implements MarginalModel.
+func (m *UniformDiamondModel) Span() (int, int) { return m.start, m.end }
+
+// Name implements MarginalModel.
+func (m *UniformDiamondModel) Name() string { return "U" }
+
+// UniformizeChain returns a copy of a homogeneous chain in which every
+// row's probability mass is spread equally over its support. Running Adapt
+// on an object with this chain yields the paper's FBU competitor: the
+// forward-backward machinery without learned transition probabilities.
+func UniformizeChain(c markov.Chain) (markov.Chain, error) {
+	h, ok := c.(*markov.Homogeneous)
+	if !ok {
+		return nil, fmt.Errorf("inference: UniformizeChain supports homogeneous chains only, got %T", c)
+	}
+	m := h.M
+	elems := make([]sparse.Triplet, 0, m.NNZ())
+	for i := 0; i < m.N; i++ {
+		cols, _ := m.Row(i)
+		if len(cols) == 0 {
+			continue
+		}
+		p := 1 / float64(len(cols))
+		for _, ccol := range cols {
+			elems = append(elems, sparse.Triplet{Row: i, Col: int(ccol), Val: p})
+		}
+	}
+	um, err := sparse.NewCSR(m.N, elems)
+	if err != nil {
+		return nil, err
+	}
+	return markov.NewHomogeneous(um)
+}
+
+// FBUModel runs the forward-backward adaptation over the uniformized chain
+// (the paper's FBU).
+func FBUModel(o *uncertain.Object) (MarginalModel, error) {
+	uc, err := UniformizeChain(o.Chain)
+	if err != nil {
+		return nil, err
+	}
+	uo := &uncertain.Object{ID: o.ID, Obs: o.Obs, Chain: uc}
+	m, err := Adapt(uo)
+	if err != nil {
+		return nil, err
+	}
+	return namedModel{PosteriorModel{m}, "FBU"}, nil
+}
+
+type namedModel struct {
+	MarginalModel
+	name string
+}
+
+func (n namedModel) Name() string { return n.name }
+
+// ExpectedError returns the expected Euclidean distance between the model's
+// predicted distribution at time t and the true location: Σ_s P(s)·d(s,
+// truth). This is the "mean error" metric of Figure 12. loc maps a state
+// index to its location's distance from the truth.
+func ExpectedError(m MarginalModel, t int, distToTruth func(state int) float64) float64 {
+	v := m.Marginal(t)
+	if v == nil {
+		return 0
+	}
+	e := 0.0
+	for s, p := range v {
+		e += p * distToTruth(s)
+	}
+	return e
+}

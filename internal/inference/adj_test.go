@@ -1,0 +1,242 @@
+package inference
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"pnn/internal/uncertain"
+)
+
+func TestAdjBuilderBasic(t *testing.T) {
+	b := newAdjBuilder()
+	// Rows emitted out of order, columns ascending per row.
+	tris := []triple{
+		{r: 7, c: 1, p: 1},
+		{r: 3, c: 2, p: 2},
+		{r: 7, c: 5, p: 3},
+		{r: 3, c: 9, p: 2},
+	}
+	a, sums := b.build(tris)
+	if len(a.src) != 2 || a.src[0] != 3 || a.src[1] != 7 {
+		t.Fatalf("src = %v, want [3 7]", a.src)
+	}
+	cols, vals := a.row(3)
+	if len(cols) != 2 || cols[0] != 2 || cols[1] != 9 {
+		t.Errorf("row 3 cols = %v", cols)
+	}
+	if math.Abs(vals[0]-0.5) > 1e-15 || math.Abs(vals[1]-0.5) > 1e-15 {
+		t.Errorf("row 3 not normalized: %v", vals)
+	}
+	cols, vals = a.row(7)
+	if math.Abs(vals[0]-0.25) > 1e-15 || math.Abs(vals[1]-0.75) > 1e-15 {
+		t.Errorf("row 7 vals = %v", vals)
+	}
+	_ = cols
+	if sums.find(3) != 4 || sums.find(7) != 4 {
+		t.Errorf("sums = %+v", sums)
+	}
+	if sums.find(99) != 0 {
+		t.Error("missing state should have sum 0")
+	}
+	// Absent rows.
+	if c, _ := a.row(5); c != nil {
+		t.Errorf("absent row = %v", c)
+	}
+	if a.rowIndex(2) != -1 || a.rowIndex(8) != -1 {
+		t.Error("rowIndex for absent states should be -1")
+	}
+}
+
+func TestAdjBuilderReuse(t *testing.T) {
+	b := newAdjBuilder()
+	a1, _ := b.build([]triple{{r: 1, c: 2, p: 1}})
+	a2, _ := b.build([]triple{{r: 5, c: 6, p: 1}, {r: 4, c: 0, p: 2}})
+	// First result must be unaffected by the second build.
+	if len(a1.src) != 1 || a1.src[0] != 1 {
+		t.Errorf("a1 corrupted by reuse: %v", a1.src)
+	}
+	if len(a2.src) != 2 || a2.src[0] != 4 || a2.src[1] != 5 {
+		t.Errorf("a2 = %v", a2.src)
+	}
+}
+
+func TestAdjBuilderEmpty(t *testing.T) {
+	b := newAdjBuilder()
+	a, sums := b.build(nil)
+	if len(a.src) != 0 || len(sums.idx) != 0 {
+		t.Errorf("empty build: %v, %v", a.src, sums.idx)
+	}
+	if len(a.off) != 1 {
+		t.Errorf("off = %v, want [0]", a.off)
+	}
+}
+
+func TestAdjToRowMap(t *testing.T) {
+	b := newAdjBuilder()
+	a, _ := b.build([]triple{
+		{r: 2, c: 1, p: 1},
+		{r: 2, c: 3, p: 3},
+	})
+	rm := a.toRowMap()
+	if math.Abs(rm.At(2, 1)-0.25) > 1e-15 || math.Abs(rm.At(2, 3)-0.75) > 1e-15 {
+		t.Errorf("toRowMap = %v", rm)
+	}
+	var nilAdj *adj
+	if nilAdj.toRowMap() != nil {
+		t.Error("nil adj should convert to nil RowMap")
+	}
+}
+
+func TestAdjBuilderMatchesNaive(t *testing.T) {
+	// Property: against a naive map-based construction, the builder
+	// produces identical normalized rows, for random inputs emitted in the
+	// sweep pattern (ascending c per r).
+	rng := rand.New(rand.NewSource(31))
+	b := newAdjBuilder()
+	for trial := 0; trial < 100; trial++ {
+		nRows := 1 + rng.Intn(6)
+		var tris []triple
+		naive := map[int32]map[int32]float64{}
+		usedRows := rng.Perm(20)[:nRows]
+		// Emit grouped by c (ascending), mirroring the forward sweep where
+		// the outer loop ascends over sources.
+		for c := int32(0); c < 10; c++ {
+			for _, ri := range usedRows {
+				r := int32(ri)
+				if rng.Float64() < 0.5 {
+					continue
+				}
+				p := rng.Float64() + 0.01
+				tris = append(tris, triple{r: r, c: c, p: p})
+				if naive[r] == nil {
+					naive[r] = map[int32]float64{}
+				}
+				naive[r][c] = p
+			}
+		}
+		a, sums := b.build(tris)
+		for r, row := range naive {
+			total := 0.0
+			for _, p := range row {
+				total += p
+			}
+			if math.Abs(sums.find(r)-total) > 1e-12 {
+				t.Fatalf("sum(%d) = %v, want %v", r, sums.find(r), total)
+			}
+			cols, vals := a.row(r)
+			if len(cols) != len(row) {
+				t.Fatalf("row %d has %d entries, want %d", r, len(cols), len(row))
+			}
+			if !sort.SliceIsSorted(cols, func(i, j int) bool { return cols[i] < cols[j] }) {
+				t.Fatalf("row %d cols unsorted: %v", r, cols)
+			}
+			for k, c := range cols {
+				if math.Abs(vals[k]-row[c]/total) > 1e-12 {
+					t.Fatalf("entry (%d,%d) = %v, want %v", r, c, vals[k], row[c]/total)
+				}
+			}
+		}
+	}
+}
+
+func TestSvec(t *testing.T) {
+	v := svec{idx: []int32{1, 5, 9}, val: []float64{0.2, 0.3, 0.5}}
+	if v.find(5) != 0.3 || v.find(2) != 0 {
+		t.Error("find wrong")
+	}
+	if math.Abs(v.sum()-1) > 1e-15 {
+		t.Errorf("sum = %v", v.sum())
+	}
+	m := v.toVec()
+	if m[9] != 0.5 || len(m) != 3 {
+		t.Errorf("toVec = %v", m)
+	}
+	// normalizePruned drops dust and rescales.
+	w := svec{idx: []int32{1, 2, 3}, val: []float64{1e-20, 2, 2}}
+	if !w.normalizePruned(1e-15) {
+		t.Fatal("normalizePruned returned false")
+	}
+	if len(w.idx) != 2 || w.idx[0] != 2 {
+		t.Errorf("pruned idx = %v", w.idx)
+	}
+	if math.Abs(w.val[0]-0.5) > 1e-15 {
+		t.Errorf("val = %v", w.val)
+	}
+	empty := svec{idx: []int32{1}, val: []float64{1e-20}}
+	if empty.normalizePruned(1e-15) {
+		t.Error("all-dust vector should report no mass")
+	}
+}
+
+func TestSampleWindow(t *testing.T) {
+	o := lineObject(t, 13, 1, []uncertain.Observation{
+		{T: 10, State: 6}, {T: 20, State: 9}, {T: 30, State: 4},
+	})
+	m, err := Adapt(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSampler(m)
+	rng := rand.New(rand.NewSource(2))
+
+	// Window fully inside the lifetime.
+	p, ok := s.SampleWindow(rng, 14, 18)
+	if !ok || p.Start != 14 || len(p.States) != 5 {
+		t.Fatalf("window sample = %+v, %v", p, ok)
+	}
+	// Window clamped at both ends.
+	p, ok = s.SampleWindow(rng, 0, 99)
+	if !ok || p.Start != 10 || p.End() != 30 {
+		t.Fatalf("clamped sample spans [%d, %d]", p.Start, p.End())
+	}
+	if !p.HitsObservations(o) {
+		t.Error("full-window sample must hit observations")
+	}
+	// Disjoint window.
+	if _, ok := s.SampleWindow(rng, 40, 50); ok {
+		t.Error("disjoint window should report !ok")
+	}
+	if _, ok := s.SampleWindow(rng, 0, 5); ok {
+		t.Error("window before lifetime should report !ok")
+	}
+}
+
+// TestSampleWindowDistribution verifies the window sampler realizes the
+// correct marginal law: empirical state frequencies at each window tic
+// match the posterior.
+func TestSampleWindowDistribution(t *testing.T) {
+	o := lineObject(t, 9, 1, []uncertain.Observation{
+		{T: 0, State: 3}, {T: 6, State: 5},
+	})
+	m, err := Adapt(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSampler(m)
+	rng := rand.New(rand.NewSource(3))
+	const n = 40000
+	const ws, we = 2, 4
+	counts := map[int]map[int]float64{}
+	for tt := ws; tt <= we; tt++ {
+		counts[tt] = map[int]float64{}
+	}
+	for i := 0; i < n; i++ {
+		p, ok := s.SampleWindow(rng, ws, we)
+		if !ok {
+			t.Fatal("window must intersect")
+		}
+		for tt := ws; tt <= we; tt++ {
+			st, _ := p.At(tt)
+			counts[tt][st] += 1.0 / n
+		}
+	}
+	for tt := ws; tt <= we; tt++ {
+		for st, want := range m.Posterior(tt) {
+			if got := counts[tt][st]; math.Abs(got-want) > 0.015 {
+				t.Errorf("t=%d state %d: empirical %v, posterior %v", tt, st, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package inference
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pnn/internal/markov"
+	"pnn/internal/space"
+	"pnn/internal/uncertain"
+)
+
+// TestAdaptInvariantsProperty drives Algorithm 2 with randomized objects
+// (random walks on a random synthetic network, random observation spacing)
+// and checks the invariants that must hold for ANY valid input:
+//
+//  1. posterior and forward marginals carry mass 1 at every timestep,
+//  2. adapted transition rows are stochastic,
+//  3. the posterior collapses to the observed state at observation times,
+//  4. the posterior support never exceeds the forward support,
+//  5. sampled paths hit every observation and only use chain transitions.
+func TestAdaptInvariantsProperty(t *testing.T) {
+	sp, err := space.Synthetic(600, 8, rand.New(rand.NewSource(77)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain, err := markov.NewHomogeneous(sp.TransitionMatrix(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat := chain.At(0)
+
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		lifetime := 6 + rng.Intn(25)
+		gap := 2 + rng.Intn(6)
+		// Random chain walk as ground truth.
+		cur := rng.Intn(sp.Len())
+		states := []int{cur}
+		for len(states) <= lifetime {
+			cols, vals := mat.Row(cur)
+			u := rng.Float64()
+			acc := 0.0
+			next := int(cols[len(cols)-1])
+			for k, v := range vals {
+				acc += v
+				if u <= acc {
+					next = int(cols[k])
+					break
+				}
+			}
+			cur = next
+			states = append(states, cur)
+		}
+		var obs []uncertain.Observation
+		for tt := 0; tt <= lifetime; tt += gap {
+			obs = append(obs, uncertain.Observation{T: tt, State: states[tt]})
+		}
+		if obs[len(obs)-1].T != lifetime {
+			obs = append(obs, uncertain.Observation{T: lifetime, State: states[lifetime]})
+		}
+		o, err := uncertain.NewObject(1, obs, chain)
+		if err != nil {
+			t.Logf("seed %d: NewObject: %v", seed, err)
+			return false
+		}
+		m, err := Adapt(o)
+		if err != nil {
+			t.Logf("seed %d: Adapt: %v", seed, err)
+			return false
+		}
+		for tt := 0; tt <= lifetime; tt++ {
+			post := m.Posterior(tt)
+			fwd := m.Forward(tt)
+			if math.Abs(post.Sum()-1) > 1e-9 || math.Abs(fwd.Sum()-1) > 1e-9 {
+				t.Logf("seed %d: mass violation at t=%d", seed, tt)
+				return false
+			}
+			for s := range post {
+				if fwd[s] == 0 {
+					t.Logf("seed %d: posterior escapes forward support at t=%d", seed, tt)
+					return false
+				}
+			}
+			if want, isObs := o.ObservedAt(tt); isObs {
+				if len(post) != 1 || math.Abs(post[want]-1) > 1e-9 {
+					t.Logf("seed %d: posterior not collapsed at observation t=%d", seed, tt)
+					return false
+				}
+			}
+			if tt < lifetime {
+				ft := m.Transition(tt)
+				for _, row := range ft.Rows() {
+					if math.Abs(ft.Row(row).Sum()-1) > 1e-9 {
+						t.Logf("seed %d: non-stochastic F row at t=%d", seed, tt)
+						return false
+					}
+				}
+			}
+		}
+		// Sampling invariants.
+		smp := NewSampler(m)
+		for i := 0; i < 20; i++ {
+			p := smp.Sample(rng)
+			if !p.HitsObservations(o) {
+				t.Logf("seed %d: sample missed an observation", seed)
+				return false
+			}
+			for k := 1; k < len(p.States); k++ {
+				if mat.At(int(p.States[k-1]), int(p.States[k])) == 0 {
+					t.Logf("seed %d: illegal sampled transition", seed)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,278 @@
+package inference
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"pnn/internal/sparse"
+	"pnn/internal/uncertain"
+)
+
+// Sampler draws possible trajectories of one object from its a-posteriori
+// model F(t). Every drawn path starts at the first observation, ends at the
+// last, and passes through every observation in between with probability 1
+// (Section 5.2.3). A Sampler is safe for concurrent use as long as each
+// goroutine supplies its own *rand.Rand.
+type Sampler struct {
+	model *Model
+	// cum[t-start] holds, aligned with the flat adapted matrix F(t), the
+	// within-row cumulative probabilities, so drawing a successor is one
+	// row lookup plus a binary search.
+	cum [][]float64
+	// postCum[t-start] is the cumulative posterior marginal at t, used to
+	// draw the entry state of window-restricted samples.
+	postCum []cumDist
+}
+
+type cumDist struct {
+	states []int32
+	cum    []float64 // strictly increasing, last element ~1
+}
+
+// NewSampler precomputes cumulative successor distributions from the
+// adapted model.
+func NewSampler(m *Model) *Sampler {
+	n := m.end - m.start
+	s := &Sampler{
+		model:   m,
+		cum:     make([][]float64, n),
+		postCum: make([]cumDist, n+1),
+	}
+	for t := m.start; t < m.end; t++ {
+		a := m.transitionAdj(t)
+		cum := make([]float64, len(a.p))
+		for r := 0; r+1 < len(a.off); r++ {
+			acc := 0.0
+			for k := a.off[r]; k < a.off[r+1]; k++ {
+				acc += a.p[k]
+				cum[k] = acc
+			}
+		}
+		s.cum[t-m.start] = cum
+	}
+	for t := m.start; t <= m.end; t++ {
+		s.postCum[t-m.start] = cumOf(m.Posterior(t))
+	}
+	return s
+}
+
+// step draws the successor of state cur at time t, or panics if cur has no
+// adapted successors (impossible for states with posterior mass).
+func (s *Sampler) step(t, cur int, rng *rand.Rand) int {
+	a := s.model.transitionAdj(t)
+	r := a.rowIndex(int32(cur))
+	if r < 0 {
+		panic(fmt.Sprintf("inference: state %d at t=%d has no adapted successors", cur, t))
+	}
+	lo, hi := int(a.off[r]), int(a.off[r+1])
+	cum := s.cum[t-s.model.start]
+	u := rng.Float64() * cum[hi-1]
+	k := lo + sort.SearchFloat64s(cum[lo:hi], u)
+	if k == hi {
+		k--
+	}
+	return int(a.dst[k])
+}
+
+func cumOf(v sparse.Vec) cumDist {
+	ents := v.Entries()
+	cd := cumDist{
+		states: make([]int32, len(ents)),
+		cum:    make([]float64, len(ents)),
+	}
+	acc := 0.0
+	for k, e := range ents {
+		acc += e.Val
+		cd.states[k] = int32(e.Idx)
+		cd.cum[k] = acc
+	}
+	return cd
+}
+
+func (cd cumDist) draw(rng *rand.Rand) int {
+	u := rng.Float64() * cd.cum[len(cd.cum)-1]
+	k := sort.SearchFloat64s(cd.cum, u)
+	if k == len(cd.cum) {
+		k--
+	}
+	return int(cd.states[k])
+}
+
+// SampleWindow draws the object's trajectory restricted to [ts, te] ∩
+// [Start, End]: the entry state is drawn from the posterior marginal and
+// subsequent states from the adapted transitions, which together realize
+// the exact law of the trajectory over the window. ok is false when the
+// window does not intersect the object's lifetime.
+//
+// Sampling only the query window instead of the whole lifetime is the
+// dominant cost saving of the refinement step: query intervals are much
+// shorter than object lifetimes.
+func (s *Sampler) SampleWindow(rng *rand.Rand, ts, te int) (uncertain.Path, bool) {
+	m := s.model
+	if ts < m.start {
+		ts = m.start
+	}
+	if te > m.end {
+		te = m.end
+	}
+	if te < ts {
+		return uncertain.Path{}, false
+	}
+	states := make([]int32, te-ts+1)
+	cur := s.postCum[ts-m.start].draw(rng)
+	states[0] = int32(cur)
+	for t := ts; t < te; t++ {
+		cur = s.step(t, cur, rng)
+		states[t-ts+1] = int32(cur)
+	}
+	return uncertain.Path{Start: ts, States: states}, true
+}
+
+// Model returns the underlying adapted model.
+func (s *Sampler) Model() *Model { return s.model }
+
+// Sample draws one possible trajectory covering [Start, End].
+func (s *Sampler) Sample(rng *rand.Rand) uncertain.Path {
+	m := s.model
+	states := make([]int32, m.end-m.start+1)
+	cur := m.obj.First().State
+	states[0] = int32(cur)
+	for t := m.start; t < m.end; t++ {
+		cur = s.step(t, cur, rng)
+		states[t-m.start+1] = int32(cur)
+	}
+	return uncertain.Path{Start: m.start, States: states}
+}
+
+// SampleN draws n independent trajectories.
+func (s *Sampler) SampleN(rng *rand.Rand, n int) []uncertain.Path {
+	out := make([]uncertain.Path, n)
+	for i := range out {
+		out[i] = s.Sample(rng)
+	}
+	return out
+}
+
+// PriorSampleResult reports the outcome of rejection-based sampling on the
+// a-priori chain.
+type PriorSampleResult struct {
+	Path     uncertain.Path
+	Attempts int // trajectory draws consumed to obtain one valid sample
+}
+
+// RejectionSample implements the traditional Monte-Carlo approach (TS1,
+// Section 5.1): draw full trajectories from the first observation forward
+// using the a-priori chain, discarding any that miss a later observation.
+// maxAttempts bounds the work; if it is exhausted, an error is returned
+// with Attempts set to maxAttempts. The expected number of attempts grows
+// exponentially with the number of observations, which is exactly the
+// pathology Figure 10 demonstrates.
+func RejectionSample(o *uncertain.Object, rng *rand.Rand, maxAttempts int) (PriorSampleResult, error) {
+	start, end := o.First().T, o.Last().T
+	for attempt := 1; attempt <= maxAttempts; attempt++ {
+		states := make([]int32, end-start+1)
+		cur := o.First().State
+		states[0] = int32(cur)
+		ok := true
+		for t := start; t < end; t++ {
+			cur = stepPrior(o, t, cur, rng)
+			states[t-start+1] = int32(cur)
+			if want, observed := o.ObservedAt(t + 1); observed && want != cur {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return PriorSampleResult{
+				Path:     uncertain.Path{Start: start, States: states},
+				Attempts: attempt,
+			}, nil
+		}
+	}
+	return PriorSampleResult{Attempts: maxAttempts},
+		fmt.Errorf("inference: rejection sampling exhausted %d attempts for object %d", maxAttempts, o.ID)
+}
+
+// SegmentRejectionSample implements the improved rejection scheme (TS2,
+// Section 7.1 "Sampling Efficiency"): sample each observation gap
+// independently, restarting only the current segment when it misses its end
+// observation. Attempts counts segment draws across all gaps, making the
+// expected cost linear rather than exponential in the number of
+// observations.
+func SegmentRejectionSample(o *uncertain.Object, rng *rand.Rand, maxAttempts int) (PriorSampleResult, error) {
+	start, end := o.First().T, o.Last().T
+	states := make([]int32, end-start+1)
+	states[0] = int32(o.First().State)
+	attempts := 0
+	for g := 0; g+1 < len(o.Obs); g++ {
+		a, b := o.Obs[g], o.Obs[g+1]
+		for {
+			attempts++
+			if attempts > maxAttempts {
+				return PriorSampleResult{Attempts: maxAttempts},
+					fmt.Errorf("inference: segment sampling exhausted %d attempts for object %d", maxAttempts, o.ID)
+			}
+			cur := a.State
+			okSeg := true
+			for t := a.T; t < b.T; t++ {
+				cur = stepPrior(o, t, cur, rng)
+				states[t-start+1] = int32(cur)
+			}
+			if cur != b.State {
+				okSeg = false
+			}
+			if okSeg {
+				break
+			}
+		}
+	}
+	return PriorSampleResult{
+		Path:     uncertain.Path{Start: start, States: states},
+		Attempts: attempts,
+	}, nil
+}
+
+// ExpectedRejectionCost returns the analytically expected number of
+// trajectory draws needed by TS1 (full-trajectory rejection) and TS2
+// (segment-wise rejection) to produce one valid sample of o, computed by
+// exact forward propagation of the a-priori chain. The per-gap hit
+// probability p_g is P(o(t_{g+1}) = θ_{g+1} | o(t_g) = θ_g); then
+//
+//	E[TS1] = 1 / Π_g p_g    and    E[TS2] = Σ_g 1/p_g.
+//
+// A contradiction (some p_g = 0) yields +Inf for both.
+func ExpectedRejectionCost(o *uncertain.Object) (ts1, ts2 float64) {
+	ts1 = 1
+	for g := 0; g+1 < len(o.Obs); g++ {
+		a, b := o.Obs[g], o.Obs[g+1]
+		v := sparse.UnitVec(a.State)
+		for t := a.T; t < b.T; t++ {
+			v = o.Chain.At(t).MulVecLeft(v)
+		}
+		p := v[b.State]
+		if p <= 0 {
+			return inf(), inf()
+		}
+		ts1 *= 1 / p
+		ts2 += 1 / p
+	}
+	return ts1, ts2
+}
+
+func stepPrior(o *uncertain.Object, t, cur int, rng *rand.Rand) int {
+	cols, vals := o.Chain.At(t).Row(cur)
+	u := rng.Float64()
+	acc := 0.0
+	for k, v := range vals {
+		acc += v
+		if u <= acc {
+			return int(cols[k])
+		}
+	}
+	// Floating-point shortfall: take the last transition.
+	return int(cols[len(cols)-1])
+}
+
+func inf() float64 { return math.Inf(1) }

@@ -1,0 +1,183 @@
+// Package nn evaluates nearest-neighbor predicates on certain trajectories.
+// The Monte-Carlo query engine samples possible worlds — one concrete
+// trajectory per object — and then answers classical (non-probabilistic)
+// trajectory NN questions in each world, exactly as the paper reduces PNN
+// evaluation to NN algorithms for certain trajectories [5, 6, 8].
+//
+// Distance semantics follow Definition 1: object o is the NN of q at time t
+// iff d(q(t), o(t)) <= d(q(t), o'(t)) for every other object o' alive at t.
+// An object that is not alive at t is never the NN at t and does not
+// compete against others at t.
+package nn
+
+import (
+	"math"
+	"sort"
+
+	"pnn/internal/geo"
+	"pnn/internal/space"
+	"pnn/internal/uncertain"
+)
+
+// World is one possible world over a query window: the distance from the
+// query to every object at every timestep of [Ts, Te].
+type World struct {
+	Ts, Te int
+	// dist[t-Ts][oi] is d(q(t), o_i(t)), or +Inf when o_i is not alive
+	// at t.
+	dist [][]float64
+}
+
+// NewWorld materializes the distance matrix for one sampled world. paths
+// holds one concrete trajectory per object (indices align with the caller's
+// object table); q maps a timestep to the query position.
+func NewWorld(sp *space.Space, paths []uncertain.Path, q func(int) geo.Point, ts, te int) *World {
+	w := &World{Ts: ts, Te: te, dist: make([][]float64, te-ts+1)}
+	for t := ts; t <= te; t++ {
+		row := make([]float64, len(paths))
+		qp := q(t)
+		for i, p := range paths {
+			if s, ok := p.At(t); ok {
+				row[i] = sp.Point(s).Dist(qp)
+			} else {
+				row[i] = math.Inf(1)
+			}
+		}
+		w.dist[t-ts] = row
+	}
+	return w
+}
+
+// Dist returns d(q(t), o_i(t)); +Inf when the object is dead at t.
+func (w *World) Dist(oi, t int) float64 { return w.dist[t-w.Ts][oi] }
+
+// Alive reports whether object oi is alive at t in this world.
+func (w *World) Alive(oi, t int) bool { return !math.IsInf(w.dist[t-w.Ts][oi], 1) }
+
+// IsNNAt reports whether object oi is a nearest neighbor of q at time t
+// (ties included, per Definition 1).
+func (w *World) IsNNAt(oi, t int) bool {
+	row := w.dist[t-w.Ts]
+	d := row[oi]
+	if math.IsInf(d, 1) {
+		return false
+	}
+	for j, dj := range row {
+		if j != oi && dj < d {
+			return false
+		}
+	}
+	return true
+}
+
+// IsKNNAt reports whether object oi ranks among the k nearest neighbors of
+// q at time t: fewer than k other objects are strictly closer.
+func (w *World) IsKNNAt(oi, t, k int) bool {
+	row := w.dist[t-w.Ts]
+	d := row[oi]
+	if math.IsInf(d, 1) {
+		return false
+	}
+	closer := 0
+	for j, dj := range row {
+		if j != oi && dj < d {
+			closer++
+			if closer >= k {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsNNThroughout reports whether oi is the NN of q at every t in [t0, t1]
+// (Definition 2's ∀ event in one world).
+func (w *World) IsNNThroughout(oi, t0, t1 int) bool {
+	for t := t0; t <= t1; t++ {
+		if !w.IsNNAt(oi, t) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsNNSometime reports whether oi is the NN of q at at least one t in
+// [t0, t1] (Definition 1's ∃ event in one world).
+func (w *World) IsNNSometime(oi, t0, t1 int) bool {
+	for t := t0; t <= t1; t++ {
+		if w.IsNNAt(oi, t) {
+			return true
+		}
+	}
+	return false
+}
+
+// NNAt returns all objects achieving the minimum distance at time t, in
+// ascending index order; empty when no object is alive.
+func (w *World) NNAt(t int) []int {
+	row := w.dist[t-w.Ts]
+	best := math.Inf(1)
+	for _, d := range row {
+		if d < best {
+			best = d
+		}
+	}
+	if math.IsInf(best, 1) {
+		return nil
+	}
+	var out []int
+	for i, d := range row {
+		if d == best {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// KNNAt returns the k nearest objects at time t in ascending distance
+// order (ties broken by index). Fewer than k objects may be returned when
+// not enough are alive.
+func (w *World) KNNAt(t, k int) []int {
+	row := w.dist[t-w.Ts]
+	type od struct {
+		oi int
+		d  float64
+	}
+	all := make([]od, 0, len(row))
+	for i, d := range row {
+		if !math.IsInf(d, 1) {
+			all = append(all, od{i, d})
+		}
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].d != all[b].d {
+			return all[a].d < all[b].d
+		}
+		return all[a].oi < all[b].oi
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	out := make([]int, len(all))
+	for i, x := range all {
+		out[i] = x.oi
+	}
+	return out
+}
+
+// NNMask fills dst (length Te-Ts+1) with per-timestep NN indicators for
+// object oi. Reusing one boolean slice across worlds avoids allocation in
+// the PCNN inner loop.
+func (w *World) NNMask(oi int, dst []bool) {
+	for t := w.Ts; t <= w.Te; t++ {
+		dst[t-w.Ts] = w.IsNNAt(oi, t)
+	}
+}
+
+// KNNMask fills dst with per-timestep k-NN indicators for object oi (the
+// PCkNN generalization).
+func (w *World) KNNMask(oi, k int, dst []bool) {
+	for t := w.Ts; t <= w.Te; t++ {
+		dst[t-w.Ts] = w.IsKNNAt(oi, t, k)
+	}
+}

@@ -1,0 +1,154 @@
+package nn
+
+import (
+	"testing"
+
+	"pnn/internal/geo"
+	"pnn/internal/space"
+	"pnn/internal/uncertain"
+)
+
+// testWorld: a 10-state line, three objects with fixed paths over [0, 3].
+//
+//	q fixed at state 5's position.
+//	o0: states 5, 5, 6, 7  (dist 0, 0, 1, 2 in units of 0.1)
+//	o1: states 7, 6, 5, 5  (dist 2, 1, 0, 0)
+//	o2: alive only at t∈[1,2]: states 5, 9 → dist 0, 4
+func testWorld(t *testing.T) (*World, *space.Space) {
+	t.Helper()
+	sp, err := space.Line(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths := []uncertain.Path{
+		{Start: 0, States: []int32{5, 5, 6, 7}},
+		{Start: 0, States: []int32{7, 6, 5, 5}},
+		{Start: 1, States: []int32{5, 9}},
+	}
+	q := func(int) geo.Point { return sp.Point(5) }
+	return NewWorld(sp, paths, q, 0, 3), sp
+}
+
+func TestWorldDistAndAlive(t *testing.T) {
+	w, sp := testWorld(t)
+	if d := w.Dist(0, 0); d != 0 {
+		t.Errorf("Dist(o0, 0) = %v", d)
+	}
+	want := sp.Point(7).Dist(sp.Point(5))
+	if d := w.Dist(1, 0); d != want {
+		t.Errorf("Dist(o1, 0) = %v, want %v", d, want)
+	}
+	if w.Alive(2, 0) {
+		t.Error("o2 should be dead at t=0")
+	}
+	if !w.Alive(2, 1) {
+		t.Error("o2 should be alive at t=1")
+	}
+}
+
+func TestIsNNAt(t *testing.T) {
+	w, _ := testWorld(t)
+	// t=0: o0 at distance 0 wins.
+	if !w.IsNNAt(0, 0) || w.IsNNAt(1, 0) || w.IsNNAt(2, 0) {
+		t.Error("t=0: only o0 is NN")
+	}
+	// t=1: o0 dist 0, o2 dist 0 → tie, both NN; o1 dist 1.
+	if !w.IsNNAt(0, 1) || !w.IsNNAt(2, 1) || w.IsNNAt(1, 1) {
+		t.Error("t=1: o0 and o2 tie as NN")
+	}
+	// t=2: o1 dist 0 wins.
+	if !w.IsNNAt(1, 2) || w.IsNNAt(0, 2) || w.IsNNAt(2, 2) {
+		t.Error("t=2: only o1 is NN")
+	}
+	// t=3: o1 wins; o2 dead.
+	if !w.IsNNAt(1, 3) || w.IsNNAt(2, 3) {
+		t.Error("t=3: only o1 is NN")
+	}
+}
+
+func TestThroughoutSometime(t *testing.T) {
+	w, _ := testWorld(t)
+	if !w.IsNNThroughout(0, 0, 1) {
+		t.Error("o0 is NN throughout [0,1]")
+	}
+	if w.IsNNThroughout(0, 0, 2) {
+		t.Error("o0 loses at t=2")
+	}
+	if !w.IsNNSometime(1, 0, 3) {
+		t.Error("o1 is NN at t=2")
+	}
+	if w.IsNNSometime(2, 2, 3) {
+		t.Error("o2 is never NN on [2,3]")
+	}
+	if !w.IsNNThroughout(1, 2, 3) {
+		t.Error("o1 is NN throughout [2,3]")
+	}
+}
+
+func TestKNN(t *testing.T) {
+	w, _ := testWorld(t)
+	// t=0: distances o0=0, o1=2 units, o2 dead.
+	if got := w.KNNAt(0, 1); len(got) != 1 || got[0] != 0 {
+		t.Errorf("KNNAt(0,1) = %v", got)
+	}
+	if got := w.KNNAt(0, 5); len(got) != 2 {
+		t.Errorf("KNNAt(0,5) = %v, want 2 alive objects", got)
+	}
+	// t=1: ties at distance 0 (o0, o2), then o1.
+	got := w.KNNAt(1, 2)
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("KNNAt(1,2) = %v, want [0 2]", got)
+	}
+	// IsKNNAt with k=2 at t=1: all three? o1 has 2 strictly closer → no.
+	if !w.IsKNNAt(0, 1, 2) || !w.IsKNNAt(2, 1, 2) || w.IsKNNAt(1, 1, 2) {
+		t.Error("IsKNNAt k=2 at t=1 wrong")
+	}
+	if !w.IsKNNAt(1, 1, 3) {
+		t.Error("o1 is a 3-NN at t=1")
+	}
+	// Dead object is never a kNN.
+	if w.IsKNNAt(2, 0, 99) {
+		t.Error("dead object cannot be kNN")
+	}
+}
+
+func TestNNAt(t *testing.T) {
+	w, _ := testWorld(t)
+	if got := w.NNAt(1); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("NNAt(1) = %v, want [0 2]", got)
+	}
+	if got := w.NNAt(2); len(got) != 1 || got[0] != 1 {
+		t.Errorf("NNAt(2) = %v, want [1]", got)
+	}
+}
+
+func TestNNAtAllDead(t *testing.T) {
+	sp, err := space.Line(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths := []uncertain.Path{{Start: 10, States: []int32{1}}}
+	w := NewWorld(sp, paths, func(int) geo.Point { return geo.Point{} }, 0, 2)
+	if got := w.NNAt(0); got != nil {
+		t.Errorf("NNAt with no alive objects = %v, want nil", got)
+	}
+	if w.IsNNAt(0, 0) {
+		t.Error("dead object is not NN")
+	}
+	if got := w.KNNAt(0, 3); len(got) != 0 {
+		t.Errorf("KNNAt with no alive objects = %v", got)
+	}
+}
+
+func TestNNMask(t *testing.T) {
+	w, _ := testWorld(t)
+	mask := make([]bool, 4)
+	w.NNMask(0, mask)
+	want := []bool{true, true, false, false}
+	for i := range want {
+		if mask[i] != want[i] {
+			t.Errorf("NNMask(o0) = %v, want %v", mask, want)
+			break
+		}
+	}
+}

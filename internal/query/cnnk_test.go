@@ -1,0 +1,51 @@
+package query
+
+import (
+	"math/rand"
+	"testing"
+
+	"pnn/internal/uncertain"
+)
+
+func TestCNNKValidationAndMonotonicity(t *testing.T) {
+	sp, _, eng := lineDB(t, 2000,
+		[]uncertain.Observation{{T: 0, State: 30}, {T: 8, State: 30}},
+		[]uncertain.Observation{{T: 0, State: 33}, {T: 8, State: 33}},
+		[]uncertain.Observation{{T: 0, State: 36}, {T: 8, State: 36}},
+	)
+	q := StateQuery(sp.Point(30))
+	rng := rand.New(rand.NewSource(1))
+	if _, _, err := eng.CNNK(q, 1, 7, 0, 0.5, rng); err == nil {
+		t.Error("expected error for k=0")
+	}
+	// With k = |D|, every alive object is a kNN at every tic with
+	// probability 1, so each should report the full window once.
+	res, _, err := eng.CNNK(q, 1, 7, 3, 0.9, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("CNNK k=3 results = %+v, want one per object", res)
+	}
+	for _, r := range res {
+		if len(r.Times) != 7 || r.Prob < 0.999 {
+			t.Errorf("object %d: %+v, want full window at p=1", r.Obj, r)
+		}
+	}
+	// k=2: the two nearest objects cover the window; the farthest can
+	// only qualify when it beats one of them, which never happens here.
+	res2, _, err := eng.CNNK(q, 1, 7, 2, 0.9, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, r := range res2 {
+		seen[r.Obj] = true
+		if r.Obj == 2 {
+			t.Errorf("farthest object qualified for 2NN window: %+v", r)
+		}
+	}
+	if !seen[0] || !seen[1] {
+		t.Errorf("nearest two objects should qualify: %+v", res2)
+	}
+}

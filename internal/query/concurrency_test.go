@@ -1,0 +1,128 @@
+package query
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"pnn/internal/inference"
+	"pnn/internal/uncertain"
+)
+
+// TestEngineConcurrentQueries exercises the engine's advertised thread
+// safety: many goroutines issue queries against one engine (sharing the
+// lazily-populated sampler cache) and must all observe identical results
+// for identical seeds.
+func TestEngineConcurrentQueries(t *testing.T) {
+	sp, _, eng := lineDB(t, 2000,
+		[]uncertain.Observation{{T: 0, State: 30}, {T: 8, State: 32}},
+		[]uncertain.Observation{{T: 0, State: 34}, {T: 8, State: 30}},
+		[]uncertain.Observation{{T: 0, State: 26}, {T: 8, State: 28}},
+		[]uncertain.Observation{{T: 0, State: 40}, {T: 8, State: 44}},
+	)
+	q := StateQuery(sp.Point(31))
+	const workers = 8
+	results := make([][]Result, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(99))
+			res, _, err := eng.ForAllNN(q, 1, 7, 0, rng)
+			if err != nil {
+				t.Errorf("worker %d: %v", w, err)
+				return
+			}
+			results[w] = res
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		if len(results[w]) != len(results[0]) {
+			t.Fatalf("worker %d saw %d results, worker 0 saw %d", w, len(results[w]), len(results[0]))
+		}
+		for i := range results[w] {
+			if results[w][i].Obj != results[0][i].Obj ||
+				math.Abs(results[w][i].Prob-results[0][i].Prob) > 1e-12 {
+				t.Fatalf("worker %d diverged: %+v vs %+v", w, results[w][i], results[0][i])
+			}
+		}
+	}
+}
+
+// TestEngineDisablePruningSameResults checks the ablation switch is
+// lossless: with identical seeds, pruned and unpruned engines agree.
+func TestEngineDisablePruningSameResults(t *testing.T) {
+	sp, tree, eng := lineDB(t, 3000,
+		[]uncertain.Observation{{T: 0, State: 30}, {T: 8, State: 32}},
+		[]uncertain.Observation{{T: 0, State: 35}, {T: 8, State: 31}},
+		[]uncertain.Observation{{T: 0, State: 50}, {T: 8, State: 55}},
+	)
+	q := StateQuery(sp.Point(31))
+	res1, st1, err := eng.ForAllNN(q, 1, 7, 0, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	noPrune := NewEngine(tree, 3000)
+	noPrune.DisablePruning()
+	res2, st2, err := noPrune.ForAllNN(q, 1, 7, 0, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Influencers < st1.Influencers {
+		t.Errorf("unpruned influencers (%d) must be >= pruned (%d)", st2.Influencers, st1.Influencers)
+	}
+	// Same objects above any threshold; probabilities within MC noise of
+	// each other (different refine sets perturb the random stream, so an
+	// exact match is not guaranteed).
+	p1 := map[int]float64{}
+	for _, r := range res1 {
+		p1[r.Obj] = r.Prob
+	}
+	for _, r := range res2 {
+		if r.Prob > 0.05 {
+			if v, ok := p1[r.Obj]; !ok || math.Abs(v-r.Prob) > 0.05 {
+				t.Errorf("object %d: pruned %v vs unpruned %v", r.Obj, v, r.Prob)
+			}
+		}
+	}
+	// The far object 2 must not be a result either way.
+	for _, r := range res2 {
+		if r.Obj == 2 && r.Prob > 0.01 {
+			t.Errorf("far object got probability %v", r.Prob)
+		}
+	}
+}
+
+func TestPathsOfModelLimit(t *testing.T) {
+	_, tree, _ := lineDB(t, 1,
+		[]uncertain.Observation{{T: 0, State: 30}, {T: 8, State: 30}})
+	m, err := inference.Adapt(tree.Objects()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An 8-step loosely-constrained gap has far more than 10 trajectories.
+	if _, err := PathsOfModel(m, 10); err == nil {
+		t.Error("expected path-limit error")
+	}
+	// And a generous limit succeeds with probabilities summing to 1.
+	wo, err := PathsOfModel(m, 1000000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	for _, p := range wo.Probs {
+		total += p
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Errorf("path probabilities sum to %v", total)
+	}
+	// Every enumerated path must hit the observations.
+	for _, p := range wo.Paths {
+		if !p.HitsObservations(tree.Objects()[0]) {
+			t.Fatal("enumerated path misses an observation")
+		}
+	}
+}

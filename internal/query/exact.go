@@ -1,0 +1,234 @@
+package query
+
+import (
+	"fmt"
+	"math"
+
+	"pnn/internal/geo"
+	"pnn/internal/inference"
+	"pnn/internal/space"
+	"pnn/internal/uncertain"
+)
+
+// WorldObject is an object given by its explicit possible trajectories and
+// their probabilities — the representation of Figure 1's worked example.
+// Probabilities must sum to 1.
+type WorldObject struct {
+	Paths []uncertain.Path
+	Probs []float64
+}
+
+// PathsOfModel enumerates every possible trajectory of an adapted model
+// together with its posterior probability, up to maxPaths (error beyond).
+// Enumeration multiplies the adapted transition probabilities F(t), whose
+// product over a path equals the possible-world probability conditioned on
+// the observations.
+func PathsOfModel(m *inference.Model, maxPaths int) (WorldObject, error) {
+	var out WorldObject
+	start, end := m.Start(), m.End()
+	var rec func(t int, states []int32, p float64) error
+	rec = func(t int, states []int32, p float64) error {
+		if t == end {
+			if len(out.Paths) >= maxPaths {
+				return fmt.Errorf("query: object has more than %d possible trajectories", maxPaths)
+			}
+			cp := make([]int32, len(states))
+			copy(cp, states)
+			out.Paths = append(out.Paths, uncertain.Path{Start: start, States: cp})
+			out.Probs = append(out.Probs, p)
+			return nil
+		}
+		row := m.Transition(t).Row(int(states[t-start]))
+		for _, e := range row.Entries() {
+			if err := rec(t+1, append(states, int32(e.Idx)), p*e.Val); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	first := []int32{int32(m.Object().First().State)}
+	if err := rec(start, first, 1); err != nil {
+		return WorldObject{}, err
+	}
+	return out, nil
+}
+
+// EnumerateWorlds visits every possible world of the given objects (the
+// cross product of their trajectory sets) with its probability, assuming
+// object independence (Section 3.2). It fails when the world count exceeds
+// maxWorlds.
+func EnumerateWorlds(objs []WorldObject, maxWorlds int, fn func(paths []uncertain.Path, p float64)) error {
+	total := 1
+	for _, o := range objs {
+		if len(o.Paths) == 0 {
+			return fmt.Errorf("query: world object with no trajectories")
+		}
+		if total > maxWorlds/len(o.Paths)+1 {
+			return fmt.Errorf("query: more than %d possible worlds", maxWorlds)
+		}
+		total *= len(o.Paths)
+	}
+	if total > maxWorlds {
+		return fmt.Errorf("query: %d possible worlds exceed limit %d", total, maxWorlds)
+	}
+	paths := make([]uncertain.Path, len(objs))
+	var rec func(i int, p float64)
+	rec = func(i int, p float64) {
+		if i == len(objs) {
+			fn(paths, p)
+			return
+		}
+		for k, path := range objs[i].Paths {
+			paths[i] = path
+			rec(i+1, p*objs[i].Probs[k])
+		}
+	}
+	rec(0, 1)
+	return nil
+}
+
+// ExactResult holds exact possible-world probabilities for one database.
+type ExactResult struct {
+	ForAll []float64 // P∀NN per object
+	Exists []float64 // P∃NN per object
+}
+
+// ExactNN computes exact P∀NN and P∃NN probabilities for every object by
+// full possible-world enumeration (the naive algorithm of Example 1).
+// Intended for small instances and ground-truth generation; maxWorlds
+// bounds the enumeration.
+func ExactNN(sp *space.Space, objs []WorldObject, q Query, ts, te, maxWorlds int) (ExactResult, error) {
+	res := ExactResult{
+		ForAll: make([]float64, len(objs)),
+		Exists: make([]float64, len(objs)),
+	}
+	err := EnumerateWorlds(objs, maxWorlds, func(paths []uncertain.Path, p float64) {
+		for oi := range objs {
+			if exactIsNNThroughout(sp, paths, q, oi, ts, te) {
+				res.ForAll[oi] += p
+			}
+			if exactIsNNSometime(sp, paths, q, oi, ts, te) {
+				res.Exists[oi] += p
+			}
+		}
+	})
+	return res, err
+}
+
+// ExactForAllProb computes P(∀t ∈ times: o_oi is NN) exactly by
+// enumeration, for PCNN ground truth over arbitrary (possibly
+// non-contiguous) timestamp sets.
+func ExactForAllProb(sp *space.Space, objs []WorldObject, q Query, oi int, times []int, maxWorlds int) (float64, error) {
+	prob := 0.0
+	err := EnumerateWorlds(objs, maxWorlds, func(paths []uncertain.Path, p float64) {
+		for _, t := range times {
+			if !exactIsNNAt(sp, paths, q, oi, t) {
+				return
+			}
+		}
+		prob += p
+	})
+	return prob, err
+}
+
+func exactIsNNAt(sp *space.Space, paths []uncertain.Path, q Query, oi, t int) bool {
+	si, ok := paths[oi].At(t)
+	if !ok {
+		return false
+	}
+	qp := q.At(t)
+	d := sp.Point(si).Dist(qp)
+	for oj := range paths {
+		if oj == oi {
+			continue
+		}
+		if sj, ok := paths[oj].At(t); ok && sp.Point(sj).Dist(qp) < d {
+			return false
+		}
+	}
+	return true
+}
+
+func exactIsNNThroughout(sp *space.Space, paths []uncertain.Path, q Query, oi, ts, te int) bool {
+	for t := ts; t <= te; t++ {
+		if !exactIsNNAt(sp, paths, q, oi, t) {
+			return false
+		}
+	}
+	return true
+}
+
+func exactIsNNSometime(sp *space.Space, paths []uncertain.Path, q Query, oi, ts, te int) bool {
+	for t := ts; t <= te; t++ {
+		if exactIsNNAt(sp, paths, q, oi, t) {
+			return true
+		}
+	}
+	return false
+}
+
+// DominationProb computes P(o ≺ oa) — the probability that object o is at
+// least as close to q as object oa at EVERY t ∈ [ts, te] — exactly and in
+// polynomial time, per Lemma 2: the pair (o, oa) is treated as one joint
+// Markov process over S×S whose non-dominating entries are zeroed at each
+// timestep. Both models must cover [ts, te].
+func DominationProb(sp *space.Space, mo, ma *inference.Model, q Query, ts, te int) (float64, error) {
+	if mo.Start() > ts || mo.End() < te {
+		return 0, fmt.Errorf("query: model of object %d does not cover [%d, %d]", mo.Object().ID, ts, te)
+	}
+	if ma.Start() > ts || ma.End() < te {
+		return 0, fmt.Errorf("query: model of object %d does not cover [%d, %d]", ma.Object().ID, ts, te)
+	}
+	type pair struct{ a, b int32 }
+	// Joint distribution at ts: the objects are independent given their
+	// own observations.
+	joint := make(map[pair]float64)
+	qp := q.At(ts)
+	for sa, pa := range mo.Posterior(ts) {
+		da := sp.Point(sa).Dist(qp)
+		for sb, pb := range ma.Posterior(ts) {
+			if da <= sp.Point(sb).Dist(qp) {
+				joint[pair{int32(sa), int32(sb)}] = pa * pb
+			}
+		}
+	}
+	for t := ts; t < te; t++ {
+		fo, fa := mo.Transition(t), ma.Transition(t)
+		qp := q.At(t + 1)
+		next := make(map[pair]float64, len(joint))
+		// Cache per-state distances at t+1.
+		dcache := make(map[int32]float64)
+		dist := func(s int32) float64 {
+			if d, ok := dcache[s]; ok {
+				return d
+			}
+			d := sp.Point(int(s)).Dist(qp)
+			dcache[s] = d
+			return d
+		}
+		for pr, w := range joint {
+			rowA := fo.Row(int(pr.a))
+			rowB := fa.Row(int(pr.b))
+			for na, pa := range rowA {
+				da := dist(int32(na))
+				for nb, pb := range rowB {
+					if da <= dist(int32(nb)) {
+						next[pair{int32(na), int32(nb)}] += w * pa * pb
+					}
+				}
+			}
+		}
+		joint = next
+	}
+	total := 0.0
+	for _, w := range joint {
+		total += w
+	}
+	if total > 1+1e-9 {
+		return 0, fmt.Errorf("query: joint mass %v exceeds 1 (numerical fault)", total)
+	}
+	return math.Min(total, 1), nil
+}
+
+// statePoint is a small helper shared by tests.
+func statePoint(sp *space.Space, s int) geo.Point { return sp.Point(s) }

@@ -1,0 +1,124 @@
+package query
+
+import (
+	"math"
+	"testing"
+
+	"pnn/internal/geo"
+	"pnn/internal/space"
+	"pnn/internal/uncertain"
+)
+
+// figure1 builds the worked example of Figure 1 / Example 1: a discrete
+// space with states s1..s4 at increasing distance from q, object o1 with
+// three possible trajectories (0.5 / 0.25 / 0.25), and object o2 with two
+// (0.5 / 0.5), over the time domain {1, 2, 3}.
+func figure1(t *testing.T) (*space.Space, []WorldObject, Query) {
+	t.Helper()
+	pts := []geo.Point{
+		{X: 1, Y: 0}, // s1 (index 0)
+		{X: 2, Y: 0}, // s2
+		{X: 3, Y: 0}, // s3
+		{X: 4, Y: 0}, // s4
+	}
+	sp, err := space.New(pts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o1 := WorldObject{
+		Paths: []uncertain.Path{
+			{Start: 1, States: []int32{1, 0, 0}}, // s2, s1, s1
+			{Start: 1, States: []int32{1, 2, 0}}, // s2, s3, s1
+			{Start: 1, States: []int32{1, 2, 2}}, // s2, s3, s3
+		},
+		Probs: []float64{0.5, 0.25, 0.25},
+	}
+	o2 := WorldObject{
+		Paths: []uncertain.Path{
+			{Start: 1, States: []int32{2, 1, 1}}, // s3, s2, s2
+			{Start: 1, States: []int32{2, 3, 3}}, // s3, s4, s4
+		},
+		Probs: []float64{0.5, 0.5},
+	}
+	return sp, []WorldObject{o1, o2}, StateQuery(geo.Point{X: 0, Y: 0})
+}
+
+// TestExample1 verifies the exact probabilities computed in the paper's
+// Example 1: P∃NN(o2) = 0.25 and P∀NN(o1) = 0.75.
+func TestExample1(t *testing.T) {
+	sp, objs, q := figure1(t)
+	res, err := ExactNN(sp, objs, q, 1, 3, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Exists[1]; math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("P∃NN(o2) = %v, want 0.25", got)
+	}
+	if got := res.ForAll[0]; math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("P∀NN(o1) = %v, want 0.75", got)
+	}
+	// o1 is the NN somewhere in every world (at t=1 it is always closer).
+	if got := res.Exists[0]; math.Abs(got-1) > 1e-12 {
+		t.Errorf("P∃NN(o1) = %v, want 1", got)
+	}
+	// o2 can never dominate the whole interval: at t=1, o1=s2 < o2=s3.
+	if got := res.ForAll[1]; got != 0 {
+		t.Errorf("P∀NN(o2) = %v, want 0", got)
+	}
+}
+
+// TestExample1PCNN verifies the PCNNQ(q, D, {1,2,3}, 0.1) result of
+// Example 1: o1 qualifies with {1,2,3} and o2 with {2,3}.
+func TestExample1PCNN(t *testing.T) {
+	sp, objs, q := figure1(t)
+	// o1 over {1,2,3}: 0.75 >= 0.1.
+	p, err := ExactForAllProb(sp, objs, q, 0, []int{1, 2, 3}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-0.75) > 1e-12 {
+		t.Errorf("P∀NN(o1, {1,2,3}) = %v, want 0.75", p)
+	}
+	// o2 over {2,3}: exactly the world (tr1,3, tr2,1) = 0.25·0.5 = 0.125.
+	p, err = ExactForAllProb(sp, objs, q, 1, []int{2, 3}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-0.125) > 1e-12 {
+		t.Errorf("P∀NN(o2, {2,3}) = %v, want 0.125", p)
+	}
+	// o2 cannot extend to {1,2,3}.
+	p, err = ExactForAllProb(sp, objs, q, 1, []int{1, 2, 3}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 0 {
+		t.Errorf("P∀NN(o2, {1,2,3}) = %v, want 0", p)
+	}
+	// Anti-monotonicity: singleton probabilities dominate the pair's.
+	p2, _ := ExactForAllProb(sp, objs, q, 1, []int{2}, 1000)
+	p3, _ := ExactForAllProb(sp, objs, q, 1, []int{3}, 1000)
+	if p2 < 0.125 || p3 < 0.125 {
+		t.Errorf("singleton probabilities %v, %v must be >= 0.125", p2, p3)
+	}
+}
+
+func TestEnumerateWorldsLimits(t *testing.T) {
+	sp, objs, q := figure1(t)
+	_ = sp
+	_ = q
+	if err := EnumerateWorlds(objs, 5, func([]uncertain.Path, float64) {}); err == nil {
+		t.Error("expected world-limit error (6 worlds > 5)")
+	}
+	if err := EnumerateWorlds([]WorldObject{{}}, 10, func([]uncertain.Path, float64) {}); err == nil {
+		t.Error("expected error for object with no trajectories")
+	}
+	// Probabilities of visited worlds must sum to 1.
+	total := 0.0
+	if err := EnumerateWorlds(objs, 10, func(_ []uncertain.Path, p float64) { total += p }); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(total-1) > 1e-12 {
+		t.Errorf("world probabilities sum to %v", total)
+	}
+}

@@ -1,0 +1,27 @@
+package query
+
+import "math"
+
+// Hoeffding error control (Section 5.2.3, [29]): the indicator "object o is
+// the ∀NN (∃NN) of q in a sampled world" is a Bernoulli variable, so the
+// mean of n independent samples deviates from the true probability by more
+// than ε with probability at most 2·exp(−2nε²).
+
+// RequiredSamples returns the smallest sample count n guaranteeing
+// P(|estimate − truth| > eps) <= delta.
+func RequiredSamples(eps, delta float64) int {
+	if eps <= 0 || delta <= 0 || delta >= 1 {
+		return math.MaxInt32
+	}
+	n := math.Log(2/delta) / (2 * eps * eps)
+	return int(math.Ceil(n))
+}
+
+// ErrorBound returns the ε for which n samples guarantee
+// P(|estimate − truth| > ε) <= delta.
+func ErrorBound(n int, delta float64) float64 {
+	if n <= 0 || delta <= 0 || delta >= 1 {
+		return 1
+	}
+	return math.Sqrt(math.Log(2/delta) / (2 * float64(n)))
+}

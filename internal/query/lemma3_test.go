@@ -1,0 +1,88 @@
+package query
+
+import (
+	"math"
+	"testing"
+
+	"pnn/internal/inference"
+	"pnn/internal/uncertain"
+)
+
+// TestLemma3MarkovViolation makes Section 4.2's negative result
+// executable: conditioning object o on the event "o dominates o1" and then
+// treating the conditioned process as Markov (reducing the joint model to
+// per-object transition matrices) does NOT generally yield the correct
+// P(o ≺ o1 ∧ o ≺ o2). The exact joint computation (Lemma 2) remains
+// correct pairwise; the chained product of pairwise probabilities — the
+// independence shortcut one might hope makes Lemma 3 exact — deviates from
+// the enumerated ground truth, confirming the dependency structure.
+func TestLemma3MarkovViolation(t *testing.T) {
+	sp, tree, _ := lineDB(t, 1,
+		[]uncertain.Observation{{T: 0, State: 31}, {T: 6, State: 33}}, // o: hovers at q
+		[]uncertain.Observation{{T: 0, State: 34}, {T: 6, State: 32}}, // o1: approaches
+		[]uncertain.Observation{{T: 0, State: 28}, {T: 6, State: 30}}, // o2: approaches
+	)
+	var models []*inference.Model
+	for _, o := range tree.Objects() {
+		m, err := inference.Adapt(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		models = append(models, m)
+	}
+	q := StateQuery(sp.Point(31))
+	const ts, te = 1, 5
+
+	// Exact P(o ≺ o1 ∧ o ≺ o2) by enumeration.
+	objs := exactFromDB(t, tree)
+	exact := 0.0
+	err := EnumerateWorlds(objs, 1<<24, func(paths []uncertain.Path, p float64) {
+		for tt := ts; tt <= te; tt++ {
+			s0, _ := paths[0].At(tt)
+			d0 := sp.Point(s0).Dist(q.At(tt))
+			for other := 1; other <= 2; other++ {
+				so, _ := paths[other].At(tt)
+				if d0 > sp.Point(so).Dist(q.At(tt)) {
+					return
+				}
+			}
+		}
+		exact += p
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Pairwise-exact probabilities via Lemma 2.
+	p1, err := DominationProb(sp, models[0], models[1], q, ts, te)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := DominationProb(sp, models[0], models[2], q, ts, te)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The domination events share o's trajectory, so they are positively
+	// correlated: the independence product must underestimate the joint
+	// probability, and by a non-trivial margin in this construction.
+	product := p1 * p2
+	if product >= exact {
+		t.Fatalf("independence product %v should underestimate exact %v (positive correlation through o)", product, exact)
+	}
+	if exact-product < 0.01 {
+		t.Errorf("bias too small to be meaningful: exact %v, product %v", exact, product)
+	}
+	// Sanity: each pairwise probability brackets the joint one.
+	if exact > p1+1e-12 || exact > p2+1e-12 {
+		t.Errorf("joint %v cannot exceed pairwise %v, %v", exact, p1, p2)
+	}
+	// And the joint probability equals P∀NN(o) for this 3-object database.
+	res, err := ExactNN(sp, objs, q, ts, te, 1<<24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.ForAll[0]-exact) > 1e-12 {
+		t.Errorf("joint domination %v != exact P∀NN %v", exact, res.ForAll[0])
+	}
+}

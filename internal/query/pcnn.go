@@ -1,0 +1,259 @@
+package query
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"pnn/internal/nn"
+	"pnn/internal/uncertain"
+	"pnn/internal/ustree"
+)
+
+// maxPCNNSets caps the number of timestamp sets a PCNN query may examine.
+// Definition 3 admits result sets exponential in |T| as τ → 0 (Section
+// 4.3); the cap turns pathological parameterizations into an explicit
+// error rather than an effectively unbounded computation.
+const maxPCNNSets = 200000
+
+// CNN answers PCNNQ(q, D, [ts..te], tau) using Algorithm 1: for every
+// candidate object an Apriori-style walk over timestamp sets, keeping a set
+// Ti when P∀NN(o, q, D, Ti) >= tau and extending only sets all of whose
+// subsets qualified (anti-monotonicity of P∀NN). Following the paper's
+// refined definition, only maximal qualifying sets are returned.
+//
+// All timestamp sets of one object are evaluated against one shared pool of
+// sampled worlds, so the sampling cost is paid once per object rather than
+// once per lattice node.
+func (e *Engine) CNN(q Query, ts, te int, tau float64, rng *rand.Rand) ([]IntervalResult, Stats, error) {
+	return e.CNNK(q, ts, te, 1, tau, rng)
+}
+
+// CNNK generalizes CNN to k nearest neighbors (PCkNNQ, Section 8): maximal
+// timestamp sets on which the object stays among the k nearest with
+// probability at least tau.
+func (e *Engine) CNNK(q Query, ts, te, k int, tau float64, rng *rand.Rand) ([]IntervalResult, Stats, error) {
+	var st Stats
+	if te < ts {
+		return nil, st, fmt.Errorf("query: inverted interval [%d, %d]", ts, te)
+	}
+	if tau <= 0 {
+		return nil, st, fmt.Errorf("query: PCNN requires tau > 0, got %v", tau)
+	}
+	if k < 1 {
+		return nil, st, fmt.Errorf("query: PCNN requires k >= 1, got %d", k)
+	}
+	var pr ustree.Pruning
+	if e.noPrune {
+		pr = e.timePrune(ts, te)
+	} else {
+		pr = e.tree.PruneK(q.At, ts, te, k)
+	}
+	st.Candidates = len(pr.Candidates)
+	st.Influencers = len(pr.Influencers)
+	// A PCNN result only needs the object to be NN during SOME subset of
+	// T, so every influencer is a potential result object, as in P∃NN.
+	if len(pr.Influencers) == 0 {
+		return nil, st, nil
+	}
+	refine, samplers, adapt, err := e.buildSamplers(pr.Influencers)
+	if err != nil {
+		return nil, st, err
+	}
+	st.AdaptTime = adapt
+
+	begin := time.Now()
+	nT := te - ts + 1
+	// masks[w][li*nT+k]: in world w, is object refine[li] the NN at ts+k?
+	masks := make([][]bool, e.samples)
+	paths := make([]uncertain.Path, len(refine))
+	scratch := make([]bool, nT)
+	for w := 0; w < e.samples; w++ {
+		for li, s := range samplers {
+			p, ok := s.SampleWindow(rng, ts, te)
+			if !ok {
+				p = uncertain.Path{Start: ts - 1}
+			}
+			paths[li] = p
+		}
+		world := nn.NewWorld(e.tree.Space(), paths, q.At, ts, te)
+		row := make([]bool, len(refine)*nT)
+		for li := range refine {
+			world.KNNMask(li, k, scratch)
+			copy(row[li*nT:(li+1)*nT], scratch)
+		}
+		masks[w] = row
+	}
+	st.Worlds = e.samples
+
+	var out []IntervalResult
+	for li, oi := range refine {
+		sets, qualifying, err := e.mineObject(masks, li, nT, tau)
+		if err != nil {
+			return nil, st, err
+		}
+		st.LatticeSets += qualifying
+		for _, s := range sets {
+			times := make([]int, len(s.items))
+			for i, k := range s.items {
+				times[i] = ts + k
+			}
+			out = append(out, IntervalResult{Obj: oi, Times: times, Prob: s.prob})
+		}
+	}
+	st.RefineTime = time.Since(begin)
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Obj != out[b].Obj {
+			return out[a].Obj < out[b].Obj
+		}
+		return lessIntSlice(out[a].Times, out[b].Times)
+	})
+	return out, st, nil
+}
+
+type timeset struct {
+	items []int // ascending offsets into [0, nT)
+	prob  float64
+}
+
+// mineObject runs the Apriori lattice walk (Algorithm 1) for one object,
+// returning the maximal qualifying sets plus the total number of
+// qualifying sets found (the paper's "unprocessed result set" size).
+func (e *Engine) mineObject(masks [][]bool, li, nT int, tau float64) ([]timeset, int, error) {
+	support := func(items []int) float64 {
+		count := 0
+		for _, row := range masks {
+			ok := true
+			for _, k := range items {
+				if !row[li*nT+k] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				count++
+			}
+		}
+		return float64(count) / float64(len(masks))
+	}
+
+	// L1 (Algorithm 1, line 1).
+	var level []timeset
+	for k := 0; k < nT; k++ {
+		if p := support([]int{k}); p >= tau {
+			level = append(level, timeset{items: []int{k}, prob: p})
+		}
+	}
+	all := append([]timeset(nil), level...)
+	examined := len(level)
+
+	// Iterate k = 2.. (lines 2-5).
+	for len(level) > 0 {
+		prevKeys := make(map[string]bool, len(level))
+		for _, s := range level {
+			prevKeys[key(s.items)] = true
+		}
+		var next []timeset
+		for i := 0; i < len(level); i++ {
+			for j := i + 1; j < len(level); j++ {
+				cand, ok := join(level[i].items, level[j].items)
+				if !ok {
+					continue
+				}
+				if !allSubsetsIn(cand, prevKeys) {
+					continue
+				}
+				examined++
+				if examined > maxPCNNSets {
+					return nil, 0, fmt.Errorf(
+						"query: PCNN lattice exceeded %d candidate sets; raise tau or shorten T", maxPCNNSets)
+				}
+				if p := support(cand); p >= tau {
+					next = append(next, timeset{items: cand, prob: p})
+				}
+			}
+		}
+		all = append(all, next...)
+		level = next
+	}
+
+	// Keep only maximal sets (Definition 3, refined form).
+	var out []timeset
+	for i, s := range all {
+		maximal := true
+		for j, t := range all {
+			if i != j && len(t.items) > len(s.items) && isSubset(s.items, t.items) {
+				maximal = false
+				break
+			}
+		}
+		if maximal {
+			out = append(out, s)
+		}
+	}
+	return out, len(all), nil
+}
+
+// join merges two sorted k-sets sharing their first k-1 elements into a
+// (k+1)-set — the classic Apriori candidate generation.
+func join(a, b []int) ([]int, bool) {
+	n := len(a)
+	for i := 0; i < n-1; i++ {
+		if a[i] != b[i] {
+			return nil, false
+		}
+	}
+	if a[n-1] >= b[n-1] {
+		return nil, false
+	}
+	out := make([]int, n+1)
+	copy(out, a)
+	out[n] = b[n-1]
+	return out, true
+}
+
+// allSubsetsIn checks the Apriori prune condition: every (k-1)-subset of
+// cand must have qualified in the previous level.
+func allSubsetsIn(cand []int, prev map[string]bool) bool {
+	sub := make([]int, 0, len(cand)-1)
+	for drop := 0; drop < len(cand); drop++ {
+		sub = sub[:0]
+		for i, v := range cand {
+			if i != drop {
+				sub = append(sub, v)
+			}
+		}
+		if !prev[key(sub)] {
+			return false
+		}
+	}
+	return true
+}
+
+func key(items []int) string {
+	b := make([]byte, 0, len(items)*3)
+	for _, v := range items {
+		b = append(b, byte(v), byte(v>>8), ',')
+	}
+	return string(b)
+}
+
+func isSubset(a, b []int) bool {
+	i := 0
+	for _, v := range b {
+		if i < len(a) && a[i] == v {
+			i++
+		}
+	}
+	return i == len(a)
+}
+
+func lessIntSlice(a, b []int) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}

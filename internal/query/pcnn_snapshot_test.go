@@ -1,0 +1,165 @@
+package query
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pnn/internal/geo"
+	"pnn/internal/inference"
+	"pnn/internal/uncertain"
+)
+
+func TestCNNMatchesExact(t *testing.T) {
+	sp, tree, eng := lineDB(t, 20000,
+		[]uncertain.Observation{{T: 0, State: 30}, {T: 6, State: 32}},
+		[]uncertain.Observation{{T: 0, State: 33}, {T: 6, State: 29}},
+	)
+	objs := exactFromDB(t, tree)
+	q := StateQuery(sp.Point(31))
+	const ts, te = 1, 5
+	const tau = 0.3
+	rng := rand.New(rand.NewSource(5))
+	res, stats, err := eng.CNN(q, ts, te, tau, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Worlds != 20000 {
+		t.Errorf("stats.Worlds = %d", stats.Worlds)
+	}
+	if len(res) == 0 {
+		t.Fatal("expected at least one PCNN result")
+	}
+	seen := map[int]bool{}
+	for _, r := range res {
+		seen[r.Obj] = true
+		// Reported probability must be close to the exact probability of
+		// the reported timestamp set, and at least tau.
+		exact, err := ExactForAllProb(sp, objs, q, r.Obj, r.Times, 1<<22)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(r.Prob-exact) > 0.02 {
+			t.Errorf("object %d times %v: prob %v, exact %v", r.Obj, r.Times, r.Prob, exact)
+		}
+		if r.Prob < tau {
+			t.Errorf("result below tau: %+v", r)
+		}
+		// Times must be sorted, unique, within the window.
+		for i, tt := range r.Times {
+			if tt < ts || tt > te {
+				t.Errorf("time %d outside window", tt)
+			}
+			if i > 0 && r.Times[i] <= r.Times[i-1] {
+				t.Errorf("times not strictly ascending: %v", r.Times)
+			}
+		}
+	}
+	// Maximality: no result of the same object may contain another.
+	for i, a := range res {
+		for j, b := range res {
+			if i != j && a.Obj == b.Obj && len(a.Times) < len(b.Times) && isSubset(a.Times, b.Times) {
+				t.Errorf("non-maximal result %v contained in %v", a.Times, b.Times)
+			}
+		}
+	}
+}
+
+func TestCNNTauValidation(t *testing.T) {
+	_, _, eng := lineDB(t, 100,
+		[]uncertain.Observation{{T: 0, State: 30}, {T: 6, State: 30}})
+	rng := rand.New(rand.NewSource(1))
+	if _, _, err := eng.CNN(StateQuery(geo.Point{}), 1, 5, 0, rng); err == nil {
+		t.Error("expected error for tau=0")
+	}
+}
+
+func TestCNNHighTauPinnedObject(t *testing.T) {
+	// Object 0 sits exactly on q the whole time; with τ=0.95 it must
+	// qualify with the complete window as a single maximal set.
+	sp, _, eng := lineDB(t, 3000,
+		[]uncertain.Observation{{T: 0, State: 30}, {T: 1, State: 30}, {T: 2, State: 30},
+			{T: 3, State: 30}, {T: 4, State: 30}, {T: 5, State: 30}, {T: 6, State: 30}},
+		[]uncertain.Observation{{T: 0, State: 40}, {T: 6, State: 40}},
+	)
+	q := StateQuery(sp.Point(30))
+	rng := rand.New(rand.NewSource(8))
+	res, _, err := eng.CNN(q, 1, 5, 0.95, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 {
+		t.Fatalf("results = %+v, want exactly one", res)
+	}
+	if res[0].Obj != 0 || len(res[0].Times) != 5 {
+		t.Errorf("result = %+v, want object 0 with all 5 timestamps", res[0])
+	}
+}
+
+func TestSnapshotExactAtSingleTimestep(t *testing.T) {
+	// For |T| = 1 the snapshot estimator is exact: no temporal
+	// correlation exists to ignore.
+	sp, tree, _ := lineDB(t, 1,
+		[]uncertain.Observation{{T: 0, State: 30}, {T: 6, State: 32}},
+		[]uncertain.Observation{{T: 0, State: 33}, {T: 6, State: 29}},
+	)
+	var models []*inference.Model
+	for _, o := range tree.Objects() {
+		m, err := inference.Adapt(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		models = append(models, m)
+	}
+	q := StateQuery(sp.Point(31))
+	ss := NewSnapshotEstimator(sp, models)
+	objs := exactFromDB(t, tree)
+	for _, tt := range []int{1, 3, 5} {
+		got := ss.ForAllNN(q, tt, tt)
+		exact, err := ExactNN(sp, objs, q, tt, tt, 1<<22)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for oi := range objs {
+			if math.Abs(got[oi]-exact.ForAll[oi]) > 1e-9 {
+				t.Errorf("t=%d object %d: SS %v, exact %v", tt, oi, got[oi], exact.ForAll[oi])
+			}
+		}
+		ge := ss.ExistsNN(q, tt, tt)
+		for oi := range objs {
+			if math.Abs(ge[oi]-exact.Exists[oi]) > 1e-9 {
+				t.Errorf("∃ t=%d object %d: SS %v, exact %v", tt, oi, ge[oi], exact.Exists[oi])
+			}
+		}
+	}
+}
+
+func TestSnapshotDeadObjects(t *testing.T) {
+	sp, tree, _ := lineDB(t, 1,
+		[]uncertain.Observation{{T: 0, State: 30}, {T: 4, State: 32}},
+		[]uncertain.Observation{{T: 6, State: 31}, {T: 10, State: 31}},
+	)
+	var models []*inference.Model
+	for _, o := range tree.Objects() {
+		m, err := inference.Adapt(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		models = append(models, m)
+	}
+	ss := NewSnapshotEstimator(sp, models)
+	q := StateQuery(sp.Point(31))
+	// Window [1,3]: object 1 is dead, so object 0 is certain NN.
+	fa := ss.ForAllNN(q, 1, 3)
+	if math.Abs(fa[0]-1) > 1e-9 {
+		t.Errorf("P∀NN(alive only) = %v, want 1", fa[0])
+	}
+	if fa[1] != 0 {
+		t.Errorf("dead object P∀NN = %v, want 0", fa[1])
+	}
+	// Window spanning both lifetimes partially: neither covers it fully.
+	fa = ss.ForAllNN(q, 3, 7)
+	if fa[0] != 0 || fa[1] != 0 {
+		t.Errorf("partial coverage must zero ∀ estimates: %v", fa)
+	}
+}

@@ -1,0 +1,431 @@
+// Package query implements the paper's three probabilistic nearest-neighbor
+// query semantics over uncertain trajectory databases:
+//
+//   - P∃NNQ (Definition 1): objects likely to be the NN of q at SOME time
+//     in the query interval — NP-hard to compute exactly (Lemma 1).
+//   - P∀NNQ (Definition 2): objects likely to be the NN of q at EVERY time
+//     in the interval — no known PTIME algorithm (Section 4.2).
+//   - PCNNQ (Definition 3): per object, the maximal timestamp sets during
+//     which it is likely to always be the NN, computed with the
+//     Apriori-style Algorithm 1.
+//
+// The production path is the Monte-Carlo Engine: UST-tree pruning
+// (Section 6) to obtain candidate and influence sets, forward-backward
+// model adaptation (Section 5), and possible-world sampling with Hoeffding
+// error control. Exact engines (possible-world enumeration and the Lemma 2
+// joint-chain domination) are provided for small instances and serve as
+// ground truth in tests and effectiveness experiments; the snapshot
+// estimator of [19] is included as the accuracy baseline of Figure 11.
+package query
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"pnn/internal/geo"
+	"pnn/internal/inference"
+	"pnn/internal/nn"
+	"pnn/internal/uncertain"
+	"pnn/internal/ustree"
+)
+
+// Query is the certain reference of a PNN query: a state (point) or a
+// trajectory, both exposed as a position per timestep (Section 3.2: "a
+// query state is simply a trivial query trajectory").
+type Query struct {
+	pos func(int) geo.Point
+}
+
+// StateQuery returns a query fixed at point p for all times.
+func StateQuery(p geo.Point) Query {
+	return Query{pos: func(int) geo.Point { return p }}
+}
+
+// TrajectoryQuery returns a query following pts, where pts[i] is the
+// position at time start+i. Positions clamp to the endpoints outside the
+// given range.
+func TrajectoryQuery(start int, pts []geo.Point) Query {
+	cp := make([]geo.Point, len(pts))
+	copy(cp, pts)
+	return Query{pos: func(t int) geo.Point {
+		i := t - start
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(cp) {
+			i = len(cp) - 1
+		}
+		return cp[i]
+	}}
+}
+
+// At returns the query position at time t.
+func (q Query) At(t int) geo.Point { return q.pos(t) }
+
+// Result is one probabilistic query answer.
+type Result struct {
+	Obj  int     // index into the engine's object table
+	Prob float64 // estimated probability
+}
+
+// IntervalResult is one PCNN answer: a maximal timestamp set during which
+// the object is always the NN with probability at least τ.
+type IntervalResult struct {
+	Obj   int
+	Times []int // ascending; not necessarily contiguous (Definition 3)
+	Prob  float64
+}
+
+// Stats reports the work a query performed, split the way the paper's
+// efficiency figures are: TS (model adaptation time), and the sampling/
+// refinement time (FA/EX/SA in Figures 6-9, 13, 14).
+type Stats struct {
+	Candidates  int           // |C(q)|
+	Influencers int           // |I(q)|
+	Worlds      int           // sampled possible worlds
+	LatticeSets int           // PCNN only: qualifying timestamp sets before maximality filtering
+	AdaptTime   time.Duration // trajectory-sampler initialization (TS)
+	RefineTime  time.Duration // sampling + NN evaluation
+}
+
+// Engine answers PNN queries over a UST-tree-indexed database by
+// Monte-Carlo simulation. It caches adapted models and samplers per
+// object, mirroring the paper's split between the one-off TS phase and the
+// per-query sampling phase. Engine is safe for concurrent queries.
+type Engine struct {
+	tree     *ustree.Tree
+	samples  int
+	noPrune  bool
+	parallel int
+
+	mu       sync.Mutex
+	samplers map[int]*inference.Sampler
+	reach    *uncertain.Reach // shared chain-transpose cache for adaptation
+}
+
+// NewEngine creates a query engine drawing `samples` possible worlds per
+// query (the paper's default is 10 000).
+func NewEngine(tree *ustree.Tree, samples int) *Engine {
+	if samples < 1 {
+		samples = 1
+	}
+	return &Engine{
+		tree:     tree,
+		samples:  samples,
+		parallel: 1,
+		samplers: make(map[int]*inference.Sampler),
+		reach:    uncertain.NewReach(),
+	}
+}
+
+// SetParallelism spreads world sampling of ForAllNN/ExistsNN (and their
+// kNN variants) across p goroutines. Results remain deterministic for a
+// given seed: worker w draws its worlds from a sub-generator seeded by the
+// caller's rng, and the static partition of the sample budget does not
+// depend on timing. p < 1 is treated as 1.
+func (e *Engine) SetParallelism(p int) {
+	if p < 1 {
+		p = 1
+	}
+	e.parallel = p
+}
+
+// Tree returns the underlying index.
+func (e *Engine) Tree() *ustree.Tree { return e.tree }
+
+// DisablePruning turns off the UST-tree filter step: every object alive in
+// the query window is refined. Results are identical (pruning is
+// lossless); only the cost changes. Exists solely for the pruning ablation
+// benchmarks.
+func (e *Engine) DisablePruning() { e.noPrune = true }
+
+// timePrune is the pruning fallback used when the filter step is disabled:
+// lifetime checks only.
+func (e *Engine) timePrune(ts, te int) ustree.Pruning {
+	var pr ustree.Pruning
+	for oi, o := range e.tree.Objects() {
+		if o.First().T <= te && o.Last().T >= ts {
+			pr.Influencers = append(pr.Influencers, oi)
+			if o.AliveThroughout(ts, te) {
+				pr.Candidates = append(pr.Candidates, oi)
+			}
+		}
+	}
+	return pr
+}
+
+// SampleCount returns the number of worlds drawn per query.
+func (e *Engine) SampleCount() int { return e.samples }
+
+// Sampler returns the cached a-posteriori sampler for object oi, adapting
+// the model on first use.
+func (e *Engine) Sampler(oi int) (*inference.Sampler, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if s, ok := e.samplers[oi]; ok {
+		return s, nil
+	}
+	m, err := inference.AdaptShared(e.tree.Objects()[oi], e.reach)
+	if err != nil {
+		return nil, fmt.Errorf("query: adapting object %d: %w", oi, err)
+	}
+	s := inference.NewSampler(m)
+	m.ReleaseReverse()
+	e.samplers[oi] = s
+	return s, nil
+}
+
+// PrepareAll adapts every object's model up front, so that subsequent
+// queries measure only sampling and evaluation time. It returns the time
+// spent (the TS phase of the experiments). Adaptation of distinct objects
+// is independent and runs on e's parallelism setting.
+func (e *Engine) PrepareAll() (time.Duration, error) {
+	begin := time.Now()
+	objs := e.tree.Objects()
+	workers := e.parallel
+	if workers < 1 {
+		workers = 1
+	}
+	if workers == 1 {
+		for oi := range objs {
+			if _, err := e.Sampler(oi); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(begin), nil
+	}
+	type ready struct {
+		oi int
+		s  *inference.Sampler
+	}
+	jobs := make(chan int)
+	results := make(chan ready, workers)
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for oi := range jobs {
+				m, err := inference.AdaptShared(objs[oi], e.reach)
+				if err != nil {
+					errs <- fmt.Errorf("query: adapting object %d: %w", oi, err)
+					return
+				}
+				smp := inference.NewSampler(m)
+				m.ReleaseReverse()
+				results <- ready{oi, smp}
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		for r := range results {
+			e.mu.Lock()
+			e.samplers[r.oi] = r.s
+			e.mu.Unlock()
+		}
+		close(done)
+	}()
+	var firstErr error
+feed:
+	for oi := range objs {
+		e.mu.Lock()
+		_, cached := e.samplers[oi]
+		e.mu.Unlock()
+		if cached {
+			continue
+		}
+		select {
+		case jobs <- oi:
+		case firstErr = <-errs:
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	close(results)
+	<-done
+	if firstErr == nil {
+		select {
+		case firstErr = <-errs:
+		default:
+		}
+	}
+	if firstErr != nil {
+		return 0, firstErr
+	}
+	return time.Since(begin), nil
+}
+
+// ForAllNN answers P∀NNQ(q, D, [ts..te], tau): all objects whose
+// probability of being the NN of q at every t in the interval is at least
+// tau, with their estimated probabilities, sorted by object index.
+func (e *Engine) ForAllNN(q Query, ts, te int, tau float64, rng *rand.Rand) ([]Result, Stats, error) {
+	return e.nnQuery(q, ts, te, 1, tau, rng, true)
+}
+
+// ExistsNN answers P∃NNQ(q, D, [ts..te], tau).
+func (e *Engine) ExistsNN(q Query, ts, te int, tau float64, rng *rand.Rand) ([]Result, Stats, error) {
+	return e.nnQuery(q, ts, te, 1, tau, rng, false)
+}
+
+// ForAllKNN generalizes ForAllNN to k nearest neighbors (Section 8): the
+// probability that the object is among the k nearest at every time.
+func (e *Engine) ForAllKNN(q Query, ts, te, k int, tau float64, rng *rand.Rand) ([]Result, Stats, error) {
+	return e.nnQuery(q, ts, te, k, tau, rng, true)
+}
+
+// ExistsKNN generalizes ExistsNN to k nearest neighbors.
+func (e *Engine) ExistsKNN(q Query, ts, te, k int, tau float64, rng *rand.Rand) ([]Result, Stats, error) {
+	return e.nnQuery(q, ts, te, k, tau, rng, false)
+}
+
+func (e *Engine) nnQuery(q Query, ts, te, k int, tau float64, rng *rand.Rand, forall bool) ([]Result, Stats, error) {
+	var st Stats
+	if te < ts {
+		return nil, st, fmt.Errorf("query: inverted interval [%d, %d]", ts, te)
+	}
+	var pr ustree.Pruning
+	if e.noPrune {
+		pr = e.timePrune(ts, te)
+	} else {
+		pr = e.tree.PruneK(q.At, ts, te, k)
+	}
+	st.Candidates = len(pr.Candidates)
+	st.Influencers = len(pr.Influencers)
+
+	// For ∃ semantics every influencer is a potential result (Section 6:
+	// "every pruner can be a valid result of the P∃NNQ query").
+	targets := pr.Candidates
+	if !forall {
+		targets = pr.Influencers
+	}
+	if len(targets) == 0 {
+		return nil, st, nil
+	}
+
+	refine, samplers, adapt, err := e.buildSamplers(pr.Influencers)
+	if err != nil {
+		return nil, st, err
+	}
+	st.AdaptTime = adapt
+
+	begin := time.Now()
+	localIdx := make(map[int]int, len(refine))
+	for li, oi := range refine {
+		localIdx[oi] = li
+	}
+	counts := e.countWorlds(samplers, q, ts, te, k, forall, targets, localIdx, rng)
+	st.Worlds = e.samples
+	st.RefineTime = time.Since(begin)
+
+	var out []Result
+	for ci, oi := range targets {
+		p := float64(counts[ci]) / float64(e.samples)
+		if p >= tau && p > 0 {
+			out = append(out, Result{Obj: oi, Prob: p})
+		}
+	}
+	return out, st, nil
+}
+
+// buildSamplers returns the refine set (sorted object indices), their
+// samplers (parallel slice), and the time spent adapting models that were
+// not yet cached.
+func (e *Engine) buildSamplers(objIdx []int) ([]int, []*inference.Sampler, time.Duration, error) {
+	begin := time.Now()
+	samplers := make([]*inference.Sampler, len(objIdx))
+	for i, oi := range objIdx {
+		s, err := e.Sampler(oi)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		samplers[i] = s
+	}
+	return objIdx, samplers, time.Since(begin), nil
+}
+
+// countWorlds samples e.samples possible worlds and counts, per target
+// object, the worlds in which its NN predicate holds. With parallelism p,
+// the budget is split statically into p chunks, each driven by a derived
+// deterministic generator.
+func (e *Engine) countWorlds(samplers []*inference.Sampler, q Query, ts, te, k int, forall bool, targets []int, localIdx map[int]int, rng *rand.Rand) []int {
+	p := e.parallel
+	if p > e.samples {
+		p = e.samples
+	}
+	chunk := func(worlds int, rng *rand.Rand, counts []int) {
+		paths := make([]uncertain.Path, len(samplers))
+		for w := 0; w < worlds; w++ {
+			for li, s := range samplers {
+				sp, ok := s.SampleWindow(rng, ts, te)
+				if !ok {
+					sp = uncertain.Path{Start: ts - 1} // empty: never alive
+				}
+				paths[li] = sp
+			}
+			world := nn.NewWorld(e.tree.Space(), paths, q.At, ts, te)
+			for ci, oi := range targets {
+				li := localIdx[oi]
+				if forall {
+					if isKNNThroughout(world, li, ts, te, k) {
+						counts[ci]++
+					}
+				} else if isKNNSometime(world, li, ts, te, k) {
+					counts[ci]++
+				}
+			}
+		}
+	}
+	if p <= 1 {
+		counts := make([]int, len(targets))
+		chunk(e.samples, rng, counts)
+		return counts
+	}
+	per := e.samples / p
+	extra := e.samples % p
+	all := make([][]int, p)
+	var wg sync.WaitGroup
+	for w := 0; w < p; w++ {
+		worlds := per
+		if w < extra {
+			worlds++
+		}
+		sub := rand.New(rand.NewSource(rng.Int63()))
+		all[w] = make([]int, len(targets))
+		wg.Add(1)
+		go func(w, worlds int, sub *rand.Rand) {
+			defer wg.Done()
+			chunk(worlds, sub, all[w])
+		}(w, worlds, sub)
+	}
+	wg.Wait()
+	counts := make([]int, len(targets))
+	for _, c := range all {
+		for i, v := range c {
+			counts[i] += v
+		}
+	}
+	return counts
+}
+
+func isKNNThroughout(w *nn.World, oi, t0, t1, k int) bool {
+	for t := t0; t <= t1; t++ {
+		if !w.IsKNNAt(oi, t, k) {
+			return false
+		}
+	}
+	return true
+}
+
+func isKNNSometime(w *nn.World, oi, t0, t1, k int) bool {
+	for t := t0; t <= t1; t++ {
+		if w.IsKNNAt(oi, t, k) {
+			return true
+		}
+	}
+	return false
+}

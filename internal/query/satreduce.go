@@ -1,0 +1,158 @@
+package query
+
+import (
+	"fmt"
+
+	"pnn/internal/geo"
+	"pnn/internal/space"
+	"pnn/internal/uncertain"
+)
+
+// This file implements the k-SAT → P∃NN mapping from the proof of Lemma 1
+// (Figure 2). It exists to make the hardness argument executable: deciding
+// whether P∃NN(o, q, D, T) = 1 on the constructed instance decides
+// satisfiability of the formula.
+
+// Literal is a SAT literal: +v for variable v, −v for its negation
+// (variables are 1-based).
+type Literal int
+
+// Clause is a disjunction of literals.
+type Clause []Literal
+
+// CNF is a boolean formula in conjunctive normal form.
+type CNF struct {
+	Vars    int
+	Clauses []Clause
+}
+
+// Satisfiable decides the formula by brute force over all assignments.
+// Usable only for small Vars; it is the test oracle for the reduction.
+func (f CNF) Satisfiable() bool {
+	for mask := 0; mask < 1<<f.Vars; mask++ {
+		if f.eval(mask) {
+			return true
+		}
+	}
+	return false
+}
+
+func (f CNF) eval(mask int) bool {
+	for _, c := range f.Clauses {
+		ok := false
+		for _, l := range c {
+			v := int(l)
+			if v > 0 && mask&(1<<(v-1)) != 0 {
+				ok = true
+				break
+			}
+			if v < 0 && mask&(1<<(-v-1)) == 0 {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// SATInstance is the PNN decision instance equivalent to a CNF formula.
+type SATInstance struct {
+	Space  *space.Space
+	Q      Query
+	Target WorldObject   // the certain object o of the proof
+	Vars   []WorldObject // one uncertain object per boolean variable
+	Ts, Te int           // query interval: one timestep per clause
+}
+
+// BuildSATInstance constructs the gadget of Figure 2. The state space is
+// one-dimensional: q at x=0, states s1..s4 at x = 1, 2, 3, 4, and the
+// certain object o fixed at x = 2.5 — so s1, s2 are closer to q than o and
+// s3, s4 are farther. Each variable x_i becomes an uncertain object with
+// exactly two equiprobable trajectories over times 1..m (m = #clauses):
+//
+//   - the "true" trajectory visits s2 at time j when x_i appears positively
+//     in clause c_j (making c_j true ⇒ o not NN at j), s4 otherwise;
+//   - the "false" trajectory visits s1 when ¬x_i appears in c_j, s3
+//     otherwise.
+//
+// The formula is satisfiable iff some possible world keeps o from being
+// the NN at every timestep, i.e. iff P∃NN(o, q, D, [1, m]) < 1.
+func BuildSATInstance(f CNF) (*SATInstance, error) {
+	if f.Vars < 1 || len(f.Clauses) == 0 {
+		return nil, fmt.Errorf("query: CNF needs at least one variable and one clause")
+	}
+	for _, c := range f.Clauses {
+		for _, l := range c {
+			v := int(l)
+			if v == 0 || v > f.Vars || -v > f.Vars {
+				return nil, fmt.Errorf("query: literal %d out of range", l)
+			}
+		}
+	}
+	// States: 0..3 are s1..s4; 4 is o's fixed position.
+	pts := []geo.Point{
+		{X: 1, Y: 0}, {X: 2, Y: 0}, {X: 3, Y: 0}, {X: 4, Y: 0}, {X: 2.5, Y: 0},
+	}
+	sp, err := space.New(pts, nil)
+	if err != nil {
+		return nil, err
+	}
+	m := len(f.Clauses)
+	inst := &SATInstance{Space: sp, Q: StateQuery(geo.Point{X: 0, Y: 0}), Ts: 1, Te: m}
+
+	oStates := make([]int32, m)
+	for j := range oStates {
+		oStates[j] = 4
+	}
+	inst.Target = WorldObject{
+		Paths: []uncertain.Path{{Start: 1, States: oStates}},
+		Probs: []float64{1},
+	}
+
+	containsLit := func(c Clause, l Literal) bool {
+		for _, x := range c {
+			if x == l {
+				return true
+			}
+		}
+		return false
+	}
+	for v := 1; v <= f.Vars; v++ {
+		trueStates := make([]int32, m)
+		falseStates := make([]int32, m)
+		for j, c := range f.Clauses {
+			if containsLit(c, Literal(v)) {
+				trueStates[j] = 1 // s2: closer than o
+			} else {
+				trueStates[j] = 3 // s4: farther than o
+			}
+			if containsLit(c, Literal(-v)) {
+				falseStates[j] = 0 // s1: closer than o
+			} else {
+				falseStates[j] = 2 // s3: farther than o
+			}
+		}
+		inst.Vars = append(inst.Vars, WorldObject{
+			Paths: []uncertain.Path{
+				{Start: 1, States: trueStates},
+				{Start: 1, States: falseStates},
+			},
+			Probs: []float64{0.5, 0.5},
+		})
+	}
+	return inst, nil
+}
+
+// TargetExistsNN computes P∃NN of the target object o on the instance by
+// exact enumeration. The formula is satisfiable iff the result is < 1.
+func (inst *SATInstance) TargetExistsNN(maxWorlds int) (float64, error) {
+	objs := append([]WorldObject{inst.Target}, inst.Vars...)
+	res, err := ExactNN(inst.Space, objs, inst.Q, inst.Ts, inst.Te, maxWorlds)
+	if err != nil {
+		return 0, err
+	}
+	return res.Exists[0], nil
+}

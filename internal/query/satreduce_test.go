@@ -1,0 +1,108 @@
+package query
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSATReduction validates the Lemma 1 gadget (Figure 2): for random
+// small CNF formulas, satisfiability coincides with P∃NN(o) < 1 on the
+// constructed PNN instance.
+func TestSATReduction(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 60; trial++ {
+		vars := 2 + rng.Intn(4)     // 2..5 variables
+		nClauses := 1 + rng.Intn(5) // 1..5 clauses
+		f := CNF{Vars: vars}
+		for c := 0; c < nClauses; c++ {
+			// Clause width must not exceed the number of distinct
+			// variables, or the literal-drawing loop below cannot finish.
+			maxWidth := 3
+			if vars < maxWidth {
+				maxWidth = vars
+			}
+			width := 1 + rng.Intn(maxWidth)
+			var cl Clause
+			used := map[int]bool{}
+			for len(cl) < width {
+				v := 1 + rng.Intn(vars)
+				if used[v] {
+					continue
+				}
+				used[v] = true
+				if rng.Intn(2) == 0 {
+					cl = append(cl, Literal(v))
+				} else {
+					cl = append(cl, Literal(-v))
+				}
+			}
+			f.Clauses = append(f.Clauses, cl)
+		}
+		inst, err := BuildSATInstance(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := inst.TargetExistsNN(1 << 22)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sat := f.Satisfiable()
+		if sat && p >= 1-1e-12 {
+			t.Errorf("trial %d: formula satisfiable but P∃NN = %v (want < 1)\nCNF: %+v", trial, p, f)
+		}
+		if !sat && p < 1-1e-12 {
+			t.Errorf("trial %d: formula unsatisfiable but P∃NN = %v (want 1)\nCNF: %+v", trial, p, f)
+		}
+	}
+}
+
+// TestSATReductionExample runs the exact 3-SAT example from Section 4.1:
+// E = (¬x1 ∨ x2 ∨ x3) ∧ (x2 ∨ ¬x3 ∨ x4) ∧ (x1 ∨ ¬x2), which is
+// satisfiable (e.g. x1=x2=true).
+func TestSATReductionExample(t *testing.T) {
+	f := CNF{
+		Vars: 4,
+		Clauses: []Clause{
+			{-1, 2, 3},
+			{2, -3, 4},
+			{1, -2},
+		},
+	}
+	if !f.Satisfiable() {
+		t.Fatal("the paper's example formula is satisfiable")
+	}
+	inst, err := BuildSATInstance(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := inst.TargetExistsNN(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p >= 1-1e-12 {
+		t.Errorf("P∃NN = %v, want < 1 for a satisfiable formula", p)
+	}
+}
+
+func TestBuildSATInstanceValidation(t *testing.T) {
+	if _, err := BuildSATInstance(CNF{}); err == nil {
+		t.Error("expected error for empty CNF")
+	}
+	if _, err := BuildSATInstance(CNF{Vars: 1, Clauses: []Clause{{2}}}); err == nil {
+		t.Error("expected error for out-of-range literal")
+	}
+	if _, err := BuildSATInstance(CNF{Vars: 1, Clauses: []Clause{{0}}}); err == nil {
+		t.Error("expected error for zero literal")
+	}
+}
+
+func TestCNFSatisfiable(t *testing.T) {
+	sat := CNF{Vars: 2, Clauses: []Clause{{1, 2}, {-1, 2}}}
+	if !sat.Satisfiable() {
+		t.Error("x2=true satisfies the formula")
+	}
+	unsat := CNF{Vars: 1, Clauses: []Clause{{1}, {-1}}}
+	if unsat.Satisfiable() {
+		t.Error("x ∧ ¬x is unsatisfiable")
+	}
+}

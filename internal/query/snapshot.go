@@ -1,0 +1,156 @@
+package query
+
+import (
+	"math"
+	"sort"
+
+	"pnn/internal/inference"
+	"pnn/internal/space"
+)
+
+// SnapshotEstimator implements the competitor of Xu et al. [19] as adapted
+// in Section 7.1 ("Sampling Precision and Effectiveness"): it evaluates a
+// snapshot NN probability P∀NN(o, q, D, {t}) independently at each
+// timestep and combines them as if timesteps were independent:
+//
+//	P∀NN(o, q, D, T) ≈ Π_{t∈T} P_NN(o, t)
+//	P∃NN(o, q, D, T) ≈ 1 − Π_{t∈T} (1 − P_NN(o, t))
+//
+// Ignoring the temporal correlation of trajectories biases the ∀ estimate
+// low and the ∃ estimate high (Figure 11), which is exactly what the
+// effectiveness experiment demonstrates.
+type SnapshotEstimator struct {
+	sp     *space.Space
+	models []*inference.Model
+}
+
+// NewSnapshotEstimator wraps adapted models of the competing objects.
+func NewSnapshotEstimator(sp *space.Space, models []*inference.Model) *SnapshotEstimator {
+	return &SnapshotEstimator{sp: sp, models: models}
+}
+
+// snapshotDist is one object's distance distribution at a fixed time:
+// sorted unique distances with their probabilities and suffix sums.
+type snapshotDist struct {
+	d      []float64 // ascending
+	p      []float64
+	suffix []float64 // suffix[i] = Σ_{j>=i} p[j]
+}
+
+// geqProb returns P(distance >= d).
+func (s *snapshotDist) geqProb(d float64) float64 {
+	if s == nil {
+		return 1 // object not alive: it never competes
+	}
+	i := sort.SearchFloat64s(s.d, d)
+	if i == len(s.d) {
+		return 0
+	}
+	return s.suffix[i]
+}
+
+// NNProbAt returns, for each object, the probability that it is the NN of
+// q at time t, treating objects as independent (which they are) and using
+// the posterior marginal at t only.
+func (e *SnapshotEstimator) NNProbAt(q Query, t int) []float64 {
+	qp := q.At(t)
+	dists := make([]*snapshotDist, len(e.models))
+	for i, m := range e.models {
+		post := m.Posterior(t)
+		if post == nil {
+			continue
+		}
+		ents := post.Entries()
+		type dp struct{ d, p float64 }
+		tmp := make([]dp, len(ents))
+		for k, en := range ents {
+			tmp[k] = dp{e.sp.Point(en.Idx).Dist(qp), en.Val}
+		}
+		sort.Slice(tmp, func(a, b int) bool { return tmp[a].d < tmp[b].d })
+		sd := &snapshotDist{}
+		for _, x := range tmp {
+			if n := len(sd.d); n > 0 && sd.d[n-1] == x.d {
+				sd.p[n-1] += x.p
+			} else {
+				sd.d = append(sd.d, x.d)
+				sd.p = append(sd.p, x.p)
+			}
+		}
+		sd.suffix = make([]float64, len(sd.p)+1)
+		for k := len(sd.p) - 1; k >= 0; k-- {
+			sd.suffix[k] = sd.suffix[k+1] + sd.p[k]
+		}
+		sd.suffix = sd.suffix[:len(sd.p)]
+		dists[i] = sd
+	}
+	out := make([]float64, len(e.models))
+	for i := range e.models {
+		sd := dists[i]
+		if sd == nil {
+			continue
+		}
+		p := 0.0
+		for k, d := range sd.d {
+			prod := sd.p[k]
+			for j, other := range dists {
+				if j == i {
+					continue
+				}
+				prod *= other.geqProb(d)
+				if prod == 0 {
+					break
+				}
+			}
+			p += prod
+		}
+		out[i] = p
+	}
+	return out
+}
+
+// ForAllNN estimates P∀NN per object over [ts, te] under the snapshot
+// independence assumption.
+func (e *SnapshotEstimator) ForAllNN(q Query, ts, te int) []float64 {
+	out := make([]float64, len(e.models))
+	for i := range out {
+		out[i] = 1
+	}
+	for t := ts; t <= te; t++ {
+		probs := e.NNProbAt(q, t)
+		for i := range out {
+			out[i] *= probs[i]
+		}
+	}
+	for i, m := range e.models {
+		if m.Start() > ts || m.End() < te {
+			out[i] = 0 // not alive throughout
+		}
+	}
+	return out
+}
+
+// ExistsNN estimates P∃NN per object over [ts, te] under the snapshot
+// independence assumption.
+func (e *SnapshotEstimator) ExistsNN(q Query, ts, te int) []float64 {
+	miss := make([]float64, len(e.models))
+	for i := range miss {
+		miss[i] = 1
+	}
+	for t := ts; t <= te; t++ {
+		probs := e.NNProbAt(q, t)
+		for i := range miss {
+			miss[i] *= 1 - probs[i]
+		}
+	}
+	out := make([]float64, len(e.models))
+	for i := range out {
+		out[i] = 1 - miss[i]
+		if out[i] < 0 {
+			out[i] = 0
+		}
+		if math.IsNaN(out[i]) {
+			out[i] = 0
+		}
+	}
+	return out
+}

@@ -1,0 +1,67 @@
+package query
+
+import (
+	"math/rand"
+	"testing"
+
+	"pnn/internal/inference"
+	"pnn/internal/markov"
+	"pnn/internal/sparse"
+	"pnn/internal/uncertain"
+)
+
+// TestSnapshotNNProbSumAtLeastOne: at any timestep with at least one alive
+// object, the per-object NN probabilities must sum to >= 1 (some object is
+// always nearest; ties make the sum exceed 1, never undershoot).
+func TestSnapshotNNProbSumAtLeastOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 10; trial++ {
+		base := 20 + rng.Intn(20)
+		sp, tree, _ := lineDB(t, 1,
+			[]uncertain.Observation{{T: 0, State: base}, {T: 8, State: base + 2}},
+			[]uncertain.Observation{{T: 0, State: base + 4}, {T: 8, State: base + 1}},
+			[]uncertain.Observation{{T: 0, State: base - 3}, {T: 8, State: base}},
+		)
+		var models []*inference.Model
+		for _, o := range tree.Objects() {
+			m, err := inference.Adapt(o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			models = append(models, m)
+		}
+		ss := NewSnapshotEstimator(sp, models)
+		q := StateQuery(sp.Point(base + rng.Intn(5) - 2))
+		for tt := 0; tt <= 8; tt++ {
+			probs := ss.NNProbAt(q, tt)
+			sum := 0.0
+			for _, p := range probs {
+				if p < -1e-12 || p > 1+1e-12 {
+					t.Fatalf("trial %d t=%d: probability %v out of range", trial, tt, p)
+				}
+				sum += p
+			}
+			if sum < 1-1e-9 {
+				t.Fatalf("trial %d t=%d: NN probabilities sum to %v < 1", trial, tt, sum)
+			}
+		}
+	}
+}
+
+func TestUniformizeChainErrors(t *testing.T) {
+	_, tree, _ := lineDB(t, 1,
+		[]uncertain.Observation{{T: 0, State: 30}, {T: 4, State: 31}})
+	o := tree.Objects()[0]
+	if _, err := inference.UniformizeChain(o.Chain); err != nil {
+		t.Fatalf("homogeneous chain should uniformize: %v", err)
+	}
+	// A piecewise chain (even with one epoch) is not homogeneous and is
+	// rejected.
+	pw, err := markov.NewPiecewise([]int{0}, []*sparse.CSR{o.Chain.At(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inference.UniformizeChain(pw); err == nil {
+		t.Error("expected error for non-homogeneous chain")
+	}
+}

@@ -1,0 +1,110 @@
+// Package rtree implements a three-dimensional R*-tree (Beckmann et al.,
+// SIGMOD 1990 — reference [31] of the paper) over (x, y, t) boxes. It is
+// the index substrate beneath the UST-tree of Section 6: each leaf entry is
+// the spatio-temporal minimum bounding rectangle of one observation gap of
+// one uncertain object.
+package rtree
+
+import "math"
+
+// Dims is the dimensionality of the index: x, y and time.
+const Dims = 3
+
+// Box is a closed axis-aligned box in (x, y, t) space.
+type Box struct {
+	Min, Max [Dims]float64
+}
+
+// NewBox returns the box spanning the given coordinate ranges. It panics
+// if any minimum exceeds its maximum, which always indicates a caller bug.
+func NewBox(xmin, xmax, ymin, ymax, tmin, tmax float64) Box {
+	if xmin > xmax || ymin > ymax || tmin > tmax {
+		panic("rtree: inverted box")
+	}
+	return Box{Min: [Dims]float64{xmin, ymin, tmin}, Max: [Dims]float64{xmax, ymax, tmax}}
+}
+
+// Intersects reports whether b and o share at least one point.
+func (b Box) Intersects(o Box) bool {
+	for d := 0; d < Dims; d++ {
+		if b.Min[d] > o.Max[d] || o.Min[d] > b.Max[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// Contains reports whether o lies entirely inside b.
+func (b Box) Contains(o Box) bool {
+	for d := 0; d < Dims; d++ {
+		if o.Min[d] < b.Min[d] || o.Max[d] > b.Max[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// Union returns the minimum bounding box of b and o.
+func (b Box) Union(o Box) Box {
+	var out Box
+	for d := 0; d < Dims; d++ {
+		out.Min[d] = math.Min(b.Min[d], o.Min[d])
+		out.Max[d] = math.Max(b.Max[d], o.Max[d])
+	}
+	return out
+}
+
+// Volume returns the box's volume.
+func (b Box) Volume() float64 {
+	v := 1.0
+	for d := 0; d < Dims; d++ {
+		v *= b.Max[d] - b.Min[d]
+	}
+	return v
+}
+
+// Margin returns the sum of the box's edge lengths (the R* margin metric).
+func (b Box) Margin() float64 {
+	m := 0.0
+	for d := 0; d < Dims; d++ {
+		m += b.Max[d] - b.Min[d]
+	}
+	return m
+}
+
+// Enlargement returns how much b's volume would grow to accommodate o.
+func (b Box) Enlargement(o Box) float64 {
+	return b.Union(o).Volume() - b.Volume()
+}
+
+// OverlapVolume returns the volume of the intersection of b and o.
+func (b Box) OverlapVolume(o Box) float64 {
+	v := 1.0
+	for d := 0; d < Dims; d++ {
+		lo := math.Max(b.Min[d], o.Min[d])
+		hi := math.Min(b.Max[d], o.Max[d])
+		if hi <= lo {
+			return 0
+		}
+		v *= hi - lo
+	}
+	return v
+}
+
+// Center returns the box's center point.
+func (b Box) Center() [Dims]float64 {
+	var c [Dims]float64
+	for d := 0; d < Dims; d++ {
+		c[d] = (b.Min[d] + b.Max[d]) / 2
+	}
+	return c
+}
+
+func centerDist2(a, b [Dims]float64) float64 {
+	s := 0.0
+	for d := 0; d < Dims; d++ {
+		diff := a[d] - b[d]
+		s += diff * diff
+	}
+	return s
+}

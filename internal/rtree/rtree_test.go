@@ -1,0 +1,273 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func randBox(rng *rand.Rand) Box {
+	var b Box
+	for d := 0; d < Dims; d++ {
+		lo := rng.Float64() * 100
+		b.Min[d] = lo
+		b.Max[d] = lo + rng.Float64()*10
+	}
+	return b
+}
+
+func TestBoxOps(t *testing.T) {
+	a := NewBox(0, 2, 0, 2, 0, 2)
+	b := NewBox(1, 3, 1, 3, 1, 3)
+	if !a.Intersects(b) || !b.Intersects(a) {
+		t.Error("expected intersection")
+	}
+	c := NewBox(3, 4, 0, 1, 0, 1)
+	if a.Intersects(c) {
+		t.Error("unexpected intersection")
+	}
+	u := a.Union(b)
+	if !u.Contains(a) || !u.Contains(b) {
+		t.Error("union must contain operands")
+	}
+	if got := a.Volume(); got != 8 {
+		t.Errorf("Volume = %v", got)
+	}
+	if got := a.Margin(); got != 6 {
+		t.Errorf("Margin = %v", got)
+	}
+	if got := a.OverlapVolume(b); got != 1 {
+		t.Errorf("OverlapVolume = %v", got)
+	}
+	if got := a.OverlapVolume(c); got != 0 {
+		t.Errorf("disjoint OverlapVolume = %v", got)
+	}
+	if got := a.Enlargement(b); got != u.Volume()-8 {
+		t.Errorf("Enlargement = %v", got)
+	}
+}
+
+func TestNewBoxPanicsOnInverted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for inverted box")
+		}
+	}()
+	NewBox(1, 0, 0, 1, 0, 1)
+}
+
+func TestInsertSearchSmall(t *testing.T) {
+	tr := New(0)
+	boxes := []Box{
+		NewBox(0, 1, 0, 1, 0, 1),
+		NewBox(5, 6, 5, 6, 5, 6),
+		NewBox(0.5, 1.5, 0.5, 1.5, 0.5, 1.5),
+	}
+	for i, b := range boxes {
+		tr.Insert(b, Item(i))
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	var hits []Item
+	tr.Search(NewBox(0, 1, 0, 1, 0, 1), func(_ Box, it Item) bool {
+		hits = append(hits, it)
+		return true
+	})
+	sort.Slice(hits, func(i, j int) bool { return hits[i] < hits[j] })
+	if len(hits) != 2 || hits[0] != 0 || hits[1] != 2 {
+		t.Errorf("hits = %v, want [0 2]", hits)
+	}
+}
+
+func TestSearchEarlyStop(t *testing.T) {
+	tr := New(0)
+	for i := 0; i < 100; i++ {
+		tr.Insert(NewBox(0, 1, 0, 1, 0, 1), Item(i))
+	}
+	n := 0
+	tr.Search(NewBox(0, 1, 0, 1, 0, 1), func(_ Box, _ Item) bool {
+		n++
+		return n < 5
+	})
+	if n != 5 {
+		t.Errorf("early stop visited %d, want 5", n)
+	}
+}
+
+// TestAgainstBruteForce inserts random boxes and cross-checks every range
+// query against a linear scan, validating invariants along the way.
+func TestAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	tr := New(8) // small capacity to force deep trees and many splits
+	var boxes []Box
+	for i := 0; i < 800; i++ {
+		b := randBox(rng)
+		boxes = append(boxes, b)
+		tr.Insert(b, Item(i))
+		if i%97 == 0 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("after %d inserts: %v", i+1, err)
+			}
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != len(boxes) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(boxes))
+	}
+	for q := 0; q < 50; q++ {
+		query := randBox(rng)
+		want := map[Item]bool{}
+		for i, b := range boxes {
+			if b.Intersects(query) {
+				want[Item(i)] = true
+			}
+		}
+		got := map[Item]bool{}
+		tr.Search(query, func(_ Box, it Item) bool {
+			if got[it] {
+				t.Fatalf("duplicate item %d in search results", it)
+			}
+			got[it] = true
+			return true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("query %d: got %d hits, want %d", q, len(got), len(want))
+		}
+		for it := range want {
+			if !got[it] {
+				t.Fatalf("query %d: missing item %d", q, it)
+			}
+		}
+	}
+}
+
+func TestDelete(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr := New(8)
+	var boxes []Box
+	const n = 400
+	for i := 0; i < n; i++ {
+		b := randBox(rng)
+		boxes = append(boxes, b)
+		tr.Insert(b, Item(i))
+	}
+	// Delete half, in random order.
+	perm := rng.Perm(n)
+	deleted := map[Item]bool{}
+	for _, i := range perm[:n/2] {
+		if !tr.Delete(boxes[i], Item(i)) {
+			t.Fatalf("Delete(%d) found nothing", i)
+		}
+		deleted[Item(i)] = true
+	}
+	if tr.Len() != n/2 {
+		t.Fatalf("Len after deletes = %d, want %d", tr.Len(), n/2)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Remaining items must all be findable; deleted ones must not.
+	everything := NewBox(-1e9, 1e9, -1e9, 1e9, -1e9, 1e9)
+	got := map[Item]bool{}
+	tr.Search(everything, func(_ Box, it Item) bool {
+		got[it] = true
+		return true
+	})
+	for i := 0; i < n; i++ {
+		it := Item(i)
+		if deleted[it] && got[it] {
+			t.Errorf("deleted item %d still present", i)
+		}
+		if !deleted[it] && !got[it] {
+			t.Errorf("live item %d missing", i)
+		}
+	}
+	// Deleting a non-existent item reports false.
+	if tr.Delete(NewBox(0, 1, 0, 1, 0, 1), Item(99999)) {
+		t.Error("Delete of absent item returned true")
+	}
+}
+
+func TestDeleteAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	tr := New(6)
+	var boxes []Box
+	const n = 150
+	for i := 0; i < n; i++ {
+		b := randBox(rng)
+		boxes = append(boxes, b)
+		tr.Insert(b, Item(i))
+	}
+	for i := 0; i < n; i++ {
+		if !tr.Delete(boxes[i], Item(i)) {
+			t.Fatalf("Delete(%d) failed", i)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d after deleting all", tr.Len())
+	}
+	hits := 0
+	tr.Search(NewBox(-1e9, 1e9, -1e9, 1e9, -1e9, 1e9), func(_ Box, _ Item) bool {
+		hits++
+		return true
+	})
+	if hits != 0 {
+		t.Errorf("%d stale hits after deleting all", hits)
+	}
+	// Tree must be reusable.
+	tr.Insert(boxes[0], Item(0))
+	if tr.Len() != 1 {
+		t.Error("tree not reusable after emptying")
+	}
+}
+
+func TestDuplicateBoxes(t *testing.T) {
+	tr := New(4)
+	b := NewBox(1, 2, 1, 2, 1, 2)
+	for i := 0; i < 50; i++ {
+		tr.Insert(b, Item(i))
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	tr.Search(b, func(_ Box, _ Item) bool {
+		count++
+		return true
+	})
+	if count != 50 {
+		t.Errorf("found %d duplicates, want 50", count)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	boxes := make([]Box, b.N)
+	for i := range boxes {
+		boxes[i] = randBox(rng)
+	}
+	tr := New(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(boxes[i], Item(i))
+	}
+}
+
+func BenchmarkSearch(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tr := New(0)
+	for i := 0; i < 20000; i++ {
+		tr.Insert(randBox(rng), Item(i))
+	}
+	queries := make([]Box, 256)
+	for i := range queries {
+		queries[i] = randBox(rng)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Search(queries[i%len(queries)], func(_ Box, _ Item) bool { return true })
+	}
+}

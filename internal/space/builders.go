@@ -1,0 +1,146 @@
+package space
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"pnn/internal/geo"
+)
+
+// Synthetic builds the paper's artificial state space (Section 7): n states
+// drawn uniformly from [0,1]², with an edge between any two states closer
+// than r = sqrt(b / (n·π)). The parameter b is the desired average
+// branching factor, which this radius makes independent of n.
+func Synthetic(n int, b float64, rng *rand.Rand) (*Space, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("space: Synthetic needs n > 0, got %d", n)
+	}
+	if b <= 0 {
+		return nil, fmt.Errorf("space: Synthetic needs b > 0, got %g", b)
+	}
+	pts := make([]geo.Point, n)
+	for i := range pts {
+		pts[i] = geo.Point{X: rng.Float64(), Y: rng.Float64()}
+	}
+	r := math.Sqrt(b / (float64(n) * math.Pi))
+	return connectByRadius(pts, r)
+}
+
+// Clustered builds a center-skewed state space: a fraction of states is
+// drawn from Gaussian clusters (the "city center" and secondary hubs) and
+// the rest uniformly, then connected with the same radius rule as Synthetic.
+// Denser regions naturally end up with a higher branching factor, which is
+// exactly the property the paper's Beijing road network exhibits near the
+// center. Used by the taxi simulator (the T-Drive substitute).
+func Clustered(n, clusters int, clusterFrac, sigma, b float64, rng *rand.Rand) (*Space, error) {
+	if n <= 0 || clusters <= 0 {
+		return nil, fmt.Errorf("space: Clustered needs n > 0 and clusters > 0")
+	}
+	if clusterFrac < 0 || clusterFrac > 1 {
+		return nil, fmt.Errorf("space: clusterFrac must be in [0,1], got %g", clusterFrac)
+	}
+	centers := make([]geo.Point, clusters)
+	centers[0] = geo.Point{X: 0.5, Y: 0.5} // primary center
+	for i := 1; i < clusters; i++ {
+		centers[i] = geo.Point{X: 0.15 + 0.7*rng.Float64(), Y: 0.15 + 0.7*rng.Float64()}
+	}
+	pts := make([]geo.Point, n)
+	for i := range pts {
+		if rng.Float64() < clusterFrac {
+			c := centers[rng.Intn(clusters)]
+			pts[i] = geo.Point{
+				X: clamp01(c.X + rng.NormFloat64()*sigma),
+				Y: clamp01(c.Y + rng.NormFloat64()*sigma),
+			}
+		} else {
+			pts[i] = geo.Point{X: rng.Float64(), Y: rng.Float64()}
+		}
+	}
+	r := math.Sqrt(b / (float64(n) * math.Pi))
+	return connectByRadius(pts, r)
+}
+
+// Grid builds a w×h 4-connected lattice with unit spacing scaled into
+// [0,1]². It models indoor spaces (rooms, RFID reader positions) and is the
+// easiest space to reason about in tests.
+func Grid(w, h int) (*Space, error) {
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("space: Grid needs positive dimensions, got %dx%d", w, h)
+	}
+	scale := 1.0 / float64(maxInt(w, h))
+	pts := make([]geo.Point, w*h)
+	adj := make([][]int32, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			i := y*w + x
+			pts[i] = geo.Point{X: float64(x) * scale, Y: float64(y) * scale}
+			if x > 0 {
+				adj[i] = append(adj[i], int32(i-1))
+			}
+			if x < w-1 {
+				adj[i] = append(adj[i], int32(i+1))
+			}
+			if y > 0 {
+				adj[i] = append(adj[i], int32(i-w))
+			}
+			if y < h-1 {
+				adj[i] = append(adj[i], int32(i+w))
+			}
+		}
+	}
+	return New(pts, adj)
+}
+
+// Line builds a 1-dimensional chain of n states embedded on the x-axis,
+// matching the paper's one-dimensional illustration of sampling (Figure 3).
+func Line(n int) (*Space, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("space: Line needs n > 0, got %d", n)
+	}
+	pts := make([]geo.Point, n)
+	adj := make([][]int32, n)
+	for i := range pts {
+		pts[i] = geo.Point{X: float64(i) / float64(n), Y: 0}
+		if i > 0 {
+			adj[i] = append(adj[i], int32(i-1))
+		}
+		if i < n-1 {
+			adj[i] = append(adj[i], int32(i+1))
+		}
+	}
+	return New(pts, adj)
+}
+
+// connectByRadius links every pair of points within distance r using the
+// grid index, yielding a symmetric adjacency.
+func connectByRadius(pts []geo.Point, r float64) (*Space, error) {
+	bounds := geo.RectFromPoints(pts...)
+	idx := newGridIndex(pts, bounds)
+	adj := make([][]int32, len(pts))
+	for i, p := range pts {
+		for _, j := range idx.within(p, r, pts) {
+			if j != i {
+				adj[i] = append(adj[i], int32(j))
+			}
+		}
+	}
+	return New(pts, adj)
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,124 @@
+package space
+
+import (
+	"container/heap"
+	"math"
+)
+
+// ShortestPath returns a minimum-Euclidean-length path of state indices
+// from `from` to `to` (inclusive of both endpoints), or nil if `to` is
+// unreachable. Paths are used by the synthetic data generator to model an
+// object's true motion between sampled anchor states (Section 7).
+//
+// The search is A* with the straight-line distance to the target as the
+// heuristic — admissible and consistent because edge weights are the
+// Euclidean distances themselves, so dense regions are not flooded.
+// Search state lives in per-space scratch arrays reset lazily with an
+// epoch counter and protected by a mutex: data generation calls this in
+// tight loops, where map-based search state dominated runtime.
+func (s *Space) ShortestPath(from, to int) []int {
+	if from == to {
+		return []int{from}
+	}
+	s.pathMu.Lock()
+	defer s.pathMu.Unlock()
+	if s.pathDist == nil {
+		s.pathDist = make([]float64, len(s.pts))
+		s.pathPrev = make([]int32, len(s.pts))
+		s.pathSeen = make([]uint32, len(s.pts))
+	}
+	s.pathEpoch++
+	epoch := s.pathEpoch
+	see := func(i int) {
+		if s.pathSeen[i] != epoch {
+			s.pathSeen[i] = epoch
+			s.pathDist[i] = math.Inf(1)
+			s.pathPrev[i] = -1
+		}
+	}
+	target := s.pts[to]
+	see(from)
+	s.pathDist[from] = 0
+	pq := &pathHeap{{node: from, dist: s.pts[from].Dist(target)}}
+	found := false
+	for pq.Len() > 0 {
+		cur := heap.Pop(pq).(pathItem)
+		if cur.node == to {
+			found = true
+			break
+		}
+		curG := s.pathDist[cur.node]
+		if cur.dist > curG+s.pts[cur.node].Dist(target)+1e-12 {
+			continue // stale heap entry
+		}
+		for _, nb := range s.adj[cur.node] {
+			j := int(nb)
+			see(j)
+			ng := curG + s.Dist(cur.node, j)
+			if ng < s.pathDist[j] {
+				s.pathDist[j] = ng
+				s.pathPrev[j] = int32(cur.node)
+				heap.Push(pq, pathItem{node: j, dist: ng + s.pts[j].Dist(target)})
+			}
+		}
+	}
+	if !found {
+		return nil
+	}
+	var rev []int
+	for at := to; ; {
+		rev = append(rev, at)
+		if at == from {
+			break
+		}
+		at = int(s.pathPrev[at])
+	}
+	out := make([]int, len(rev))
+	for i, v := range rev {
+		out[len(rev)-1-i] = v
+	}
+	return out
+}
+
+// HopDistances returns, for every state, the minimum number of transitions
+// needed to reach it from state `from`; unreachable states get -1. This is
+// a breadth-first search used for reachability ("diamond") computations and
+// for validating that observations are non-contradicting.
+func (s *Space) HopDistances(from int) []int {
+	dist := make([]int, len(s.pts))
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[from] = 0
+	queue := []int{from}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range s.adj[cur] {
+			if dist[nb] < 0 {
+				dist[nb] = dist[cur] + 1
+				queue = append(queue, int(nb))
+			}
+		}
+	}
+	return dist
+}
+
+type pathItem struct {
+	node int
+	dist float64
+}
+
+type pathHeap []pathItem
+
+func (h pathHeap) Len() int            { return len(h) }
+func (h pathHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h pathHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *pathHeap) Push(x interface{}) { *h = append(*h, x.(pathItem)) }
+func (h *pathHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

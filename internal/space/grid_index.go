@@ -1,0 +1,136 @@
+package space
+
+import (
+	"math"
+	"sort"
+
+	"pnn/internal/geo"
+)
+
+// gridIndex is a uniform spatial hash over the state points, used for
+// nearest-state lookup and radius queries. Cell size is chosen so that the
+// expected occupancy is a small constant.
+type gridIndex struct {
+	origin geo.Point
+	cell   float64
+	nx, ny int
+	cells  [][]int32
+}
+
+func newGridIndex(pts []geo.Point, bounds geo.Rect) *gridIndex {
+	g := &gridIndex{origin: bounds.Lo, cell: 1, nx: 1, ny: 1}
+	if len(pts) == 0 || bounds.IsEmpty() {
+		g.cells = make([][]int32, 1)
+		return g
+	}
+	w := bounds.Hi.X - bounds.Lo.X
+	h := bounds.Hi.Y - bounds.Lo.Y
+	// Aim for ~1 point per cell on average.
+	target := math.Sqrt(math.Max(w*h, 1e-12) / float64(len(pts)))
+	if target <= 0 || math.IsNaN(target) {
+		target = 1
+	}
+	g.cell = target
+	g.nx = int(w/g.cell) + 1
+	g.ny = int(h/g.cell) + 1
+	g.cells = make([][]int32, g.nx*g.ny)
+	for i, p := range pts {
+		c := g.cellOf(p)
+		g.cells[c] = append(g.cells[c], int32(i))
+	}
+	return g
+}
+
+func (g *gridIndex) cellCoords(p geo.Point) (int, int) {
+	cx := int((p.X - g.origin.X) / g.cell)
+	cy := int((p.Y - g.origin.Y) / g.cell)
+	if cx < 0 {
+		cx = 0
+	}
+	if cx >= g.nx {
+		cx = g.nx - 1
+	}
+	if cy < 0 {
+		cy = 0
+	}
+	if cy >= g.ny {
+		cy = g.ny - 1
+	}
+	return cx, cy
+}
+
+func (g *gridIndex) cellOf(p geo.Point) int {
+	cx, cy := g.cellCoords(p)
+	return cy*g.nx + cx
+}
+
+// nearest returns the index of the point closest to q, scanning grid rings
+// outward until the best candidate provably beats all unvisited cells.
+func (g *gridIndex) nearest(q geo.Point, pts []geo.Point) int {
+	if len(pts) == 0 {
+		panic("space: nearest on empty index")
+	}
+	cx, cy := g.cellCoords(q)
+	best := -1
+	bestD := math.Inf(1)
+	maxRing := g.nx
+	if g.ny > maxRing {
+		maxRing = g.ny
+	}
+	for ring := 0; ring <= maxRing; ring++ {
+		// Once a candidate is found, stop when the nearest possible point
+		// in the next unexplored ring cannot beat it.
+		if best >= 0 && float64(ring-1)*g.cell > bestD {
+			break
+		}
+		for dy := -ring; dy <= ring; dy++ {
+			for dx := -ring; dx <= ring; dx++ {
+				if abs(dx) != ring && abs(dy) != ring {
+					continue // interior cells already scanned
+				}
+				x, y := cx+dx, cy+dy
+				if x < 0 || x >= g.nx || y < 0 || y >= g.ny {
+					continue
+				}
+				for _, idx := range g.cells[y*g.nx+x] {
+					d := q.Dist(pts[idx])
+					if d < bestD || (d == bestD && int(idx) < best) {
+						bestD = d
+						best = int(idx)
+					}
+				}
+			}
+		}
+	}
+	return best
+}
+
+// within returns every index with Dist(q) <= r in ascending order.
+func (g *gridIndex) within(q geo.Point, r float64, pts []geo.Point) []int {
+	var out []int
+	if len(pts) == 0 {
+		return out
+	}
+	loX, loY := g.cellCoords(geo.Point{X: q.X - r, Y: q.Y - r})
+	hiX, hiY := g.cellCoords(geo.Point{X: q.X + r, Y: q.Y + r})
+	for y := loY; y <= hiY; y++ {
+		for x := loX; x <= hiX; x++ {
+			for _, idx := range g.cells[y*g.nx+x] {
+				if q.Dist(pts[idx]) <= r {
+					out = append(out, int(idx))
+				}
+			}
+		}
+	}
+	sortInts(out)
+	return out
+}
+
+func sortInts(a []int) { sort.Ints(a) }
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,345 @@
+package space
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pnn/internal/geo"
+)
+
+func TestNewValidation(t *testing.T) {
+	pts := []geo.Point{{X: 0, Y: 0}, {X: 1, Y: 0}}
+	if _, err := New(pts, [][]int32{{1}, {0}, {0}}); err == nil {
+		t.Error("expected row-count mismatch error")
+	}
+	if _, err := New(pts, [][]int32{{2}, {0}}); err == nil {
+		t.Error("expected out-of-range error")
+	}
+	if _, err := New(pts, [][]int32{{0}, {0}}); err == nil {
+		t.Error("expected self-edge error")
+	}
+	s, err := New(pts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Degree(0) != 0 {
+		t.Error("nil adjacency should mean isolated states")
+	}
+}
+
+func TestGridSpace(t *testing.T) {
+	s, err := Grid(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 6 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	// Corner state 0 has 2 neighbours; middle of bottom row has 3.
+	if s.Degree(0) != 2 {
+		t.Errorf("Degree(0) = %d, want 2", s.Degree(0))
+	}
+	if s.Degree(1) != 3 {
+		t.Errorf("Degree(1) = %d, want 3", s.Degree(1))
+	}
+	nbs := s.Neighbors(1)
+	want := []int32{0, 2, 4}
+	for i, nb := range nbs {
+		if nb != want[i] {
+			t.Errorf("Neighbors(1) = %v, want %v", nbs, want)
+			break
+		}
+	}
+	if _, err := Grid(0, 3); err == nil {
+		t.Error("expected error for zero dimension")
+	}
+}
+
+func TestLineSpace(t *testing.T) {
+	s, err := Line(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Degree(0) != 1 || s.Degree(2) != 2 || s.Degree(4) != 1 {
+		t.Error("line degrees wrong")
+	}
+	if s.Point(1).Y != 0 {
+		t.Error("line should lie on the x-axis")
+	}
+}
+
+func TestSyntheticBranchingFactor(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, b := range []float64{6, 8, 10} {
+		s, err := Synthetic(4000, b, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := s.AvgDegree()
+		// Boundary effects reduce the average degree slightly below b.
+		if got < b*0.6 || got > b*1.3 {
+			t.Errorf("b=%v: AvgDegree = %v, outside plausible range", b, got)
+		}
+	}
+	if _, err := Synthetic(0, 8, rng); err == nil {
+		t.Error("expected error for n=0")
+	}
+	if _, err := Synthetic(10, -1, rng); err == nil {
+		t.Error("expected error for b<0")
+	}
+}
+
+func TestSyntheticSymmetricAdjacency(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s, err := Synthetic(500, 8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < s.Len(); i++ {
+		for _, j := range s.Neighbors(i) {
+			found := false
+			for _, back := range s.Neighbors(int(j)) {
+				if int(back) == i {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("edge (%d,%d) not symmetric", i, j)
+			}
+		}
+	}
+}
+
+func TestClusteredDenserCenter(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	s, err := Clustered(3000, 3, 0.7, 0.08, 8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	center := geo.Point{X: 0.5, Y: 0.5}
+	var centerDeg, edgeDeg, nc, ne float64
+	for i := 0; i < s.Len(); i++ {
+		if s.Point(i).Dist(center) < 0.15 {
+			centerDeg += float64(s.Degree(i))
+			nc++
+		} else if s.Point(i).Dist(center) > 0.45 {
+			edgeDeg += float64(s.Degree(i))
+			ne++
+		}
+	}
+	if nc == 0 || ne == 0 {
+		t.Fatal("expected both center and edge states")
+	}
+	if centerDeg/nc <= edgeDeg/ne {
+		t.Errorf("center avg degree %v should exceed edge avg degree %v",
+			centerDeg/nc, edgeDeg/ne)
+	}
+}
+
+func TestNearestState(t *testing.T) {
+	s, err := Grid(10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 100; trial++ {
+		q := geo.Point{X: rng.Float64(), Y: rng.Float64()}
+		got := s.NearestState(q)
+		// Brute force.
+		best, bestD := -1, math.Inf(1)
+		for i := 0; i < s.Len(); i++ {
+			if d := s.DistTo(i, q); d < bestD {
+				best, bestD = i, d
+			}
+		}
+		if s.DistTo(got, q) > bestD+1e-12 {
+			t.Fatalf("NearestState(%v) = %d (d=%v), brute force %d (d=%v)",
+				q, got, s.DistTo(got, q), best, bestD)
+		}
+	}
+}
+
+func TestStatesWithin(t *testing.T) {
+	s, err := Grid(5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := s.Point(12) // center state
+	got := s.StatesWithin(q, 0.19)
+	// Grid spacing is 1/5 = 0.2, so only the state itself qualifies.
+	if len(got) != 1 || got[0] != 12 {
+		t.Errorf("StatesWithin small r = %v", got)
+	}
+	got = s.StatesWithin(q, 0.21)
+	if len(got) != 5 { // center + 4-neighbourhood
+		t.Errorf("StatesWithin r=0.21: got %d states %v, want 5", len(got), got)
+	}
+	all := s.StatesWithin(q, 10)
+	if len(all) != 25 {
+		t.Errorf("StatesWithin big r = %d states, want all 25", len(all))
+	}
+}
+
+func TestTransitionMatrixStochastic(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s, err := Synthetic(800, 8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := s.TransitionMatrix(0.5)
+	if err := m.ValidateStochastic(1e-9); err != nil {
+		t.Fatal(err)
+	}
+	// Cached: same pointer on second call.
+	if s.TransitionMatrix(0.5) != m {
+		t.Error("TransitionMatrix should be cached")
+	}
+	// Closer neighbours should get more probability than farther ones.
+	for i := 0; i < s.Len(); i++ {
+		nbs := s.Neighbors(i)
+		for a := 0; a < len(nbs); a++ {
+			for b := a + 1; b < len(nbs); b++ {
+				da, db := s.Dist(i, int(nbs[a])), s.Dist(i, int(nbs[b]))
+				pa, pb := m.At(i, int(nbs[a])), m.At(i, int(nbs[b]))
+				if da < db && pa < pb-1e-12 {
+					t.Fatalf("state %d: closer neighbour %d (d=%v, p=%v) got less mass than %d (d=%v, p=%v)",
+						i, nbs[a], da, pa, nbs[b], db, pb)
+				}
+			}
+		}
+		if i > 50 {
+			break // spot check is enough
+		}
+	}
+}
+
+func TestTransitionMatrixIsolatedState(t *testing.T) {
+	pts := []geo.Point{{X: 0, Y: 0}, {X: 1, Y: 1}}
+	s, err := New(pts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := s.TransitionMatrix(0)
+	if m.At(0, 0) != 1 || m.At(1, 1) != 1 {
+		t.Error("isolated states need probability-1 self-loops")
+	}
+}
+
+func TestBuildTransitionMatrixNegativeWeight(t *testing.T) {
+	s, err := Line(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.BuildTransitionMatrix(func(i, j int) float64 { return -1 }); err == nil {
+		t.Error("expected negative-weight error")
+	}
+}
+
+func TestShortestPath(t *testing.T) {
+	s, err := Grid(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := s.ShortestPath(0, 15)
+	if p == nil {
+		t.Fatal("no path found")
+	}
+	if p[0] != 0 || p[len(p)-1] != 15 {
+		t.Fatalf("path endpoints wrong: %v", p)
+	}
+	// Manhattan distance on a 4x4 grid from corner to corner is 6 hops.
+	if len(p) != 7 {
+		t.Errorf("path length = %d states, want 7", len(p))
+	}
+	// Consecutive states must be adjacent.
+	for i := 1; i < len(p); i++ {
+		adjacent := false
+		for _, nb := range s.Neighbors(p[i-1]) {
+			if int(nb) == p[i] {
+				adjacent = true
+			}
+		}
+		if !adjacent {
+			t.Fatalf("path step %d→%d not an edge", p[i-1], p[i])
+		}
+	}
+	if got := s.ShortestPath(3, 3); len(got) != 1 || got[0] != 3 {
+		t.Errorf("trivial path = %v", got)
+	}
+}
+
+func TestShortestPathUnreachable(t *testing.T) {
+	pts := []geo.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 5, Y: 5}}
+	adj := [][]int32{{1}, {0}, nil}
+	s, err := New(pts, adj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := s.ShortestPath(0, 2); p != nil {
+		t.Errorf("expected nil path, got %v", p)
+	}
+}
+
+func TestHopDistances(t *testing.T) {
+	s, err := Line(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := s.HopDistances(2)
+	want := []int{2, 1, 0, 1, 2}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Errorf("HopDistances[%d] = %d, want %d", i, d[i], want[i])
+		}
+	}
+	// Disconnected state.
+	pts := []geo.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 9, Y: 9}}
+	s2, _ := New(pts, [][]int32{{1}, {0}, nil})
+	d2 := s2.HopDistances(0)
+	if d2[2] != -1 {
+		t.Errorf("unreachable state distance = %d, want -1", d2[2])
+	}
+}
+
+func TestShortestPathIsShortest(t *testing.T) {
+	// On a synthetic network, the Dijkstra path length must never exceed
+	// the straight-line distance by less than a factor of 1 (sanity) and
+	// each edge must be a real edge.
+	rng := rand.New(rand.NewSource(6))
+	s, err := Synthetic(300, 8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 20; trial++ {
+		a, b := rng.Intn(s.Len()), rng.Intn(s.Len())
+		p := s.ShortestPath(a, b)
+		if p == nil {
+			continue // disconnected component is fine
+		}
+		total := 0.0
+		for i := 1; i < len(p); i++ {
+			total += s.Dist(p[i-1], p[i])
+		}
+		if straight := s.Dist(a, b); total < straight-1e-9 {
+			t.Fatalf("path shorter than straight line: %v < %v", total, straight)
+		}
+	}
+}
+
+func BenchmarkNearestState(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	s, err := Synthetic(10000, 8, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs := make([]geo.Point, 256)
+	for i := range qs {
+		qs[i] = geo.Point{X: rng.Float64(), Y: rng.Float64()}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.NearestState(qs[i%len(qs)])
+	}
+}

@@ -1,0 +1,212 @@
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// CSR is an immutable compressed-sparse-row matrix. Row i's nonzeros are
+// Col[RowPtr[i]:RowPtr[i+1]] / Val[RowPtr[i]:RowPtr[i+1]], with column
+// indices sorted ascending inside each row.
+//
+// For an a-priori Markov chain M, row i holds the outgoing transition
+// distribution P(o(t+1) = · | o(t) = s_i); every non-empty row sums to 1.
+type CSR struct {
+	N      int // number of rows and columns (square)
+	RowPtr []int32
+	Col    []int32
+	Val    []float64
+}
+
+// Triplet is a single (row, col, value) element used to build a CSR matrix.
+type Triplet struct {
+	Row, Col int
+	Val      float64
+}
+
+// NewCSR builds a square n×n CSR matrix from triplets. Duplicate (row, col)
+// pairs are summed. It returns an error for out-of-range indices.
+func NewCSR(n int, elems []Triplet) (*CSR, error) {
+	for _, e := range elems {
+		if e.Row < 0 || e.Row >= n || e.Col < 0 || e.Col >= n {
+			return nil, fmt.Errorf("sparse: triplet (%d,%d) out of range for n=%d", e.Row, e.Col, n)
+		}
+	}
+	sorted := make([]Triplet, len(elems))
+	copy(sorted, elems)
+	sort.Slice(sorted, func(a, b int) bool {
+		if sorted[a].Row != sorted[b].Row {
+			return sorted[a].Row < sorted[b].Row
+		}
+		return sorted[a].Col < sorted[b].Col
+	})
+	m := &CSR{
+		N:      n,
+		RowPtr: make([]int32, n+1),
+		Col:    make([]int32, 0, len(sorted)),
+		Val:    make([]float64, 0, len(sorted)),
+	}
+	row := 0
+	for k := 0; k < len(sorted); {
+		e := sorted[k]
+		v := e.Val
+		k++
+		for k < len(sorted) && sorted[k].Row == e.Row && sorted[k].Col == e.Col {
+			v += sorted[k].Val
+			k++
+		}
+		for row < e.Row {
+			row++
+			m.RowPtr[row] = int32(len(m.Col))
+		}
+		m.Col = append(m.Col, int32(e.Col))
+		m.Val = append(m.Val, v)
+	}
+	for row < n {
+		row++
+		m.RowPtr[row] = int32(len(m.Col))
+	}
+	return m, nil
+}
+
+// NNZ returns the number of stored nonzeros.
+func (m *CSR) NNZ() int { return len(m.Col) }
+
+// Row returns the column indices and values of row i. The returned slices
+// alias the matrix storage and must not be modified.
+func (m *CSR) Row(i int) ([]int32, []float64) {
+	lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+	return m.Col[lo:hi], m.Val[lo:hi]
+}
+
+// At returns the element at (i, j) using binary search within row i.
+func (m *CSR) At(i, j int) float64 {
+	cols, vals := m.Row(i)
+	k := sort.Search(len(cols), func(k int) bool { return cols[k] >= int32(j) })
+	if k < len(cols) && cols[k] == int32(j) {
+		return vals[k]
+	}
+	return 0
+}
+
+// RowSum returns the sum of row i.
+func (m *CSR) RowSum(i int) float64 {
+	_, vals := m.Row(i)
+	s := 0.0
+	for _, v := range vals {
+		s += v
+	}
+	return s
+}
+
+// ValidateStochastic checks that every non-empty row of m sums to 1 within
+// tol and that all entries are non-negative, i.e. that m is a valid Markov
+// transition matrix. Rows with no entries (absorbing-by-omission states)
+// are reported as an error since mass would leak from them.
+func (m *CSR) ValidateStochastic(tol float64) error {
+	for i := 0; i < m.N; i++ {
+		cols, vals := m.Row(i)
+		if len(cols) == 0 {
+			return fmt.Errorf("sparse: row %d has no outgoing transitions", i)
+		}
+		s := 0.0
+		for _, v := range vals {
+			if v < 0 {
+				return fmt.Errorf("sparse: row %d has negative entry %g", i, v)
+			}
+			s += v
+		}
+		if math.Abs(s-1) > tol {
+			return fmt.Errorf("sparse: row %d sums to %g, want 1", i, s)
+		}
+	}
+	return nil
+}
+
+// MulVecLeft computes the forward Markov step w = Mᵀ·v on sparse vectors:
+// w[j] = Σ_i v[i]·M[i][j]. In Markov terms this propagates a distribution
+// over the current states one transition forward in time.
+func (m *CSR) MulVecLeft(v Vec) Vec {
+	w := make(Vec, len(v)*2)
+	for i, x := range v {
+		if x == 0 {
+			continue
+		}
+		cols, vals := m.Row(i)
+		for k, c := range cols {
+			w[int(c)] += x * vals[k]
+		}
+	}
+	return w
+}
+
+// MulVecRight computes w = M·v: w[i] = Σ_j M[i][j]·v[j]. In Markov terms
+// this is one step of backward smoothing (propagating likelihoods of future
+// evidence one transition back in time). The result is supported on every
+// row that can reach the support of v in one transition; callers restrict it
+// to their reachable set as needed.
+//
+// For efficiency the iteration is driven by the support of v through the
+// transpose adjacency supplied by tr; see Transpose.
+func (m *CSR) MulVecRight(v Vec, tr *CSR) Vec {
+	w := make(Vec, len(v)*2)
+	for j, x := range v {
+		if x == 0 {
+			continue
+		}
+		cols, vals := tr.Row(j)
+		for k, c := range cols {
+			w[int(c)] += x * vals[k]
+		}
+	}
+	return w
+}
+
+// Transpose returns mᵀ as a new CSR matrix.
+func (m *CSR) Transpose() *CSR {
+	counts := make([]int32, m.N+1)
+	for _, c := range m.Col {
+		counts[c+1]++
+	}
+	for i := 0; i < m.N; i++ {
+		counts[i+1] += counts[i]
+	}
+	t := &CSR{
+		N:      m.N,
+		RowPtr: counts,
+		Col:    make([]int32, len(m.Col)),
+		Val:    make([]float64, len(m.Val)),
+	}
+	next := make([]int32, m.N)
+	copy(next, t.RowPtr[:m.N])
+	for i := 0; i < m.N; i++ {
+		cols, vals := m.Row(i)
+		for k, c := range cols {
+			pos := next[c]
+			t.Col[pos] = int32(i)
+			t.Val[pos] = vals[k]
+			next[c]++
+		}
+	}
+	return t
+}
+
+// Scale returns a copy of m with every value multiplied by f.
+func (m *CSR) Scale(f float64) *CSR {
+	out := &CSR{N: m.N, RowPtr: m.RowPtr, Col: m.Col, Val: make([]float64, len(m.Val))}
+	for i, v := range m.Val {
+		out.Val[i] = v * f
+	}
+	return out
+}
+
+// RowVec returns row i as a sparse vector (a copy).
+func (m *CSR) RowVec(i int) Vec {
+	cols, vals := m.Row(i)
+	v := make(Vec, len(cols))
+	for k, c := range cols {
+		v[int(c)] = vals[k]
+	}
+	return v
+}

@@ -1,0 +1,75 @@
+package sparse
+
+import "sort"
+
+// RowMap is a mutable sparse matrix keyed by row index, used for the
+// time-variant adapted transition matrices R(t) and F(t) of Algorithm 2.
+// Unlike CSR it only stores rows that exist, which matches the paper's
+// observation that the adapted model is supported only on the reachable
+// "diamond" of each timestep.
+type RowMap map[int]Vec
+
+// NewRowMap returns an empty row-sparse matrix.
+func NewRowMap() RowMap { return make(RowMap) }
+
+// Add accumulates v into element (i, j).
+func (m RowMap) Add(i, j int, v float64) {
+	row := m[i]
+	if row == nil {
+		row = make(Vec, 4)
+		m[i] = row
+	}
+	row[j] += v
+}
+
+// At returns element (i, j), or 0 when absent.
+func (m RowMap) At(i, j int) float64 { return m[i][j] }
+
+// Row returns row i (possibly nil). The returned Vec aliases internal
+// storage.
+func (m RowMap) Row(i int) Vec { return m[i] }
+
+// Rows returns the populated row indices in ascending order.
+func (m RowMap) Rows() []int {
+	out := make([]int, 0, len(m))
+	for i := range m {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// NormalizeRows scales every row to sum to 1. Rows with zero mass are
+// removed: they correspond to unreachable source states, for which no
+// conditional distribution exists.
+func (m RowMap) NormalizeRows() {
+	for i, row := range m {
+		if row.Normalize() == 0 {
+			delete(m, i)
+		}
+	}
+}
+
+// MulVecLeft computes w = mᵀ·v restricted to the stored rows:
+// w[j] = Σ_i v[i]·m[i][j].
+func (m RowMap) MulVecLeft(v Vec) Vec {
+	w := make(Vec, len(v)*2)
+	for i, x := range v {
+		if x == 0 {
+			continue
+		}
+		for j, p := range m[i] {
+			w[j] += x * p
+		}
+	}
+	return w
+}
+
+// NNZ returns the total number of stored elements.
+func (m RowMap) NNZ() int {
+	n := 0
+	for _, row := range m {
+		n += len(row)
+	}
+	return n
+}

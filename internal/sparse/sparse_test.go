@@ -1,0 +1,311 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestVecBasics(t *testing.T) {
+	v := NewVec()
+	v.Add(3, 0.5)
+	v.Add(1, 0.25)
+	v.Add(3, 0.25)
+	if got := v[3]; got != 0.75 {
+		t.Errorf("v[3] = %v, want 0.75", got)
+	}
+	if got := v.Sum(); got != 1.0 {
+		t.Errorf("Sum = %v, want 1", got)
+	}
+	v.Add(1, -0.25)
+	if _, ok := v[1]; ok {
+		t.Error("zero entry should be deleted")
+	}
+	ents := v.Entries()
+	if len(ents) != 1 || ents[0] != (Entry{3, 0.75}) {
+		t.Errorf("Entries = %v", ents)
+	}
+}
+
+func TestVecNormalize(t *testing.T) {
+	v := Vec{0: 2, 5: 6}
+	if s := v.Normalize(); s != 8 {
+		t.Errorf("Normalize returned %v, want 8", s)
+	}
+	if math.Abs(v.Sum()-1) > 1e-15 {
+		t.Errorf("after normalize Sum = %v", v.Sum())
+	}
+	empty := NewVec()
+	if s := empty.Normalize(); s != 0 {
+		t.Errorf("empty Normalize = %v, want 0", s)
+	}
+}
+
+func TestVecL1Dot(t *testing.T) {
+	v := Vec{0: 0.5, 1: 0.5}
+	w := Vec{1: 0.25, 2: 0.75}
+	if got := v.L1(w); math.Abs(got-1.5) > 1e-15 {
+		t.Errorf("L1 = %v, want 1.5", got)
+	}
+	if got := v.Dot(w); math.Abs(got-0.125) > 1e-15 {
+		t.Errorf("Dot = %v, want 0.125", got)
+	}
+	if got := v.L1(v); got != 0 {
+		t.Errorf("L1 self = %v", got)
+	}
+}
+
+func TestVecEqualAndSupport(t *testing.T) {
+	v := Vec{1: 0.5, 2: 0.5}
+	w := Vec{1: 0.5 + 1e-12, 2: 0.5 - 1e-12}
+	if !v.Equal(w, 1e-9) {
+		t.Error("expected approx equality")
+	}
+	if v.Equal(Vec{1: 1}, 1e-9) {
+		t.Error("unexpected equality")
+	}
+	sup := v.Support()
+	if len(sup) != 2 || sup[0] != 1 || sup[1] != 2 {
+		t.Errorf("Support = %v", sup)
+	}
+}
+
+func TestVecPrune(t *testing.T) {
+	v := Vec{1: 1e-18, 2: 0.5, 3: -1e-18}
+	v.Prune(1e-15)
+	if len(v) != 1 || v[2] != 0.5 {
+		t.Errorf("after Prune: %v", v)
+	}
+}
+
+func mustCSR(t *testing.T, n int, elems []Triplet) *CSR {
+	t.Helper()
+	m, err := NewCSR(n, elems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestCSRBuildAndAt(t *testing.T) {
+	m := mustCSR(t, 3, []Triplet{
+		{0, 1, 0.5}, {0, 2, 0.5},
+		{1, 0, 1},
+		{2, 2, 0.4}, {2, 2, 0.6}, // duplicates sum
+	})
+	if m.NNZ() != 4 {
+		t.Errorf("NNZ = %d, want 4", m.NNZ())
+	}
+	if got := m.At(0, 1); got != 0.5 {
+		t.Errorf("At(0,1) = %v", got)
+	}
+	if got := m.At(2, 2); got != 1.0 {
+		t.Errorf("At(2,2) = %v, want 1 (summed duplicates)", got)
+	}
+	if got := m.At(1, 2); got != 0 {
+		t.Errorf("At(1,2) = %v, want 0", got)
+	}
+	if err := m.ValidateStochastic(1e-12); err != nil {
+		t.Errorf("ValidateStochastic: %v", err)
+	}
+}
+
+func TestCSROutOfRange(t *testing.T) {
+	if _, err := NewCSR(2, []Triplet{{0, 2, 1}}); err == nil {
+		t.Error("expected out-of-range error")
+	}
+	if _, err := NewCSR(2, []Triplet{{-1, 0, 1}}); err == nil {
+		t.Error("expected out-of-range error")
+	}
+}
+
+func TestValidateStochasticFailures(t *testing.T) {
+	m := mustCSR(t, 2, []Triplet{{0, 0, 0.5}, {0, 1, 0.4}, {1, 1, 1}})
+	if err := m.ValidateStochastic(1e-12); err == nil {
+		t.Error("expected row-sum error")
+	}
+	m2 := mustCSR(t, 2, []Triplet{{0, 0, 1}})
+	if err := m2.ValidateStochastic(1e-12); err == nil {
+		t.Error("expected empty-row error")
+	}
+	m3 := mustCSR(t, 2, []Triplet{{0, 0, 1.5}, {0, 1, -0.5}, {1, 1, 1}})
+	if err := m3.ValidateStochastic(1e-12); err == nil {
+		t.Error("expected negative-entry error")
+	}
+}
+
+func TestMulVecLeftPreservesMass(t *testing.T) {
+	// A stochastic matrix must preserve total probability mass under
+	// forward propagation.
+	rng := rand.New(rand.NewSource(1))
+	n := 20
+	var elems []Triplet
+	for i := 0; i < n; i++ {
+		deg := 1 + rng.Intn(4)
+		w := make([]float64, deg)
+		s := 0.0
+		for k := range w {
+			w[k] = rng.Float64() + 0.01
+			s += w[k]
+		}
+		for k := range w {
+			elems = append(elems, Triplet{i, rng.Intn(n), w[k] / s})
+		}
+	}
+	m := mustCSR(t, n, elems)
+	v := Vec{0: 0.3, 5: 0.7}
+	for step := 0; step < 10; step++ {
+		v = m.MulVecLeft(v)
+		if math.Abs(v.Sum()-1) > 1e-12 {
+			t.Fatalf("mass not preserved at step %d: %v", step, v.Sum())
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := mustCSR(t, 3, []Triplet{{0, 1, 0.5}, {0, 2, 0.5}, {1, 0, 1}, {2, 2, 1}})
+	tr := m.Transpose()
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if m.At(i, j) != tr.At(j, i) {
+				t.Errorf("transpose mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+	// Double transpose is identity.
+	trtr := tr.Transpose()
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if m.At(i, j) != trtr.At(i, j) {
+				t.Errorf("double transpose mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMulVecRightMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 15
+	var elems []Triplet
+	for i := 0; i < n; i++ {
+		for k := 0; k < 3; k++ {
+			elems = append(elems, Triplet{i, rng.Intn(n), rng.Float64()})
+		}
+	}
+	m := mustCSR(t, n, elems)
+	tr := m.Transpose()
+	v := Vec{2: 0.5, 7: 1.5, 14: 0.25}
+	w := m.MulVecRight(v, tr)
+	for i := 0; i < n; i++ {
+		want := 0.0
+		for j := 0; j < n; j++ {
+			want += m.At(i, j) * v[j]
+		}
+		if math.Abs(w[i]-want) > 1e-12 {
+			t.Errorf("MulVecRight[%d] = %v, want %v", i, w[i], want)
+		}
+	}
+}
+
+func TestCSRScaleAndRowVec(t *testing.T) {
+	m := mustCSR(t, 2, []Triplet{{0, 0, 0.25}, {0, 1, 0.75}, {1, 0, 1}})
+	s := m.Scale(2)
+	if s.At(0, 1) != 1.5 {
+		t.Errorf("Scale At(0,1) = %v", s.At(0, 1))
+	}
+	if m.At(0, 1) != 0.75 {
+		t.Error("Scale must not mutate the receiver")
+	}
+	rv := m.RowVec(0)
+	if !rv.Equal(Vec{0: 0.25, 1: 0.75}, 0) {
+		t.Errorf("RowVec = %v", rv)
+	}
+	if got := m.RowSum(0); got != 1 {
+		t.Errorf("RowSum = %v", got)
+	}
+}
+
+func TestRowMap(t *testing.T) {
+	m := NewRowMap()
+	m.Add(2, 1, 0.5)
+	m.Add(2, 3, 1.5)
+	m.Add(0, 0, 3)
+	if got := m.At(2, 3); got != 1.5 {
+		t.Errorf("At = %v", got)
+	}
+	if got := m.At(9, 9); got != 0 {
+		t.Errorf("missing At = %v", got)
+	}
+	rows := m.Rows()
+	if len(rows) != 2 || rows[0] != 0 || rows[1] != 2 {
+		t.Errorf("Rows = %v", rows)
+	}
+	if m.NNZ() != 3 {
+		t.Errorf("NNZ = %d", m.NNZ())
+	}
+	m.NormalizeRows()
+	if math.Abs(m.Row(2).Sum()-1) > 1e-15 {
+		t.Errorf("row 2 sum = %v", m.Row(2).Sum())
+	}
+	if math.Abs(m.At(2, 1)-0.25) > 1e-15 {
+		t.Errorf("normalized At(2,1) = %v", m.At(2, 1))
+	}
+}
+
+func TestRowMapNormalizeDropsEmpty(t *testing.T) {
+	m := NewRowMap()
+	m.Add(1, 0, 0.0)
+	m.NormalizeRows()
+	if _, ok := m[1]; ok {
+		t.Error("zero-mass row should be dropped")
+	}
+}
+
+func TestRowMapMulVecLeft(t *testing.T) {
+	m := NewRowMap()
+	m.Add(0, 1, 1)   // from 0 go to 1
+	m.Add(1, 0, 0.5) // from 1 go to 0 or 2
+	m.Add(1, 2, 0.5)
+	v := Vec{0: 0.4, 1: 0.6}
+	w := m.MulVecLeft(v)
+	want := Vec{1: 0.4, 0: 0.3, 2: 0.3}
+	if !w.Equal(want, 1e-15) {
+		t.Errorf("MulVecLeft = %v, want %v", w, want)
+	}
+}
+
+// Property: building a CSR from random triplets and reading it back via At
+// agrees with a dense accumulation of the same triplets.
+func TestCSRMatchesDenseProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		k := rng.Intn(30)
+		dense := make([][]float64, n)
+		for i := range dense {
+			dense[i] = make([]float64, n)
+		}
+		elems := make([]Triplet, 0, k)
+		for e := 0; e < k; e++ {
+			tr := Triplet{rng.Intn(n), rng.Intn(n), rng.NormFloat64()}
+			elems = append(elems, tr)
+			dense[tr.Row][tr.Col] += tr.Val
+		}
+		m, err := NewCSR(n, elems)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if math.Abs(m.At(i, j)-dense[i][j]) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

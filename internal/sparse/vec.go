@@ -1,0 +1,161 @@
+// Package sparse provides the sparse linear-algebra primitives behind the
+// Markov-chain machinery: sparse probability vectors over state indices and
+// compressed sparse row (CSR) matrices for the a-priori transition model.
+//
+// The forward-backward adaptation of the paper (Algorithm 2) never needs a
+// dense |S|×|S| matrix: distribution vectors are supported only on the
+// "diamond" of states reachable between two observations, and the adapted
+// transition matrices R(t) and F(t) are stored per reachable source state.
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Entry is one nonzero of a sparse vector or matrix row.
+type Entry struct {
+	Idx int
+	Val float64
+}
+
+// Vec is a sparse vector keyed by state index. The zero value (nil) is an
+// empty vector that is safe to read; use make(Vec) or NewVec before writing.
+type Vec map[int]float64
+
+// NewVec returns an empty sparse vector.
+func NewVec() Vec { return make(Vec) }
+
+// UnitVec returns the indicator vector with weight 1 at idx.
+func UnitVec(idx int) Vec { return Vec{idx: 1} }
+
+// Clone returns a deep copy of v.
+func (v Vec) Clone() Vec {
+	out := make(Vec, len(v))
+	for i, x := range v {
+		out[i] = x
+	}
+	return out
+}
+
+// Add accumulates x into component idx, deleting it if the result is zero.
+func (v Vec) Add(idx int, x float64) {
+	if nx := v[idx] + x; nx == 0 {
+		delete(v, idx)
+	} else {
+		v[idx] = nx
+	}
+}
+
+// Sum returns the total mass of v.
+func (v Vec) Sum() float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// Normalize scales v so it sums to 1 and returns the original sum. If v has
+// no mass it is left unchanged and 0 is returned.
+func (v Vec) Normalize() float64 {
+	s := v.Sum()
+	if s == 0 {
+		return 0
+	}
+	inv := 1 / s
+	for i := range v {
+		v[i] *= inv
+	}
+	return s
+}
+
+// Prune removes entries with absolute value below eps. Tiny negative or
+// positive dust produced by floating-point cancellation would otherwise
+// accumulate across timesteps.
+func (v Vec) Prune(eps float64) {
+	for i, x := range v {
+		if math.Abs(x) < eps {
+			delete(v, i)
+		}
+	}
+}
+
+// L1 returns the L1 distance between v and w.
+func (v Vec) L1(w Vec) float64 {
+	d := 0.0
+	for i, x := range v {
+		d += math.Abs(x - w[i])
+	}
+	for i, x := range w {
+		if _, ok := v[i]; !ok {
+			d += math.Abs(x)
+		}
+	}
+	return d
+}
+
+// Dot returns the inner product of v and w.
+func (v Vec) Dot(w Vec) float64 {
+	if len(w) < len(v) {
+		v, w = w, v
+	}
+	s := 0.0
+	for i, x := range v {
+		s += x * w[i]
+	}
+	return s
+}
+
+// Entries returns the nonzeros of v sorted by index. Sorting makes
+// iteration deterministic for tests, sampling, and output.
+func (v Vec) Entries() []Entry {
+	out := make([]Entry, 0, len(v))
+	for i, x := range v {
+		out = append(out, Entry{i, x})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Idx < out[b].Idx })
+	return out
+}
+
+// Support returns the indices of the nonzeros of v in ascending order.
+func (v Vec) Support() []int {
+	out := make([]int, 0, len(v))
+	for i := range v {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Equal reports whether v and w agree within tolerance tol on every
+// component.
+func (v Vec) Equal(w Vec, tol float64) bool {
+	for i, x := range v {
+		if math.Abs(x-w[i]) > tol {
+			return false
+		}
+	}
+	for i, x := range w {
+		if _, ok := v[i]; !ok && math.Abs(x) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the vector's sorted nonzeros, for debugging.
+func (v Vec) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for k, e := range v.Entries() {
+		if k > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%d:%.4g", e.Idx, e.Val)
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,97 @@
+package ustree
+
+import (
+	"testing"
+
+	"pnn/internal/geo"
+	"pnn/internal/uncertain"
+)
+
+func TestInsertStreaming(t *testing.T) {
+	sp, c := lineWorld(t)
+	base := []*uncertain.Object{
+		mkObj(t, 0, c,
+			uncertain.Observation{T: 0, State: 50},
+			uncertain.Observation{T: 10, State: 50}),
+	}
+	tree, err := Build(sp, base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Insert a nearby competitor after the initial build.
+	o2 := mkObj(t, 1, c,
+		uncertain.Observation{T: 0, State: 53},
+		uncertain.Observation{T: 10, State: 53})
+	oi, err := tree.Insert(o2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oi != 1 || tree.Len() != 2 {
+		t.Fatalf("Insert index = %d, Len = %d", oi, tree.Len())
+	}
+	// The inserted object participates in pruning.
+	q := sp.Point(53)
+	p := tree.Prune(func(int) geo.Point { return q }, 2, 8)
+	found := false
+	for _, ci := range p.Candidates {
+		if ci == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("inserted object missing from candidates: %+v", p)
+	}
+	// RectAt works for the inserted object.
+	if _, ok := tree.RectAt(1, 5); !ok {
+		t.Error("RectAt for inserted object failed")
+	}
+	// Horizon extends when a later object arrives.
+	o3 := mkObj(t, 2, c,
+		uncertain.Observation{T: 90, State: 10},
+		uncertain.Observation{T: 99, State: 12})
+	if _, err := tree.Insert(o3, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, hi := tree.Horizon(); hi != 99 {
+		t.Errorf("horizon not extended: %d", hi)
+	}
+}
+
+func TestInsertContradictingLeavesTreeIntact(t *testing.T) {
+	sp, c := lineWorld(t)
+	tree, err := Build(sp, []*uncertain.Object{
+		mkObj(t, 0, c,
+			uncertain.Observation{T: 0, State: 50},
+			uncertain.Observation{T: 10, State: 50}),
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leavesBefore := tree.NumLeaves()
+	bad := mkObj(t, 1, c,
+		uncertain.Observation{T: 0, State: 0},
+		uncertain.Observation{T: 2, State: 90})
+	if _, err := tree.Insert(bad, nil); err == nil {
+		t.Fatal("expected contradiction error")
+	}
+	if tree.Len() != 1 || tree.NumLeaves() != leavesBefore {
+		t.Errorf("failed insert mutated the tree: Len=%d leaves=%d", tree.Len(), tree.NumLeaves())
+	}
+}
+
+func TestInsertSingleObservation(t *testing.T) {
+	sp, c := lineWorld(t)
+	tree, err := Build(sp, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := mkObj(t, 0, c, uncertain.Observation{T: 5, State: 42})
+	if _, err := tree.Insert(o, nil); err != nil {
+		t.Fatal(err)
+	}
+	q := sp.Point(42)
+	p := tree.Prune(func(int) geo.Point { return q }, 5, 5)
+	if len(p.Candidates) != 1 {
+		t.Errorf("Prune after single-obs insert: %+v", p)
+	}
+}

@@ -1,0 +1,79 @@
+package pnn
+
+import "testing"
+
+func TestBuildLenientSkipsBadObjects(t *testing.T) {
+	net, err := NewGridNetwork(10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := net.NearestState(Point{X: 0, Y: 0})
+	b := net.NearestState(Point{X: 1, Y: 1})
+	good := net.NearestState(Point{X: 0.5, Y: 0.5})
+
+	db := NewDB(net)
+	if err := db.Add(1, []Observation{{T: 0, State: good}, {T: 10, State: good}}); err != nil {
+		t.Fatal(err)
+	}
+	// Teleporting object: 18 hops in 2 tics.
+	if err := db.Add(2, []Observation{{T: 0, State: a}, {T: 2, State: b}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Add(3, []Observation{{T: 0, State: good}, {T: 8, State: good}}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Strict build fails.
+	if _, err := db.Build(100); err == nil {
+		t.Fatal("strict Build should fail on the teleporting object")
+	}
+
+	proc, skipped, err := db.BuildLenient(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(skipped) != 1 || skipped[0] != 2 {
+		t.Fatalf("skipped = %v, want [2]", skipped)
+	}
+	// The surviving objects answer queries normally.
+	res, _, err := proc.ExistsNN(AtState(net, good), 1, 7, 0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := map[int]bool{}
+	for _, r := range res {
+		ids[r.ObjectID] = true
+	}
+	if !ids[1] || !ids[3] {
+		t.Errorf("results = %+v, want objects 1 and 3", res)
+	}
+	if ids[2] {
+		t.Error("skipped object must not appear in results")
+	}
+	// Sampling the skipped object fails with unknown-id (it is gone).
+	if _, err := proc.SampleTrajectory(2, 1); err == nil {
+		t.Error("skipped object should be unknown to the processor")
+	}
+}
+
+func TestBuildLenientAllGood(t *testing.T) {
+	net, err := NewGridNetwork(6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := net.NearestState(Point{X: 0.5, Y: 0.5})
+	db := NewDB(net)
+	if err := db.Add(7, []Observation{{T: 0, State: s}, {T: 5, State: s}}); err != nil {
+		t.Fatal(err)
+	}
+	proc, skipped, err := db.BuildLenient(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(skipped) != 0 {
+		t.Errorf("skipped = %v, want none", skipped)
+	}
+	if _, err := proc.SampleTrajectory(7, 1); err != nil {
+		t.Errorf("SampleTrajectory: %v", err)
+	}
+}

@@ -1,0 +1,429 @@
+// Package pnn answers probabilistic nearest-neighbor queries over uncertain
+// moving-object trajectories, implementing Niedermayer et al.,
+// "Probabilistic Nearest Neighbor Queries on Uncertain Moving Object
+// Trajectories", PVLDB 7(3), 2013.
+//
+// An uncertain trajectory is a moving object observed only at a few
+// timestamps; in between, its position is a random variable governed by a
+// Markov chain over a discrete state space (a road network, an indoor
+// floor plan, a grid). The package offers three query semantics against a
+// certain query point or trajectory q and a time interval T:
+//
+//   - ForAllNN  (P∀NNQ): objects likely to be the nearest neighbor of q at
+//     EVERY time in T — e.g. taxis that watched an entire incident.
+//   - ExistsNN  (P∃NNQ): objects likely to be the NN at SOME time in T —
+//     e.g. anyone who may have passed closest at least once.
+//   - ContinuousNN (PCNNQ): per object, the maximal timestamp sets during
+//     which it stays the likely NN — e.g. to group witnesses by phase.
+//
+// Queries are answered by Bayesian trajectory sampling: each object's
+// a-priori chain is conditioned on all of its observations with a
+// forward-backward sweep, possible worlds are drawn from the adapted
+// model (every sample provably passes through every observation), and
+// UST-tree pruning keeps the candidate sets small. Estimates carry
+// Hoeffding error bounds; see SampleBound.
+//
+// # Quick start
+//
+//	net, _ := pnn.NewSyntheticNetwork(10000, 8, 42)
+//	db := pnn.NewDB(net)
+//	db.Add(1, []pnn.Observation{{T: 0, State: 17}, {T: 20, State: 93}})
+//	db.Add(2, []pnn.Observation{{T: 0, State: 55}, {T: 20, State: 60}})
+//	proc, _ := db.Build(10000)
+//	res, _, _ := proc.ForAllNN(pnn.AtState(net, 17), 5, 15, 0.3, 7)
+//
+// See examples/ for complete programs.
+package pnn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pnn/internal/datagen"
+	"pnn/internal/geo"
+	"pnn/internal/markov"
+	"pnn/internal/query"
+	"pnn/internal/space"
+	"pnn/internal/uncertain"
+	"pnn/internal/ustree"
+)
+
+// Point is a location in the plane.
+type Point struct {
+	X, Y float64
+}
+
+// Observation is one certain (time, state) measurement of an object.
+type Observation struct {
+	T     int
+	State int
+}
+
+// Network is a discrete state space plus the default a-priori Markov chain
+// objects move by: states embedded in the plane, connected into a motion
+// graph, with transition probabilities inversely proportional to edge
+// length plus a self-loop for idling.
+type Network struct {
+	sp    *space.Space
+	chain markov.Chain
+}
+
+// NewSyntheticNetwork builds the paper's artificial network: n uniform
+// states in the unit square, edges between states within the radius that
+// yields an average branching factor b.
+func NewSyntheticNetwork(n int, b float64, seed int64) (*Network, error) {
+	sp, err := space.Synthetic(n, b, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, err
+	}
+	return wrapSpace(sp)
+}
+
+// NewGridNetwork builds a w×h four-connected grid, a natural model for
+// indoor tracking (rooms, RFID reader cells).
+func NewGridNetwork(w, h int) (*Network, error) {
+	sp, err := space.Grid(w, h)
+	if err != nil {
+		return nil, err
+	}
+	return wrapSpace(sp)
+}
+
+func wrapSpace(sp *space.Space) (*Network, error) {
+	chain, err := markov.NewHomogeneous(sp.TransitionMatrix(0.5))
+	if err != nil {
+		return nil, err
+	}
+	return &Network{sp: sp, chain: chain}, nil
+}
+
+// NumStates returns the number of discrete locations.
+func (n *Network) NumStates() int { return n.sp.Len() }
+
+// StatePoint returns the planar location of a state.
+func (n *Network) StatePoint(s int) Point {
+	p := n.sp.Point(s)
+	return Point{p.X, p.Y}
+}
+
+// NearestState returns the state closest to p.
+func (n *Network) NearestState(p Point) int {
+	return n.sp.NearestState(geo.Point{X: p.X, Y: p.Y})
+}
+
+// ShortestPath returns a minimum-length sequence of adjacent states from
+// one state to another (inclusive), or nil if unreachable. It is the
+// easiest way to fabricate observation sequences that are guaranteed
+// consistent with the motion model: an object observed along a path every
+// k tics can always have travelled it.
+func (n *Network) ShortestPath(from, to int) []int {
+	return n.sp.ShortestPath(from, to)
+}
+
+// ObservationsAlong fabricates a consistent observation sequence: the
+// object follows the shortest path from one state to another, starting at
+// tic start, advancing one hop every ticsPerHop tics (>= 1), observed every
+// obsEvery hops. It returns nil when no path exists.
+func (n *Network) ObservationsAlong(from, to, start, ticsPerHop, obsEvery int) []Observation {
+	if ticsPerHop < 1 {
+		ticsPerHop = 1
+	}
+	if obsEvery < 1 {
+		obsEvery = 1
+	}
+	path := n.sp.ShortestPath(from, to)
+	if path == nil {
+		return nil
+	}
+	var obs []Observation
+	for i := 0; i < len(path); i += obsEvery {
+		obs = append(obs, Observation{T: start + i*ticsPerHop, State: path[i]})
+	}
+	if last := len(path) - 1; obs[len(obs)-1].State != path[last] || obs[len(obs)-1].T != start+last*ticsPerHop {
+		if obs[len(obs)-1].T != start+last*ticsPerHop {
+			obs = append(obs, Observation{T: start + last*ticsPerHop, State: path[last]})
+		}
+	}
+	return obs
+}
+
+// DB collects uncertain objects before indexing. The zero value is not
+// usable; create one with NewDB.
+type DB struct {
+	net  *Network
+	ids  []int
+	objs []*uncertain.Object
+	byID map[int]int
+}
+
+// NewDB returns an empty database over the given network.
+func NewDB(net *Network) *DB {
+	return &DB{net: net, byID: make(map[int]int)}
+}
+
+// Add registers an object by caller-chosen ID with its observations, which
+// must be non-contradicting under the network's motion model (checked at
+// Build time). Duplicate IDs are rejected.
+func (db *DB) Add(id int, obs []Observation) error {
+	if _, dup := db.byID[id]; dup {
+		return fmt.Errorf("pnn: duplicate object id %d", id)
+	}
+	conv := make([]uncertain.Observation, len(obs))
+	for i, ob := range obs {
+		conv[i] = uncertain.Observation{T: ob.T, State: ob.State}
+	}
+	o, err := uncertain.NewObject(id, conv, db.net.chain)
+	if err != nil {
+		return err
+	}
+	db.byID[id] = len(db.objs)
+	db.ids = append(db.ids, id)
+	db.objs = append(db.objs, o)
+	return nil
+}
+
+// Len returns the number of registered objects.
+func (db *DB) Len() int { return len(db.objs) }
+
+// Build validates all objects, constructs the UST-tree index and returns a
+// query processor drawing `samples` possible worlds per query (10 000 is
+// the paper's default; see SampleBound for the accuracy this buys).
+func (db *DB) Build(samples int) (*Processor, error) {
+	tree, err := ustree.Build(db.net.sp, db.objs, uncertain.NewReach())
+	if err != nil {
+		return nil, err
+	}
+	return &Processor{
+		net:    db.net,
+		ids:    append([]int(nil), db.ids...),
+		engine: query.NewEngine(tree, samples),
+	}, nil
+}
+
+// BuildLenient is Build for noisy data: objects whose observations
+// contradict the motion model (e.g. GPS glitches teleporting a vehicle)
+// are dropped rather than failing the build. It returns the IDs of the
+// skipped objects.
+func (db *DB) BuildLenient(samples int) (*Processor, []int, error) {
+	tree, skippedIdx, err := ustree.BuildLenient(db.net.sp, db.objs, uncertain.NewReach())
+	if err != nil {
+		return nil, nil, err
+	}
+	skippedSet := make(map[int]bool, len(skippedIdx))
+	var skippedIDs []int
+	for _, i := range skippedIdx {
+		skippedSet[i] = true
+		skippedIDs = append(skippedIDs, db.ids[i])
+	}
+	var keptIDs []int
+	for i, id := range db.ids {
+		if !skippedSet[i] {
+			keptIDs = append(keptIDs, id)
+		}
+	}
+	return &Processor{
+		net:    db.net,
+		ids:    keptIDs,
+		engine: query.NewEngine(tree, samples),
+	}, skippedIDs, nil
+}
+
+// Processor answers probabilistic NN queries. It is safe for concurrent
+// use.
+type Processor struct {
+	net    *Network
+	ids    []int
+	engine *query.Engine
+}
+
+// SetParallelism spreads the Monte-Carlo world sampling of ForAllNN /
+// ExistsNN (and kNN variants) over p goroutines. Results stay
+// deterministic for a fixed seed.
+func (p *Processor) SetParallelism(workers int) { p.engine.SetParallelism(workers) }
+
+// Query is a certain reference position per timestep.
+type Query = query.Query
+
+// AtPoint returns a query fixed at an arbitrary planar position.
+func AtPoint(p Point) Query { return query.StateQuery(geo.Point{X: p.X, Y: p.Y}) }
+
+// AtState returns a query fixed at a network state — e.g. the bank's
+// location in the paper's running example.
+func AtState(net *Network, state int) Query {
+	return query.StateQuery(net.sp.Point(state))
+}
+
+// Moving returns a trajectory query: pts[i] is the position at time
+// start+i (clamped outside).
+func Moving(start int, pts []Point) Query {
+	conv := make([]geo.Point, len(pts))
+	for i, p := range pts {
+		conv[i] = geo.Point{X: p.X, Y: p.Y}
+	}
+	return query.TrajectoryQuery(start, conv)
+}
+
+// Result is one probabilistic query answer.
+type Result struct {
+	ObjectID int
+	Prob     float64
+}
+
+// IntervalResult is one continuous-query answer: a maximal timestamp set
+// (ascending, possibly with holes) on which the object remains the likely
+// NN, with its probability.
+type IntervalResult struct {
+	ObjectID int
+	Times    []int
+	Prob     float64
+}
+
+// Stats summarizes the work done by one query.
+type Stats struct {
+	Candidates  int // objects surviving the ∀ filter
+	Influencers int // objects that may be NN at some time
+	Worlds      int // sampled possible worlds
+}
+
+// ForAllNN returns every object whose probability of being the nearest
+// neighbor of q at every t in [ts, te] is at least tau (P∀NNQ,
+// Definition 2).
+func (p *Processor) ForAllNN(q Query, ts, te int, tau float64, seed int64) ([]Result, Stats, error) {
+	res, st, err := p.engine.ForAllNN(q, ts, te, tau, rand.New(rand.NewSource(seed)))
+	return p.convert(res), convStats(st), err
+}
+
+// ExistsNN returns every object whose probability of being the NN of q at
+// at least one t in [ts, te] is at least tau (P∃NNQ, Definition 1).
+func (p *Processor) ExistsNN(q Query, ts, te int, tau float64, seed int64) ([]Result, Stats, error) {
+	res, st, err := p.engine.ExistsNN(q, ts, te, tau, rand.New(rand.NewSource(seed)))
+	return p.convert(res), convStats(st), err
+}
+
+// ForAllKNN generalizes ForAllNN to "among the k nearest" (Section 8).
+func (p *Processor) ForAllKNN(q Query, ts, te, k int, tau float64, seed int64) ([]Result, Stats, error) {
+	res, st, err := p.engine.ForAllKNN(q, ts, te, k, tau, rand.New(rand.NewSource(seed)))
+	return p.convert(res), convStats(st), err
+}
+
+// ExistsKNN generalizes ExistsNN to "among the k nearest".
+func (p *Processor) ExistsKNN(q Query, ts, te, k int, tau float64, seed int64) ([]Result, Stats, error) {
+	res, st, err := p.engine.ExistsKNN(q, ts, te, k, tau, rand.New(rand.NewSource(seed)))
+	return p.convert(res), convStats(st), err
+}
+
+// ContinuousNN answers PCNNQ (Definition 3): for each object the maximal
+// timestamp sets within [ts, te] on which it is always the NN with
+// probability at least tau. tau must be positive — the result lattice is
+// exponential as tau approaches 0 (Section 4.3).
+func (p *Processor) ContinuousNN(q Query, ts, te int, tau float64, seed int64) ([]IntervalResult, Stats, error) {
+	return p.ContinuousKNN(q, ts, te, 1, tau, seed)
+}
+
+// ContinuousKNN generalizes ContinuousNN to "among the k nearest"
+// (PCkNNQ, Section 8).
+func (p *Processor) ContinuousKNN(q Query, ts, te, k int, tau float64, seed int64) ([]IntervalResult, Stats, error) {
+	res, st, err := p.engine.CNNK(q, ts, te, k, tau, rand.New(rand.NewSource(seed)))
+	out := make([]IntervalResult, len(res))
+	for i, r := range res {
+		out[i] = IntervalResult{ObjectID: p.ids[r.Obj], Times: r.Times, Prob: r.Prob}
+	}
+	return out, convStats(st), err
+}
+
+func (p *Processor) convert(res []query.Result) []Result {
+	out := make([]Result, len(res))
+	for i, r := range res {
+		out[i] = Result{ObjectID: p.ids[r.Obj], Prob: r.Prob}
+	}
+	return out
+}
+
+func convStats(st query.Stats) Stats {
+	return Stats{Candidates: st.Candidates, Influencers: st.Influencers, Worlds: st.Worlds}
+}
+
+// SampleTrajectory draws one possible trajectory of the object consistent
+// with all of its observations (it passes through every one of them). The
+// returned slice holds the state at each tic of the object's lifetime,
+// starting at its first observation time.
+func (p *Processor) SampleTrajectory(objectID int, seed int64) ([]int, error) {
+	oi := -1
+	for i, id := range p.ids {
+		if id == objectID {
+			oi = i
+			break
+		}
+	}
+	if oi < 0 {
+		return nil, fmt.Errorf("pnn: unknown object id %d", objectID)
+	}
+	s, err := p.engine.Sampler(oi)
+	if err != nil {
+		return nil, err
+	}
+	path := s.Sample(rand.New(rand.NewSource(seed)))
+	out := make([]int, len(path.States))
+	for i, st := range path.States {
+		out[i] = int(st)
+	}
+	return out, nil
+}
+
+// SampleBound returns the worst-case estimation error ε such that a query
+// probability estimated from n sampled worlds deviates from the truth by
+// more than ε with probability at most delta (Hoeffding's inequality).
+func SampleBound(n int, delta float64) float64 { return query.ErrorBound(n, delta) }
+
+// SamplesFor returns the number of worlds needed to estimate any query
+// probability within eps at confidence 1−delta.
+func SamplesFor(eps, delta float64) int { return query.RequiredSamples(eps, delta) }
+
+// SyntheticDataset generates a ready-made uncertain trajectory database:
+// the paper's artificial workload with numObjects objects of the given
+// lifetime, observed every obsInterval tics, scattered over [0, horizon).
+// It returns the network and a populated DB.
+func SyntheticDataset(states int, branching float64, numObjects, lifetime, horizon, obsInterval int, seed int64) (*Network, *DB, error) {
+	cfg := datagen.SyntheticConfig{
+		States:      states,
+		Branching:   branching,
+		Objects:     numObjects,
+		Lifetime:    lifetime,
+		Horizon:     horizon,
+		ObsInterval: obsInterval,
+		Lag:         0.5,
+		SelfWeight:  0.5,
+	}
+	ds, err := datagen.Synthetic(cfg, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, nil, err
+	}
+	return wrapDataset(ds)
+}
+
+// TaxiDataset generates the city-scale taxi workload (the T-Drive
+// substitute): a center-skewed road network with a heterogeneous fleet.
+func TaxiDataset(states, taxis, lifetime, horizon, obsInterval int, seed int64) (*Network, *DB, error) {
+	cfg := datagen.DefaultTaxiConfig()
+	cfg.States = states
+	cfg.Taxis = taxis
+	cfg.Lifetime = lifetime
+	cfg.Horizon = horizon
+	cfg.ObsInterval = obsInterval
+	ds, err := datagen.Taxi(cfg, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, nil, err
+	}
+	return wrapDataset(ds)
+}
+
+func wrapDataset(ds *datagen.Dataset) (*Network, *DB, error) {
+	net := &Network{sp: ds.Space, chain: ds.Chain}
+	db := NewDB(net)
+	db.objs = ds.Objects
+	for i, o := range ds.Objects {
+		db.byID[o.ID] = i
+		db.ids = append(db.ids, o.ID)
+	}
+	return net, db, nil
+}

@@ -1,0 +1,273 @@
+package pnn
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	net, err := NewSyntheticNetwork(2000, 8, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.NumStates() != 2000 {
+		t.Fatalf("NumStates = %d", net.NumStates())
+	}
+	// Place three objects around a query state.
+	qs := net.NearestState(Point{X: 0.5, Y: 0.5})
+	qp := net.StatePoint(qs)
+	near := net.NearestState(Point{X: qp.X + 0.01, Y: qp.Y})
+	far := net.NearestState(Point{X: qp.X + 0.3, Y: qp.Y + 0.3})
+
+	db := NewDB(net)
+	if err := db.Add(100, []Observation{{T: 0, State: near}, {T: 10, State: near}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Add(200, []Observation{{T: 0, State: far}, {T: 10, State: far}}); err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 2 {
+		t.Fatalf("Len = %d", db.Len())
+	}
+	proc, err := db.Build(4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, stats, err := proc.ForAllNN(AtState(net, qs), 2, 8, 0.5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Worlds != 4000 {
+		t.Errorf("stats.Worlds = %d", stats.Worlds)
+	}
+	if len(res) != 1 || res[0].ObjectID != 100 {
+		t.Fatalf("ForAllNN = %+v, want object 100", res)
+	}
+	if res[0].Prob < 0.9 {
+		t.Errorf("near object probability = %v, expected ~1", res[0].Prob)
+	}
+	// Exists query must also find it, with probability >= the ∀ one.
+	eres, _, err := proc.ExistsNN(AtState(net, qs), 2, 8, 0.5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range eres {
+		if r.ObjectID == 100 && r.Prob >= res[0].Prob-0.02 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("ExistsNN = %+v missing object 100", eres)
+	}
+}
+
+func TestFacadeDuplicateID(t *testing.T) {
+	net, err := NewGridNetwork(5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := NewDB(net)
+	if err := db.Add(1, []Observation{{T: 0, State: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Add(1, []Observation{{T: 0, State: 1}}); err == nil {
+		t.Error("expected duplicate-id error")
+	}
+}
+
+func TestFacadeContinuousNN(t *testing.T) {
+	net, err := NewGridNetwork(12, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	center := net.NearestState(Point{X: 0.4, Y: 0.4})
+	db := NewDB(net)
+	if err := db.Add(5, []Observation{{T: 0, State: center}, {T: 8, State: center}}); err != nil {
+		t.Fatal(err)
+	}
+	proc, err := db.Build(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := proc.ContinuousNN(AtState(net, center), 1, 7, 0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Single object: it is the NN whenever alive, so one maximal set
+	// covering the whole window.
+	if len(res) != 1 || res[0].ObjectID != 5 || len(res[0].Times) != 7 {
+		t.Errorf("ContinuousNN = %+v", res)
+	}
+	if _, _, err := proc.ContinuousNN(AtState(net, center), 1, 7, 0, 3); err == nil {
+		t.Error("tau=0 must be rejected")
+	}
+}
+
+func TestFacadeSampleTrajectory(t *testing.T) {
+	net, err := NewGridNetwork(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := NewDB(net)
+	a := net.NearestState(Point{X: 0.1, Y: 0.1})
+	b := net.NearestState(Point{X: 0.4, Y: 0.4})
+	if err := db.Add(9, []Observation{{T: 3, State: a}, {T: 12, State: b}}); err != nil {
+		t.Fatal(err)
+	}
+	proc, err := db.Build(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traj, err := proc.SampleTrajectory(9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traj) != 10 {
+		t.Fatalf("trajectory length = %d, want 10", len(traj))
+	}
+	if traj[0] != a || traj[len(traj)-1] != b {
+		t.Errorf("trajectory endpoints %d, %d want %d, %d", traj[0], traj[len(traj)-1], a, b)
+	}
+	if _, err := proc.SampleTrajectory(999, 1); err == nil {
+		t.Error("expected unknown-id error")
+	}
+}
+
+func TestFacadeMovingQuery(t *testing.T) {
+	q := Moving(5, []Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 2, Y: 0}})
+	if got := q.At(5); got.X != 0 {
+		t.Errorf("At(5) = %v", got)
+	}
+	if got := q.At(7); got.X != 2 {
+		t.Errorf("At(7) = %v", got)
+	}
+	// Clamping.
+	if got := q.At(0); got.X != 0 {
+		t.Errorf("At(0) = %v", got)
+	}
+	if got := q.At(99); got.X != 2 {
+		t.Errorf("At(99) = %v", got)
+	}
+}
+
+func TestFacadeKNN(t *testing.T) {
+	net, err := NewGridNetwork(10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := net.NearestState(Point{X: 0.5, Y: 0.5})
+	db := NewDB(net)
+	for i := 0; i < 3; i++ {
+		s := net.NearestState(Point{X: 0.5 + 0.1*float64(i), Y: 0.5})
+		if err := db.Add(i, []Observation{{T: 0, State: s}, {T: 6, State: s}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	proc, err := db.Build(1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := proc.ForAllKNN(AtState(net, qs), 1, 5, 3, 0.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("k=|D| should return all alive objects, got %+v", res)
+	}
+	eres, _, err := proc.ExistsKNN(AtState(net, qs), 1, 5, 2, 0.1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eres) < 2 {
+		t.Errorf("ExistsKNN k=2 = %+v, want at least the two nearest", eres)
+	}
+}
+
+func TestFacadeContinuousKNN(t *testing.T) {
+	net, err := NewGridNetwork(10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := net.NearestState(Point{X: 0.5, Y: 0.5})
+	db := NewDB(net)
+	for i := 0; i < 3; i++ {
+		s := net.NearestState(Point{X: 0.5 + 0.12*float64(i), Y: 0.5})
+		if err := db.Add(i, []Observation{{T: 0, State: s}, {T: 6, State: s}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	proc, err := db.Build(1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// k = |D|: every object covers the full window with probability 1.
+	res, _, err := proc.ContinuousKNN(AtState(net, qs), 1, 5, 3, 0.9, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("ContinuousKNN k=3 = %+v, want one result per object", res)
+	}
+	for _, r := range res {
+		if len(r.Times) != 5 || r.Prob < 0.99 {
+			t.Errorf("object %d: %+v, want full window at p≈1", r.ObjectID, r)
+		}
+	}
+	if _, _, err := proc.ContinuousKNN(AtState(net, qs), 1, 5, 0, 0.5, 4); err == nil {
+		t.Error("k=0 must be rejected")
+	}
+}
+
+func TestSampleBounds(t *testing.T) {
+	eps := SampleBound(10000, 0.05)
+	if eps <= 0 || eps > 0.02 {
+		t.Errorf("SampleBound(10000, 0.05) = %v", eps)
+	}
+	n := SamplesFor(eps, 0.05)
+	if n > 10000+1 {
+		t.Errorf("SamplesFor round trip = %d", n)
+	}
+	if math.IsNaN(eps) {
+		t.Error("NaN bound")
+	}
+}
+
+func TestSyntheticDatasetFacade(t *testing.T) {
+	net, db, err := SyntheticDataset(1500, 8, 50, 40, 200, 8, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 50 {
+		t.Fatalf("dataset has %d objects", db.Len())
+	}
+	proc, err := db.Build(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := RandomQueryState(net, 3)
+	if _, _, err := proc.ExistsNN(AtState(net, qs), 50, 59, 0.0, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTaxiDatasetFacade(t *testing.T) {
+	net, db, err := TaxiDataset(1200, 30, 40, 200, 8, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 30 {
+		t.Fatalf("dataset has %d taxis", db.Len())
+	}
+	if _, err := db.Build(200); err != nil {
+		t.Fatal(err)
+	}
+	_ = net
+}
+
+// RandomQueryState picks a deterministic pseudo-random state for tests.
+func RandomQueryState(net *Network, seed int64) int {
+	// Simple LCG keeps the facade test free of extra imports.
+	x := uint64(seed)*6364136223846793005 + 1442695040888963407
+	return int(x % uint64(net.NumStates()))
+}
