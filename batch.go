@@ -1,0 +1,125 @@
+package pnn
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Semantics selects the predicate of a batch Request.
+type Semantics string
+
+const (
+	// ForAll is P∀NNQ: the object is the (k-)NN at every time in [Ts, Te].
+	ForAll Semantics = "forall"
+	// Exists is P∃NNQ: the object is the (k-)NN at some time in [Ts, Te].
+	Exists Semantics = "exists"
+	// Continuous is PCNNQ: maximal timestamp sets on which the object
+	// stays the likely (k-)NN.
+	Continuous Semantics = "cnn"
+)
+
+// Request is one independent query of a batch.
+type Request struct {
+	Semantics Semantics
+	Query     Query
+	Ts, Te    int
+	K         int // k for kNN semantics; 0 means 1
+	Tau       float64
+	Seed      int64 // per-request RNG seed; results depend only on it, not on scheduling
+}
+
+// Response is the answer to one batch Request, in the same position.
+// Results is set for ForAll/Exists, Intervals for Continuous.
+type Response struct {
+	Results   []Result
+	Intervals []IntervalResult
+	Stats     Stats
+	Err       error
+}
+
+// RunBatch answers a slice of independent queries, fanning them across a
+// pool of `workers` goroutines (0 or less: GOMAXPROCS). All queries share
+// the processor's sampler cache, so an object's model is adapted at most
+// once for the whole batch. Each request draws its worlds from its own
+// Seed, which makes every Response deterministic — independent of the
+// worker count and of scheduling order. Responses align with requests by
+// index; per-request failures land in Response.Err, never panic the batch.
+func (p *Processor) RunBatch(reqs []Request, workers int) []Response {
+	out := make([]Response, len(reqs))
+	if len(reqs) == 0 {
+		return out
+	}
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+	if workers == 1 {
+		for i := range reqs {
+			out[i] = p.runOne(reqs[i])
+		}
+		return out
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				out[i] = p.runOne(reqs[i])
+			}
+		}()
+	}
+	for i := range reqs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}
+
+// BatchForAllNN answers one P∀NN query per entry of qs over a shared
+// interval and threshold, seeding request i with baseSeed+i. It is
+// shorthand for RunBatch with ForAll requests.
+func (p *Processor) BatchForAllNN(qs []Query, ts, te int, tau float64, baseSeed int64, workers int) []Response {
+	return p.RunBatch(sameShape(ForAll, qs, ts, te, tau, baseSeed), workers)
+}
+
+// BatchExistsNN is BatchForAllNN with P∃NN semantics.
+func (p *Processor) BatchExistsNN(qs []Query, ts, te int, tau float64, baseSeed int64, workers int) []Response {
+	return p.RunBatch(sameShape(Exists, qs, ts, te, tau, baseSeed), workers)
+}
+
+func sameShape(sem Semantics, qs []Query, ts, te int, tau float64, baseSeed int64) []Request {
+	reqs := make([]Request, len(qs))
+	for i, q := range qs {
+		reqs[i] = Request{Semantics: sem, Query: q, Ts: ts, Te: te, Tau: tau, Seed: baseSeed + int64(i)}
+	}
+	return reqs
+}
+
+func (p *Processor) runOne(req Request) Response {
+	k := req.K
+	if k == 0 {
+		k = 1
+	}
+	if k < 1 {
+		return Response{Err: fmt.Errorf("pnn: batch request needs k >= 1, got %d", k)}
+	}
+	var resp Response
+	switch req.Semantics {
+	case ForAll:
+		resp.Results, resp.Stats, resp.Err = p.ForAllKNN(req.Query, req.Ts, req.Te, k, req.Tau, req.Seed)
+	case Exists:
+		resp.Results, resp.Stats, resp.Err = p.ExistsKNN(req.Query, req.Ts, req.Te, k, req.Tau, req.Seed)
+	case Continuous:
+		resp.Intervals, resp.Stats, resp.Err = p.ContinuousKNN(req.Query, req.Ts, req.Te, k, req.Tau, req.Seed)
+	default:
+		resp.Err = fmt.Errorf("pnn: unknown batch semantics %q (want %q, %q or %q)",
+			req.Semantics, ForAll, Exists, Continuous)
+	}
+	return resp
+}

@@ -8,6 +8,7 @@ package pnn
 // to one complete regeneration of the figure's data.
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -179,6 +180,50 @@ func BenchmarkAblationApriori(b *testing.B) {
 				ts := o.First().T + 1
 				if _, _, err := eng.CNN(q, ts, ts+9, tau, rng); err != nil {
 					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBatchService measures the concurrent service path: RunBatch
+// over a warm sampler cache at several worker counts, the configuration
+// pnnserve runs in steady state.
+func BenchmarkBatchService(b *testing.B) {
+	net, db, err := SyntheticDataset(3000, 8, 300, 100, 1000, 10, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	proc, err := db.Build(1000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := proc.PrepareAll(); err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	reqs := make([]Request, 64)
+	for i := range reqs {
+		sem := ForAll
+		if i%2 == 1 {
+			sem = Exists
+		}
+		ts := 450 + rng.Intn(100)
+		reqs[i] = Request{
+			Semantics: sem,
+			Query:     AtState(net, rng.Intn(net.NumStates())),
+			Ts:        ts, Te: ts + 9,
+			Tau:  0.05,
+			Seed: int64(i),
+		}
+	}
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, resp := range proc.RunBatch(reqs, workers) {
+					if resp.Err != nil {
+						b.Fatal(resp.Err)
+					}
 				}
 			}
 		})

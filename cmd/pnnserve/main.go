@@ -1,0 +1,121 @@
+// Command pnnserve runs a standing probabilistic nearest-neighbor query
+// service: it builds the database once at startup — from a dataset file
+// written by pnndata, or from a synthetic/taxi generator — and then
+// answers P∀NN, P∃NN and PCNN queries over HTTP/JSON until stopped.
+//
+// Usage:
+//
+//	pnnserve -data taxi.pnn -addr :8080
+//	pnnserve -dataset synthetic -states 10000 -objects 1000 -addr :8080
+//
+//	curl localhost:8080/healthz
+//	curl -d '{"state": 17, "ts": 500, "te": 509, "tau": 0.1, "seed": 7}' \
+//	    localhost:8080/v1/forallnn
+//
+// SIGINT/SIGTERM drain in-flight requests before exiting.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"pnn"
+	"pnn/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		data     = flag.String("data", "", "dataset file written by pnndata (overrides -dataset)")
+		dataset  = flag.String("dataset", "synthetic", "generator when -data is unset: synthetic | taxi")
+		states   = flag.Int("states", 10000, "generator: number of network states")
+		objects  = flag.Int("objects", 1000, "generator: number of uncertain objects")
+		lifetime = flag.Int("lifetime", 100, "generator: object lifetime in tics")
+		horizon  = flag.Int("horizon", 1000, "generator: database time horizon")
+		obsEvery = flag.Int("obs", 10, "generator: tics between observations")
+		seed     = flag.Int64("seed", 1, "generator: random seed")
+		samples  = flag.Int("samples", 10000, "sampled worlds per query")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "batch worker pool size")
+		qpar     = flag.Int("query-parallel", 0, "sampling goroutines per query (0: GOMAXPROCS/workers, so a full batch saturates the host without oversubscribing it)")
+		warm     = flag.Bool("warm", false, "adapt all object models before accepting traffic")
+		lenient  = flag.Bool("lenient", false, "drop objects with contradicting observations instead of failing")
+		grace    = flag.Duration("grace", 10*time.Second, "shutdown drain timeout")
+	)
+	flag.Parse()
+
+	var (
+		net *pnn.Network
+		db  *pnn.DB
+		err error
+	)
+	switch {
+	case *data != "":
+		f, ferr := os.Open(*data)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		net, db, err = pnn.LoadDataset(f)
+		f.Close()
+	case *dataset == "synthetic":
+		net, db, err = pnn.SyntheticDataset(*states, 8, *objects, *lifetime, *horizon, *obsEvery, *seed)
+	case *dataset == "taxi":
+		net, db, err = pnn.TaxiDataset(*states, *objects, *lifetime, *horizon, *obsEvery, *seed)
+	default:
+		fatal(fmt.Errorf("unknown dataset %q", *dataset))
+	}
+	fatal(err)
+
+	begin := time.Now()
+	var proc *pnn.Processor
+	if *lenient {
+		var skipped []int
+		proc, skipped, err = db.BuildLenient(*samples)
+		if err == nil && len(skipped) > 0 {
+			log.Printf("dropped %d objects with contradicting observations", len(skipped))
+		}
+	} else {
+		proc, err = db.Build(*samples)
+	}
+	fatal(err)
+	if *workers < 1 {
+		*workers = 1
+	}
+	if *qpar < 1 {
+		*qpar = runtime.GOMAXPROCS(0) / *workers
+		if *qpar < 1 {
+			*qpar = 1
+		}
+	}
+	proc.SetParallelism(*qpar)
+	log.Printf("indexed %d objects over %d states in %v (batch workers %d, per-query parallelism %d)",
+		proc.NumObjects(), net.NumStates(), time.Since(begin), *workers, *qpar)
+
+	if *warm {
+		begin = time.Now()
+		fatal(proc.PrepareAll())
+		log.Printf("adapted %d models in %v", proc.NumObjects(), time.Since(begin))
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	srv := server.New(net, proc, server.Config{BatchWorkers: *workers})
+	log.Printf("serving on %s", *addr)
+	if err := srv.Run(ctx, *addr, *grace); err != nil {
+		fatal(err)
+	}
+	log.Printf("shut down cleanly")
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pnnserve: %v\n", err)
+		os.Exit(1)
+	}
+}

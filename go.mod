@@ -1,0 +1,3 @@
+module pnn
+
+go 1.22

@@ -7,6 +7,16 @@ import (
 	"testing"
 )
 
+// skipHeavy gates the multi-second experiment regenerations out of the
+// short tier: `go test -short` (the blocking CI job) stays fast, while the
+// full suite — and CI's non-blocking full job — still runs everything.
+func skipHeavy(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("heavy experiment regeneration; run without -short")
+	}
+}
+
 // num parses a table cell as float for shape assertions.
 func num(t *testing.T, table *Table, row int, col string) float64 {
 	t.Helper()
@@ -32,6 +42,7 @@ func TestExample1Exact(t *testing.T) {
 }
 
 func TestFig6Shape(t *testing.T) {
+	skipHeavy(t)
 	table, err := Fig6(TinyConfig())
 	if err != nil {
 		t.Fatal(err)
@@ -54,6 +65,7 @@ func TestFig6Shape(t *testing.T) {
 }
 
 func TestFig8Shape(t *testing.T) {
+	skipHeavy(t)
 	table, err := Fig8(TinyConfig())
 	if err != nil {
 		t.Fatal(err)
@@ -147,6 +159,7 @@ func TestFig12Shape(t *testing.T) {
 }
 
 func TestFig13Fig14Shape(t *testing.T) {
+	skipHeavy(t)
 	cfg := TinyConfig()
 	t13, err := Fig13(cfg)
 	if err != nil {
@@ -167,6 +180,7 @@ func TestFig13Fig14Shape(t *testing.T) {
 }
 
 func TestAblationShape(t *testing.T) {
+	skipHeavy(t)
 	table, err := Ablation(TinyConfig())
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,192 @@
+package query
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pnn/internal/inference"
+	"pnn/internal/ustree"
+)
+
+// samplerCache holds the adapted a-posteriori sampler of every object that
+// has been touched by a query, so the expensive forward-backward model
+// adaptation (the TS phase of the paper's experiments) runs at most once
+// per object over the lifetime of an Engine, no matter how many queries —
+// or how many concurrent goroutines — ask for it.
+//
+// Synchronization is per entry: the cache-wide mutex only guards the map,
+// while each entry carries its own ready channel. A goroutine that finds
+// an in-flight entry waits for that entry alone, so concurrent queries
+// adapt distinct objects in parallel and duplicate adaptation of the same
+// object is impossible (single-flight).
+type samplerCache struct {
+	mu      sync.Mutex
+	entries map[int]*cacheEntry
+
+	builds atomic.Int64 // model adaptations performed (cache misses)
+	hits   atomic.Int64 // lookups served from a completed entry
+}
+
+type cacheEntry struct {
+	ready chan struct{} // closed once s/err are set
+	s     *inference.Sampler
+	err   error
+}
+
+func newSamplerCache() *samplerCache {
+	return &samplerCache{entries: make(map[int]*cacheEntry)}
+}
+
+// get returns the sampler for object oi, building it with build() on first
+// use. The boolean reports whether this call performed the build. Errors
+// are cached: an object whose observations cannot be adapted keeps failing
+// without redoing the work (observations are immutable after indexing).
+func (c *samplerCache) get(oi int, build func() (*inference.Sampler, error)) (*inference.Sampler, bool, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[oi]; ok {
+		c.mu.Unlock()
+		<-e.ready
+		c.hits.Add(1)
+		return e.s, false, e.err
+	}
+	e := &cacheEntry{ready: make(chan struct{})}
+	c.entries[oi] = e
+	c.mu.Unlock()
+
+	e.s, e.err = build()
+	close(e.ready)
+	c.builds.Add(1)
+	return e.s, true, e.err
+}
+
+// CacheStats reports the cumulative sampler-cache traffic of an Engine:
+// builds is the number of model adaptations performed (one per distinct
+// object touched), hits the number of lookups answered without building.
+type CacheStats struct {
+	Builds int64
+	Hits   int64
+}
+
+// CacheStats returns the engine's cumulative sampler-cache counters. A
+// warmed engine serving repeat traffic should show Builds frozen at the
+// number of distinct objects while Hits grows with every query.
+func (e *Engine) CacheStats() CacheStats {
+	return CacheStats{Builds: e.cache.builds.Load(), Hits: e.cache.hits.Load()}
+}
+
+// Sampler returns the cached a-posteriori sampler for object oi, adapting
+// the model on first use. Safe for concurrent use; distinct objects adapt
+// in parallel.
+func (e *Engine) Sampler(oi int) (*inference.Sampler, error) {
+	s, _, err := e.sampler(oi)
+	return s, err
+}
+
+func (e *Engine) sampler(oi int) (*inference.Sampler, bool, error) {
+	return e.cache.get(oi, func() (*inference.Sampler, error) {
+		m, err := inference.AdaptShared(e.tree.Objects()[oi], e.reach)
+		if err != nil {
+			return nil, fmt.Errorf("query: adapting object %d: %w", oi, err)
+		}
+		s := inference.NewSampler(m)
+		m.ReleaseReverse()
+		return s, nil
+	})
+}
+
+// buildSamplers returns the refine set (object indices), their samplers
+// (parallel slice), the time spent adapting models that were not yet
+// cached, and how many models this call actually built.
+func (e *Engine) buildSamplers(objIdx []int) ([]int, []*inference.Sampler, time.Duration, int, error) {
+	begin := time.Now()
+	samplers := make([]*inference.Sampler, len(objIdx))
+	built := 0
+	for i, oi := range objIdx {
+		s, b, err := e.sampler(oi)
+		if err != nil {
+			return nil, nil, 0, built, err
+		}
+		if b {
+			built++
+		}
+		samplers[i] = s
+	}
+	return objIdx, samplers, time.Since(begin), built, nil
+}
+
+// PrepareAll adapts every object's model up front, so that subsequent
+// queries measure only sampling and evaluation time. It returns the time
+// spent (the TS phase of the experiments). Adaptation of distinct objects
+// is independent and runs on e's parallelism setting.
+func (e *Engine) PrepareAll() (time.Duration, error) {
+	begin := time.Now()
+	objs := e.tree.Objects()
+	workers := e.parallel
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(objs) {
+		workers = len(objs)
+	}
+	if workers <= 1 {
+		for oi := range objs {
+			if _, err := e.Sampler(oi); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(begin), nil
+	}
+	jobs := make(chan int)
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for oi := range jobs {
+				if _, err := e.Sampler(oi); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	var firstErr error
+feed:
+	for oi := range objs {
+		select {
+		case jobs <- oi:
+		case firstErr = <-errs:
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr == nil {
+		select {
+		case firstErr = <-errs:
+		default:
+		}
+	}
+	if firstErr != nil {
+		return 0, firstErr
+	}
+	return time.Since(begin), nil
+}
+
+// timePrune is the pruning fallback used when the filter step is disabled:
+// lifetime checks only.
+func (e *Engine) timePrune(ts, te int) ustree.Pruning {
+	var pr ustree.Pruning
+	for oi, o := range e.tree.Objects() {
+		if o.First().T <= te && o.Last().T >= ts {
+			pr.Influencers = append(pr.Influencers, oi)
+			if o.AliveThroughout(ts, te) {
+				pr.Candidates = append(pr.Candidates, oi)
+			}
+		}
+	}
+	return pr
+}

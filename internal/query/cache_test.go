@@ -1,0 +1,139 @@
+package query
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"pnn/internal/uncertain"
+)
+
+// TestSamplerCacheWarmQueryNoRebuilds is the service-layer contract: the
+// first query over a cold engine adapts every influencer's model, a
+// repeat of the same query adapts none.
+func TestSamplerCacheWarmQueryNoRebuilds(t *testing.T) {
+	sp, _, eng := lineDB(t, 500,
+		[]uncertain.Observation{{T: 0, State: 30}, {T: 8, State: 32}},
+		[]uncertain.Observation{{T: 0, State: 34}, {T: 8, State: 30}},
+		[]uncertain.Observation{{T: 0, State: 26}, {T: 8, State: 28}},
+	)
+	q := StateQuery(sp.Point(31))
+	_, st1, err := eng.ForAllNN(q, 1, 7, 0, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.SamplerBuilds != st1.Influencers || st1.SamplerBuilds == 0 {
+		t.Errorf("cold query: SamplerBuilds = %d, want every influencer (%d)",
+			st1.SamplerBuilds, st1.Influencers)
+	}
+	_, st2, err := eng.ForAllNN(q, 1, 7, 0, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.SamplerBuilds != 0 {
+		t.Errorf("warm query: SamplerBuilds = %d, want 0", st2.SamplerBuilds)
+	}
+	cs := eng.CacheStats()
+	if cs.Builds != int64(st1.Influencers) {
+		t.Errorf("CacheStats.Builds = %d, want %d", cs.Builds, st1.Influencers)
+	}
+	if cs.Hits < int64(st2.Influencers) {
+		t.Errorf("CacheStats.Hits = %d, want >= %d", cs.Hits, st2.Influencers)
+	}
+	// PCNN rides the same cache.
+	_, st3, err := eng.CNN(q, 1, 7, 0.2, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st3.SamplerBuilds != 0 {
+		t.Errorf("warm PCNN: SamplerBuilds = %d, want 0", st3.SamplerBuilds)
+	}
+}
+
+// TestSamplerCacheSingleFlight hammers the cache from many goroutines and
+// checks that every object is adapted exactly once (the per-entry build
+// lock makes duplicate adaptation impossible, not just unlikely).
+func TestSamplerCacheSingleFlight(t *testing.T) {
+	obsSets := [][]uncertain.Observation{
+		{{T: 0, State: 30}, {T: 8, State: 32}},
+		{{T: 0, State: 34}, {T: 8, State: 30}},
+		{{T: 0, State: 26}, {T: 8, State: 28}},
+		{{T: 0, State: 40}, {T: 8, State: 44}},
+		{{T: 0, State: 10}, {T: 8, State: 14}},
+	}
+	_, _, eng := lineDB(t, 100, obsSets...)
+	const workers = 16
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for oi := range obsSets {
+				if _, err := eng.Sampler(oi); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	cs := eng.CacheStats()
+	if cs.Builds != int64(len(obsSets)) {
+		t.Errorf("Builds = %d, want exactly %d", cs.Builds, len(obsSets))
+	}
+	if want := int64(workers*len(obsSets)) - cs.Builds; cs.Hits != want {
+		t.Errorf("Hits = %d, want %d", cs.Hits, want)
+	}
+}
+
+// TestPrepareAllWarmsCache checks PrepareAll adapts everything (in
+// parallel) and later queries run entirely from cache with identical
+// results.
+func TestPrepareAllWarmsCache(t *testing.T) {
+	sp, _, eng := lineDB(t, 800,
+		[]uncertain.Observation{{T: 0, State: 30}, {T: 8, State: 32}},
+		[]uncertain.Observation{{T: 0, State: 34}, {T: 8, State: 30}},
+		[]uncertain.Observation{{T: 0, State: 26}, {T: 8, State: 28}},
+		[]uncertain.Observation{{T: 0, State: 40}, {T: 8, State: 44}},
+	)
+	cold, stCold, err := eng.ForAllNN(StateQuery(sp.Point(31)), 1, 7, 0, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stCold.SamplerBuilds == 0 {
+		t.Fatal("cold query should have built samplers")
+	}
+
+	_, _, warmed := lineDB(t, 800,
+		[]uncertain.Observation{{T: 0, State: 30}, {T: 8, State: 32}},
+		[]uncertain.Observation{{T: 0, State: 34}, {T: 8, State: 30}},
+		[]uncertain.Observation{{T: 0, State: 26}, {T: 8, State: 28}},
+		[]uncertain.Observation{{T: 0, State: 40}, {T: 8, State: 44}},
+	)
+	warmed.SetParallelism(4)
+	if _, err := warmed.PrepareAll(); err != nil {
+		t.Fatal(err)
+	}
+	// Sampling parallelism changes how the world budget is partitioned
+	// across sub-generators; reset it so only cache warmth differs.
+	warmed.SetParallelism(1)
+	if cs := warmed.CacheStats(); cs.Builds != 4 {
+		t.Errorf("PrepareAll Builds = %d, want 4", cs.Builds)
+	}
+	warm, stWarm, err := warmed.ForAllNN(StateQuery(sp.Point(31)), 1, 7, 0, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stWarm.SamplerBuilds != 0 {
+		t.Errorf("post-PrepareAll query built %d samplers", stWarm.SamplerBuilds)
+	}
+	if len(warm) != len(cold) {
+		t.Fatalf("warm results %d != cold results %d", len(warm), len(cold))
+	}
+	for i := range warm {
+		if warm[i].Obj != cold[i].Obj || math.Abs(warm[i].Prob-cold[i].Prob) > 1e-12 {
+			t.Errorf("result %d diverged: warm %+v cold %+v", i, warm[i], cold[i])
+		}
+	}
+}

@@ -57,11 +57,12 @@ func (e *Engine) CNNK(q Query, ts, te, k int, tau float64, rng *rand.Rand) ([]In
 	if len(pr.Influencers) == 0 {
 		return nil, st, nil
 	}
-	refine, samplers, adapt, err := e.buildSamplers(pr.Influencers)
+	refine, samplers, adapt, built, err := e.buildSamplers(pr.Influencers)
 	if err != nil {
 		return nil, st, err
 	}
 	st.AdaptTime = adapt
+	st.SamplerBuilds = built
 
 	begin := time.Now()
 	nT := te - ts + 1

@@ -82,27 +82,28 @@ type IntervalResult struct {
 // efficiency figures are: TS (model adaptation time), and the sampling/
 // refinement time (FA/EX/SA in Figures 6-9, 13, 14).
 type Stats struct {
-	Candidates  int           // |C(q)|
-	Influencers int           // |I(q)|
-	Worlds      int           // sampled possible worlds
-	LatticeSets int           // PCNN only: qualifying timestamp sets before maximality filtering
-	AdaptTime   time.Duration // trajectory-sampler initialization (TS)
-	RefineTime  time.Duration // sampling + NN evaluation
+	Candidates    int           // |C(q)|
+	Influencers   int           // |I(q)|
+	Worlds        int           // sampled possible worlds
+	LatticeSets   int           // PCNN only: qualifying timestamp sets before maximality filtering
+	SamplerBuilds int           // samplers adapted by THIS query (0 on a warm cache)
+	AdaptTime     time.Duration // trajectory-sampler initialization (TS)
+	RefineTime    time.Duration // sampling + NN evaluation
 }
 
 // Engine answers PNN queries over a UST-tree-indexed database by
 // Monte-Carlo simulation. It caches adapted models and samplers per
-// object, mirroring the paper's split between the one-off TS phase and the
-// per-query sampling phase. Engine is safe for concurrent queries.
+// object (see cache.go), mirroring the paper's split between the one-off
+// TS phase and the per-query sampling phase. Engine is safe for
+// concurrent queries.
 type Engine struct {
 	tree     *ustree.Tree
 	samples  int
 	noPrune  bool
 	parallel int
 
-	mu       sync.Mutex
-	samplers map[int]*inference.Sampler
-	reach    *uncertain.Reach // shared chain-transpose cache for adaptation
+	cache *samplerCache
+	reach *uncertain.Reach // shared chain-transpose cache for adaptation
 }
 
 // NewEngine creates a query engine drawing `samples` possible worlds per
@@ -115,7 +116,7 @@ func NewEngine(tree *ustree.Tree, samples int) *Engine {
 		tree:     tree,
 		samples:  samples,
 		parallel: 1,
-		samplers: make(map[int]*inference.Sampler),
+		cache:    newSamplerCache(),
 		reach:    uncertain.NewReach(),
 	}
 }
@@ -141,124 +142,8 @@ func (e *Engine) Tree() *ustree.Tree { return e.tree }
 // benchmarks.
 func (e *Engine) DisablePruning() { e.noPrune = true }
 
-// timePrune is the pruning fallback used when the filter step is disabled:
-// lifetime checks only.
-func (e *Engine) timePrune(ts, te int) ustree.Pruning {
-	var pr ustree.Pruning
-	for oi, o := range e.tree.Objects() {
-		if o.First().T <= te && o.Last().T >= ts {
-			pr.Influencers = append(pr.Influencers, oi)
-			if o.AliveThroughout(ts, te) {
-				pr.Candidates = append(pr.Candidates, oi)
-			}
-		}
-	}
-	return pr
-}
-
 // SampleCount returns the number of worlds drawn per query.
 func (e *Engine) SampleCount() int { return e.samples }
-
-// Sampler returns the cached a-posteriori sampler for object oi, adapting
-// the model on first use.
-func (e *Engine) Sampler(oi int) (*inference.Sampler, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if s, ok := e.samplers[oi]; ok {
-		return s, nil
-	}
-	m, err := inference.AdaptShared(e.tree.Objects()[oi], e.reach)
-	if err != nil {
-		return nil, fmt.Errorf("query: adapting object %d: %w", oi, err)
-	}
-	s := inference.NewSampler(m)
-	m.ReleaseReverse()
-	e.samplers[oi] = s
-	return s, nil
-}
-
-// PrepareAll adapts every object's model up front, so that subsequent
-// queries measure only sampling and evaluation time. It returns the time
-// spent (the TS phase of the experiments). Adaptation of distinct objects
-// is independent and runs on e's parallelism setting.
-func (e *Engine) PrepareAll() (time.Duration, error) {
-	begin := time.Now()
-	objs := e.tree.Objects()
-	workers := e.parallel
-	if workers < 1 {
-		workers = 1
-	}
-	if workers == 1 {
-		for oi := range objs {
-			if _, err := e.Sampler(oi); err != nil {
-				return 0, err
-			}
-		}
-		return time.Since(begin), nil
-	}
-	type ready struct {
-		oi int
-		s  *inference.Sampler
-	}
-	jobs := make(chan int)
-	results := make(chan ready, workers)
-	errs := make(chan error, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for oi := range jobs {
-				m, err := inference.AdaptShared(objs[oi], e.reach)
-				if err != nil {
-					errs <- fmt.Errorf("query: adapting object %d: %w", oi, err)
-					return
-				}
-				smp := inference.NewSampler(m)
-				m.ReleaseReverse()
-				results <- ready{oi, smp}
-			}
-		}()
-	}
-	done := make(chan struct{})
-	go func() {
-		for r := range results {
-			e.mu.Lock()
-			e.samplers[r.oi] = r.s
-			e.mu.Unlock()
-		}
-		close(done)
-	}()
-	var firstErr error
-feed:
-	for oi := range objs {
-		e.mu.Lock()
-		_, cached := e.samplers[oi]
-		e.mu.Unlock()
-		if cached {
-			continue
-		}
-		select {
-		case jobs <- oi:
-		case firstErr = <-errs:
-			break feed
-		}
-	}
-	close(jobs)
-	wg.Wait()
-	close(results)
-	<-done
-	if firstErr == nil {
-		select {
-		case firstErr = <-errs:
-		default:
-		}
-	}
-	if firstErr != nil {
-		return 0, firstErr
-	}
-	return time.Since(begin), nil
-}
 
 // ForAllNN answers P∀NNQ(q, D, [ts..te], tau): all objects whose
 // probability of being the NN of q at every t in the interval is at least
@@ -307,11 +192,12 @@ func (e *Engine) nnQuery(q Query, ts, te, k int, tau float64, rng *rand.Rand, fo
 		return nil, st, nil
 	}
 
-	refine, samplers, adapt, err := e.buildSamplers(pr.Influencers)
+	refine, samplers, adapt, built, err := e.buildSamplers(pr.Influencers)
 	if err != nil {
 		return nil, st, err
 	}
 	st.AdaptTime = adapt
+	st.SamplerBuilds = built
 
 	begin := time.Now()
 	localIdx := make(map[int]int, len(refine))
@@ -330,22 +216,6 @@ func (e *Engine) nnQuery(q Query, ts, te, k int, tau float64, rng *rand.Rand, fo
 		}
 	}
 	return out, st, nil
-}
-
-// buildSamplers returns the refine set (sorted object indices), their
-// samplers (parallel slice), and the time spent adapting models that were
-// not yet cached.
-func (e *Engine) buildSamplers(objIdx []int) ([]int, []*inference.Sampler, time.Duration, error) {
-	begin := time.Now()
-	samplers := make([]*inference.Sampler, len(objIdx))
-	for i, oi := range objIdx {
-		s, err := e.Sampler(oi)
-		if err != nil {
-			return nil, nil, 0, err
-		}
-		samplers[i] = s
-	}
-	return objIdx, samplers, time.Since(begin), nil
 }
 
 // countWorlds samples e.samples possible worlds and counts, per target

@@ -1,0 +1,371 @@
+// Package server exposes the three probabilistic nearest-neighbor query
+// semantics of package pnn over HTTP/JSON, turning the library into a
+// standing service: the database is indexed once at startup and a warm
+// sampler cache answers a stream of concurrent queries.
+//
+// Endpoints:
+//
+//	GET  /healthz      liveness plus object count and cache counters
+//	POST /v1/forallnn  P∀NNQ  (ForAllKNN)
+//	POST /v1/existsnn  P∃NNQ  (ExistsKNN)
+//	POST /v1/pcnn      PCNNQ  (ContinuousKNN)
+//	POST /v1/batch     a slice of independent requests, answered by
+//	                   Processor.RunBatch on the server's worker pool
+//
+// Every query request carries exactly one reference — "state", "x"/"y",
+// or "trajectory" — plus the interval, threshold and seed:
+//
+//	{"state": 17, "ts": 5, "te": 15, "tau": 0.3, "seed": 7}
+//
+// Malformed requests return 400 with {"error": "..."}; internal failures
+// return 500. Responses repeat the query's work statistics so callers can
+// observe filter quality and cache warmth per request.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"pnn"
+)
+
+// Config tunes a Server. The zero value is usable.
+type Config struct {
+	// BatchWorkers is the worker-pool size of /v1/batch; 0 picks
+	// GOMAXPROCS.
+	BatchWorkers int
+	// MaxBatch caps the number of requests a single /v1/batch call may
+	// carry; 0 means 1024.
+	MaxBatch int
+}
+
+// Server answers PNN queries for one built database. It implements
+// http.Handler and is safe for concurrent use (the underlying Processor
+// is).
+type Server struct {
+	proc  *pnn.Processor
+	net   *pnn.Network
+	cfg   Config
+	mux   *http.ServeMux
+	start time.Time
+}
+
+// New wraps a built processor and its network in an HTTP server.
+func New(net *pnn.Network, proc *pnn.Processor, cfg Config) *Server {
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 1024
+	}
+	s := &Server{proc: proc, net: net, cfg: cfg, mux: http.NewServeMux(), start: time.Now()}
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/v1/forallnn", s.queryHandler(pnn.ForAll))
+	s.mux.HandleFunc("/v1/existsnn", s.queryHandler(pnn.Exists))
+	s.mux.HandleFunc("/v1/pcnn", s.queryHandler(pnn.Continuous))
+	s.mux.HandleFunc("/v1/batch", s.handleBatch)
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Run serves on addr until ctx is cancelled, then drains in-flight
+// requests for up to grace before forcing connections closed. It returns
+// nil on a clean shutdown.
+func (s *Server) Run(ctx context.Context, addr string, grace time.Duration) error {
+	hs := &http.Server{Addr: addr, Handler: s}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	shCtx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	if err := hs.Shutdown(shCtx); err != nil {
+		return err
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// Point is a planar position in request/response JSON.
+type Point struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// Trajectory is a moving query reference: Points[i] is the position at
+// time Start+i.
+type Trajectory struct {
+	Start  int     `json:"start"`
+	Points []Point `json:"points"`
+}
+
+// QueryRequest is the JSON body of the three single-query endpoints and
+// the per-item body of /v1/batch. Exactly one of State, X/Y, or
+// Trajectory must be set.
+type QueryRequest struct {
+	State      *int        `json:"state,omitempty"`
+	X          *float64    `json:"x,omitempty"`
+	Y          *float64    `json:"y,omitempty"`
+	Trajectory *Trajectory `json:"trajectory,omitempty"`
+
+	Ts   int     `json:"ts"`
+	Te   int     `json:"te"`
+	K    int     `json:"k,omitempty"` // 0 means 1
+	Tau  float64 `json:"tau"`
+	Seed int64   `json:"seed,omitempty"`
+}
+
+// ResultJSON is one probabilistic answer.
+type ResultJSON struct {
+	ObjectID int     `json:"object_id"`
+	Prob     float64 `json:"prob"`
+}
+
+// IntervalJSON is one PCNN answer: a maximal timestamp set.
+type IntervalJSON struct {
+	ObjectID int     `json:"object_id"`
+	Times    []int   `json:"times"`
+	Prob     float64 `json:"prob"`
+}
+
+// StatsJSON mirrors pnn.Stats.
+type StatsJSON struct {
+	Candidates    int `json:"candidates"`
+	Influencers   int `json:"influencers"`
+	Worlds        int `json:"worlds"`
+	SamplerBuilds int `json:"sampler_builds"`
+}
+
+// QueryResponse is the body of a successful single-query call. Results is
+// set for forallnn/existsnn, Intervals for pcnn.
+type QueryResponse struct {
+	Results   []ResultJSON   `json:"results,omitempty"`
+	Intervals []IntervalJSON `json:"intervals,omitempty"`
+	Stats     StatsJSON      `json:"stats"`
+	Error     string         `json:"error,omitempty"` // batch items only
+}
+
+// BatchRequest is the body of /v1/batch.
+type BatchRequest struct {
+	Requests []BatchItem `json:"requests"`
+}
+
+// BatchItem is one request of a batch, tagged with its semantics.
+type BatchItem struct {
+	Semantics string `json:"semantics"` // "forall" | "exists" | "cnn"
+	QueryRequest
+}
+
+// BatchResponse aligns with BatchRequest.Requests by index.
+type BatchResponse struct {
+	Responses []QueryResponse `json:"responses"`
+}
+
+// HealthResponse is the body of /healthz.
+type HealthResponse struct {
+	Status        string  `json:"status"`
+	Objects       int     `json:"objects"`
+	States        int     `json:"states"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	CacheBuilds   int64   `json:"cache_builds"`
+	CacheHits     int64   `json:"cache_hits"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	cs := s.proc.CacheStats()
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:        "ok",
+		Objects:       s.proc.NumObjects(),
+		States:        s.net.NumStates(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		CacheBuilds:   cs.Builds,
+		CacheHits:     cs.Hits,
+	})
+}
+
+func (s *Server) queryHandler(sem pnn.Semantics) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, "use POST")
+			return
+		}
+		var req QueryRequest
+		if err := decodeBody(r, &req); err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		pr, err := s.toRequest(sem, req)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		resp := s.proc.RunBatch([]pnn.Request{pr}, 1)[0]
+		if resp.Err != nil {
+			// toRequest already rejected every caller mistake the engine
+			// would complain about (inverted intervals, tau and k out of
+			// range), so an error here is the engine's own — e.g. model
+			// adaptation failing on an object.
+			httpError(w, http.StatusInternalServerError, resp.Err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, toJSON(resp))
+	}
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var req BatchRequest
+	if err := decodeBody(r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if len(req.Requests) == 0 {
+		httpError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	if len(req.Requests) > s.cfg.MaxBatch {
+		httpError(w, http.StatusBadRequest,
+			fmt.Sprintf("batch of %d exceeds limit %d", len(req.Requests), s.cfg.MaxBatch))
+		return
+	}
+	reqs := make([]pnn.Request, len(req.Requests))
+	for i, item := range req.Requests {
+		pr, err := s.toRequest(pnn.Semantics(item.Semantics), item.QueryRequest)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("request %d: %v", i, err))
+			return
+		}
+		reqs[i] = pr
+	}
+	responses := s.proc.RunBatch(reqs, s.cfg.BatchWorkers)
+	out := BatchResponse{Responses: make([]QueryResponse, len(responses))}
+	for i, resp := range responses {
+		out.Responses[i] = toJSON(resp)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// toRequest validates one wire request and converts it to a batch Request.
+func (s *Server) toRequest(sem pnn.Semantics, req QueryRequest) (pnn.Request, error) {
+	switch sem {
+	case pnn.ForAll, pnn.Exists, pnn.Continuous:
+	default:
+		return pnn.Request{}, fmt.Errorf("unknown semantics %q (want %q, %q or %q)",
+			sem, pnn.ForAll, pnn.Exists, pnn.Continuous)
+	}
+	refs := 0
+	if req.State != nil {
+		refs++
+	}
+	if req.X != nil || req.Y != nil {
+		if req.X == nil || req.Y == nil {
+			return pnn.Request{}, errors.New("x and y must be given together")
+		}
+		refs++
+	}
+	if req.Trajectory != nil {
+		refs++
+	}
+	if refs != 1 {
+		return pnn.Request{}, errors.New(`give exactly one query reference: "state", "x"/"y", or "trajectory"`)
+	}
+	var q pnn.Query
+	switch {
+	case req.State != nil:
+		if *req.State < 0 || *req.State >= s.net.NumStates() {
+			return pnn.Request{}, fmt.Errorf("state %d out of range [0, %d)", *req.State, s.net.NumStates())
+		}
+		q = pnn.AtState(s.net, *req.State)
+	case req.X != nil:
+		q = pnn.AtPoint(pnn.Point{X: *req.X, Y: *req.Y})
+	default:
+		if len(req.Trajectory.Points) == 0 {
+			return pnn.Request{}, errors.New("trajectory needs at least one point")
+		}
+		pts := make([]pnn.Point, len(req.Trajectory.Points))
+		for i, p := range req.Trajectory.Points {
+			pts[i] = pnn.Point{X: p.X, Y: p.Y}
+		}
+		q = pnn.Moving(req.Trajectory.Start, pts)
+	}
+	if req.Te < req.Ts {
+		return pnn.Request{}, fmt.Errorf("inverted interval [%d, %d]", req.Ts, req.Te)
+	}
+	if req.K < 0 {
+		return pnn.Request{}, fmt.Errorf("k must be >= 1, got %d", req.K)
+	}
+	if req.Tau < 0 || req.Tau > 1 {
+		return pnn.Request{}, fmt.Errorf("tau must be in [0, 1], got %v", req.Tau)
+	}
+	if sem == pnn.Continuous && req.Tau == 0 {
+		return pnn.Request{}, errors.New("pcnn requires tau > 0")
+	}
+	return pnn.Request{
+		Semantics: sem,
+		Query:     q,
+		Ts:        req.Ts,
+		Te:        req.Te,
+		K:         req.K,
+		Tau:       req.Tau,
+		Seed:      req.Seed,
+	}, nil
+}
+
+func toJSON(resp pnn.Response) QueryResponse {
+	out := QueryResponse{
+		Stats: StatsJSON{
+			Candidates:    resp.Stats.Candidates,
+			Influencers:   resp.Stats.Influencers,
+			Worlds:        resp.Stats.Worlds,
+			SamplerBuilds: resp.Stats.SamplerBuilds,
+		},
+	}
+	if resp.Err != nil {
+		out.Error = resp.Err.Error()
+		return out
+	}
+	for _, r := range resp.Results {
+		out.Results = append(out.Results, ResultJSON{ObjectID: r.ObjectID, Prob: r.Prob})
+	}
+	for _, r := range resp.Intervals {
+		out.Intervals = append(out.Intervals, IntervalJSON{ObjectID: r.ObjectID, Times: r.Times, Prob: r.Prob})
+	}
+	return out
+}
+
+func decodeBody(r *http.Request, dst interface{}) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 8<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("decoding request body: %w", err)
+	}
+	return nil
+}
+
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, errorJSON{Error: msg})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}

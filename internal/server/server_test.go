@@ -1,0 +1,298 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"pnn"
+)
+
+// testServer builds a small grid database and an httptest server over it.
+func testServer(t *testing.T) (*pnn.Network, *pnn.Processor, *httptest.Server) {
+	t.Helper()
+	net, err := pnn.NewGridNetwork(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := pnn.NewDB(net)
+	routes := [][2]pnn.Point{
+		{{X: 0.1, Y: 0.1}, {X: 0.9, Y: 0.9}},
+		{{X: 0.9, Y: 0.1}, {X: 0.1, Y: 0.9}},
+		{{X: 0.1, Y: 0.5}, {X: 0.9, Y: 0.5}},
+	}
+	for i, r := range routes {
+		a, b := net.NearestState(r[0]), net.NearestState(r[1])
+		obs := net.ObservationsAlong(a, b, 0, 2, 4)
+		if err := db.Add(100+i, obs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	proc, err := db.Build(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(net, proc, Config{BatchWorkers: 2}))
+	t.Cleanup(ts.Close)
+	return net, proc, ts
+}
+
+func post(t *testing.T, url, body string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, buf.Bytes()
+}
+
+func TestHealthz(t *testing.T) {
+	_, proc, ts := testServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var h HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Objects != proc.NumObjects() || h.States != 64 {
+		t.Errorf("health = %+v", h)
+	}
+	if code, _ := post(t, ts.URL+"/healthz", "{}"); code != http.StatusMethodNotAllowed {
+		t.Errorf("POST /healthz = %d, want 405", code)
+	}
+}
+
+// TestQueryEndpointsRoundTrip drives each /v1 endpoint end-to-end and
+// checks the HTTP answer matches a direct facade call with the same seed.
+func TestQueryEndpointsRoundTrip(t *testing.T) {
+	net, proc, ts := testServer(t)
+	center := net.NearestState(pnn.Point{X: 0.5, Y: 0.5})
+	q := pnn.AtState(net, center)
+
+	body := func(extra string) string {
+		return fmt.Sprintf(`{"state": %d, "ts": 1, "te": 6, "tau": 0.05, "seed": 42%s}`, center, extra)
+	}
+
+	t.Run("forallnn", func(t *testing.T) {
+		code, raw := post(t, ts.URL+"/v1/forallnn", body(""))
+		if code != http.StatusOK {
+			t.Fatalf("status %d: %s", code, raw)
+		}
+		var got QueryResponse
+		if err := json.Unmarshal(raw, &got); err != nil {
+			t.Fatal(err)
+		}
+		want, _, err := proc.ForAllNN(q, 1, 6, 0.05, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		compareResults(t, got.Results, want)
+		if got.Stats.Worlds != 300 {
+			t.Errorf("stats.worlds = %d, want 300", got.Stats.Worlds)
+		}
+	})
+	t.Run("existsnn", func(t *testing.T) {
+		code, raw := post(t, ts.URL+"/v1/existsnn", body(`, "k": 2`))
+		if code != http.StatusOK {
+			t.Fatalf("status %d: %s", code, raw)
+		}
+		var got QueryResponse
+		if err := json.Unmarshal(raw, &got); err != nil {
+			t.Fatal(err)
+		}
+		want, _, err := proc.ExistsKNN(q, 1, 6, 2, 0.05, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		compareResults(t, got.Results, want)
+	})
+	t.Run("pcnn", func(t *testing.T) {
+		code, raw := post(t, ts.URL+"/v1/pcnn",
+			fmt.Sprintf(`{"state": %d, "ts": 1, "te": 4, "tau": 0.3, "seed": 7}`, center))
+		if code != http.StatusOK {
+			t.Fatalf("status %d: %s", code, raw)
+		}
+		var got QueryResponse
+		if err := json.Unmarshal(raw, &got); err != nil {
+			t.Fatal(err)
+		}
+		want, _, err := proc.ContinuousNN(q, 1, 4, 0.3, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Intervals) != len(want) {
+			t.Fatalf("intervals: got %d, want %d", len(got.Intervals), len(want))
+		}
+		for i := range want {
+			g, w := got.Intervals[i], want[i]
+			if g.ObjectID != w.ObjectID || math.Abs(g.Prob-w.Prob) > 1e-12 || len(g.Times) != len(w.Times) {
+				t.Errorf("interval %d: got %+v, want %+v", i, g, w)
+			}
+		}
+	})
+	t.Run("point-and-trajectory-references", func(t *testing.T) {
+		code, _ := post(t, ts.URL+"/v1/existsnn", `{"x": 0.5, "y": 0.5, "ts": 1, "te": 5, "tau": 0.05}`)
+		if code != http.StatusOK {
+			t.Errorf("point query status = %d", code)
+		}
+		code, _ = post(t, ts.URL+"/v1/existsnn",
+			`{"trajectory": {"start": 1, "points": [{"x": 0.4, "y": 0.5}, {"x": 0.5, "y": 0.5}]}, "ts": 1, "te": 5, "tau": 0.05}`)
+		if code != http.StatusOK {
+			t.Errorf("trajectory query status = %d", code)
+		}
+	})
+}
+
+func compareResults(t *testing.T, got []ResultJSON, want []pnn.Result) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("results: got %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].ObjectID != want[i].ObjectID || math.Abs(got[i].Prob-want[i].Prob) > 1e-12 {
+			t.Errorf("result %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	net, proc, ts := testServer(t)
+	center := net.NearestState(pnn.Point{X: 0.5, Y: 0.5})
+	q := pnn.AtState(net, center)
+	body := fmt.Sprintf(`{"requests": [
+		{"semantics": "forall", "state": %d, "ts": 1, "te": 6, "tau": 0.05, "seed": 1},
+		{"semantics": "exists", "state": %d, "ts": 1, "te": 6, "tau": 0.05, "seed": 2},
+		{"semantics": "cnn",    "state": %d, "ts": 1, "te": 4, "tau": 0.3,  "seed": 3}
+	]}`, center, center, center)
+	code, raw := post(t, ts.URL+"/v1/batch", body)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, raw)
+	}
+	var got BatchResponse
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Responses) != 3 {
+		t.Fatalf("responses = %d, want 3", len(got.Responses))
+	}
+	wantFA, _, err := proc.ForAllNN(q, 1, 6, 0.05, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareResults(t, got.Responses[0].Results, wantFA)
+	wantEX, _, err := proc.ExistsNN(q, 1, 6, 0.05, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareResults(t, got.Responses[1].Results, wantEX)
+	if got.Responses[2].Error != "" {
+		t.Errorf("cnn item failed: %s", got.Responses[2].Error)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	_, _, ts := testServer(t)
+	cases := []struct {
+		name, path, body string
+	}{
+		{"no-reference", "/v1/forallnn", `{"ts": 1, "te": 5, "tau": 0.1}`},
+		{"two-references", "/v1/forallnn", `{"state": 3, "x": 0.5, "y": 0.5, "ts": 1, "te": 5, "tau": 0.1}`},
+		{"x-without-y", "/v1/forallnn", `{"x": 0.5, "ts": 1, "te": 5, "tau": 0.1}`},
+		{"state-out-of-range", "/v1/forallnn", `{"state": 9999, "ts": 1, "te": 5, "tau": 0.1}`},
+		{"inverted-interval", "/v1/forallnn", `{"state": 3, "ts": 5, "te": 1, "tau": 0.1}`},
+		{"tau-out-of-range", "/v1/forallnn", `{"state": 3, "ts": 1, "te": 5, "tau": 1.5}`},
+		{"negative-k", "/v1/forallnn", `{"state": 3, "ts": 1, "te": 5, "tau": 0.1, "k": -2}`},
+		{"pcnn-zero-tau", "/v1/pcnn", `{"state": 3, "ts": 1, "te": 5, "tau": 0}`},
+		{"empty-trajectory", "/v1/existsnn", `{"trajectory": {"start": 0, "points": []}, "ts": 1, "te": 5}`},
+		{"malformed-json", "/v1/forallnn", `{"state": `},
+		{"unknown-field", "/v1/forallnn", `{"state": 3, "ts": 1, "te": 5, "tau": 0.1, "bogus": true}`},
+		{"empty-batch", "/v1/batch", `{"requests": []}`},
+		{"batch-bad-semantics", "/v1/batch", `{"requests": [{"semantics": "sometimes", "state": 3, "ts": 1, "te": 5}]}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, raw := post(t, ts.URL+tc.path, tc.body)
+			if code != http.StatusBadRequest {
+				t.Fatalf("status = %d, want 400 (%s)", code, raw)
+			}
+			var e struct {
+				Error string `json:"error"`
+			}
+			if err := json.Unmarshal(raw, &e); err != nil || e.Error == "" {
+				t.Errorf("error body missing: %s", raw)
+			}
+		})
+	}
+	if resp, err := http.Get(ts.URL + "/v1/forallnn"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("GET /v1/forallnn = %d, want 405", resp.StatusCode)
+		}
+	}
+}
+
+// TestBatchLimit: a batch beyond MaxBatch is rejected up front.
+func TestBatchLimit(t *testing.T) {
+	net, err := pnn.NewGridNetwork(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := pnn.NewDB(net)
+	if err := db.Add(1, []pnn.Observation{{T: 0, State: 0}, {T: 4, State: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	proc, err := db.Build(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(net, proc, Config{MaxBatch: 2}))
+	defer ts.Close()
+	code, _ := post(t, ts.URL+"/v1/batch", `{"requests": [
+		{"semantics": "exists", "state": 1, "ts": 0, "te": 2},
+		{"semantics": "exists", "state": 1, "ts": 0, "te": 2},
+		{"semantics": "exists", "state": 1, "ts": 0, "te": 2}
+	]}`)
+	if code != http.StatusBadRequest {
+		t.Errorf("oversized batch = %d, want 400", code)
+	}
+}
+
+// TestRunGracefulShutdown: Run serves until its context is cancelled,
+// drains, and returns nil.
+func TestRunGracefulShutdown(t *testing.T) {
+	net, proc, _ := testServer(t)
+	srv := New(net, proc, Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Run(ctx, "127.0.0.1:0", time.Second) }()
+	time.Sleep(50 * time.Millisecond) // let ListenAndServe start
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Run returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not shut down")
+	}
+}

@@ -37,6 +37,7 @@ package pnn
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 
 	"pnn/internal/datagen"
@@ -280,10 +281,17 @@ type IntervalResult struct {
 
 // Stats summarizes the work done by one query.
 type Stats struct {
-	Candidates  int // objects surviving the ∀ filter
-	Influencers int // objects that may be NN at some time
-	Worlds      int // sampled possible worlds
+	Candidates    int // objects surviving the ∀ filter
+	Influencers   int // objects that may be NN at some time
+	Worlds        int // sampled possible worlds
+	SamplerBuilds int // models adapted by this query; 0 once the cache is warm
 }
+
+// CacheStats reports the processor's cumulative sampler-cache traffic:
+// Builds counts model adaptations (at most one per object, ever), Hits
+// counts lookups served from cache. On a processor serving repeat traffic
+// Builds freezes while Hits keeps growing.
+type CacheStats = query.CacheStats
 
 // ForAllNN returns every object whose probability of being the nearest
 // neighbor of q at every t in [ts, te] is at least tau (P∀NNQ,
@@ -340,8 +348,28 @@ func (p *Processor) convert(res []query.Result) []Result {
 }
 
 func convStats(st query.Stats) Stats {
-	return Stats{Candidates: st.Candidates, Influencers: st.Influencers, Worlds: st.Worlds}
+	return Stats{
+		Candidates:    st.Candidates,
+		Influencers:   st.Influencers,
+		Worlds:        st.Worlds,
+		SamplerBuilds: st.SamplerBuilds,
+	}
 }
+
+// CacheStats returns the cumulative sampler-cache counters of this
+// processor's engine.
+func (p *Processor) CacheStats() CacheStats { return p.engine.CacheStats() }
+
+// PrepareAll adapts every object's model up front (the TS phase), so later
+// queries pay only for sampling and evaluation. Adaptation of distinct
+// objects runs on the parallelism set by SetParallelism.
+func (p *Processor) PrepareAll() error {
+	_, err := p.engine.PrepareAll()
+	return err
+}
+
+// NumObjects returns the number of indexed objects.
+func (p *Processor) NumObjects() int { return len(p.ids) }
 
 // SampleTrajectory draws one possible trajectory of the object consistent
 // with all of its observations (it passes through every one of them). The
@@ -411,6 +439,18 @@ func TaxiDataset(states, taxis, lifetime, horizon, obsInterval int, seed int64) 
 	cfg.Horizon = horizon
 	cfg.ObsInterval = obsInterval
 	ds, err := datagen.Taxi(cfg, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, nil, err
+	}
+	return wrapDataset(ds)
+}
+
+// LoadDataset reads a dataset previously persisted by `pnndata -out` (or
+// datagen.Dataset.Save) and returns the reconstructed network and a
+// populated DB ready to Build. It is how long-running services such as
+// pnnserve load their workload at startup.
+func LoadDataset(r io.Reader) (*Network, *DB, error) {
+	ds, err := datagen.Load(r)
 	if err != nil {
 		return nil, nil, err
 	}
