@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+
+	"pnn/internal/store"
 )
 
 // Semantics selects the predicate of a batch Request.
@@ -42,14 +44,21 @@ type Response struct {
 // pool of `workers` goroutines (0 or less: GOMAXPROCS). All queries share
 // the processor's sampler cache, so an object's model is adapted at most
 // once for the whole batch. Each request draws its worlds from its own
-// Seed, which makes every Response deterministic — independent of the
-// worker count and of scheduling order. Responses align with requests by
-// index; per-request failures land in Response.Err, never panic the batch.
+// Seed, which makes every Response's Results/Intervals deterministic —
+// independent of the worker count and of scheduling order. (The
+// work-accounting Stats.SamplerBuilds is the exception: on a cold cache
+// it reports whichever request happened to win each shared build, which
+// does depend on scheduling.) The whole batch runs against the
+// single engine snapshot current when RunBatch was called, so its
+// responses are mutually consistent even while AddObject/Observe traffic
+// lands concurrently. Responses align with requests by index;
+// per-request failures land in Response.Err, never panic the batch.
 func (p *Processor) RunBatch(reqs []Request, workers int) []Response {
 	out := make([]Response, len(reqs))
 	if len(reqs) == 0 {
 		return out
 	}
+	snap := p.store.Snapshot()
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -58,7 +67,7 @@ func (p *Processor) RunBatch(reqs []Request, workers int) []Response {
 	}
 	if workers == 1 {
 		for i := range reqs {
-			out[i] = p.runOne(reqs[i])
+			out[i] = runOne(snap, reqs[i])
 		}
 		return out
 	}
@@ -69,7 +78,7 @@ func (p *Processor) RunBatch(reqs []Request, workers int) []Response {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				out[i] = p.runOne(reqs[i])
+				out[i] = runOne(snap, reqs[i])
 			}
 		}()
 	}
@@ -101,7 +110,15 @@ func sameShape(sem Semantics, qs []Query, ts, te int, tau float64, baseSeed int6
 	return reqs
 }
 
-func (p *Processor) runOne(req Request) Response {
+func runOne(snap *store.Snapshot, req Request) (resp Response) {
+	// Enforce the no-panic contract: a panicking request becomes its own
+	// Response.Err instead of killing the worker goroutine (and with it
+	// the whole process).
+	defer func() {
+		if r := recover(); r != nil {
+			resp = Response{Err: fmt.Errorf("pnn: batch request panicked: %v", r)}
+		}
+	}()
 	k := req.K
 	if k == 0 {
 		k = 1
@@ -109,14 +126,13 @@ func (p *Processor) runOne(req Request) Response {
 	if k < 1 {
 		return Response{Err: fmt.Errorf("pnn: batch request needs k >= 1, got %d", k)}
 	}
-	var resp Response
 	switch req.Semantics {
 	case ForAll:
-		resp.Results, resp.Stats, resp.Err = p.ForAllKNN(req.Query, req.Ts, req.Te, k, req.Tau, req.Seed)
+		resp.Results, resp.Stats, resp.Err = snapForAllKNN(snap, req.Query, req.Ts, req.Te, k, req.Tau, req.Seed)
 	case Exists:
-		resp.Results, resp.Stats, resp.Err = p.ExistsKNN(req.Query, req.Ts, req.Te, k, req.Tau, req.Seed)
+		resp.Results, resp.Stats, resp.Err = snapExistsKNN(snap, req.Query, req.Ts, req.Te, k, req.Tau, req.Seed)
 	case Continuous:
-		resp.Intervals, resp.Stats, resp.Err = p.ContinuousKNN(req.Query, req.Ts, req.Te, k, req.Tau, req.Seed)
+		resp.Intervals, resp.Stats, resp.Err = snapContinuousKNN(snap, req.Query, req.Ts, req.Te, k, req.Tau, req.Seed)
 	default:
 		resp.Err = fmt.Errorf("pnn: unknown batch semantics %q (want %q, %q or %q)",
 			req.Semantics, ForAll, Exists, Continuous)

@@ -1,7 +1,10 @@
 // Command pnnserve runs a standing probabilistic nearest-neighbor query
-// service: it builds the database once at startup — from a dataset file
+// service: it builds the database at startup — from a dataset file
 // written by pnndata, or from a synthetic/taxi generator — and then
 // answers P∀NN, P∃NN and PCNN queries over HTTP/JSON until stopped.
+// Live ingestion is on by default (disable with -ingest=false): new
+// objects and fresh observations are folded into versioned engine
+// snapshots without ever blocking readers.
 //
 // Usage:
 //
@@ -11,6 +14,10 @@
 //	curl localhost:8080/healthz
 //	curl -d '{"state": 17, "ts": 500, "te": 509, "tau": 0.1, "seed": 7}' \
 //	    localhost:8080/v1/forallnn
+//	curl -d '{"id": 1001, "observations": [{"t": 500, "state": 17}]}' \
+//	    localhost:8080/v1/objects
+//	curl -d '{"id": 1001, "observations": [{"t": 510, "state": 23}]}' \
+//	    localhost:8080/v1/observe
 //
 // SIGINT/SIGTERM drain in-flight requests before exiting.
 package main
@@ -45,6 +52,7 @@ func main() {
 		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "batch worker pool size")
 		qpar     = flag.Int("query-parallel", 0, "sampling goroutines per query (0: GOMAXPROCS/workers, so a full batch saturates the host without oversubscribing it)")
 		warm     = flag.Bool("warm", false, "adapt all object models before accepting traffic")
+		ingest   = flag.Bool("ingest", true, "enable live ingestion (/v1/objects, /v1/observe)")
 		lenient  = flag.Bool("lenient", false, "drop objects with contradicting observations instead of failing")
 		grace    = flag.Duration("grace", 10*time.Second, "shutdown drain timeout")
 	)
@@ -105,7 +113,7 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	srv := server.New(net, proc, server.Config{BatchWorkers: *workers})
+	srv := server.New(net, proc, server.Config{BatchWorkers: *workers, Ingest: *ingest})
 	log.Printf("serving on %s", *addr)
 	if err := srv.Run(ctx, *addr, *grace); err != nil {
 		fatal(err)

@@ -87,3 +87,19 @@ func TestShortestPathFacade(t *testing.T) {
 		t.Errorf("path length = %d, want 9", len(p))
 	}
 }
+
+// TestBatchZeroQueryRejected: a zero-value Query in a batch request is a
+// per-request error, not a process-killing panic in a worker goroutine.
+func TestBatchZeroQueryRejected(t *testing.T) {
+	_, proc := ingestNet(t, 2)
+	resps := proc.RunBatch([]Request{
+		{Semantics: ForAll, Ts: 1, Te: 5, Tau: 0.1, Seed: 1},
+		{Semantics: Continuous, Ts: 1, Te: 5, Tau: 0.1, Seed: 2},
+		{Semantics: Exists, Query: Moving(0, nil), Ts: 1, Te: 5, Tau: 0.1, Seed: 3},
+	}, 2)
+	for i, resp := range resps {
+		if resp.Err == nil {
+			t.Errorf("request %d with zero Query succeeded", i)
+		}
+	}
+}

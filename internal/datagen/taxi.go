@@ -1,6 +1,7 @@
 package datagen
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 
@@ -46,17 +47,17 @@ func DefaultTaxiConfig() TaxiConfig {
 func (c TaxiConfig) validate() error {
 	switch {
 	case c.States < 2:
-		return fmt.Errorf("datagen: taxi network needs at least 2 states")
+		return errors.New("datagen: taxi network needs at least 2 states")
 	case c.Taxis < 1:
-		return fmt.Errorf("datagen: need at least 1 taxi")
+		return errors.New("datagen: need at least 1 taxi")
 	case c.Lifetime < 1 || c.Horizon < c.Lifetime:
 		return fmt.Errorf("datagen: bad lifetime/horizon %d/%d", c.Lifetime, c.Horizon)
 	case c.ObsInterval < 1:
-		return fmt.Errorf("datagen: observation interval must be >= 1")
+		return errors.New("datagen: observation interval must be >= 1")
 	case c.ParkedFrac < 0 || c.FastFrac < 0 || c.ParkedFrac+c.FastFrac > 1:
-		return fmt.Errorf("datagen: taxi class fractions invalid")
+		return errors.New("datagen: taxi class fractions invalid")
 	case c.TrainTraces < 1:
-		return fmt.Errorf("datagen: need at least 1 training trace")
+		return errors.New("datagen: need at least 1 training trace")
 	}
 	return nil
 }

@@ -5,6 +5,7 @@
 package markov
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -60,12 +61,12 @@ type Piecewise struct {
 // and share one dimension.
 func NewPiecewise(starts []int, mats []*sparse.CSR) (*Piecewise, error) {
 	if len(starts) == 0 || len(starts) != len(mats) {
-		return nil, fmt.Errorf("markov: need equal, non-zero numbers of starts and matrices")
+		return nil, errors.New("markov: need equal, non-zero numbers of starts and matrices")
 	}
 	n := mats[0].N
 	for k, m := range mats {
 		if k > 0 && starts[k] <= starts[k-1] {
-			return nil, fmt.Errorf("markov: starts must be strictly increasing")
+			return nil, errors.New("markov: starts must be strictly increasing")
 		}
 		if m.N != n {
 			return nil, fmt.Errorf("markov: matrix %d has dimension %d, want %d", k, m.N, n)

@@ -25,8 +25,11 @@ type samplerCache struct {
 	mu      sync.Mutex
 	entries map[int]*cacheEntry
 
-	builds atomic.Int64 // model adaptations performed (cache misses)
-	hits   atomic.Int64 // lookups served from a completed entry
+	// The counters are shared between a cache and every cache derived
+	// from it (see deriveWithout), so CacheStats stays cumulative across
+	// engine versions of a live store.
+	builds *atomic.Int64 // model adaptations performed (cache misses)
+	hits   *atomic.Int64 // lookups served from a completed entry
 }
 
 type cacheEntry struct {
@@ -36,13 +39,45 @@ type cacheEntry struct {
 }
 
 func newSamplerCache() *samplerCache {
-	return &samplerCache{entries: make(map[int]*cacheEntry)}
+	return &samplerCache{
+		entries: make(map[int]*cacheEntry),
+		builds:  new(atomic.Int64),
+		hits:    new(atomic.Int64),
+	}
+}
+
+// deriveWithout returns a new cache carrying over every completed or
+// in-flight entry except those for the object indices in drop — the
+// carry-over half of a snapshot swap: untouched objects keep their
+// adapted samplers, updated ones re-adapt lazily in the derived engine.
+// In-flight entries are safe to share: their ready channel is closed by
+// whichever engine started the build. The cumulative counters are
+// shared, not copied.
+func (c *samplerCache) deriveWithout(drop []int) *samplerCache {
+	dropSet := make(map[int]bool, len(drop))
+	for _, oi := range drop {
+		dropSet[oi] = true
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	nc := &samplerCache{
+		entries: make(map[int]*cacheEntry, len(c.entries)),
+		builds:  c.builds,
+		hits:    c.hits,
+	}
+	for oi, e := range c.entries {
+		if !dropSet[oi] {
+			nc.entries[oi] = e
+		}
+	}
+	return nc
 }
 
 // get returns the sampler for object oi, building it with build() on first
 // use. The boolean reports whether this call performed the build. Errors
 // are cached: an object whose observations cannot be adapted keeps failing
-// without redoing the work (observations are immutable after indexing).
+// without redoing the work, until an update to the object invalidates its
+// entry (deriveWithout).
 func (c *samplerCache) get(oi int, build func() (*inference.Sampler, error)) (*inference.Sampler, bool, error) {
 	c.mu.Lock()
 	if e, ok := c.entries[oi]; ok {
@@ -55,8 +90,19 @@ func (c *samplerCache) get(oi int, build func() (*inference.Sampler, error)) (*i
 	c.entries[oi] = e
 	c.mu.Unlock()
 
-	e.s, e.err = build()
-	close(e.ready)
+	func() {
+		// Close ready even if build panics — otherwise every later
+		// lookup of this object would block forever on the entry. The
+		// panic is demoted to a cached error so one poisoned object
+		// cannot take down callers that merely share a batch with it.
+		defer func() {
+			if r := recover(); r != nil {
+				e.s, e.err = nil, fmt.Errorf("query: sampler build for object %d panicked: %v", oi, r)
+			}
+			close(e.ready)
+		}()
+		e.s, e.err = build()
+	}()
 	c.builds.Add(1)
 	return e.s, true, e.err
 }
@@ -123,7 +169,7 @@ func (e *Engine) buildSamplers(objIdx []int) ([]int, []*inference.Sampler, time.
 func (e *Engine) PrepareAll() (time.Duration, error) {
 	begin := time.Now()
 	objs := e.tree.Objects()
-	workers := e.parallel
+	workers := e.Parallelism()
 	if workers < 1 {
 		workers = 1
 	}

@@ -5,8 +5,11 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 
+	"pnn/internal/inference"
 	"pnn/internal/uncertain"
+	"pnn/internal/ustree"
 )
 
 // TestSamplerCacheWarmQueryNoRebuilds is the service-layer contract: the
@@ -87,6 +90,69 @@ func TestSamplerCacheSingleFlight(t *testing.T) {
 	}
 }
 
+// TestNewEngineFromCarriesCache is the snapshot-swap contract: deriving
+// an engine over an updated tree keeps the adapted samplers of
+// untouched objects, re-adapts exactly the invalidated ones, and keeps
+// the cumulative counters shared across versions — while the previous
+// engine stays consistent with its own tree.
+func TestNewEngineFromCarriesCache(t *testing.T) {
+	obsSets := [][]uncertain.Observation{
+		{{T: 0, State: 30}, {T: 8, State: 32}},
+		{{T: 0, State: 34}, {T: 8, State: 30}},
+		{{T: 0, State: 26}, {T: 8, State: 28}},
+	}
+	sp, tree, eng := lineDB(t, 500, obsSets...)
+	if _, err := eng.PrepareAll(); err != nil {
+		t.Fatal(err)
+	}
+	if cs := eng.CacheStats(); cs.Builds != 3 {
+		t.Fatalf("Builds after PrepareAll = %d, want 3", cs.Builds)
+	}
+
+	// Object 1 gains an observation; rebuild its tree entry.
+	objs := append([]*uncertain.Object(nil), tree.Objects()...)
+	upd, err := uncertain.NewObject(1, append(append([]uncertain.Observation(nil), obsSets[1]...),
+		uncertain.Observation{T: 12, State: 27}), objs[1].Chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs[1] = upd
+	tree2, err := ustree.Build(sp, objs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng2 := NewEngineFrom(eng, tree2, []int{1})
+
+	// Only the invalidated object re-adapts.
+	q := StateQuery(sp.Point(31))
+	_, st, err := eng2.ForAllNN(q, 1, 7, 0, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SamplerBuilds != 1 {
+		t.Errorf("derived engine built %d samplers, want 1 (the updated object)", st.SamplerBuilds)
+	}
+	if cs := eng2.CacheStats(); cs.Builds != 4 {
+		t.Errorf("cumulative Builds = %d, want 4 (shared across versions)", cs.Builds)
+	}
+	// The previous engine still samples the pre-update model: object 1's
+	// lifetime there ends at t=8, so a window beyond it is empty.
+	sOld, err := eng.Sampler(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sOld.SampleWindow(rand.New(rand.NewSource(4)), 10, 12); ok {
+		t.Error("old snapshot's sampler covers the post-update window")
+	}
+	sNew, err := eng2.Sampler(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sNew.SampleWindow(rand.New(rand.NewSource(4)), 10, 12); !ok {
+		t.Error("new snapshot's sampler misses the appended observation window")
+	}
+}
+
 // TestPrepareAllWarmsCache checks PrepareAll adapts everything (in
 // parallel) and later queries run entirely from cache with identical
 // results.
@@ -135,5 +201,32 @@ func TestPrepareAllWarmsCache(t *testing.T) {
 		if warm[i].Obj != cold[i].Obj || math.Abs(warm[i].Prob-cold[i].Prob) > 1e-12 {
 			t.Errorf("result %d diverged: warm %+v cold %+v", i, warm[i], cold[i])
 		}
+	}
+}
+
+// TestSamplerCachePanicContained: a build that panics must not leave
+// the single-flight entry pending forever — it is demoted to a cached
+// error, and later lookups return it immediately instead of blocking.
+func TestSamplerCachePanicContained(t *testing.T) {
+	c := newSamplerCache()
+	_, built, err := c.get(0, func() (*inference.Sampler, error) { panic("boom") })
+	if !built || err == nil {
+		t.Fatalf("panicking build: built=%v err=%v, want built with error", built, err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := c.get(0, func() (*inference.Sampler, error) {
+			t.Error("second lookup must not rebuild")
+			return nil, nil
+		})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("cached panic error lost")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("lookup after panicking build blocked")
 	}
 }

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -61,7 +62,7 @@ func EnumerateWorlds(objs []WorldObject, maxWorlds int, fn func(paths []uncertai
 	total := 1
 	for _, o := range objs {
 		if len(o.Paths) == 0 {
-			return fmt.Errorf("query: world object with no trajectories")
+			return errors.New("query: world object with no trajectories")
 		}
 		if total > maxWorlds/len(o.Paths)+1 {
 			return fmt.Errorf("query: more than %d possible worlds", maxWorlds)

@@ -35,6 +35,9 @@ func (e *Engine) CNN(q Query, ts, te int, tau float64, rng *rand.Rand) ([]Interv
 // probability at least tau.
 func (e *Engine) CNNK(q Query, ts, te, k int, tau float64, rng *rand.Rand) ([]IntervalResult, Stats, error) {
 	var st Stats
+	if q.Zero() {
+		return nil, st, errZeroQuery
+	}
 	if te < ts {
 		return nil, st, fmt.Errorf("query: inverted interval [%d, %d]", ts, te)
 	}

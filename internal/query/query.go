@@ -19,9 +19,11 @@
 package query
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pnn/internal/geo"
@@ -45,8 +47,12 @@ func StateQuery(p geo.Point) Query {
 
 // TrajectoryQuery returns a query following pts, where pts[i] is the
 // position at time start+i. Positions clamp to the endpoints outside the
-// given range.
+// given range. An empty pts yields the zero Query, which the engine
+// rejects instead of dereferencing.
 func TrajectoryQuery(start int, pts []geo.Point) Query {
+	if len(pts) == 0 {
+		return Query{}
+	}
 	cp := make([]geo.Point, len(pts))
 	copy(cp, pts)
 	return Query{pos: func(t int) geo.Point {
@@ -63,6 +69,12 @@ func TrajectoryQuery(start int, pts []geo.Point) Query {
 
 // At returns the query position at time t.
 func (q Query) At(t int) geo.Point { return q.pos(t) }
+
+// Zero reports whether q is the zero value, i.e. carries no reference.
+// Zero queries are rejected by the engine rather than dereferenced.
+func (q Query) Zero() bool { return q.pos == nil }
+
+var errZeroQuery = errors.New("query: zero Query (build one with StateQuery or TrajectoryQuery)")
 
 // Result is one probabilistic query answer.
 type Result struct {
@@ -100,7 +112,7 @@ type Engine struct {
 	tree     *ustree.Tree
 	samples  int
 	noPrune  bool
-	parallel int
+	parallel atomic.Int32
 
 	cache *samplerCache
 	reach *uncertain.Reach // shared chain-transpose cache for adaptation
@@ -112,26 +124,51 @@ func NewEngine(tree *ustree.Tree, samples int) *Engine {
 	if samples < 1 {
 		samples = 1
 	}
-	return &Engine{
-		tree:     tree,
-		samples:  samples,
-		parallel: 1,
-		cache:    newSamplerCache(),
-		reach:    uncertain.NewReach(),
+	e := &Engine{
+		tree:    tree,
+		samples: samples,
+		cache:   newSamplerCache(),
+		reach:   uncertain.NewReach(),
 	}
+	e.parallel.Store(1)
+	return e
+}
+
+// NewEngineFrom derives an engine over tree, carrying over prev's
+// configuration and sampler cache except for the object indices in
+// invalidate, whose models must be re-adapted against their updated
+// observations. Object indices must mean the same thing in both trees
+// (appends and in-place updates preserve them). The derived engine
+// shares prev's cumulative cache counters and chain-transpose cache;
+// prev itself stays fully usable over its own tree, which is how
+// RCU-style snapshot swaps keep in-flight queries consistent.
+func NewEngineFrom(prev *Engine, tree *ustree.Tree, invalidate []int) *Engine {
+	e := &Engine{
+		tree:    tree,
+		samples: prev.samples,
+		noPrune: prev.noPrune,
+		cache:   prev.cache.deriveWithout(invalidate),
+		reach:   prev.reach,
+	}
+	e.parallel.Store(prev.parallel.Load())
+	return e
 }
 
 // SetParallelism spreads world sampling of ForAllNN/ExistsNN (and their
 // kNN variants) across p goroutines. Results remain deterministic for a
 // given seed: worker w draws its worlds from a sub-generator seeded by the
 // caller's rng, and the static partition of the sample budget does not
-// depend on timing. p < 1 is treated as 1.
+// depend on timing. p < 1 is treated as 1. Safe to call while queries
+// are running.
 func (e *Engine) SetParallelism(p int) {
 	if p < 1 {
 		p = 1
 	}
-	e.parallel = p
+	e.parallel.Store(int32(p))
 }
+
+// Parallelism returns the current per-query sampling parallelism.
+func (e *Engine) Parallelism() int { return int(e.parallel.Load()) }
 
 // Tree returns the underlying index.
 func (e *Engine) Tree() *ustree.Tree { return e.tree }
@@ -170,6 +207,9 @@ func (e *Engine) ExistsKNN(q Query, ts, te, k int, tau float64, rng *rand.Rand) 
 
 func (e *Engine) nnQuery(q Query, ts, te, k int, tau float64, rng *rand.Rand, forall bool) ([]Result, Stats, error) {
 	var st Stats
+	if q.Zero() {
+		return nil, st, errZeroQuery
+	}
 	if te < ts {
 		return nil, st, fmt.Errorf("query: inverted interval [%d, %d]", ts, te)
 	}
@@ -223,7 +263,7 @@ func (e *Engine) nnQuery(q Query, ts, te, k int, tau float64, rng *rand.Rand, fo
 // the budget is split statically into p chunks, each driven by a derived
 // deterministic generator.
 func (e *Engine) countWorlds(samplers []*inference.Sampler, q Query, ts, te, k int, forall bool, targets []int, localIdx map[int]int, rng *rand.Rand) []int {
-	p := e.parallel
+	p := e.Parallelism()
 	if p > e.samples {
 		p = e.samples
 	}

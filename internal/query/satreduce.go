@@ -1,6 +1,7 @@
 package query
 
 import (
+	"errors"
 	"fmt"
 
 	"pnn/internal/geo"
@@ -82,7 +83,7 @@ type SATInstance struct {
 // the NN at every timestep, i.e. iff P∃NN(o, q, D, [1, m]) < 1.
 func BuildSATInstance(f CNF) (*SATInstance, error) {
 	if f.Vars < 1 || len(f.Clauses) == 0 {
-		return nil, fmt.Errorf("query: CNF needs at least one variable and one clause")
+		return nil, errors.New("query: CNF needs at least one variable and one clause")
 	}
 	for _, c := range f.Clauses {
 		for _, l := range c {

@@ -5,12 +5,20 @@
 //
 // Endpoints:
 //
-//	GET  /healthz      liveness plus object count and cache counters
+//	GET  /healthz      liveness plus snapshot version, object count and
+//	                   cache counters
 //	POST /v1/forallnn  P∀NNQ  (ForAllKNN)
 //	POST /v1/existsnn  P∃NNQ  (ExistsKNN)
 //	POST /v1/pcnn      PCNNQ  (ContinuousKNN)
 //	POST /v1/batch     a slice of independent requests, answered by
 //	                   Processor.RunBatch on the server's worker pool
+//	POST /v1/objects   live ingestion: register a new object
+//	POST /v1/observe   live ingestion: append observations to an object
+//
+// Ingestion is snapshot-versioned (RCU): a write never disturbs
+// in-flight queries — they finish on the version they started on — and
+// every query issued after the write's response sees it. Both ingest
+// endpoints return the published version.
 //
 // Every query request carries exactly one reference — "state", "x"/"y",
 // or "trajectory" — plus the interval, threshold and seed:
@@ -18,8 +26,11 @@
 //	{"state": 17, "ts": 5, "te": 15, "tau": 0.3, "seed": 7}
 //
 // Malformed requests return 400 with {"error": "..."}; internal failures
-// return 500. Responses repeat the query's work statistics so callers can
-// observe filter quality and cache warmth per request.
+// return 500. Writes the database itself rejects — duplicate or unknown
+// object IDs, observations the motion model cannot realize — return 409
+// and leave the served snapshot untouched. Responses repeat the query's
+// work statistics so callers can observe filter quality and cache warmth
+// per request.
 package server
 
 import (
@@ -41,6 +52,13 @@ type Config struct {
 	// MaxBatch caps the number of requests a single /v1/batch call may
 	// carry; 0 means 1024.
 	MaxBatch int
+	// Ingest enables the write endpoints /v1/objects and /v1/observe.
+	// When false they answer 403, making a read-only replica explicit
+	// rather than a missing route.
+	Ingest bool
+	// MaxObservations caps the observations one ingest call may carry;
+	// 0 means 4096.
+	MaxObservations int
 }
 
 // Server answers PNN queries for one built database. It implements
@@ -59,12 +77,17 @@ func New(net *pnn.Network, proc *pnn.Processor, cfg Config) *Server {
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = 1024
 	}
+	if cfg.MaxObservations <= 0 {
+		cfg.MaxObservations = 4096
+	}
 	s := &Server{proc: proc, net: net, cfg: cfg, mux: http.NewServeMux(), start: time.Now()}
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/v1/forallnn", s.queryHandler(pnn.ForAll))
 	s.mux.HandleFunc("/v1/existsnn", s.queryHandler(pnn.Exists))
 	s.mux.HandleFunc("/v1/pcnn", s.queryHandler(pnn.Continuous))
 	s.mux.HandleFunc("/v1/batch", s.handleBatch)
+	s.mux.HandleFunc("/v1/objects", s.handleAddObject)
+	s.mux.HandleFunc("/v1/observe", s.handleObserve)
 	return s
 }
 
@@ -171,8 +194,10 @@ type BatchResponse struct {
 // HealthResponse is the body of /healthz.
 type HealthResponse struct {
 	Status        string  `json:"status"`
+	Version       int64   `json:"version"` // current snapshot version
 	Objects       int     `json:"objects"`
 	States        int     `json:"states"`
+	Ingest        bool    `json:"ingest"` // write endpoints enabled
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	CacheBuilds   int64   `json:"cache_builds"`
 	CacheHits     int64   `json:"cache_hits"`
@@ -184,14 +209,113 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	cs := s.proc.CacheStats()
+	version, objects := s.proc.SnapshotInfo() // one snapshot: a consistent pair
 	writeJSON(w, http.StatusOK, HealthResponse{
 		Status:        "ok",
-		Objects:       s.proc.NumObjects(),
+		Version:       version,
+		Objects:       objects,
 		States:        s.net.NumStates(),
+		Ingest:        s.cfg.Ingest,
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		CacheBuilds:   cs.Builds,
 		CacheHits:     cs.Hits,
 	})
+}
+
+// ObservationJSON is one certain (time, state) measurement in ingest
+// request bodies.
+type ObservationJSON struct {
+	T     int `json:"t"`
+	State int `json:"state"`
+}
+
+// IngestRequest is the body of both write endpoints: for /v1/objects a
+// new object with its initial observations, for /v1/observe
+// observations to append to an existing object.
+type IngestRequest struct {
+	ID           int               `json:"id"`
+	Observations []ObservationJSON `json:"observations"`
+}
+
+// IngestResponse reports a successful write: the published snapshot
+// version (every query from now on sees the update) and the object
+// count at exactly that version — consistent even when writes race.
+type IngestResponse struct {
+	Version int64 `json:"version"`
+	Objects int   `json:"objects"`
+}
+
+func (s *Server) handleAddObject(w http.ResponseWriter, r *http.Request) {
+	req, obs, ok := s.decodeIngest(w, r)
+	if !ok {
+		return
+	}
+	ing, err := s.proc.AddObject(req.ID, obs)
+	if err != nil {
+		httpError(w, http.StatusConflict, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, IngestResponse{Version: ing.Version, Objects: ing.Objects})
+}
+
+func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
+	req, obs, ok := s.decodeIngest(w, r)
+	if !ok {
+		return
+	}
+	ing, err := s.proc.Observe(req.ID, obs...)
+	if err != nil {
+		httpError(w, http.StatusConflict, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, IngestResponse{Version: ing.Version, Objects: ing.Objects})
+}
+
+// decodeIngest decodes and validates a write request, answering 400 for
+// everything wrong with the request body itself (malformed JSON, no or
+// too many observations, out-of-range states, duplicate timestamps
+// within the payload). It has already written the error response when
+// it returns ok=false; 409 is reserved for writes the database rejects.
+func (s *Server) decodeIngest(w http.ResponseWriter, r *http.Request) (IngestRequest, []pnn.Observation, bool) {
+	var req IngestRequest
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "use POST")
+		return req, nil, false
+	}
+	if !s.cfg.Ingest {
+		httpError(w, http.StatusForbidden, "ingestion disabled (start the server with ingest enabled)")
+		return req, nil, false
+	}
+	if err := decodeBody(r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return req, nil, false
+	}
+	if len(req.Observations) == 0 {
+		httpError(w, http.StatusBadRequest, "need at least one observation")
+		return req, nil, false
+	}
+	if len(req.Observations) > s.cfg.MaxObservations {
+		httpError(w, http.StatusBadRequest,
+			fmt.Sprintf("%d observations exceed limit %d", len(req.Observations), s.cfg.MaxObservations))
+		return req, nil, false
+	}
+	obs := make([]pnn.Observation, len(req.Observations))
+	times := make(map[int]bool, len(req.Observations))
+	for i, ob := range req.Observations {
+		if ob.State < 0 || ob.State >= s.net.NumStates() {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf(
+				"observation %d: state %d out of range [0, %d)", i, ob.State, s.net.NumStates()))
+			return req, nil, false
+		}
+		if times[ob.T] {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf(
+				"observation %d: duplicate timestamp %d within the request", i, ob.T))
+			return req, nil, false
+		}
+		times[ob.T] = true
+		obs[i] = pnn.Observation{T: ob.T, State: ob.State}
+	}
+	return req, obs, true
 }
 
 func (s *Server) queryHandler(sem pnn.Semantics) http.HandlerFunc {

@@ -39,7 +39,7 @@ func testServer(t *testing.T) (*pnn.Network, *pnn.Processor, *httptest.Server) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(New(net, proc, Config{BatchWorkers: 2}))
+	ts := httptest.NewServer(New(net, proc, Config{BatchWorkers: 2, Ingest: true}))
 	t.Cleanup(ts.Close)
 	return net, proc, ts
 }
@@ -294,5 +294,134 @@ func TestRunGracefulShutdown(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("Run did not shut down")
+	}
+}
+
+// TestIngestEndpoints drives the live write path end-to-end: a new
+// object lands via /v1/objects, grows via /v1/observe, the snapshot
+// version advances each time, and queries issued afterwards see it.
+func TestIngestEndpoints(t *testing.T) {
+	net, proc, ts := testServer(t)
+	// Park the new object in the corner the routes only brush at t=0, so
+	// it dominates its neighborhood for the whole query window.
+	corner := net.NearestState(pnn.Point{X: 0.95, Y: 0.05})
+	v0 := proc.Version()
+
+	code, raw := post(t, ts.URL+"/v1/objects", fmt.Sprintf(
+		`{"id": 200, "observations": [{"t": 0, "state": %d}, {"t": 6, "state": %d}]}`, corner, corner))
+	if code != http.StatusOK {
+		t.Fatalf("/v1/objects = %d: %s", code, raw)
+	}
+	var ing IngestResponse
+	if err := json.Unmarshal(raw, &ing); err != nil {
+		t.Fatal(err)
+	}
+	if ing.Version != v0+1 || ing.Objects != 4 {
+		t.Errorf("ingest response = %+v, want version %d with 4 objects", ing, v0+1)
+	}
+
+	code, raw = post(t, ts.URL+"/v1/observe", fmt.Sprintf(
+		`{"id": 200, "observations": [{"t": 12, "state": %d}]}`, corner))
+	if code != http.StatusOK {
+		t.Fatalf("/v1/observe = %d: %s", code, raw)
+	}
+	if err := json.Unmarshal(raw, &ing); err != nil {
+		t.Fatal(err)
+	}
+	if ing.Version != v0+2 {
+		t.Errorf("observe version = %d, want %d", ing.Version, v0+2)
+	}
+
+	// A query after both writes sees the parked object, including the
+	// window only the appended observation covers.
+	code, raw = post(t, ts.URL+"/v1/forallnn", fmt.Sprintf(
+		`{"state": %d, "ts": 7, "te": 11, "tau": 0.5, "seed": 3}`, corner))
+	if code != http.StatusOK {
+		t.Fatalf("post-ingest query = %d: %s", code, raw)
+	}
+	var qr QueryResponse
+	if err := json.Unmarshal(raw, &qr); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range qr.Results {
+		if r.ObjectID == 200 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("ingested object missing from post-ingest query: %s", raw)
+	}
+
+	// /healthz reports the advanced version and the new object count.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h HealthResponse
+	err = json.NewDecoder(resp.Body).Decode(&h)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Version != v0+2 || h.Objects != 4 || !h.Ingest {
+		t.Errorf("health after ingest = %+v", h)
+	}
+}
+
+// TestIngestValidation: each malformed or impossible write is rejected
+// with the right status and leaves the served version untouched.
+func TestIngestValidation(t *testing.T) {
+	_, proc, ts := testServer(t)
+	v0 := proc.Version()
+	cases := []struct {
+		name, path, body string
+		want             int
+	}{
+		{"empty observations", "/v1/objects", `{"id": 300, "observations": []}`, http.StatusBadRequest},
+		{"state out of range", "/v1/objects", `{"id": 300, "observations": [{"t": 0, "state": 64}]}`, http.StatusBadRequest},
+		{"unknown field", "/v1/objects", `{"id": 300, "obs": []}`, http.StatusBadRequest},
+		{"duplicate timestamp in payload", "/v1/objects", `{"id": 300, "observations": [{"t": 0, "state": 1}, {"t": 0, "state": 2}]}`, http.StatusBadRequest},
+		{"duplicate id", "/v1/objects", `{"id": 100, "observations": [{"t": 0, "state": 1}]}`, http.StatusConflict},
+		{"unknown object", "/v1/observe", `{"id": 999, "observations": [{"t": 50, "state": 1}]}`, http.StatusConflict},
+		{"impossible motion", "/v1/observe", `{"id": 100, "observations": [{"t": 100, "state": 0}, {"t": 101, "state": 63}]}`, http.StatusConflict},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, raw := post(t, ts.URL+tc.path, tc.body)
+			if code != tc.want {
+				t.Errorf("%s %s = %d, want %d (%s)", tc.path, tc.body, code, tc.want, raw)
+			}
+		})
+	}
+	if v := proc.Version(); v != v0 {
+		t.Errorf("rejected writes advanced version %d -> %d", v0, v)
+	}
+	if resp, err := http.Get(ts.URL + "/v1/objects"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("GET /v1/objects = %d, want 405", resp.StatusCode)
+		}
+	}
+}
+
+// TestIngestDisabled: a read-only server refuses writes with 403 but
+// keeps answering queries.
+func TestIngestDisabled(t *testing.T) {
+	net, proc, _ := testServer(t)
+	ro := httptest.NewServer(New(net, proc, Config{}))
+	defer ro.Close()
+	code, _ := post(t, ro.URL+"/v1/objects", `{"id": 400, "observations": [{"t": 0, "state": 1}]}`)
+	if code != http.StatusForbidden {
+		t.Errorf("/v1/objects on read-only server = %d, want 403", code)
+	}
+	code, _ = post(t, ro.URL+"/v1/observe", `{"id": 100, "observations": [{"t": 50, "state": 1}]}`)
+	if code != http.StatusForbidden {
+		t.Errorf("/v1/observe on read-only server = %d, want 403", code)
+	}
+	if code, _ := post(t, ro.URL+"/v1/existsnn", `{"state": 1, "ts": 0, "te": 2, "tau": 0.01, "seed": 1}`); code != http.StatusOK {
+		t.Errorf("query on read-only server = %d, want 200", code)
 	}
 }

@@ -1,6 +1,7 @@
 package space
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -35,7 +36,7 @@ func Synthetic(n int, b float64, rng *rand.Rand) (*Space, error) {
 // center. Used by the taxi simulator (the T-Drive substitute).
 func Clustered(n, clusters int, clusterFrac, sigma, b float64, rng *rand.Rand) (*Space, error) {
 	if n <= 0 || clusters <= 0 {
-		return nil, fmt.Errorf("space: Clustered needs n > 0 and clusters > 0")
+		return nil, errors.New("space: Clustered needs n > 0 and clusters > 0")
 	}
 	if clusterFrac < 0 || clusterFrac > 1 {
 		return nil, fmt.Errorf("space: clusterFrac must be in [0,1], got %g", clusterFrac)

@@ -1,0 +1,189 @@
+// Package store owns the mutable state of a live PNN service: a
+// versioned, immutable (UST-tree, query.Engine) snapshot plus the write
+// path that advances it. The paper's whole premise is *moving* objects —
+// observations keep arriving — so a serving system cannot freeze its
+// database at startup.
+//
+// Reads are lock-free RCU: queries load the current snapshot from an
+// atomic pointer and run entirely against it, so a snapshot swap never
+// disturbs an in-flight query — it simply keeps answering from the
+// version it started on. Writes (AddObject, Observe) are serialized by a
+// mutex, build a private copy-on-write successor (ustree.Clone + Insert
+// for new objects, an incremental re-index recomputing only the updated
+// object's diamonds for observation appends), freeze it, and publish it
+// with one atomic store. The successor engine carries
+// over the adapted sampler of every untouched object and invalidates
+// only the updated ones, so ingestion does not cold-start the cache.
+package store
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"pnn/internal/query"
+	"pnn/internal/space"
+	"pnn/internal/uncertain"
+	"pnn/internal/ustree"
+)
+
+// Snapshot is one immutable version of the database. All fields are
+// read-only: the engine's tree is frozen and IDs must not be modified.
+// A query that captured a Snapshot may keep using it for its whole
+// lifetime regardless of how many writes are published meanwhile.
+type Snapshot struct {
+	// Version increases by one with every published write, starting at 1
+	// for the initial build.
+	Version int64
+	// Engine answers queries over this version's frozen UST-tree.
+	Engine *query.Engine
+	// IDs maps the engine's object index to the caller-chosen object ID.
+	IDs []int
+}
+
+// Store is the single writer of a serving system. It is safe for
+// concurrent use: any number of goroutines may Snapshot/query while
+// others AddObject/Observe.
+type Store struct {
+	sp    *space.Space
+	reach *uncertain.Reach // shared diamond/transpose cache for index builds
+
+	mu   sync.Mutex  // serializes writers; never held by readers
+	byID map[int]int // object ID -> engine index (writer-owned)
+	cur  atomic.Pointer[Snapshot]
+}
+
+// New indexes objs and returns a store at version 1, with an engine
+// drawing `samples` possible worlds per query. Object IDs must be
+// unique; observations contradicting an object's chain fail the build.
+func New(sp *space.Space, objs []*uncertain.Object, samples int) (*Store, error) {
+	s := &Store{sp: sp, reach: uncertain.NewReach()}
+	tree, err := ustree.Build(sp, objs, s.reach)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.init(tree, samples); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// NewLenient is New for noisy data: objects whose observations
+// contradict their chain are dropped rather than failing the build. It
+// returns the positions (in objs) of the skipped objects.
+func NewLenient(sp *space.Space, objs []*uncertain.Object, samples int) (*Store, []int, error) {
+	s := &Store{sp: sp, reach: uncertain.NewReach()}
+	tree, skipped, err := ustree.BuildLenient(sp, objs, s.reach)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := s.init(tree, samples); err != nil {
+		return nil, nil, err
+	}
+	return s, skipped, nil
+}
+
+func (s *Store) init(tree *ustree.Tree, samples int) error {
+	ids := make([]int, tree.Len())
+	s.byID = make(map[int]int, tree.Len())
+	for i, o := range tree.Objects() {
+		if _, dup := s.byID[o.ID]; dup {
+			return fmt.Errorf("store: duplicate object id %d", o.ID)
+		}
+		ids[i] = o.ID
+		s.byID[o.ID] = i
+	}
+	tree.Freeze()
+	s.cur.Store(&Snapshot{Version: 1, Engine: query.NewEngine(tree, samples), IDs: ids})
+	return nil
+}
+
+// Snapshot returns the current version. The result is immutable and
+// stays valid forever; it just stops being current once a write lands.
+func (s *Store) Snapshot() *Snapshot { return s.cur.Load() }
+
+// Version returns the current snapshot version. Successive calls return
+// non-decreasing values.
+func (s *Store) Version() int64 { return s.cur.Load().Version }
+
+// NumObjects returns the object count of the current snapshot.
+func (s *Store) NumObjects() int { return len(s.cur.Load().IDs) }
+
+// SetParallelism sets the per-query sampling parallelism on the current
+// engine and every engine derived from it by later writes.
+func (s *Store) SetParallelism(workers int) {
+	// Under mu no swap can race us, so the setting cannot land on a
+	// snapshot that is being replaced (derived engines copy it).
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cur.Load().Engine.SetParallelism(workers)
+}
+
+// AddObject indexes a new object and publishes the successor snapshot,
+// which it returns. The object's ID must be unused and its observations
+// consistent with its chain. Cost is one R*-tree clone plus the new
+// object's diamonds; the sampler cache carries over completely.
+func (s *Store) AddObject(o *uncertain.Object) (*Snapshot, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.byID[o.ID]; dup {
+		return nil, fmt.Errorf("store: duplicate object id %d", o.ID)
+	}
+	cur := s.cur.Load()
+	tree := cur.Engine.Tree().Clone()
+	oi, err := tree.Insert(o, s.reach)
+	if err != nil {
+		return nil, err
+	}
+	tree.Freeze()
+	next := &Snapshot{
+		Version: cur.Version + 1,
+		Engine:  query.NewEngineFrom(cur.Engine, tree, nil),
+		IDs:     append(append(make([]int, 0, len(cur.IDs)+1), cur.IDs...), o.ID),
+	}
+	s.byID[o.ID] = oi
+	s.cur.Store(next)
+	return next, nil
+}
+
+// Observe appends observations to an existing object and publishes the
+// successor snapshot, which it returns. Late (out-of-order)
+// observations are accepted as long as the merged sequence stays
+// consistent: duplicate timestamps and motions the chain cannot realize
+// are rejected, leaving the current snapshot untouched. The object
+// keeps its engine index; only its sampler is invalidated, every other
+// object's adapted model carries over.
+func (s *Store) Observe(id int, obs []uncertain.Observation) (*Snapshot, error) {
+	if len(obs) == 0 {
+		return nil, fmt.Errorf("store: Observe(%d) with no observations", id)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	oi, ok := s.byID[id]
+	if !ok {
+		return nil, fmt.Errorf("store: unknown object id %d", id)
+	}
+	cur := s.cur.Load()
+	old := cur.Engine.Tree().Objects()[oi]
+	merged := append(append(make([]uncertain.Observation, 0, len(old.Obs)+len(obs)), old.Obs...), obs...)
+	upd, err := uncertain.NewObject(id, merged, old.Chain)
+	if err != nil {
+		return nil, err
+	}
+	// The incremental rebuild recomputes only upd's diamonds (rejecting
+	// contradicting updates before anything is published) and reuses
+	// every other object's precomputed approximation; see
+	// Tree.WithUpdatedObject for the exact cost model.
+	tree, err := cur.Engine.Tree().WithUpdatedObject(oi, upd, s.reach)
+	if err != nil {
+		return nil, err
+	}
+	tree.Freeze()
+	next := &Snapshot{
+		Version: cur.Version + 1,
+		Engine:  query.NewEngineFrom(cur.Engine, tree, []int{oi}),
+		IDs:     cur.IDs,
+	}
+	s.cur.Store(next)
+	return next, nil
+}

@@ -79,6 +79,53 @@ func TestInsertContradictingLeavesTreeIntact(t *testing.T) {
 	}
 }
 
+func TestFreezeRefusesInsert(t *testing.T) {
+	sp, c := lineWorld(t)
+	tree, err := Build(sp, []*uncertain.Object{
+		mkObj(t, 0, c,
+			uncertain.Observation{T: 0, State: 50},
+			uncertain.Observation{T: 10, State: 50}),
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree.Freeze()
+	if !tree.Frozen() {
+		t.Fatal("Frozen() false after Freeze")
+	}
+	o := mkObj(t, 1, c,
+		uncertain.Observation{T: 0, State: 40},
+		uncertain.Observation{T: 10, State: 40})
+	if _, err := tree.Insert(o, nil); err == nil {
+		t.Fatal("Insert into frozen tree must fail")
+	}
+	// A clone of a frozen tree accepts the insert and leaves the
+	// original untouched.
+	cp := tree.Clone()
+	if cp.Frozen() {
+		t.Fatal("clone must start unfrozen")
+	}
+	oi, err := cp.Insert(o, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oi != 1 || cp.Len() != 2 {
+		t.Fatalf("clone insert: index %d, len %d", oi, cp.Len())
+	}
+	if tree.Len() != 1 {
+		t.Fatalf("insert into clone mutated the frozen original: len %d", tree.Len())
+	}
+	// The clone answers pruning over both objects; the original still
+	// sees only its own.
+	q := sp.Point(40)
+	if p := cp.Prune(func(int) geo.Point { return q }, 2, 8); len(p.Influencers) != 2 {
+		t.Errorf("clone pruning: %+v", p)
+	}
+	if p := tree.Prune(func(int) geo.Point { return q }, 2, 8); len(p.Influencers) != 1 {
+		t.Errorf("original pruning after clone insert: %+v", p)
+	}
+}
+
 func TestInsertSingleObservation(t *testing.T) {
 	sp, c := lineWorld(t)
 	tree, err := Build(sp, nil, nil)
@@ -93,5 +140,76 @@ func TestInsertSingleObservation(t *testing.T) {
 	p := tree.Prune(func(int) geo.Point { return q }, 5, 5)
 	if len(p.Candidates) != 1 {
 		t.Errorf("Prune after single-obs insert: %+v", p)
+	}
+}
+
+func TestWithUpdatedObject(t *testing.T) {
+	sp, c := lineWorld(t)
+	objs := []*uncertain.Object{
+		mkObj(t, 0, c,
+			uncertain.Observation{T: 0, State: 20},
+			uncertain.Observation{T: 10, State: 22}),
+		mkObj(t, 1, c,
+			uncertain.Observation{T: 0, State: 50},
+			uncertain.Observation{T: 10, State: 52}),
+		mkObj(t, 2, c,
+			uncertain.Observation{T: 0, State: 80},
+			uncertain.Observation{T: 10, State: 80}),
+	}
+	tree, err := Build(sp, objs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree.Freeze()
+
+	// Extend the middle object's lifetime.
+	upd := mkObj(t, 1, c,
+		uncertain.Observation{T: 0, State: 50},
+		uncertain.Observation{T: 10, State: 52},
+		uncertain.Observation{T: 20, State: 56})
+	nt, err := tree.WithUpdatedObject(1, upd, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nt.Frozen() {
+		t.Error("derived tree must start unfrozen")
+	}
+	if nt.Len() != 3 || nt.NumLeaves() != tree.NumLeaves()+1 {
+		t.Fatalf("derived tree: len %d leaves %d (orig %d)", nt.Len(), nt.NumLeaves(), tree.NumLeaves())
+	}
+	if _, hi := nt.Horizon(); hi != 20 {
+		t.Errorf("derived horizon = %d, want 20", hi)
+	}
+	if _, hi := tree.Horizon(); hi != 10 {
+		t.Errorf("original horizon changed to %d", hi)
+	}
+	// RectAt works across the splice for all objects, including the new
+	// gap, and the original tree does not cover it.
+	for oi := 0; oi < 3; oi++ {
+		if _, ok := nt.RectAt(oi, 5); !ok {
+			t.Errorf("derived RectAt(%d, 5) failed", oi)
+		}
+	}
+	if _, ok := nt.RectAt(1, 15); !ok {
+		t.Error("derived RectAt misses the appended gap")
+	}
+	if _, ok := tree.RectAt(1, 15); ok {
+		t.Error("original RectAt covers the appended gap")
+	}
+	// Pruning on the extended window finds exactly the updated object.
+	q := sp.Point(54)
+	if p := nt.Prune(func(int) geo.Point { return q }, 12, 18); len(p.Influencers) != 1 || p.Influencers[0] != 1 {
+		t.Errorf("derived pruning in extension window: %+v", p)
+	}
+
+	// Contradicting updates and bad indices fail without side effects.
+	bad := mkObj(t, 1, c,
+		uncertain.Observation{T: 0, State: 50},
+		uncertain.Observation{T: 2, State: 90})
+	if _, err := tree.WithUpdatedObject(1, bad, nil); err == nil {
+		t.Error("contradicting update must fail")
+	}
+	if _, err := tree.WithUpdatedObject(7, upd, nil); err == nil {
+		t.Error("out-of-range index must fail")
 	}
 }

@@ -20,6 +20,7 @@
 package ustree
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -38,13 +39,21 @@ type gapApprox struct {
 	rects []geo.Rect
 }
 
-// Tree is an immutable UST-tree over a database of uncertain objects.
+// Tree is a UST-tree over a database of uncertain objects.
+//
+// Concurrency contract: a Tree is safe for any number of concurrent
+// readers once construction finishes, but Insert must never run
+// concurrently with readers. Serving systems therefore Freeze a tree
+// before publishing it and route every mutation through a private
+// Clone (copy-on-write), swapping the frozen copy in atomically — the
+// discipline implemented by internal/store.
 type Tree struct {
 	sp      *space.Space
 	objs    []*uncertain.Object
 	gaps    []gapApprox
 	rt      *rtree.Tree
 	horizon [2]int // min/max observed timestamps across the database
+	frozen  bool   // published to concurrent readers; Insert refused
 }
 
 // BuildLenient is Build for noisy databases: objects whose observations
@@ -85,35 +94,53 @@ func Build(sp *space.Space, objs []*uncertain.Object, reach *uncertain.Reach) (*
 		horizon: [2]int{math.MaxInt32, math.MinInt32},
 	}
 	for oi, o := range objs {
-		if o.First().T < t.horizon[0] {
-			t.horizon[0] = o.First().T
+		t.extendHorizon(o)
+		gaps, err := computeGaps(sp, o, oi, reach)
+		if err != nil {
+			return nil, err
 		}
-		if o.Last().T > t.horizon[1] {
-			t.horizon[1] = o.Last().T
-		}
-		if len(o.Obs) == 1 {
-			ob := o.Obs[0]
-			r := geo.RectFromPoint(sp.Point(ob.State))
-			t.addGap(gapApprox{obj: oi, gap: -1, t0: ob.T, rects: []geo.Rect{r}})
-			continue
-		}
-		for g := 0; g+1 < len(o.Obs); g++ {
-			d, err := reach.Diamond(o, g)
-			if err != nil {
-				return nil, fmt.Errorf("ustree: %w", err)
-			}
-			rects := make([]geo.Rect, len(d))
-			for k, states := range d {
-				r := geo.EmptyRect()
-				for _, s := range states {
-					r = r.ExtendPoint(sp.Point(int(s)))
-				}
-				rects[k] = r
-			}
-			t.addGap(gapApprox{obj: oi, gap: g, t0: o.Obs[g].T, rects: rects})
+		for _, g := range gaps {
+			t.addGap(g)
 		}
 	}
 	return t, nil
+}
+
+// computeGaps materializes the per-timestep rectangle approximation of
+// every observation gap of o (to be registered as object index oi) —
+// the expensive reachability sweeps of the index build.
+func computeGaps(sp *space.Space, o *uncertain.Object, oi int, reach *uncertain.Reach) ([]gapApprox, error) {
+	if len(o.Obs) == 1 {
+		ob := o.Obs[0]
+		r := geo.RectFromPoint(sp.Point(ob.State))
+		return []gapApprox{{obj: oi, gap: -1, t0: ob.T, rects: []geo.Rect{r}}}, nil
+	}
+	gaps := make([]gapApprox, 0, len(o.Obs)-1)
+	for g := 0; g+1 < len(o.Obs); g++ {
+		d, err := reach.Diamond(o, g)
+		if err != nil {
+			return nil, fmt.Errorf("ustree: %w", err)
+		}
+		rects := make([]geo.Rect, len(d))
+		for k, states := range d {
+			r := geo.EmptyRect()
+			for _, s := range states {
+				r = r.ExtendPoint(sp.Point(int(s)))
+			}
+			rects[k] = r
+		}
+		gaps = append(gaps, gapApprox{obj: oi, gap: g, t0: o.Obs[g].T, rects: rects})
+	}
+	return gaps, nil
+}
+
+func (t *Tree) extendHorizon(o *uncertain.Object) {
+	if o.First().T < t.horizon[0] {
+		t.horizon[0] = o.First().T
+	}
+	if o.Last().T > t.horizon[1] {
+		t.horizon[1] = o.Last().T
+	}
 }
 
 func (t *Tree) addGap(g gapApprox) {
@@ -131,52 +158,115 @@ func (t *Tree) addGap(g gapApprox) {
 	t.gaps = append(t.gaps, g)
 }
 
+// Freeze marks the tree as published to concurrent readers: any later
+// Insert is refused with an error. Freezing is irreversible; to mutate a
+// frozen tree, Clone it and insert into the private copy.
+func (t *Tree) Freeze() { t.frozen = true }
+
+// Frozen reports whether the tree has been published via Freeze.
+func (t *Tree) Frozen() bool { return t.frozen }
+
+// Clone returns an unfrozen deep-enough copy for copy-on-write
+// mutation: the R*-tree and the bookkeeping slices are copied, while
+// the immutable space, objects and per-gap rectangle data are shared.
+// Inserting into the clone leaves the original — and any reader holding
+// it — untouched.
+func (t *Tree) Clone() *Tree {
+	return &Tree{
+		sp:      t.sp,
+		objs:    append([]*uncertain.Object(nil), t.objs...),
+		gaps:    append([]gapApprox(nil), t.gaps...),
+		rt:      t.rt.Clone(),
+		horizon: t.horizon,
+	}
+}
+
 // Insert appends one more object to the index (streaming ingestion). The
 // object's diamonds are computed and added to the R*-tree; its index in
 // Objects() is returned. Insert is not safe for use concurrently with
-// queries.
+// queries: a tree published to readers must be frozen, and mutation then
+// flows through Clone (see the Tree concurrency contract).
 func (t *Tree) Insert(o *uncertain.Object, reach *uncertain.Reach) (int, error) {
+	if t.frozen {
+		return 0, errors.New("ustree: Insert into frozen tree (published to readers); Clone it and insert into the copy")
+	}
 	if reach == nil {
 		reach = uncertain.NewReach()
 	}
 	oi := len(t.objs)
 	// Validate all gaps before mutating any state, so a contradicting
 	// object cannot leave the tree half-updated.
-	var gaps []gapApprox
-	if len(o.Obs) == 1 {
-		ob := o.Obs[0]
-		gaps = append(gaps, gapApprox{
-			obj: oi, gap: -1, t0: ob.T,
-			rects: []geo.Rect{geo.RectFromPoint(t.sp.Point(ob.State))},
-		})
-	} else {
-		for g := 0; g+1 < len(o.Obs); g++ {
-			d, err := reach.Diamond(o, g)
-			if err != nil {
-				return 0, fmt.Errorf("ustree: %w", err)
-			}
-			rects := make([]geo.Rect, len(d))
-			for k, states := range d {
-				r := geo.EmptyRect()
-				for _, s := range states {
-					r = r.ExtendPoint(t.sp.Point(int(s)))
-				}
-				rects[k] = r
-			}
-			gaps = append(gaps, gapApprox{obj: oi, gap: g, t0: o.Obs[g].T, rects: rects})
-		}
+	gaps, err := computeGaps(t.sp, o, oi, reach)
+	if err != nil {
+		return 0, err
 	}
 	t.objs = append(t.objs, o)
 	for _, g := range gaps {
 		t.addGap(g)
 	}
-	if o.First().T < t.horizon[0] {
-		t.horizon[0] = o.First().T
-	}
-	if o.Last().T > t.horizon[1] {
-		t.horizon[1] = o.Last().T
-	}
+	t.extendHorizon(o)
 	return oi, nil
+}
+
+// WithUpdatedObject returns a new unfrozen tree equal to t except that
+// the object at index oi is replaced by upd — the index path of an
+// observation append. Only upd's diamonds are recomputed (the
+// reachability sweeps that dominate index builds); every other object's
+// per-timestep rectangles are reused as-is. What remains is
+// re-registering all gap boxes in a fresh R*-tree, which still scales
+// with the total number of gaps — cheap relative to the sweeps, but not
+// free; shrinking it to a delete+insert needs stable gap item IDs and
+// is left for a later PR. A contradicting upd returns an error and
+// leaves t untouched.
+func (t *Tree) WithUpdatedObject(oi int, upd *uncertain.Object, reach *uncertain.Reach) (*Tree, error) {
+	if oi < 0 || oi >= len(t.objs) {
+		return nil, fmt.Errorf("ustree: no object at index %d", oi)
+	}
+	if reach == nil {
+		reach = uncertain.NewReach()
+	}
+	updGaps, err := computeGaps(t.sp, upd, oi, reach)
+	if err != nil {
+		return nil, err
+	}
+	nt := &Tree{
+		sp:      t.sp,
+		objs:    append([]*uncertain.Object(nil), t.objs...),
+		gaps:    make([]gapApprox, 0, len(t.gaps)-countGaps(t.gaps, oi)+len(updGaps)),
+		rt:      rtree.New(0),
+		horizon: [2]int{math.MaxInt32, math.MinInt32},
+	}
+	nt.objs[oi] = upd
+	for _, o := range nt.objs {
+		nt.extendHorizon(o)
+	}
+	// Splice the new gaps in place of the old ones; gaps are stored in
+	// ascending (obj, gap) order and one object's gaps are consecutive,
+	// so the ordering invariant gapOf relies on is preserved.
+	spliced := false
+	for _, g := range t.gaps {
+		if g.obj == oi {
+			if !spliced {
+				spliced = true
+				for _, ng := range updGaps {
+					nt.addGap(ng)
+				}
+			}
+			continue
+		}
+		nt.addGap(g)
+	}
+	return nt, nil
+}
+
+func countGaps(gaps []gapApprox, oi int) int {
+	n := 0
+	for _, g := range gaps {
+		if g.obj == oi {
+			n++
+		}
+	}
+	return n
 }
 
 // Len returns the number of indexed objects.

@@ -45,8 +45,8 @@ import (
 	"pnn/internal/markov"
 	"pnn/internal/query"
 	"pnn/internal/space"
+	"pnn/internal/store"
 	"pnn/internal/uncertain"
-	"pnn/internal/ustree"
 )
 
 // Point is a location in the plane.
@@ -189,16 +189,16 @@ func (db *DB) Len() int { return len(db.objs) }
 // Build validates all objects, constructs the UST-tree index and returns a
 // query processor drawing `samples` possible worlds per query (10 000 is
 // the paper's default; see SampleBound for the accuracy this buys).
+//
+// Build requires the caller-chosen IDs passed to Add to match the object
+// IDs, which Add guarantees; the returned processor answers queries and
+// accepts live updates (AddObject, Observe).
 func (db *DB) Build(samples int) (*Processor, error) {
-	tree, err := ustree.Build(db.net.sp, db.objs, uncertain.NewReach())
+	st, err := store.New(db.net.sp, db.objs, samples)
 	if err != nil {
 		return nil, err
 	}
-	return &Processor{
-		net:    db.net,
-		ids:    append([]int(nil), db.ids...),
-		engine: query.NewEngine(tree, samples),
-	}, nil
+	return &Processor{net: db.net, store: st}, nil
 }
 
 // BuildLenient is Build for noisy data: objects whose observations
@@ -206,41 +206,94 @@ func (db *DB) Build(samples int) (*Processor, error) {
 // are dropped rather than failing the build. It returns the IDs of the
 // skipped objects.
 func (db *DB) BuildLenient(samples int) (*Processor, []int, error) {
-	tree, skippedIdx, err := ustree.BuildLenient(db.net.sp, db.objs, uncertain.NewReach())
+	st, skippedIdx, err := store.NewLenient(db.net.sp, db.objs, samples)
 	if err != nil {
 		return nil, nil, err
 	}
-	skippedSet := make(map[int]bool, len(skippedIdx))
 	var skippedIDs []int
 	for _, i := range skippedIdx {
-		skippedSet[i] = true
 		skippedIDs = append(skippedIDs, db.ids[i])
 	}
-	var keptIDs []int
-	for i, id := range db.ids {
-		if !skippedSet[i] {
-			keptIDs = append(keptIDs, id)
-		}
-	}
-	return &Processor{
-		net:    db.net,
-		ids:    keptIDs,
-		engine: query.NewEngine(tree, samples),
-	}, skippedIDs, nil
+	return &Processor{net: db.net, store: st}, skippedIDs, nil
 }
 
-// Processor answers probabilistic NN queries. It is safe for concurrent
-// use.
+// Processor answers probabilistic NN queries and ingests live updates.
+// It is safe for concurrent use: every query runs against the immutable
+// engine snapshot current when it started, while AddObject and Observe
+// publish successor snapshots without blocking readers (RCU). A query
+// overlapping a write therefore answers from a consistent version —
+// either entirely before or entirely after the update.
 type Processor struct {
-	net    *Network
-	ids    []int
-	engine *query.Engine
+	net   *Network
+	store *store.Store
 }
 
 // SetParallelism spreads the Monte-Carlo world sampling of ForAllNN /
 // ExistsNN (and kNN variants) over p goroutines. Results stay
 // deterministic for a fixed seed.
-func (p *Processor) SetParallelism(workers int) { p.engine.SetParallelism(workers) }
+func (p *Processor) SetParallelism(workers int) { p.store.SetParallelism(workers) }
+
+// Ingest describes one published write: the snapshot version it created
+// and the object count at exactly that version. The pair is consistent
+// even under concurrent writes, unlike reading Version and NumObjects
+// separately.
+type Ingest struct {
+	Version int64
+	Objects int
+}
+
+// AddObject registers a new object with the given observations and makes
+// it visible to all queries started afterwards, returning the published
+// snapshot. The ID must be unused and the observations consistent with
+// the network's motion model; invalid objects are rejected atomically,
+// leaving the served database untouched.
+func (p *Processor) AddObject(id int, obs []Observation) (Ingest, error) {
+	conv := make([]uncertain.Observation, len(obs))
+	for i, ob := range obs {
+		conv[i] = uncertain.Observation{T: ob.T, State: ob.State}
+	}
+	o, err := uncertain.NewObject(id, conv, p.net.chain)
+	if err != nil {
+		return Ingest{}, err
+	}
+	snap, err := p.store.AddObject(o)
+	if err != nil {
+		return Ingest{}, err
+	}
+	return Ingest{Version: snap.Version, Objects: len(snap.IDs)}, nil
+}
+
+// Observe appends observations to an existing object — the live arrival
+// of new measurements the paper's moving-object model is built around —
+// and returns the published snapshot. Late (out-of-order) observations
+// are accepted as long as the merged sequence stays non-contradicting;
+// duplicates and impossible motions are rejected atomically. In-flight
+// queries keep their pre-update snapshot, the object's adapted model is
+// re-derived lazily, and every other object's cached model carries over.
+func (p *Processor) Observe(id int, obs ...Observation) (Ingest, error) {
+	conv := make([]uncertain.Observation, len(obs))
+	for i, ob := range obs {
+		conv[i] = uncertain.Observation{T: ob.T, State: ob.State}
+	}
+	snap, err := p.store.Observe(id, conv)
+	if err != nil {
+		return Ingest{}, err
+	}
+	return Ingest{Version: snap.Version, Objects: len(snap.IDs)}, nil
+}
+
+// Version returns the current snapshot version. It starts at 1 and
+// increases by one with every successful AddObject or Observe;
+// successive calls return non-decreasing values.
+func (p *Processor) Version() int64 { return p.store.Version() }
+
+// SnapshotInfo returns the version and object count of one and the same
+// current snapshot — the pair callers should use when both values must
+// be consistent under concurrent writes.
+func (p *Processor) SnapshotInfo() (version int64, objects int) {
+	snap := p.store.Snapshot()
+	return snap.Version, len(snap.IDs)
+}
 
 // Query is a certain reference position per timestep.
 type Query = query.Query
@@ -255,7 +308,8 @@ func AtState(net *Network, state int) Query {
 }
 
 // Moving returns a trajectory query: pts[i] is the position at time
-// start+i (clamped outside).
+// start+i (clamped outside). An empty pts yields a zero query that every
+// engine call rejects with an error.
 func Moving(start int, pts []Point) Query {
 	conv := make([]geo.Point, len(pts))
 	for i, p := range pts {
@@ -288,36 +342,34 @@ type Stats struct {
 }
 
 // CacheStats reports the processor's cumulative sampler-cache traffic:
-// Builds counts model adaptations (at most one per object, ever), Hits
-// counts lookups served from cache. On a processor serving repeat traffic
-// Builds freezes while Hits keeps growing.
+// Builds counts model adaptations — at most one per object per engine
+// version, so on a static database it freezes at the number of distinct
+// objects touched, while every Observe invalidates that object's
+// sampler and costs one more build on next use. Hits counts lookups
+// served from cache and keeps growing with repeat traffic.
 type CacheStats = query.CacheStats
 
 // ForAllNN returns every object whose probability of being the nearest
 // neighbor of q at every t in [ts, te] is at least tau (P∀NNQ,
 // Definition 2).
 func (p *Processor) ForAllNN(q Query, ts, te int, tau float64, seed int64) ([]Result, Stats, error) {
-	res, st, err := p.engine.ForAllNN(q, ts, te, tau, rand.New(rand.NewSource(seed)))
-	return p.convert(res), convStats(st), err
+	return snapForAllKNN(p.store.Snapshot(), q, ts, te, 1, tau, seed)
 }
 
 // ExistsNN returns every object whose probability of being the NN of q at
 // at least one t in [ts, te] is at least tau (P∃NNQ, Definition 1).
 func (p *Processor) ExistsNN(q Query, ts, te int, tau float64, seed int64) ([]Result, Stats, error) {
-	res, st, err := p.engine.ExistsNN(q, ts, te, tau, rand.New(rand.NewSource(seed)))
-	return p.convert(res), convStats(st), err
+	return snapExistsKNN(p.store.Snapshot(), q, ts, te, 1, tau, seed)
 }
 
 // ForAllKNN generalizes ForAllNN to "among the k nearest" (Section 8).
 func (p *Processor) ForAllKNN(q Query, ts, te, k int, tau float64, seed int64) ([]Result, Stats, error) {
-	res, st, err := p.engine.ForAllKNN(q, ts, te, k, tau, rand.New(rand.NewSource(seed)))
-	return p.convert(res), convStats(st), err
+	return snapForAllKNN(p.store.Snapshot(), q, ts, te, k, tau, seed)
 }
 
 // ExistsKNN generalizes ExistsNN to "among the k nearest".
 func (p *Processor) ExistsKNN(q Query, ts, te, k int, tau float64, seed int64) ([]Result, Stats, error) {
-	res, st, err := p.engine.ExistsKNN(q, ts, te, k, tau, rand.New(rand.NewSource(seed)))
-	return p.convert(res), convStats(st), err
+	return snapExistsKNN(p.store.Snapshot(), q, ts, te, k, tau, seed)
 }
 
 // ContinuousNN answers PCNNQ (Definition 3): for each object the maximal
@@ -331,18 +383,32 @@ func (p *Processor) ContinuousNN(q Query, ts, te int, tau float64, seed int64) (
 // ContinuousKNN generalizes ContinuousNN to "among the k nearest"
 // (PCkNNQ, Section 8).
 func (p *Processor) ContinuousKNN(q Query, ts, te, k int, tau float64, seed int64) ([]IntervalResult, Stats, error) {
-	res, st, err := p.engine.CNNK(q, ts, te, k, tau, rand.New(rand.NewSource(seed)))
+	return snapContinuousKNN(p.store.Snapshot(), q, ts, te, k, tau, seed)
+}
+
+func snapForAllKNN(snap *store.Snapshot, q Query, ts, te, k int, tau float64, seed int64) ([]Result, Stats, error) {
+	res, st, err := snap.Engine.ForAllKNN(q, ts, te, k, tau, rand.New(rand.NewSource(seed)))
+	return convertResults(snap, res), convStats(st), err
+}
+
+func snapExistsKNN(snap *store.Snapshot, q Query, ts, te, k int, tau float64, seed int64) ([]Result, Stats, error) {
+	res, st, err := snap.Engine.ExistsKNN(q, ts, te, k, tau, rand.New(rand.NewSource(seed)))
+	return convertResults(snap, res), convStats(st), err
+}
+
+func snapContinuousKNN(snap *store.Snapshot, q Query, ts, te, k int, tau float64, seed int64) ([]IntervalResult, Stats, error) {
+	res, st, err := snap.Engine.CNNK(q, ts, te, k, tau, rand.New(rand.NewSource(seed)))
 	out := make([]IntervalResult, len(res))
 	for i, r := range res {
-		out[i] = IntervalResult{ObjectID: p.ids[r.Obj], Times: r.Times, Prob: r.Prob}
+		out[i] = IntervalResult{ObjectID: snap.IDs[r.Obj], Times: r.Times, Prob: r.Prob}
 	}
 	return out, convStats(st), err
 }
 
-func (p *Processor) convert(res []query.Result) []Result {
+func convertResults(snap *store.Snapshot, res []query.Result) []Result {
 	out := make([]Result, len(res))
 	for i, r := range res {
-		out[i] = Result{ObjectID: p.ids[r.Obj], Prob: r.Prob}
+		out[i] = Result{ObjectID: snap.IDs[r.Obj], Prob: r.Prob}
 	}
 	return out
 }
@@ -357,27 +423,31 @@ func convStats(st query.Stats) Stats {
 }
 
 // CacheStats returns the cumulative sampler-cache counters of this
-// processor's engine.
-func (p *Processor) CacheStats() CacheStats { return p.engine.CacheStats() }
+// processor, carried across ingestion-induced engine versions.
+func (p *Processor) CacheStats() CacheStats { return p.store.Snapshot().Engine.CacheStats() }
 
 // PrepareAll adapts every object's model up front (the TS phase), so later
 // queries pay only for sampling and evaluation. Adaptation of distinct
-// objects runs on the parallelism set by SetParallelism.
+// objects runs on the parallelism set by SetParallelism. It warms the
+// snapshot current at the call; objects updated afterwards re-adapt
+// lazily.
 func (p *Processor) PrepareAll() error {
-	_, err := p.engine.PrepareAll()
+	_, err := p.store.Snapshot().Engine.PrepareAll()
 	return err
 }
 
-// NumObjects returns the number of indexed objects.
-func (p *Processor) NumObjects() int { return len(p.ids) }
+// NumObjects returns the number of indexed objects in the current
+// snapshot.
+func (p *Processor) NumObjects() int { return p.store.NumObjects() }
 
 // SampleTrajectory draws one possible trajectory of the object consistent
 // with all of its observations (it passes through every one of them). The
 // returned slice holds the state at each tic of the object's lifetime,
 // starting at its first observation time.
 func (p *Processor) SampleTrajectory(objectID int, seed int64) ([]int, error) {
+	snap := p.store.Snapshot()
 	oi := -1
-	for i, id := range p.ids {
+	for i, id := range snap.IDs {
 		if id == objectID {
 			oi = i
 			break
@@ -386,7 +456,7 @@ func (p *Processor) SampleTrajectory(objectID int, seed int64) ([]int, error) {
 	if oi < 0 {
 		return nil, fmt.Errorf("pnn: unknown object id %d", objectID)
 	}
-	s, err := p.engine.Sampler(oi)
+	s, err := snap.Engine.Sampler(oi)
 	if err != nil {
 		return nil, err
 	}
