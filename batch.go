@@ -5,7 +5,7 @@ import (
 	"runtime"
 	"sync"
 
-	"pnn/internal/store"
+	"pnn/internal/shard"
 )
 
 // Semantics selects the predicate of a batch Request.
@@ -58,7 +58,7 @@ func (p *Processor) RunBatch(reqs []Request, workers int) []Response {
 	if len(reqs) == 0 {
 		return out
 	}
-	snap := p.store.Snapshot()
+	snap := p.set.Snapshot()
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -110,7 +110,7 @@ func sameShape(sem Semantics, qs []Query, ts, te int, tau float64, baseSeed int6
 	return reqs
 }
 
-func runOne(snap *store.Snapshot, req Request) (resp Response) {
+func runOne(snap *shard.Snap, req Request) (resp Response) {
 	// Enforce the no-panic contract: a panicking request becomes its own
 	// Response.Err instead of killing the worker goroutine (and with it
 	// the whole process).

@@ -1,0 +1,202 @@
+// Command benchdiff compares two benchmark summaries produced by
+// cmd/benchjson and fails when the current run regressed: it is the
+// blocking CI gate that turns the repository's BENCH_*.json perf
+// trajectory from a record into a contract.
+//
+// Benchmarks are matched by (package, name). A shared benchmark whose
+// ns/op grew by more than -max-regress percent is a regression; any
+// regression exits 1 after printing the full diff table (markdown, so
+// CI can upload it as a readable artifact via -out).
+//
+// ns/op is only comparable between runs on the same machine shape, so
+// when the two files disagree on goos/goarch/GOMAXPROCS/Go version (or
+// the shard configuration recorded by benchjson -shards) the gate
+// prints the table, warns, and exits 0 — refresh BENCH_baseline.json
+// from a CI bench-gate artifact to arm the gate for that shape.
+// -gate-anyway overrides the guard for local experiments.
+//
+// Usage:
+//
+//	benchdiff -baseline BENCH_baseline.json -current BENCH_abc123.json \
+//	    -max-regress 25 -out benchdiff.md
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Result mirrors cmd/benchjson's per-benchmark measurement.
+type Result struct {
+	Package     string  `json:"package,omitempty"`
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// File mirrors cmd/benchjson's summary schema.
+type File struct {
+	Commit     string   `json:"commit,omitempty"`
+	GoVersion  string   `json:"go_version"`
+	GoOS       string   `json:"goos"`
+	GoArch     string   `json:"goarch"`
+	GoMaxProcs int      `json:"gomaxprocs"`
+	Shards     int      `json:"shards,omitempty"`
+	Results    []Result `json:"results"`
+}
+
+func (f *File) shape() string {
+	return fmt.Sprintf("%s/%s procs=%d shards=%d %s", f.GoOS, f.GoArch, f.GoMaxProcs, f.Shards, f.GoVersion)
+}
+
+// Row is one line of the diff table.
+type Row struct {
+	Key        string // "package name"
+	Base, Cur  float64
+	DeltaPct   float64 // (cur-base)/base * 100; 0 when base is 0
+	Regression bool
+	Status     string // "shared" | "new" | "removed"
+}
+
+// diff matches benchmarks by (package, name) and flags shared ones
+// whose ns/op grew beyond maxRegressPct.
+func diff(base, cur *File, maxRegressPct float64) []Row {
+	baseBy := make(map[string]Result, len(base.Results))
+	for _, r := range base.Results {
+		baseBy[r.Package+" "+r.Name] = r
+	}
+	var rows []Row
+	seen := make(map[string]bool, len(cur.Results))
+	for _, r := range cur.Results {
+		key := r.Package + " " + r.Name
+		seen[key] = true
+		b, ok := baseBy[key]
+		if !ok {
+			rows = append(rows, Row{Key: key, Cur: r.NsPerOp, Status: "new"})
+			continue
+		}
+		row := Row{Key: key, Base: b.NsPerOp, Cur: r.NsPerOp, Status: "shared"}
+		if b.NsPerOp > 0 {
+			row.DeltaPct = (r.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
+			row.Regression = row.DeltaPct > maxRegressPct
+		}
+		rows = append(rows, row)
+	}
+	for key, b := range baseBy {
+		if !seen[key] {
+			rows = append(rows, Row{Key: key, Base: b.NsPerOp, Status: "removed"})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Key < rows[j].Key })
+	return rows
+}
+
+// table renders the diff as a markdown table.
+func table(rows []Row) string {
+	var sb strings.Builder
+	sb.WriteString("| benchmark | baseline ns/op | current ns/op | delta | status |\n")
+	sb.WriteString("|---|---:|---:|---:|---|\n")
+	for _, r := range rows {
+		status := r.Status
+		if r.Regression {
+			status = "**REGRESSION**"
+		}
+		delta := "-"
+		if r.Status == "shared" {
+			delta = fmt.Sprintf("%+.1f%%", r.DeltaPct)
+		}
+		sb.WriteString(fmt.Sprintf("| %s | %s | %s | %s | %s |\n",
+			r.Key, fmtNs(r.Base, r.Status == "new"), fmtNs(r.Cur, r.Status == "removed"), delta, status))
+	}
+	return sb.String()
+}
+
+func fmtNs(v float64, absent bool) string {
+	if absent {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f", v)
+}
+
+func load(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &f, nil
+}
+
+func main() {
+	var (
+		basePath   = flag.String("baseline", "BENCH_baseline.json", "baseline summary (benchjson output)")
+		curPath    = flag.String("current", "", "current summary to gate (benchjson output)")
+		maxRegress = flag.Float64("max-regress", 25, "max allowed ns/op growth in percent for any shared benchmark")
+		outPath    = flag.String("out", "", "also write the markdown diff table to this file")
+		gateAnyway = flag.Bool("gate-anyway", false, "enforce the gate even when the machine shapes differ")
+	)
+	flag.Parse()
+	if *curPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -current is required")
+		os.Exit(2)
+	}
+	base, err := load(*basePath)
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := load(*curPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	rows := diff(base, cur, *maxRegress)
+	md := table(rows)
+	fmt.Print(md)
+	if *outPath != "" {
+		if err := os.WriteFile(*outPath, []byte(md), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+
+	var regressed []Row
+	shared := 0
+	for _, r := range rows {
+		if r.Status == "shared" {
+			shared++
+		}
+		if r.Regression {
+			regressed = append(regressed, r)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "benchdiff: %d shared, %d regressed (threshold %+.0f%%)\n",
+		shared, len(regressed), *maxRegress)
+
+	if base.shape() != cur.shape() && !*gateAnyway {
+		fmt.Fprintf(os.Stderr,
+			"benchdiff: WARNING machine shapes differ (baseline %s vs current %s); "+
+				"ns/op is not comparable, gate skipped — refresh the baseline from a CI artifact\n",
+			base.shape(), cur.shape())
+		return
+	}
+	if len(regressed) > 0 {
+		for _, r := range regressed {
+			fmt.Fprintf(os.Stderr, "benchdiff: REGRESSION %s: %.0f -> %.0f ns/op (%+.1f%%)\n",
+				r.Key, r.Base, r.Cur, r.DeltaPct)
+		}
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+	os.Exit(1)
+}

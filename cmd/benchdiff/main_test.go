@@ -1,0 +1,113 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func mkFile(procs int, results ...Result) *File {
+	return &File{GoOS: "linux", GoArch: "amd64", GoMaxProcs: procs, Results: results}
+}
+
+func TestDiffFlagsOnlyRealRegressions(t *testing.T) {
+	base := mkFile(4,
+		Result{Package: "pnn", Name: "BenchmarkA", NsPerOp: 1000},
+		Result{Package: "pnn", Name: "BenchmarkB", NsPerOp: 1000},
+		Result{Package: "pnn", Name: "BenchmarkGone", NsPerOp: 50},
+	)
+	cur := mkFile(4,
+		Result{Package: "pnn", Name: "BenchmarkA", NsPerOp: 1200},  // +20%: within threshold
+		Result{Package: "pnn", Name: "BenchmarkB", NsPerOp: 1300},  // +30%: regression
+		Result{Package: "pnn", Name: "BenchmarkFresh", NsPerOp: 9}, // new
+	)
+	rows := diff(base, cur, 25)
+	byKey := map[string]Row{}
+	for _, r := range rows {
+		byKey[r.Key] = r
+	}
+	if r := byKey["pnn BenchmarkA"]; r.Regression || r.Status != "shared" {
+		t.Errorf("A = %+v, want shared non-regression", r)
+	}
+	if r := byKey["pnn BenchmarkB"]; !r.Regression {
+		t.Errorf("B = %+v, want regression", r)
+	}
+	if r := byKey["pnn BenchmarkFresh"]; r.Status != "new" || r.Regression {
+		t.Errorf("Fresh = %+v, want new", r)
+	}
+	if r := byKey["pnn BenchmarkGone"]; r.Status != "removed" || r.Regression {
+		t.Errorf("Gone = %+v, want removed", r)
+	}
+}
+
+func TestDiffImprovementsAndZeroBaseline(t *testing.T) {
+	base := mkFile(4,
+		Result{Package: "p", Name: "BenchmarkFast", NsPerOp: 1000},
+		Result{Package: "p", Name: "BenchmarkZero", NsPerOp: 0},
+	)
+	cur := mkFile(4,
+		Result{Package: "p", Name: "BenchmarkFast", NsPerOp: 10},  // 100x faster
+		Result{Package: "p", Name: "BenchmarkZero", NsPerOp: 100}, // undefined delta
+	)
+	for _, r := range diff(base, cur, 25) {
+		if r.Regression {
+			t.Errorf("%s flagged as regression: %+v", r.Key, r)
+		}
+	}
+}
+
+func TestDiffMatchesAcrossPackages(t *testing.T) {
+	// The same benchmark name in two packages must not be conflated.
+	base := mkFile(1,
+		Result{Package: "a", Name: "BenchmarkX", NsPerOp: 100},
+		Result{Package: "b", Name: "BenchmarkX", NsPerOp: 1000},
+	)
+	cur := mkFile(1,
+		Result{Package: "a", Name: "BenchmarkX", NsPerOp: 100},
+		Result{Package: "b", Name: "BenchmarkX", NsPerOp: 2000},
+	)
+	rows := diff(base, cur, 25)
+	regressed := 0
+	for _, r := range rows {
+		if r.Regression {
+			regressed++
+			if r.Key != "b BenchmarkX" {
+				t.Errorf("wrong benchmark flagged: %+v", r)
+			}
+		}
+	}
+	if regressed != 1 {
+		t.Errorf("%d regressions, want exactly 1", regressed)
+	}
+}
+
+func TestTableRendersMarkdown(t *testing.T) {
+	rows := diff(
+		mkFile(4, Result{Package: "pnn", Name: "BenchmarkA", NsPerOp: 100}),
+		mkFile(4, Result{Package: "pnn", Name: "BenchmarkA", NsPerOp: 150}),
+		25)
+	md := table(rows)
+	if !strings.Contains(md, "| benchmark |") || !strings.Contains(md, "**REGRESSION**") {
+		t.Errorf("table missing header or regression marker:\n%s", md)
+	}
+	if !strings.Contains(md, "+50.0%") {
+		t.Errorf("table missing delta:\n%s", md)
+	}
+}
+
+func TestShapeString(t *testing.T) {
+	a := mkFile(4)
+	b := mkFile(1)
+	if a.shape() == b.shape() {
+		t.Error("different GOMAXPROCS must yield different shapes")
+	}
+	c := mkFile(4)
+	c.Shards = 4
+	if a.shape() == c.shape() {
+		t.Error("different shard configs must yield different shapes")
+	}
+	d := mkFile(4)
+	d.GoVersion = "go1.22.12"
+	if a.shape() == d.shape() {
+		t.Error("different Go toolchains must yield different shapes")
+	}
+}

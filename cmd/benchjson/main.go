@@ -39,12 +39,17 @@ type Result struct {
 
 // File is the whole summary.
 type File struct {
-	Commit     string   `json:"commit,omitempty"`
-	GoVersion  string   `json:"go_version"`
-	GoOS       string   `json:"goos"`
-	GoArch     string   `json:"goarch"`
-	GoMaxProcs int      `json:"gomaxprocs"`
-	Results    []Result `json:"results"`
+	Commit     string `json:"commit,omitempty"`
+	GoVersion  string `json:"go_version"`
+	GoOS       string `json:"goos"`
+	GoArch     string `json:"goarch"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	// Shards records the shard configuration the benchmarks ran with
+	// (0: repository default). cmd/benchdiff treats it as part of the
+	// machine shape — summaries from different shard configs are not
+	// gated against each other.
+	Shards  int      `json:"shards,omitempty"`
+	Results []Result `json:"results"`
 }
 
 // testEvent is the subset of test2json's event schema we consume.
@@ -56,6 +61,7 @@ type testEvent struct {
 
 func main() {
 	commit := flag.String("commit", "", "commit hash recorded in the summary")
+	shards := flag.Int("shards", 0, "shard configuration the benchmarks ran with (0: repository default)")
 	flag.Parse()
 
 	out := File{
@@ -64,6 +70,7 @@ func main() {
 		GoOS:       runtime.GOOS,
 		GoArch:     runtime.GOARCH,
 		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Shards:     *shards,
 	}
 	emit := func(pkg, text string) {
 		if r, ok := parseBenchLine(text); ok {

@@ -49,6 +49,7 @@ func main() {
 		obsEvery = flag.Int("obs", 10, "generator: tics between observations")
 		seed     = flag.Int64("seed", 1, "generator: random seed")
 		samples  = flag.Int("samples", 10000, "sampled worlds per query")
+		shards   = flag.Int("shards", 1, "index partitions: queries scatter-gather across all, writes touch one")
 		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "batch worker pool size")
 		qpar     = flag.Int("query-parallel", 0, "sampling goroutines per query (0: GOMAXPROCS/workers, so a full batch saturates the host without oversubscribing it)")
 		warm     = flag.Bool("warm", false, "adapt all object models before accepting traffic")
@@ -81,15 +82,18 @@ func main() {
 	fatal(err)
 
 	begin := time.Now()
+	if *shards < 1 {
+		*shards = 1
+	}
 	var proc *pnn.Processor
 	if *lenient {
 		var skipped []int
-		proc, skipped, err = db.BuildLenient(*samples)
+		proc, skipped, err = db.BuildLenientSharded(*samples, *shards)
 		if err == nil && len(skipped) > 0 {
 			log.Printf("dropped %d objects with contradicting observations", len(skipped))
 		}
 	} else {
-		proc, err = db.Build(*samples)
+		proc, err = db.BuildSharded(*samples, *shards)
 	}
 	fatal(err)
 	if *workers < 1 {
@@ -102,8 +106,8 @@ func main() {
 		}
 	}
 	proc.SetParallelism(*qpar)
-	log.Printf("indexed %d objects over %d states in %v (batch workers %d, per-query parallelism %d)",
-		proc.NumObjects(), net.NumStates(), time.Since(begin), *workers, *qpar)
+	log.Printf("indexed %d objects over %d states in %v (%d shards, batch workers %d, per-query parallelism %d)",
+		proc.NumObjects(), net.NumStates(), time.Since(begin), proc.NumShards(), *workers, *qpar)
 
 	if *warm {
 		begin = time.Now()

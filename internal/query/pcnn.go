@@ -93,17 +93,17 @@ func (e *Engine) CNNK(q Query, ts, te, k int, tau float64, rng *rand.Rand) ([]In
 
 	var out []IntervalResult
 	for li, oi := range refine {
-		sets, qualifying, err := e.mineObject(masks, li, nT, tau)
+		sets, qualifying, err := MineTimeSets(masks, li, nT, tau)
 		if err != nil {
 			return nil, st, err
 		}
 		st.LatticeSets += qualifying
 		for _, s := range sets {
-			times := make([]int, len(s.items))
-			for i, k := range s.items {
+			times := make([]int, len(s.Offsets))
+			for i, k := range s.Offsets {
 				times[i] = ts + k
 			}
-			out = append(out, IntervalResult{Obj: oi, Times: times, Prob: s.prob})
+			out = append(out, IntervalResult{Obj: oi, Times: times, Prob: s.Prob})
 		}
 	}
 	st.RefineTime = time.Since(begin)
@@ -116,15 +116,23 @@ func (e *Engine) CNNK(q Query, ts, te, k int, tau float64, rng *rand.Rand) ([]In
 	return out, st, nil
 }
 
-type timeset struct {
-	items []int // ascending offsets into [0, nT)
-	prob  float64
+// TimeSet is one maximal qualifying timestamp set of the PCNN lattice
+// walk: ascending offsets into the query window plus its estimated
+// probability.
+type TimeSet struct {
+	Offsets []int // ascending offsets into [0, nT)
+	Prob    float64
 }
 
-// mineObject runs the Apriori lattice walk (Algorithm 1) for one object,
-// returning the maximal qualifying sets plus the total number of
-// qualifying sets found (the paper's "unprocessed result set" size).
-func (e *Engine) mineObject(masks [][]bool, li, nT int, tau float64) ([]timeset, int, error) {
+// MineTimeSets runs the Apriori lattice walk (Algorithm 1) for one
+// object over precomputed per-world NN masks, returning the maximal
+// qualifying sets plus the total number of qualifying sets found (the
+// paper's "unprocessed result set" size). masks[w][li*nT+j] reports
+// whether the object at row li satisfied the NN predicate at window
+// offset j in world w — the layout both Engine.CNNK and the sharded
+// scatter-gather executor produce, which is why the miner is exported:
+// the lattice walk is identical however the worlds were sampled.
+func MineTimeSets(masks [][]bool, li, nT int, tau float64) ([]TimeSet, int, error) {
 	support := func(items []int) float64 {
 		count := 0
 		for _, row := range masks {
@@ -143,25 +151,25 @@ func (e *Engine) mineObject(masks [][]bool, li, nT int, tau float64) ([]timeset,
 	}
 
 	// L1 (Algorithm 1, line 1).
-	var level []timeset
+	var level []TimeSet
 	for k := 0; k < nT; k++ {
 		if p := support([]int{k}); p >= tau {
-			level = append(level, timeset{items: []int{k}, prob: p})
+			level = append(level, TimeSet{Offsets: []int{k}, Prob: p})
 		}
 	}
-	all := append([]timeset(nil), level...)
+	all := append([]TimeSet(nil), level...)
 	examined := len(level)
 
 	// Iterate k = 2.. (lines 2-5).
 	for len(level) > 0 {
 		prevKeys := make(map[string]bool, len(level))
 		for _, s := range level {
-			prevKeys[key(s.items)] = true
+			prevKeys[key(s.Offsets)] = true
 		}
-		var next []timeset
+		var next []TimeSet
 		for i := 0; i < len(level); i++ {
 			for j := i + 1; j < len(level); j++ {
-				cand, ok := join(level[i].items, level[j].items)
+				cand, ok := join(level[i].Offsets, level[j].Offsets)
 				if !ok {
 					continue
 				}
@@ -174,7 +182,7 @@ func (e *Engine) mineObject(masks [][]bool, li, nT int, tau float64) ([]timeset,
 						"query: PCNN lattice exceeded %d candidate sets; raise tau or shorten T", maxPCNNSets)
 				}
 				if p := support(cand); p >= tau {
-					next = append(next, timeset{items: cand, prob: p})
+					next = append(next, TimeSet{Offsets: cand, Prob: p})
 				}
 			}
 		}
@@ -183,11 +191,11 @@ func (e *Engine) mineObject(masks [][]bool, li, nT int, tau float64) ([]timeset,
 	}
 
 	// Keep only maximal sets (Definition 3, refined form).
-	var out []timeset
+	var out []TimeSet
 	for i, s := range all {
 		maximal := true
 		for j, t := range all {
-			if i != j && len(t.items) > len(s.items) && isSubset(s.items, t.items) {
+			if i != j && len(t.Offsets) > len(s.Offsets) && isSubset(s.Offsets, t.Offsets) {
 				maximal = false
 				break
 			}

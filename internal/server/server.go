@@ -194,10 +194,12 @@ type BatchResponse struct {
 // HealthResponse is the body of /healthz.
 type HealthResponse struct {
 	Status        string  `json:"status"`
-	Version       int64   `json:"version"` // current snapshot version
+	Version       int64   `json:"version"` // current composite snapshot version
 	Objects       int     `json:"objects"`
 	States        int     `json:"states"`
-	Ingest        bool    `json:"ingest"` // write endpoints enabled
+	Shards        int     `json:"shards"`
+	ShardVersions []int64 `json:"shard_versions"` // per-shard snapshot versions, by shard
+	Ingest        bool    `json:"ingest"`         // write endpoints enabled
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	CacheBuilds   int64   `json:"cache_builds"`
 	CacheHits     int64   `json:"cache_hits"`
@@ -209,12 +211,16 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	cs := s.proc.CacheStats()
-	version, objects := s.proc.SnapshotInfo() // one snapshot: a consistent pair
+	// One snapshot: version, objects and the shard vector stay mutually
+	// consistent even when writes land between here and the encode.
+	version, objects, shardVersions := s.proc.SnapshotDetail()
 	writeJSON(w, http.StatusOK, HealthResponse{
 		Status:        "ok",
 		Version:       version,
 		Objects:       objects,
 		States:        s.net.NumStates(),
+		Shards:        s.proc.NumShards(),
+		ShardVersions: shardVersions,
 		Ingest:        s.cfg.Ingest,
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		CacheBuilds:   cs.Builds,

@@ -44,6 +44,79 @@ func testServer(t *testing.T) (*pnn.Network, *pnn.Processor, *httptest.Server) {
 	return net, proc, ts
 }
 
+// TestHealthzSharded checks /healthz reports the per-shard version
+// vector of a sharded processor and that writes move exactly one entry.
+func TestHealthzSharded(t *testing.T) {
+	net, err := pnn.NewGridNetwork(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := pnn.NewDB(net)
+	for id := 0; id < 6; id++ {
+		st := (id * 11) % net.NumStates()
+		if err := db.Add(id, []pnn.Observation{{T: 0, State: st}, {T: 8, State: st}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const shards = 3
+	proc, err := db.BuildSharded(200, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(net, proc, Config{Ingest: true}))
+	t.Cleanup(ts.Close)
+
+	health := func() HealthResponse {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var h HealthResponse
+		if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+
+	h0 := health()
+	if h0.Shards != shards || len(h0.ShardVersions) != shards {
+		t.Fatalf("health = %+v, want %d shard versions", h0, shards)
+	}
+	for si, v := range h0.ShardVersions {
+		if v != 1 {
+			t.Errorf("fresh shard %d at version %d", si, v)
+		}
+	}
+
+	// One write through the API advances the composite version by one
+	// and exactly one shard's version by one.
+	st := 13
+	code, _ := post(t, ts.URL+"/v1/objects", fmt.Sprintf(
+		`{"id": 42, "observations": [{"t": 0, "state": %d}, {"t": 8, "state": %d}]}`, st, st))
+	if code != http.StatusOK {
+		t.Fatalf("ingest = %d", code)
+	}
+	h1 := health()
+	if h1.Version != h0.Version+1 {
+		t.Errorf("composite version %d -> %d, want +1", h0.Version, h1.Version)
+	}
+	bumped := 0
+	for si := range h1.ShardVersions {
+		switch h1.ShardVersions[si] {
+		case h0.ShardVersions[si]:
+		case h0.ShardVersions[si] + 1:
+			bumped++
+		default:
+			t.Errorf("shard %d jumped %d -> %d", si, h0.ShardVersions[si], h1.ShardVersions[si])
+		}
+	}
+	if bumped != 1 {
+		t.Errorf("%d shard versions advanced, want exactly 1", bumped)
+	}
+}
+
 func post(t *testing.T, url, body string) (int, []byte) {
 	t.Helper()
 	resp, err := http.Post(url, "application/json", strings.NewReader(body))
@@ -74,6 +147,9 @@ func TestHealthz(t *testing.T) {
 	}
 	if h.Status != "ok" || h.Objects != proc.NumObjects() || h.States != 64 {
 		t.Errorf("health = %+v", h)
+	}
+	if h.Shards != 1 || len(h.ShardVersions) != 1 || h.ShardVersions[0] != h.Version {
+		t.Errorf("unsharded health shard fields = %+v", h)
 	}
 	if code, _ := post(t, ts.URL+"/healthz", "{}"); code != http.StatusMethodNotAllowed {
 		t.Errorf("POST /healthz = %d, want 405", code)

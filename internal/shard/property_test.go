@@ -1,0 +1,154 @@
+package shard
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"pnn/internal/datagen"
+	"pnn/internal/query"
+)
+
+// taxiWorld generates the city-scale taxi workload once per test.
+func taxiWorld(t testing.TB) *datagen.Dataset {
+	t.Helper()
+	cfg := datagen.DefaultTaxiConfig()
+	cfg.States = 1200
+	cfg.Taxis = 40
+	cfg.Lifetime = 60
+	cfg.Horizon = 200
+	cfg.ObsInterval = 8
+	ds, err := datagen.Taxi(cfg, rand.New(rand.NewSource(13)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// TestShardCountInvariance is the determinism contract of the scatter-
+// gather executor: for a fixed request seed and tau, the Result sets of
+// ForAllNN, ExistsNN and CNN over S ∈ {1, 2, 4} shards are byte-
+// identical on the taxi dataset. It holds because (a) every object's
+// possible worlds are drawn from a sub-seed of (request seed, object
+// ID) only, (b) per-shard pruning supersets are lossless, so the extra
+// objects a smaller partition fails to prune are zero-probability rows
+// the result filter drops, and (c) results are reported in object-ID
+// order.
+func TestShardCountInvariance(t *testing.T) {
+	ds := taxiWorld(t)
+	const samples = 300
+
+	sets := make(map[int]*Set)
+	for _, shards := range []int{1, 2, 4} {
+		s, err := New(ds.Space, ds.Objects, samples, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sets[shards] = s
+	}
+	// Parallelism must not change answers either: run the 2-shard set
+	// with parallel gather evaluation.
+	sets[2].SetParallelism(4)
+
+	queries := []struct {
+		state  int
+		ts, te int
+		k      int
+		tau    float64
+		seed   int64
+	}{
+		{state: 17, ts: 20, te: 30, k: 1, tau: 0.1, seed: 7},
+		{state: 400, ts: 50, te: 62, k: 1, tau: 0.05, seed: 42},
+		{state: 901, ts: 5, te: 14, k: 2, tau: 0.2, seed: 3},
+		{state: 233, ts: 100, te: 108, k: 1, tau: 0.0, seed: 99},
+	}
+	for qi, qc := range queries {
+		q := query.StateQuery(ds.Space.Point(qc.state))
+		var wantFA []Result
+		var wantEX []Result
+		var wantCN []IntervalResult
+		for _, shards := range []int{1, 2, 4} {
+			snap := sets[shards].Snapshot()
+			fa, _, err := snap.ForAllKNN(q, qc.ts, qc.te, qc.k, qc.tau, qc.seed)
+			if err != nil {
+				t.Fatalf("query %d shards %d forall: %v", qi, shards, err)
+			}
+			ex, _, err := snap.ExistsKNN(q, qc.ts, qc.te, qc.k, qc.tau, qc.seed)
+			if err != nil {
+				t.Fatalf("query %d shards %d exists: %v", qi, shards, err)
+			}
+			cnTau := qc.tau
+			if cnTau == 0 {
+				cnTau = 0.3 // CNN requires tau > 0; keep the lattice small
+			}
+			cn, _, err := snap.CNNK(q, qc.ts, qc.te, qc.k, cnTau, qc.seed)
+			if err != nil {
+				t.Fatalf("query %d shards %d cnn: %v", qi, shards, err)
+			}
+			if shards == 1 {
+				wantFA, wantEX, wantCN = fa, ex, cn
+				continue
+			}
+			if !reflect.DeepEqual(fa, wantFA) {
+				t.Errorf("query %d: ForAll differs at %d shards:\n 1: %+v\n %d: %+v", qi, shards, wantFA, shards, fa)
+			}
+			if !reflect.DeepEqual(ex, wantEX) {
+				t.Errorf("query %d: Exists differs at %d shards:\n 1: %+v\n %d: %+v", qi, shards, wantEX, shards, ex)
+			}
+			if !reflect.DeepEqual(cn, wantCN) {
+				t.Errorf("query %d: CNN differs at %d shards:\n 1: %+v\n %d: %+v", qi, shards, wantCN, shards, cn)
+			}
+		}
+	}
+}
+
+// TestShardCountInvarianceUnderIngestion extends the invariance to the
+// write path: the same sequence of AddObject/Observe against 1- and
+// 4-shard sets must leave databases that answer identically, even
+// though each write cloned only one shard of the larger set.
+func TestShardCountInvarianceUnderIngestion(t *testing.T) {
+	ds := taxiWorld(t)
+	const samples = 200
+	split := len(ds.Objects) - 8
+	base, live := ds.Objects[:split], ds.Objects[split:]
+
+	s1, err := New(ds.Space, base, samples, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s4, err := New(ds.Space, base, samples, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range live {
+		if _, err := s1.AddObject(o); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s4.AddObject(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s1.NumObjects() != s4.NumObjects() {
+		t.Fatalf("object counts diverged: %d vs %d", s1.NumObjects(), s4.NumObjects())
+	}
+	for _, qc := range []struct {
+		state, ts, te int
+		seed          int64
+	}{
+		{state: 50, ts: 20, te: 28, seed: 5},
+		{state: 700, ts: 60, te: 70, seed: 11},
+	} {
+		q := query.StateQuery(ds.Space.Point(qc.state))
+		a, _, err := s1.Snapshot().ExistsKNN(q, qc.ts, qc.te, 1, 0.05, qc.seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _, err := s4.Snapshot().ExistsKNN(q, qc.ts, qc.te, 1, 0.05, qc.seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("post-ingest Exists differs:\n 1 shard: %+v\n 4 shards: %+v", a, b)
+		}
+	}
+}

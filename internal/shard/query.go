@@ -1,0 +1,405 @@
+package shard
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"pnn/internal/inference"
+	"pnn/internal/nn"
+	"pnn/internal/query"
+	"pnn/internal/uncertain"
+)
+
+// Result is one probabilistic query answer, keyed by the caller-chosen
+// object ID (engine indices are shard-local and meaningless across the
+// set). Results are sorted by ID — the only order that is stable under
+// re-partitioning.
+type Result struct {
+	ID   int
+	Prob float64
+}
+
+// IntervalResult is one PCNN answer: a maximal timestamp set during
+// which the object stays the likely (k-)NN.
+type IntervalResult struct {
+	ID    int
+	Times []int
+	Prob  float64
+}
+
+// subSeed derives the deterministic per-object world-sampling seed.
+// Keying on the object ID (never on shard or engine index) is what
+// makes answers independent of the shard count: an object's sampled
+// trajectories for a given request seed are the same whether it shares
+// an engine with every other object or with none of them.
+func subSeed(seed int64, id int) int64 {
+	return int64(mix64(uint64(seed) ^ mix64(uint64(id)+0x9e3779b97f4a7c15)))
+}
+
+// entry is one influencer object of a scatter-gather query: where it
+// lives, its stable ID, its adapted sampler, and its private
+// deterministic world generator.
+type entry struct {
+	shard int
+	oi    int // engine index within the shard
+	id    int
+	smp   *inference.Sampler
+	rng   *rand.Rand
+}
+
+// exec is the gathered plan of one scatter-gather query: the merged
+// influencer entries (grouped by shard for the sampling phase) plus the
+// merged candidate rows.
+type exec struct {
+	snap    *Snap
+	q       query.Query
+	ts, te  int
+	samples int
+	workers int
+
+	entries []entry
+	byShard [][]int // entry indices per shard
+	cands   []int   // entry indices that survived the ∀-filter
+	stats   query.Stats
+}
+
+// scatter runs the filter step and sampler adaptation on every shard in
+// parallel and merges the per-shard candidate/influence sets. Per-shard
+// pruning distances are computed over fewer objects and are therefore
+// only looser than the global ones, so the merged sets are supersets of
+// the single-tree sets; because pruning is lossless (a pruned object is
+// dominated by >= k objects in every possible world), the extra objects
+// can neither win the NN predicate themselves nor flip it for anyone
+// else — they surface as zero-probability rows that the tau/p>0 filter
+// drops, keeping answers byte-identical across shard counts.
+func (s *Snap) scatter(q query.Query, ts, te, k int, seed int64) (*exec, error) {
+	begin := time.Now()
+	x := &exec{
+		snap:    s,
+		q:       q,
+		ts:      ts,
+		te:      te,
+		samples: s.Parts[0].Engine.SampleCount(),
+		workers: s.Parts[0].Engine.Parallelism(),
+		byShard: make([][]int, len(s.Parts)),
+	}
+	// The scatter phase already runs one goroutine per shard; giving the
+	// gather-phase world evaluation the same fan-out keeps the whole
+	// pipeline at one concurrency budget, so a sharded set speeds up
+	// queries even when no explicit parallelism was configured.
+	if x.workers < len(s.Parts) {
+		x.workers = len(s.Parts)
+	}
+	type shardPlan struct {
+		influencers []int
+		candidates  []int
+		samplers    []*inference.Sampler
+		built       int
+		err         error
+	}
+	plans := make([]shardPlan, len(s.Parts))
+	var wg sync.WaitGroup
+	for si, p := range s.Parts {
+		wg.Add(1)
+		go func(si int, eng *query.Engine) {
+			defer wg.Done()
+			pl := &plans[si]
+			pr, err := eng.PruneWindow(q, ts, te, k)
+			if err != nil {
+				pl.err = err
+				return
+			}
+			pl.influencers = pr.Influencers
+			pl.candidates = pr.Candidates
+			pl.samplers = make([]*inference.Sampler, len(pr.Influencers))
+			for i, oi := range pr.Influencers {
+				smp, built, err := eng.SamplerCached(oi)
+				if err != nil {
+					pl.err = err
+					return
+				}
+				if built {
+					pl.built++
+				}
+				pl.samplers[i] = smp
+			}
+		}(si, p.Engine)
+	}
+	wg.Wait()
+	for si := range plans {
+		pl := &plans[si]
+		if pl.err != nil {
+			return nil, pl.err
+		}
+		isCand := make(map[int]bool, len(pl.candidates))
+		for _, oi := range pl.candidates {
+			isCand[oi] = true
+		}
+		for i, oi := range pl.influencers {
+			id := s.Parts[si].IDs[oi]
+			ei := len(x.entries)
+			x.entries = append(x.entries, entry{
+				shard: si,
+				oi:    oi,
+				id:    id,
+				smp:   pl.samplers[i],
+				rng:   rand.New(rand.NewSource(subSeed(seed, id))),
+			})
+			x.byShard[si] = append(x.byShard[si], ei)
+			if isCand[oi] {
+				x.cands = append(x.cands, ei)
+			}
+		}
+		x.stats.SamplerBuilds += pl.built
+	}
+	x.stats.Candidates = len(x.cands)
+	x.stats.Influencers = len(x.entries)
+	x.stats.Worlds = x.samples
+	x.stats.AdaptTime = time.Since(begin)
+	return x, nil
+}
+
+// worldChunk bounds the possible worlds materialized at once, so the
+// gather phase streams instead of holding samples × influencers paths.
+const worldChunk = 256
+
+// run samples every world and hands each to perWorld. The scatter half
+// of every chunk runs one goroutine per shard (each drawing its own
+// entries' paths from their private generators, in world order); the
+// gather half evaluates the chunk's worlds on x.workers goroutines.
+// perWorld is called exactly once per world index with disjoint worker
+// ids in [0, x.workers); any output it writes must be either per-worker
+// or per-world for the whole run to stay deterministic.
+func (x *exec) run(perWorld func(worker, w int, world *nn.World)) {
+	nE := len(x.entries)
+	buf := make([][]uncertain.Path, worldChunk)
+	for i := range buf {
+		buf[i] = make([]uncertain.Path, nE)
+	}
+	sp := x.snap.Parts[0].Engine.Tree().Space()
+	for w0 := 0; w0 < x.samples; w0 += worldChunk {
+		cn := worldChunk
+		if left := x.samples - w0; left < cn {
+			cn = left
+		}
+		var wg sync.WaitGroup
+		for _, idxs := range x.byShard {
+			if len(idxs) == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(idxs []int) {
+				defer wg.Done()
+				for _, ei := range idxs {
+					e := &x.entries[ei]
+					for w := 0; w < cn; w++ {
+						p, ok := e.smp.SampleWindow(e.rng, x.ts, x.te)
+						if !ok {
+							p = uncertain.Path{Start: x.ts - 1} // empty: never alive
+						}
+						buf[w][ei] = p
+					}
+				}
+			}(idxs)
+		}
+		wg.Wait()
+
+		nw := x.workers
+		if nw > cn {
+			nw = cn
+		}
+		if nw <= 1 {
+			for w := 0; w < cn; w++ {
+				perWorld(0, w0+w, nn.NewWorld(sp, buf[w], x.q.At, x.ts, x.te))
+			}
+			continue
+		}
+		var eg sync.WaitGroup
+		per := cn / nw
+		extra := cn % nw
+		lo := 0
+		for worker := 0; worker < nw; worker++ {
+			n := per
+			if worker < extra {
+				n++
+			}
+			eg.Add(1)
+			go func(worker, lo, hi int) {
+				defer eg.Done()
+				for w := lo; w < hi; w++ {
+					perWorld(worker, w0+w, nn.NewWorld(sp, buf[w], x.q.At, x.ts, x.te))
+				}
+			}(worker, lo, lo+n)
+			lo += n
+		}
+		eg.Wait()
+	}
+}
+
+// ForAllKNN answers P∀kNNQ(q, D, [ts..te], tau) over the composite
+// snapshot: all objects whose probability of being among the k nearest
+// neighbors of q at every t in the interval is at least tau, sorted by
+// object ID.
+func (s *Snap) ForAllKNN(q query.Query, ts, te, k int, tau float64, seed int64) ([]Result, query.Stats, error) {
+	return s.nnQuery(q, ts, te, k, tau, seed, true)
+}
+
+// ExistsKNN answers P∃kNNQ(q, D, [ts..te], tau) over the composite
+// snapshot.
+func (s *Snap) ExistsKNN(q query.Query, ts, te, k int, tau float64, seed int64) ([]Result, query.Stats, error) {
+	return s.nnQuery(q, ts, te, k, tau, seed, false)
+}
+
+func (s *Snap) nnQuery(q query.Query, ts, te, k int, tau float64, seed int64, forall bool) ([]Result, query.Stats, error) {
+	x, err := s.scatter(q, ts, te, k, seed)
+	if err != nil {
+		return nil, query.Stats{}, err
+	}
+	// For ∃ semantics every influencer is a potential result; for ∀ only
+	// the merged candidates are.
+	targets := x.cands
+	if !forall {
+		targets = make([]int, len(x.entries))
+		for i := range x.entries {
+			targets[i] = i
+		}
+	}
+	if len(targets) == 0 {
+		return nil, x.stats, nil
+	}
+	begin := time.Now()
+	targetOf := make(map[int]int, len(targets)) // entry index -> target row
+	for ci, ei := range targets {
+		targetOf[ei] = ci
+	}
+	partial := make([][]int, x.workers)
+	for i := range partial {
+		partial[i] = make([]int, len(targets))
+	}
+	x.run(func(worker, _ int, world *nn.World) {
+		counts := partial[worker]
+		for ci, ei := range targets {
+			if forall {
+				if kNNThroughout(world, ei, ts, te, k) {
+					counts[ci]++
+				}
+			} else if kNNSometime(world, ei, ts, te, k) {
+				counts[ci]++
+			}
+		}
+	})
+	counts := make([]int, len(targets))
+	for _, p := range partial {
+		for i, v := range p {
+			counts[i] += v
+		}
+	}
+	x.stats.RefineTime = time.Since(begin)
+
+	// Report in ascending object-ID order — the only order stable under
+	// re-partitioning.
+	order := append([]int(nil), targets...)
+	sort.Slice(order, func(a, b int) bool { return x.entries[order[a]].id < x.entries[order[b]].id })
+	var out []Result
+	for _, ei := range order {
+		p := float64(counts[targetOf[ei]]) / float64(x.samples)
+		if p >= tau && p > 0 {
+			out = append(out, Result{ID: x.entries[ei].id, Prob: p})
+		}
+	}
+	return out, x.stats, nil
+}
+
+// CNNK answers PCkNNQ(q, D, [ts..te], tau) over the composite snapshot:
+// per object the maximal timestamp sets on which it stays among the k
+// likely nearest, sorted by (object ID, times).
+func (s *Snap) CNNK(q query.Query, ts, te, k int, tau float64, seed int64) ([]IntervalResult, query.Stats, error) {
+	if tau <= 0 {
+		return nil, query.Stats{}, fmt.Errorf("shard: PCNN requires tau > 0, got %v", tau)
+	}
+	x, err := s.scatter(q, ts, te, k, seed)
+	if err != nil {
+		return nil, query.Stats{}, err
+	}
+	if len(x.entries) == 0 {
+		return nil, x.stats, nil
+	}
+	begin := time.Now()
+	nT := te - ts + 1
+	nE := len(x.entries)
+	// masks[w][ei*nT+j]: in world w, is entry ei among the k nearest at
+	// ts+j? Rows are written by exactly one worker (per-world), so the
+	// parallel gather stays race-free and deterministic.
+	masks := make([][]bool, x.samples)
+	scratch := make([][]bool, x.workers)
+	for i := range scratch {
+		scratch[i] = make([]bool, nT)
+	}
+	x.run(func(worker, w int, world *nn.World) {
+		row := make([]bool, nE*nT)
+		for ei := 0; ei < nE; ei++ {
+			world.KNNMask(ei, k, scratch[worker])
+			copy(row[ei*nT:(ei+1)*nT], scratch[worker])
+		}
+		masks[w] = row
+	})
+
+	order := make([]int, nE)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return x.entries[order[a]].id < x.entries[order[b]].id })
+	var out []IntervalResult
+	for _, ei := range order {
+		sets, qualifying, err := query.MineTimeSets(masks, ei, nT, tau)
+		if err != nil {
+			return nil, x.stats, err
+		}
+		x.stats.LatticeSets += qualifying
+		for _, ts2 := range sets {
+			times := make([]int, len(ts2.Offsets))
+			for i, off := range ts2.Offsets {
+				times[i] = ts + off
+			}
+			out = append(out, IntervalResult{ID: x.entries[ei].id, Times: times, Prob: ts2.Prob})
+		}
+	}
+	x.stats.RefineTime = time.Since(begin)
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].ID != out[b].ID {
+			return out[a].ID < out[b].ID
+		}
+		return lessIntSlice(out[a].Times, out[b].Times)
+	})
+	return out, x.stats, nil
+}
+
+func kNNThroughout(w *nn.World, ei, t0, t1, k int) bool {
+	for t := t0; t <= t1; t++ {
+		if !w.IsKNNAt(ei, t, k) {
+			return false
+		}
+	}
+	return true
+}
+
+func kNNSometime(w *nn.World, ei, t0, t1, k int) bool {
+	for t := t0; t <= t1; t++ {
+		if w.IsKNNAt(ei, t, k) {
+			return true
+		}
+	}
+	return false
+}
+
+func lessIntSlice(a, b []int) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}

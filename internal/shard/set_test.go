@@ -1,0 +1,443 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"pnn/internal/markov"
+	"pnn/internal/query"
+	"pnn/internal/space"
+	"pnn/internal/uncertain"
+)
+
+// gridWorld builds a w×h grid with its default motion chain.
+func gridWorld(t testing.TB, w, h int) (*space.Space, markov.Chain) {
+	t.Helper()
+	sp, err := space.Grid(w, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := markov.NewHomogeneous(sp.TransitionMatrix(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sp, c
+}
+
+func mkObj(t testing.TB, id int, c markov.Chain, obs ...uncertain.Observation) *uncertain.Object {
+	t.Helper()
+	o, err := uncertain.NewObject(id, obs, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+// parked returns n objects sitting on distinct states for [0, 8].
+func parked(t testing.TB, c markov.Chain, n, states int) []*uncertain.Object {
+	t.Helper()
+	objs := make([]*uncertain.Object, n)
+	for id := 0; id < n; id++ {
+		st := (id * 7) % states
+		objs[id] = mkObj(t, id, c, uncertain.Observation{T: 0, State: st}, uncertain.Observation{T: 8, State: st})
+	}
+	return objs
+}
+
+func TestRoutingIsStableAndTotal(t *testing.T) {
+	sp, c := gridWorld(t, 10, 10)
+	objs := parked(t, c, 20, sp.Len())
+	for _, shards := range []int{1, 2, 4, 7} {
+		s, err := New(sp, objs, 50, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.NumShards() != shards {
+			t.Fatalf("NumShards = %d, want %d", s.NumShards(), shards)
+		}
+		if s.NumObjects() != len(objs) {
+			t.Fatalf("shards=%d: NumObjects = %d, want %d", shards, s.NumObjects(), len(objs))
+		}
+		snap := s.Snapshot()
+		for _, o := range objs {
+			si, oi, ok := snap.Locate(o.ID)
+			if !ok {
+				t.Fatalf("shards=%d: object %d not found", shards, o.ID)
+			}
+			if si != s.ShardFor(o.ID) {
+				t.Errorf("shards=%d: Locate says shard %d, ShardFor says %d", shards, si, s.ShardFor(o.ID))
+			}
+			if got := snap.Parts[si].IDs[oi]; got != o.ID {
+				t.Errorf("shards=%d: Locate(%d) points at object %d", shards, o.ID, got)
+			}
+		}
+	}
+	// shardOf must be a pure function of (id, shards).
+	for id := -3; id < 100; id += 7 {
+		if shardOf(id, 4) != shardOf(id, 4) {
+			t.Fatalf("shardOf(%d, 4) unstable", id)
+		}
+		if got := shardOf(id, 1); got != 0 {
+			t.Errorf("shardOf(%d, 1) = %d, want 0", id, got)
+		}
+	}
+}
+
+func TestSingleShardDegeneratesToStore(t *testing.T) {
+	sp, c := gridWorld(t, 10, 10)
+	objs := parked(t, c, 5, sp.Len())
+	s, err := New(sp, objs, 50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := s.Snapshot()
+	if len(snap.Parts) != 1 || len(snap.Parts[0].IDs) != 5 {
+		t.Fatalf("S=1 snapshot = %d parts / %v objects", len(snap.Parts), snap.NumObjects())
+	}
+	if snap.Version != 1 || snap.Parts[0].Version != 1 {
+		t.Fatalf("fresh versions = %d / %v", snap.Version, snap.ShardVersions())
+	}
+	// All writes land on shard 0 and composite == shard version.
+	for i := 0; i < 3; i++ {
+		st := (50 + i) % sp.Len()
+		next, err := s.AddObject(mkObj(t, 100+i, c,
+			uncertain.Observation{T: 0, State: st}, uncertain.Observation{T: 8, State: st}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if next.Version != int64(2+i) || next.Parts[0].Version != int64(2+i) {
+			t.Fatalf("write %d: composite %d, shard %v", i, next.Version, next.ShardVersions())
+		}
+	}
+}
+
+func TestCompositeVersioning(t *testing.T) {
+	sp, c := gridWorld(t, 10, 10)
+	objs := parked(t, c, 8, sp.Len())
+	const shards = 4
+	s, err := New(sp, objs, 50, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := s.Version(); v != 1 {
+		t.Fatalf("fresh composite version = %d, want 1", v)
+	}
+	old := s.Snapshot()
+
+	// Each write advances the composite by one and exactly one shard's
+	// version by one.
+	prev := s.Snapshot()
+	for i := 0; i < 6; i++ {
+		id := 200 + i
+		st := (id * 3) % sp.Len()
+		next, err := s.AddObject(mkObj(t, id, c,
+			uncertain.Observation{T: 0, State: st}, uncertain.Observation{T: 8, State: st}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if next.Version != prev.Version+1 {
+			t.Fatalf("write %d: composite %d after %d", i, next.Version, prev.Version)
+		}
+		bumped := 0
+		for si := range next.Parts {
+			switch next.Parts[si].Version {
+			case prev.Parts[si].Version:
+			case prev.Parts[si].Version + 1:
+				bumped++
+				if si != s.ShardFor(id) {
+					t.Errorf("write %d bumped shard %d, routed to %d", i, si, s.ShardFor(id))
+				}
+			default:
+				t.Fatalf("write %d: shard %d jumped %d -> %d", i, si, prev.Parts[si].Version, next.Parts[si].Version)
+			}
+		}
+		if bumped != 1 {
+			t.Fatalf("write %d bumped %d shards", i, bumped)
+		}
+		prev = next
+	}
+
+	// Failed writes leave the composite untouched.
+	before := s.Version()
+	if _, err := s.AddObject(objs[0]); err == nil {
+		t.Error("duplicate AddObject succeeded")
+	}
+	if _, err := s.Observe(9999, []uncertain.Observation{{T: 9, State: 0}}); err == nil {
+		t.Error("Observe of unknown id succeeded")
+	}
+	if v := s.Version(); v != before {
+		t.Errorf("failed writes moved version %d -> %d", before, v)
+	}
+
+	// Old composite snapshots stay fully usable (RCU).
+	if old.Version != 1 || old.NumObjects() != len(objs) {
+		t.Errorf("old snapshot mutated: version %d, %d objects", old.Version, old.NumObjects())
+	}
+}
+
+func TestLenientBuildReportsOriginalPositions(t *testing.T) {
+	sp, c := gridWorld(t, 10, 10)
+	good := func(id int) *uncertain.Object {
+		st := (id * 5) % sp.Len()
+		return mkObj(t, id, c, uncertain.Observation{T: 0, State: st}, uncertain.Observation{T: 8, State: st})
+	}
+	// Teleporters: opposite corners of the grid in 2 tics.
+	bad := func(id int) *uncertain.Object {
+		return mkObj(t, id, c, uncertain.Observation{T: 0, State: 0}, uncertain.Observation{T: 2, State: sp.Len() - 1})
+	}
+	objs := []*uncertain.Object{good(0), bad(1), good(2), bad(3), good(4)}
+	for _, shards := range []int{1, 3} {
+		s, skipped, err := NewLenient(sp, objs, 50, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(skipped) != "[1 3]" {
+			t.Errorf("shards=%d: skipped = %v, want [1 3]", shards, skipped)
+		}
+		if s.NumObjects() != 3 {
+			t.Errorf("shards=%d: kept %d objects, want 3", shards, s.NumObjects())
+		}
+		// Strict build fails regardless of sharding.
+		if _, err := New(sp, objs, 50, shards); err == nil {
+			t.Errorf("shards=%d: strict New accepted a teleporting object", shards)
+		}
+	}
+}
+
+func TestDuplicateIDsRejectedAcrossShards(t *testing.T) {
+	sp, c := gridWorld(t, 6, 6)
+	a := mkObj(t, 7, c, uncertain.Observation{T: 0, State: 1})
+	b := mkObj(t, 7, c, uncertain.Observation{T: 0, State: 2})
+	if _, err := New(sp, []*uncertain.Object{a, b}, 10, 4); err == nil {
+		t.Error("duplicate IDs across a sharded build must fail")
+	}
+}
+
+// TestQuerySpansAllShards places one near object per shard and checks a
+// single query gathers candidates from every one of them.
+func TestQuerySpansAllShards(t *testing.T) {
+	sp, c := gridWorld(t, 10, 10)
+	const shards = 4
+	center := sp.NearestState(sp.Point(55))
+	// Pick one object ID per shard; all sit on the same central state, so
+	// with k = shards every one of them is a ∀-candidate.
+	var objs []*uncertain.Object
+	byShard := map[int]int{}
+	for id := 0; len(byShard) < shards; id++ {
+		si := shardOf(id, shards)
+		if _, dup := byShard[si]; dup {
+			continue
+		}
+		byShard[si] = id
+		objs = append(objs, mkObj(t, id, c,
+			uncertain.Observation{T: 0, State: center}, uncertain.Observation{T: 8, State: center}))
+	}
+	s, err := New(sp, objs, 60, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for si, p := range s.Snapshot().Parts {
+		if len(p.IDs) != 1 {
+			t.Fatalf("shard %d holds %d objects, want 1", si, len(p.IDs))
+		}
+	}
+	q := query.StateQuery(sp.Point(center))
+	res, st, err := s.Snapshot().ForAllKNN(q, 1, 7, shards, 0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != shards {
+		t.Fatalf("ForAllKNN(k=%d) = %+v, want one result per shard", shards, res)
+	}
+	if st.Candidates != shards || st.Influencers != shards {
+		t.Errorf("stats = %+v, want %d candidates and influencers", st, shards)
+	}
+	for i, r := range res {
+		if i > 0 && res[i-1].ID >= r.ID {
+			t.Errorf("results not ID-sorted: %+v", res)
+		}
+		if r.Prob < 0.99 {
+			t.Errorf("object %d: prob %v, want ~1 (k covers everyone)", r.ID, r.Prob)
+		}
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	sp, c := gridWorld(t, 6, 6)
+	s, err := New(sp, parked(t, c, 3, sp.Len()), 20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := s.Snapshot()
+	q := query.StateQuery(sp.Point(0))
+	if _, _, err := snap.ForAllKNN(query.Query{}, 0, 5, 1, 0.1, 1); err == nil {
+		t.Error("zero query accepted")
+	}
+	if _, _, err := snap.ExistsKNN(q, 5, 1, 1, 0.1, 1); err == nil {
+		t.Error("inverted interval accepted")
+	}
+	if _, _, err := snap.ForAllKNN(q, 0, 5, 0, 0.1, 1); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, _, err := snap.CNNK(q, 0, 5, 1, 0, 1); err == nil {
+		t.Error("CNN tau=0 accepted")
+	}
+	// Window that nobody is alive in: empty result, no error.
+	res, st, err := snap.ExistsKNN(q, 100, 110, 1, 0.1, 1)
+	if err != nil || len(res) != 0 || st.Influencers != 0 {
+		t.Errorf("dead-window query: res=%v st=%+v err=%v", res, st, err)
+	}
+}
+
+// TestAddRacesObserveSameID is the routing edge case of concurrent
+// ingestion: one goroutine adds object X while another Observes the
+// same ID. The Observe may legitimately fail (the object does not exist
+// yet) or succeed (it landed after the add), but the set must never
+// tear: every published composite version is consistent, and the final
+// object reflects exactly the writes that reported success.
+func TestAddRacesObserveSameID(t *testing.T) {
+	sp, c := gridWorld(t, 10, 10)
+	const shards = 4
+	for round := 0; round < 8; round++ {
+		s, err := New(sp, parked(t, c, 4, sp.Len()), 20, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const id = 77
+		st := (id * 7) % sp.Len()
+		var wg sync.WaitGroup
+		var observed atomic.Bool
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			if _, err := s.AddObject(mkObj(t, id, c,
+				uncertain.Observation{T: 0, State: st}, uncertain.Observation{T: 8, State: st})); err != nil {
+				t.Errorf("round %d: AddObject: %v", round, err)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			if _, err := s.Observe(id, []uncertain.Observation{{T: 9, State: st}}); err == nil {
+				observed.Store(true)
+			}
+		}()
+		wg.Wait()
+		snap := s.Snapshot()
+		si, oi, ok := snap.Locate(id)
+		if !ok {
+			t.Fatalf("round %d: object %d lost", round, id)
+		}
+		o := snap.Parts[si].Engine.Tree().Objects()[oi]
+		wantObs := 2
+		wantVersion := int64(2)
+		if observed.Load() {
+			wantObs, wantVersion = 3, 3
+		}
+		if len(o.Obs) != wantObs {
+			t.Errorf("round %d: object has %d observations, want %d (observe ok=%v)",
+				round, len(o.Obs), wantObs, observed.Load())
+		}
+		if snap.Version != wantVersion {
+			t.Errorf("round %d: composite version %d, want %d", round, snap.Version, wantVersion)
+		}
+	}
+}
+
+// TestConcurrentWritesAndQueries hammers all shards with writes while
+// readers scatter-gather, under -race in the short tier.
+func TestConcurrentWritesAndQueries(t *testing.T) {
+	sp, c := gridWorld(t, 10, 10)
+	const (
+		shards  = 4
+		writes  = 32
+		readers = 3
+	)
+	s, err := New(sp, parked(t, c, 6, sp.Len()), 30, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetParallelism(2)
+	var wg sync.WaitGroup
+	var done atomic.Bool
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer done.Store(true)
+		last := int64(0)
+		for w := 0; w < writes; w++ {
+			var snap *Snap
+			var err error
+			if w%2 == 0 {
+				id := 500 + w
+				st := (id * 3) % sp.Len()
+				snap, err = s.AddObject(mkObj(t, id, c,
+					uncertain.Observation{T: 0, State: st}, uncertain.Observation{T: 8, State: st}))
+			} else {
+				id := w % 6
+				snap, err = s.Observe(id, []uncertain.Observation{{T: 9 + w/6, State: (id * 7) % sp.Len()}})
+			}
+			if err != nil {
+				t.Errorf("write %d: %v", w, err)
+				return
+			}
+			if snap.Version <= last {
+				t.Errorf("write %d: version %d after %d", w, snap.Version, last)
+				return
+			}
+			last = snap.Version
+		}
+	}()
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; !done.Load(); i++ {
+				snap := s.Snapshot()
+				q := query.StateQuery(sp.Point((r*13 + i*29) % sp.Len()))
+				res, _, err := snap.ExistsKNN(q, 1, 7, 1, 0.05, int64(i))
+				if err != nil {
+					t.Errorf("reader %d: %v", r, err)
+					return
+				}
+				for _, rr := range res {
+					if _, _, ok := snap.Locate(rr.ID); !ok {
+						t.Errorf("reader %d: result %d missing from its own snapshot", r, rr.ID)
+					}
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	if v := s.Version(); v != int64(1+writes) {
+		t.Errorf("final version = %d, want %d", v, 1+writes)
+	}
+}
+
+func TestCacheStatsSumAcrossShards(t *testing.T) {
+	sp, c := gridWorld(t, 8, 8)
+	s, err := New(sp, parked(t, c, 6, sp.Len()), 20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PrepareAll(); err != nil {
+		t.Fatal(err)
+	}
+	cs := s.CacheStats()
+	if cs.Builds != 6 {
+		t.Errorf("Builds after PrepareAll = %d, want 6", cs.Builds)
+	}
+	// A query over warmed shards builds nothing new.
+	q := query.StateQuery(sp.Point(0))
+	_, st, err := s.Snapshot().ExistsKNN(q, 1, 7, 1, 0.01, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SamplerBuilds != 0 {
+		t.Errorf("warm query built %d samplers", st.SamplerBuilds)
+	}
+	if after := s.CacheStats(); after.Builds != cs.Builds {
+		t.Errorf("warm query grew Builds %d -> %d", cs.Builds, after.Builds)
+	}
+}

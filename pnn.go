@@ -44,8 +44,8 @@ import (
 	"pnn/internal/geo"
 	"pnn/internal/markov"
 	"pnn/internal/query"
+	"pnn/internal/shard"
 	"pnn/internal/space"
-	"pnn/internal/store"
 	"pnn/internal/uncertain"
 )
 
@@ -192,13 +192,26 @@ func (db *DB) Len() int { return len(db.objs) }
 //
 // Build requires the caller-chosen IDs passed to Add to match the object
 // IDs, which Add guarantees; the returned processor answers queries and
-// accepts live updates (AddObject, Observe).
+// accepts live updates (AddObject, Observe). It is BuildSharded with a
+// single shard.
 func (db *DB) Build(samples int) (*Processor, error) {
-	st, err := store.New(db.net.sp, db.objs, samples)
+	return db.BuildSharded(samples, 1)
+}
+
+// BuildSharded is Build with the index hash-partitioned by object ID
+// across `shards` independent (UST-tree, engine) snapshot stores.
+// Queries scatter across all shards and gather merged answers; writes
+// route to exactly one shard, so the copy-on-write clone behind every
+// published version touches only 1/shards of the index. Answers are
+// deterministic in the request seed and independent of the shard count:
+// every object's possible worlds are drawn from a sub-seed derived from
+// the seed and the object's ID alone. shards < 1 is treated as 1.
+func (db *DB) BuildSharded(samples, shards int) (*Processor, error) {
+	set, err := shard.New(db.net.sp, db.objs, samples, shards)
 	if err != nil {
 		return nil, err
 	}
-	return &Processor{net: db.net, store: st}, nil
+	return &Processor{net: db.net, set: set}, nil
 }
 
 // BuildLenient is Build for noisy data: objects whose observations
@@ -206,7 +219,13 @@ func (db *DB) Build(samples int) (*Processor, error) {
 // are dropped rather than failing the build. It returns the IDs of the
 // skipped objects.
 func (db *DB) BuildLenient(samples int) (*Processor, []int, error) {
-	st, skippedIdx, err := store.NewLenient(db.net.sp, db.objs, samples)
+	return db.BuildLenientSharded(samples, 1)
+}
+
+// BuildLenientSharded is BuildSharded with BuildLenient's tolerance for
+// contradicting objects. It returns the IDs of the skipped objects.
+func (db *DB) BuildLenientSharded(samples, shards int) (*Processor, []int, error) {
+	set, skippedIdx, err := shard.NewLenient(db.net.sp, db.objs, samples, shards)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -214,24 +233,41 @@ func (db *DB) BuildLenient(samples int) (*Processor, []int, error) {
 	for _, i := range skippedIdx {
 		skippedIDs = append(skippedIDs, db.ids[i])
 	}
-	return &Processor{net: db.net, store: st}, skippedIDs, nil
+	return &Processor{net: db.net, set: set}, skippedIDs, nil
 }
 
 // Processor answers probabilistic NN queries and ingests live updates.
 // It is safe for concurrent use: every query runs against the immutable
-// engine snapshot current when it started, while AddObject and Observe
-// publish successor snapshots without blocking readers (RCU). A query
-// overlapping a write therefore answers from a consistent version —
-// either entirely before or entirely after the update.
+// composite snapshot (one frozen engine per shard) current when it
+// started, while AddObject and Observe publish successor snapshots
+// without blocking readers (RCU). A query overlapping a write therefore
+// answers from a consistent version — either entirely before or
+// entirely after the update.
 type Processor struct {
-	net   *Network
-	store *store.Store
+	net *Network
+	set *shard.Set
 }
 
-// SetParallelism spreads the Monte-Carlo world sampling of ForAllNN /
-// ExistsNN (and kNN variants) over p goroutines. Results stay
+// SetParallelism spreads the gather-phase world evaluation of ForAllNN /
+// ExistsNN (and kNN variants) over p goroutines per query; the scatter
+// phase additionally parallelizes across shards. Results stay
 // deterministic for a fixed seed.
-func (p *Processor) SetParallelism(workers int) { p.store.SetParallelism(workers) }
+func (p *Processor) SetParallelism(workers int) { p.set.SetParallelism(workers) }
+
+// NumShards returns the partition fan-out the processor was built with
+// (1 unless BuildSharded was used).
+func (p *Processor) NumShards() int { return p.set.NumShards() }
+
+// SnapshotDetail returns the composite version, total object count and
+// per-shard version vector of one and the same current snapshot — the
+// view callers must use when the three values need to be mutually
+// consistent under concurrent writes (each shard's version advances
+// only with writes routed to it; the composite version advances with
+// every write, so exactly one vector entry moves per version).
+func (p *Processor) SnapshotDetail() (version int64, objects int, shardVersions []int64) {
+	snap := p.set.Snapshot()
+	return snap.Version, snap.NumObjects(), snap.ShardVersions()
+}
 
 // Ingest describes one published write: the snapshot version it created
 // and the object count at exactly that version. The pair is consistent
@@ -256,11 +292,11 @@ func (p *Processor) AddObject(id int, obs []Observation) (Ingest, error) {
 	if err != nil {
 		return Ingest{}, err
 	}
-	snap, err := p.store.AddObject(o)
+	snap, err := p.set.AddObject(o)
 	if err != nil {
 		return Ingest{}, err
 	}
-	return Ingest{Version: snap.Version, Objects: len(snap.IDs)}, nil
+	return Ingest{Version: snap.Version, Objects: snap.NumObjects()}, nil
 }
 
 // Observe appends observations to an existing object — the live arrival
@@ -275,24 +311,24 @@ func (p *Processor) Observe(id int, obs ...Observation) (Ingest, error) {
 	for i, ob := range obs {
 		conv[i] = uncertain.Observation{T: ob.T, State: ob.State}
 	}
-	snap, err := p.store.Observe(id, conv)
+	snap, err := p.set.Observe(id, conv)
 	if err != nil {
 		return Ingest{}, err
 	}
-	return Ingest{Version: snap.Version, Objects: len(snap.IDs)}, nil
+	return Ingest{Version: snap.Version, Objects: snap.NumObjects()}, nil
 }
 
-// Version returns the current snapshot version. It starts at 1 and
-// increases by one with every successful AddObject or Observe;
+// Version returns the current composite snapshot version. It starts at
+// 1 and increases by one with every successful AddObject or Observe;
 // successive calls return non-decreasing values.
-func (p *Processor) Version() int64 { return p.store.Version() }
+func (p *Processor) Version() int64 { return p.set.Version() }
 
 // SnapshotInfo returns the version and object count of one and the same
-// current snapshot — the pair callers should use when both values must
-// be consistent under concurrent writes.
+// current composite snapshot — the pair callers should use when both
+// values must be consistent under concurrent writes.
 func (p *Processor) SnapshotInfo() (version int64, objects int) {
-	snap := p.store.Snapshot()
-	return snap.Version, len(snap.IDs)
+	snap := p.set.Snapshot()
+	return snap.Version, snap.NumObjects()
 }
 
 // Query is a certain reference position per timestep.
@@ -353,23 +389,23 @@ type CacheStats = query.CacheStats
 // neighbor of q at every t in [ts, te] is at least tau (P∀NNQ,
 // Definition 2).
 func (p *Processor) ForAllNN(q Query, ts, te int, tau float64, seed int64) ([]Result, Stats, error) {
-	return snapForAllKNN(p.store.Snapshot(), q, ts, te, 1, tau, seed)
+	return snapForAllKNN(p.set.Snapshot(), q, ts, te, 1, tau, seed)
 }
 
 // ExistsNN returns every object whose probability of being the NN of q at
 // at least one t in [ts, te] is at least tau (P∃NNQ, Definition 1).
 func (p *Processor) ExistsNN(q Query, ts, te int, tau float64, seed int64) ([]Result, Stats, error) {
-	return snapExistsKNN(p.store.Snapshot(), q, ts, te, 1, tau, seed)
+	return snapExistsKNN(p.set.Snapshot(), q, ts, te, 1, tau, seed)
 }
 
 // ForAllKNN generalizes ForAllNN to "among the k nearest" (Section 8).
 func (p *Processor) ForAllKNN(q Query, ts, te, k int, tau float64, seed int64) ([]Result, Stats, error) {
-	return snapForAllKNN(p.store.Snapshot(), q, ts, te, k, tau, seed)
+	return snapForAllKNN(p.set.Snapshot(), q, ts, te, k, tau, seed)
 }
 
 // ExistsKNN generalizes ExistsNN to "among the k nearest".
 func (p *Processor) ExistsKNN(q Query, ts, te, k int, tau float64, seed int64) ([]Result, Stats, error) {
-	return snapExistsKNN(p.store.Snapshot(), q, ts, te, k, tau, seed)
+	return snapExistsKNN(p.set.Snapshot(), q, ts, te, k, tau, seed)
 }
 
 // ContinuousNN answers PCNNQ (Definition 3): for each object the maximal
@@ -383,32 +419,32 @@ func (p *Processor) ContinuousNN(q Query, ts, te int, tau float64, seed int64) (
 // ContinuousKNN generalizes ContinuousNN to "among the k nearest"
 // (PCkNNQ, Section 8).
 func (p *Processor) ContinuousKNN(q Query, ts, te, k int, tau float64, seed int64) ([]IntervalResult, Stats, error) {
-	return snapContinuousKNN(p.store.Snapshot(), q, ts, te, k, tau, seed)
+	return snapContinuousKNN(p.set.Snapshot(), q, ts, te, k, tau, seed)
 }
 
-func snapForAllKNN(snap *store.Snapshot, q Query, ts, te, k int, tau float64, seed int64) ([]Result, Stats, error) {
-	res, st, err := snap.Engine.ForAllKNN(q, ts, te, k, tau, rand.New(rand.NewSource(seed)))
-	return convertResults(snap, res), convStats(st), err
+func snapForAllKNN(snap *shard.Snap, q Query, ts, te, k int, tau float64, seed int64) ([]Result, Stats, error) {
+	res, st, err := snap.ForAllKNN(q, ts, te, k, tau, seed)
+	return convertResults(res), convStats(st), err
 }
 
-func snapExistsKNN(snap *store.Snapshot, q Query, ts, te, k int, tau float64, seed int64) ([]Result, Stats, error) {
-	res, st, err := snap.Engine.ExistsKNN(q, ts, te, k, tau, rand.New(rand.NewSource(seed)))
-	return convertResults(snap, res), convStats(st), err
+func snapExistsKNN(snap *shard.Snap, q Query, ts, te, k int, tau float64, seed int64) ([]Result, Stats, error) {
+	res, st, err := snap.ExistsKNN(q, ts, te, k, tau, seed)
+	return convertResults(res), convStats(st), err
 }
 
-func snapContinuousKNN(snap *store.Snapshot, q Query, ts, te, k int, tau float64, seed int64) ([]IntervalResult, Stats, error) {
-	res, st, err := snap.Engine.CNNK(q, ts, te, k, tau, rand.New(rand.NewSource(seed)))
+func snapContinuousKNN(snap *shard.Snap, q Query, ts, te, k int, tau float64, seed int64) ([]IntervalResult, Stats, error) {
+	res, st, err := snap.CNNK(q, ts, te, k, tau, seed)
 	out := make([]IntervalResult, len(res))
 	for i, r := range res {
-		out[i] = IntervalResult{ObjectID: snap.IDs[r.Obj], Times: r.Times, Prob: r.Prob}
+		out[i] = IntervalResult{ObjectID: r.ID, Times: r.Times, Prob: r.Prob}
 	}
 	return out, convStats(st), err
 }
 
-func convertResults(snap *store.Snapshot, res []query.Result) []Result {
+func convertResults(res []shard.Result) []Result {
 	out := make([]Result, len(res))
 	for i, r := range res {
-		out[i] = Result{ObjectID: snap.IDs[r.Obj], Prob: r.Prob}
+		out[i] = Result{ObjectID: r.ID, Prob: r.Prob}
 	}
 	return out
 }
@@ -423,40 +459,32 @@ func convStats(st query.Stats) Stats {
 }
 
 // CacheStats returns the cumulative sampler-cache counters of this
-// processor, carried across ingestion-induced engine versions.
-func (p *Processor) CacheStats() CacheStats { return p.store.Snapshot().Engine.CacheStats() }
+// processor, summed across shards and carried across ingestion-induced
+// engine versions.
+func (p *Processor) CacheStats() CacheStats { return p.set.CacheStats() }
 
 // PrepareAll adapts every object's model up front (the TS phase), so later
-// queries pay only for sampling and evaluation. Adaptation of distinct
-// objects runs on the parallelism set by SetParallelism. It warms the
-// snapshot current at the call; objects updated afterwards re-adapt
-// lazily.
-func (p *Processor) PrepareAll() error {
-	_, err := p.store.Snapshot().Engine.PrepareAll()
-	return err
-}
+// queries pay only for sampling and evaluation. Shards warm in
+// parallel; within each shard adaptation runs on the parallelism set by
+// SetParallelism. It warms the snapshot current at the call; objects
+// updated afterwards re-adapt lazily.
+func (p *Processor) PrepareAll() error { return p.set.PrepareAll() }
 
 // NumObjects returns the number of indexed objects in the current
-// snapshot.
-func (p *Processor) NumObjects() int { return p.store.NumObjects() }
+// composite snapshot.
+func (p *Processor) NumObjects() int { return p.set.NumObjects() }
 
 // SampleTrajectory draws one possible trajectory of the object consistent
 // with all of its observations (it passes through every one of them). The
 // returned slice holds the state at each tic of the object's lifetime,
 // starting at its first observation time.
 func (p *Processor) SampleTrajectory(objectID int, seed int64) ([]int, error) {
-	snap := p.store.Snapshot()
-	oi := -1
-	for i, id := range snap.IDs {
-		if id == objectID {
-			oi = i
-			break
-		}
-	}
-	if oi < 0 {
+	snap := p.set.Snapshot()
+	si, oi, ok := snap.Locate(objectID)
+	if !ok {
 		return nil, fmt.Errorf("pnn: unknown object id %d", objectID)
 	}
-	s, err := snap.Engine.Sampler(oi)
+	s, err := snap.Parts[si].Engine.Sampler(oi)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,53 @@
+#!/usr/bin/env sh
+# coverage_gate.sh PROFILE FLOOR
+#
+# Per-package coverage gate over a Go cover profile: aggregates covered
+# statements per package and fails when any package is below FLOOR
+# percent. Reporting per package (rather than only the combined total)
+# stops a well-tested large package from masking an untested small one.
+#
+# The profile concatenates the blocks of every test binary that ran with
+# -coverpkg, so the same source block can appear many times; blocks are
+# deduplicated by file:range, counting a block covered when any run hit
+# it.
+set -eu
+
+profile=${1:?usage: coverage_gate.sh PROFILE FLOOR}
+floor=${2:?usage: coverage_gate.sh PROFILE FLOOR}
+
+awk -v floor="$floor" '
+NR > 1 {
+    key = $1
+    stmts[key] = $2
+    if ($3 > 0) hit[key] = 1
+}
+END {
+    for (k in stmts) {
+        split(k, a, ":"); path = a[1]
+        n = split(path, b, "/")
+        pkg = ""
+        for (i = 1; i < n; i++) pkg = pkg (i > 1 ? "/" : "") b[i]
+        total[pkg] += stmts[k]
+        if (hit[k]) cov[pkg] += stmts[k]
+    }
+    # Sort package names (insertion sort: portable awk, tiny n) so the
+    # report is deterministic across runs.
+    n = 0
+    for (p in total) names[n++] = p
+    for (i = 1; i < n; i++)
+        for (j = i; j > 0 && names[j] < names[j-1]; j--) {
+            tmp = names[j]; names[j] = names[j-1]; names[j-1] = tmp
+        }
+    fail = 0
+    for (i = 0; i < n; i++) {
+        p = names[i]
+        pct = 100 * cov[p] / total[p]
+        status = "ok"
+        if (pct < floor) { status = "BELOW FLOOR"; fail = 1 }
+        printf "%-40s %6.1f%%  (%d/%d statements)  %s\n", p, pct, cov[p], total[p], status
+    }
+    if (fail) {
+        printf "coverage gate: at least one package is below the %s%% floor\n", floor > "/dev/stderr"
+        exit 1
+    }
+}' "$profile"
