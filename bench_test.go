@@ -26,6 +26,7 @@ import (
 func benchFigure(b *testing.B, run func(exp.Config) (*exp.Table, error)) {
 	b.Helper()
 	cfg := exp.TinyConfig()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = int64(i + 1)
@@ -69,6 +70,7 @@ func runQueries(b *testing.B, ds *datagen.Dataset, eng *query.Engine) {
 	if _, err := eng.PrepareAll(); err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		o := ds.Objects[rng.Intn(len(ds.Objects))]
@@ -134,6 +136,7 @@ func BenchmarkAblationDenseVsSparse(b *testing.B) {
 	start := sparse.UnitVec(0)
 
 	b.Run("sparse", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			v := start.Clone()
 			for t := 0; t < 20; t++ {
@@ -142,6 +145,7 @@ func BenchmarkAblationDenseVsSparse(b *testing.B) {
 		}
 	})
 	b.Run("dense", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			v := make([]float64, n)
 			v[0] = 1
@@ -173,6 +177,7 @@ func BenchmarkAblationApriori(b *testing.B) {
 			if _, err := eng.PrepareAll(); err != nil {
 				b.Fatal(err)
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				o := ds.Objects[rng.Intn(len(ds.Objects))]
@@ -219,6 +224,7 @@ func BenchmarkBatchService(b *testing.B) {
 	}
 	for _, workers := range []int{1, 4, 8} {
 		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				for _, resp := range proc.RunBatch(reqs, workers) {
 					if resp.Err != nil {
@@ -258,11 +264,13 @@ func BenchmarkAblationWindowSampling(b *testing.B) {
 	s := inference.NewSampler(model)
 	rng := rand.New(rand.NewSource(5))
 	b.Run("full-lifetime", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			s.Sample(rng)
 		}
 	})
 	b.Run("window-10", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, ok := s.SampleWindow(rng, 45, 54); !ok {
 				b.Fatal("window must intersect lifetime")

@@ -4,9 +4,16 @@
 // trajectory from a record into a contract.
 //
 // Benchmarks are matched by (package, name). A shared benchmark whose
-// ns/op grew by more than -max-regress percent is a regression; any
+// ns/op grew by more than -max-regress percent, or whose allocs/op
+// grew by more than -max-allocs-regress percent, is a regression; any
 // regression exits 1 after printing the full diff table (markdown, so
-// CI can upload it as a readable artifact via -out).
+// CI can upload it as a readable artifact via -out). The allocation
+// gate protects the zero-allocation sampling kernel: ns/op on a noisy
+// runner can absorb a reintroduced per-world allocation that
+// allocs/op — a deterministic counter — cannot miss. A baseline that
+// measured zero allocs/op is defended absolutely (any allocation
+// fails, no percent involved); benchmarks without allocation data on
+// either side (pre-ReportAllocs baselines) are gated on ns/op alone.
 //
 // ns/op is only comparable between runs on the same machine shape, so
 // when the two files disagree on goos/goarch/GOMAXPROCS/Go version (or
@@ -25,19 +32,24 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"sort"
 	"strings"
 )
 
-// Result mirrors cmd/benchjson's per-benchmark measurement.
+// Result mirrors cmd/benchjson's per-benchmark measurement. A nil
+// AllocsPerOp means the run recorded no allocation data for the
+// benchmark (old-format summaries, or a run without -benchmem); an
+// explicit 0 means a measured zero-allocation benchmark, which the
+// gate defends absolutely.
 type Result struct {
-	Package     string  `json:"package,omitempty"`
-	Name        string  `json:"name"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
-	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	Package     string   `json:"package,omitempty"`
+	Name        string   `json:"name"`
+	Iterations  int64    `json:"iterations"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	BytesPerOp  float64  `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
 }
 
 // File mirrors cmd/benchjson's summary schema.
@@ -57,16 +69,29 @@ func (f *File) shape() string {
 
 // Row is one line of the diff table.
 type Row struct {
-	Key        string // "package name"
-	Base, Cur  float64
-	DeltaPct   float64 // (cur-base)/base * 100; 0 when base is 0
-	Regression bool
-	Status     string // "shared" | "new" | "removed"
+	Key                   string // "package name"
+	Base, Cur             float64
+	DeltaPct              float64 // (cur-base)/base * 100; 0 when base is 0
+	Regression            bool    // ns/op grew beyond the threshold
+	BaseAllocs, CurAllocs *float64
+	AllocsDeltaPct        float64 // +Inf when a zero-alloc baseline grew; 0 without data
+	AllocsRegression      bool    // allocs/op grew beyond the threshold
+	Status                string  // "shared" | "new" | "removed"
 }
 
+// Regressed reports whether the row fails the gate on any metric.
+func (r Row) Regressed() bool { return r.Regression || r.AllocsRegression }
+
 // diff matches benchmarks by (package, name) and flags shared ones
-// whose ns/op grew beyond maxRegressPct.
-func diff(base, cur *File, maxRegressPct float64) []Row {
+// whose ns/op grew beyond maxRegressPct or whose allocs/op grew beyond
+// maxAllocRegressPct. The allocation gate arms when both sides
+// recorded allocation data; a baseline that measured ZERO allocs/op is
+// defended absolutely — any current allocation at all is a regression,
+// since a zero-allocation steady state has no growth rate and losing
+// it is the exact failure the gate exists to catch. Benchmarks without
+// data on either side (summaries predating ReportAllocs/-benchmem) are
+// gated on ns/op alone.
+func diff(base, cur *File, maxRegressPct, maxAllocRegressPct float64) []Row {
 	baseBy := make(map[string]Result, len(base.Results))
 	for _, r := range base.Results {
 		baseBy[r.Package+" "+r.Name] = r
@@ -78,19 +103,33 @@ func diff(base, cur *File, maxRegressPct float64) []Row {
 		seen[key] = true
 		b, ok := baseBy[key]
 		if !ok {
-			rows = append(rows, Row{Key: key, Cur: r.NsPerOp, Status: "new"})
+			rows = append(rows, Row{Key: key, Cur: r.NsPerOp, CurAllocs: r.AllocsPerOp, Status: "new"})
 			continue
 		}
-		row := Row{Key: key, Base: b.NsPerOp, Cur: r.NsPerOp, Status: "shared"}
+		row := Row{
+			Key: key, Base: b.NsPerOp, Cur: r.NsPerOp,
+			BaseAllocs: b.AllocsPerOp, CurAllocs: r.AllocsPerOp,
+			Status: "shared",
+		}
 		if b.NsPerOp > 0 {
 			row.DeltaPct = (r.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
 			row.Regression = row.DeltaPct > maxRegressPct
+		}
+		if b.AllocsPerOp != nil && r.AllocsPerOp != nil {
+			switch ba, ca := *b.AllocsPerOp, *r.AllocsPerOp; {
+			case ba > 0:
+				row.AllocsDeltaPct = (ca - ba) / ba * 100
+				row.AllocsRegression = row.AllocsDeltaPct > maxAllocRegressPct
+			case ca > 0: // zero-alloc baseline reintroduced allocations
+				row.AllocsDeltaPct = math.Inf(1)
+				row.AllocsRegression = true
+			}
 		}
 		rows = append(rows, row)
 	}
 	for key, b := range baseBy {
 		if !seen[key] {
-			rows = append(rows, Row{Key: key, Base: b.NsPerOp, Status: "removed"})
+			rows = append(rows, Row{Key: key, Base: b.NsPerOp, BaseAllocs: b.AllocsPerOp, Status: "removed"})
 		}
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].Key < rows[j].Key })
@@ -100,19 +139,26 @@ func diff(base, cur *File, maxRegressPct float64) []Row {
 // table renders the diff as a markdown table.
 func table(rows []Row) string {
 	var sb strings.Builder
-	sb.WriteString("| benchmark | baseline ns/op | current ns/op | delta | status |\n")
-	sb.WriteString("|---|---:|---:|---:|---|\n")
+	sb.WriteString("| benchmark | baseline ns/op | current ns/op | delta | baseline allocs/op | current allocs/op | allocs delta | status |\n")
+	sb.WriteString("|---|---:|---:|---:|---:|---:|---:|---|\n")
 	for _, r := range rows {
 		status := r.Status
-		if r.Regression {
+		if r.Regressed() {
 			status = "**REGRESSION**"
 		}
-		delta := "-"
+		delta, allocsDelta := "-", "-"
 		if r.Status == "shared" {
 			delta = fmt.Sprintf("%+.1f%%", r.DeltaPct)
+			switch {
+			case math.IsInf(r.AllocsDeltaPct, 1):
+				allocsDelta = "0 → nonzero"
+			case r.BaseAllocs != nil && r.CurAllocs != nil:
+				allocsDelta = fmt.Sprintf("%+.1f%%", r.AllocsDeltaPct)
+			}
 		}
-		sb.WriteString(fmt.Sprintf("| %s | %s | %s | %s | %s |\n",
-			r.Key, fmtNs(r.Base, r.Status == "new"), fmtNs(r.Cur, r.Status == "removed"), delta, status))
+		sb.WriteString(fmt.Sprintf("| %s | %s | %s | %s | %s | %s | %s | %s |\n",
+			r.Key, fmtNs(r.Base, r.Status == "new"), fmtNs(r.Cur, r.Status == "removed"), delta,
+			fmtAllocs(r.BaseAllocs, r.Status == "new"), fmtAllocs(r.CurAllocs, r.Status == "removed"), allocsDelta, status))
 	}
 	return sb.String()
 }
@@ -122,6 +168,13 @@ func fmtNs(v float64, absent bool) string {
 		return "-"
 	}
 	return fmt.Sprintf("%.0f", v)
+}
+
+func fmtAllocs(v *float64, absent bool) string {
+	if absent || v == nil {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f", *v)
 }
 
 func load(path string) (*File, error) {
@@ -138,11 +191,12 @@ func load(path string) (*File, error) {
 
 func main() {
 	var (
-		basePath   = flag.String("baseline", "BENCH_baseline.json", "baseline summary (benchjson output)")
-		curPath    = flag.String("current", "", "current summary to gate (benchjson output)")
-		maxRegress = flag.Float64("max-regress", 25, "max allowed ns/op growth in percent for any shared benchmark")
-		outPath    = flag.String("out", "", "also write the markdown diff table to this file")
-		gateAnyway = flag.Bool("gate-anyway", false, "enforce the gate even when the machine shapes differ")
+		basePath        = flag.String("baseline", "BENCH_baseline.json", "baseline summary (benchjson output)")
+		curPath         = flag.String("current", "", "current summary to gate (benchjson output)")
+		maxRegress      = flag.Float64("max-regress", 25, "max allowed ns/op growth in percent for any shared benchmark")
+		maxAllocRegress = flag.Float64("max-allocs-regress", 25, "max allowed allocs/op growth in percent for any shared benchmark with allocation data on both sides")
+		outPath         = flag.String("out", "", "also write the markdown diff table to this file")
+		gateAnyway      = flag.Bool("gate-anyway", false, "enforce the gate even when the machine shapes differ")
 	)
 	flag.Parse()
 	if *curPath == "" {
@@ -158,7 +212,7 @@ func main() {
 		fatal(err)
 	}
 
-	rows := diff(base, cur, *maxRegress)
+	rows := diff(base, cur, *maxRegress, *maxAllocRegress)
 	md := table(rows)
 	fmt.Print(md)
 	if *outPath != "" {
@@ -173,12 +227,22 @@ func main() {
 		if r.Status == "shared" {
 			shared++
 		}
-		if r.Regression {
+		if r.Regressed() {
 			regressed = append(regressed, r)
 		}
+		// The allocation gate can only disarm silently in one direction:
+		// the current run stopped reporting what the baseline measured
+		// (dropped ReportAllocs, or -benchmem gone from the recipe).
+		// Make that loss loud — it is how a reintroduced allocation
+		// would slip past the gate unflagged.
+		if r.Status == "shared" && r.BaseAllocs != nil && r.CurAllocs == nil {
+			fmt.Fprintf(os.Stderr,
+				"benchdiff: WARNING %s: baseline records allocs/op but the current run does not; "+
+					"allocation gate disarmed for it — restore ReportAllocs/-benchmem\n", r.Key)
+		}
 	}
-	fmt.Fprintf(os.Stderr, "benchdiff: %d shared, %d regressed (threshold %+.0f%%)\n",
-		shared, len(regressed), *maxRegress)
+	fmt.Fprintf(os.Stderr, "benchdiff: %d shared, %d regressed (thresholds ns/op %+.0f%%, allocs/op %+.0f%%)\n",
+		shared, len(regressed), *maxRegress, *maxAllocRegress)
 
 	if base.shape() != cur.shape() && !*gateAnyway {
 		fmt.Fprintf(os.Stderr,
@@ -189,11 +253,24 @@ func main() {
 	}
 	if len(regressed) > 0 {
 		for _, r := range regressed {
-			fmt.Fprintf(os.Stderr, "benchdiff: REGRESSION %s: %.0f -> %.0f ns/op (%+.1f%%)\n",
-				r.Key, r.Base, r.Cur, r.DeltaPct)
+			if r.Regression {
+				fmt.Fprintf(os.Stderr, "benchdiff: REGRESSION %s: %.0f -> %.0f ns/op (%+.1f%%)\n",
+					r.Key, r.Base, r.Cur, r.DeltaPct)
+			}
+			if r.AllocsRegression {
+				fmt.Fprintf(os.Stderr, "benchdiff: REGRESSION %s: %.0f -> %.0f allocs/op (%s)\n",
+					r.Key, *r.BaseAllocs, *r.CurAllocs, allocsDeltaLabel(r.AllocsDeltaPct))
+			}
 		}
 		os.Exit(1)
 	}
+}
+
+func allocsDeltaLabel(pct float64) string {
+	if math.IsInf(pct, 1) {
+		return "zero-alloc baseline regressed"
+	}
+	return fmt.Sprintf("%+.1f%%", pct)
 }
 
 func fatal(err error) {

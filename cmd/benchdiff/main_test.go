@@ -9,6 +9,9 @@ func mkFile(procs int, results ...Result) *File {
 	return &File{GoOS: "linux", GoArch: "amd64", GoMaxProcs: procs, Results: results}
 }
 
+// fp builds the pointer form benchjson uses for recorded allocs/op.
+func fp(v float64) *float64 { return &v }
+
 func TestDiffFlagsOnlyRealRegressions(t *testing.T) {
 	base := mkFile(4,
 		Result{Package: "pnn", Name: "BenchmarkA", NsPerOp: 1000},
@@ -20,7 +23,7 @@ func TestDiffFlagsOnlyRealRegressions(t *testing.T) {
 		Result{Package: "pnn", Name: "BenchmarkB", NsPerOp: 1300},  // +30%: regression
 		Result{Package: "pnn", Name: "BenchmarkFresh", NsPerOp: 9}, // new
 	)
-	rows := diff(base, cur, 25)
+	rows := diff(base, cur, 25, 25)
 	byKey := map[string]Row{}
 	for _, r := range rows {
 		byKey[r.Key] = r
@@ -48,7 +51,7 @@ func TestDiffImprovementsAndZeroBaseline(t *testing.T) {
 		Result{Package: "p", Name: "BenchmarkFast", NsPerOp: 10},  // 100x faster
 		Result{Package: "p", Name: "BenchmarkZero", NsPerOp: 100}, // undefined delta
 	)
-	for _, r := range diff(base, cur, 25) {
+	for _, r := range diff(base, cur, 25, 25) {
 		if r.Regression {
 			t.Errorf("%s flagged as regression: %+v", r.Key, r)
 		}
@@ -65,7 +68,7 @@ func TestDiffMatchesAcrossPackages(t *testing.T) {
 		Result{Package: "a", Name: "BenchmarkX", NsPerOp: 100},
 		Result{Package: "b", Name: "BenchmarkX", NsPerOp: 2000},
 	)
-	rows := diff(base, cur, 25)
+	rows := diff(base, cur, 25, 25)
 	regressed := 0
 	for _, r := range rows {
 		if r.Regression {
@@ -80,17 +83,94 @@ func TestDiffMatchesAcrossPackages(t *testing.T) {
 	}
 }
 
+func TestDiffAllocRegressions(t *testing.T) {
+	base := mkFile(4,
+		Result{Package: "pnn", Name: "BenchmarkSteady", NsPerOp: 1000, AllocsPerOp: fp(100)},
+		Result{Package: "pnn", Name: "BenchmarkLeaky", NsPerOp: 1000, AllocsPerOp: fp(100)},
+		Result{Package: "pnn", Name: "BenchmarkNoData", NsPerOp: 1000},
+		Result{Package: "pnn", Name: "BenchmarkZeroBase", NsPerOp: 1000, AllocsPerOp: fp(0)},
+	)
+	cur := mkFile(4,
+		Result{Package: "pnn", Name: "BenchmarkSteady", NsPerOp: 1000, AllocsPerOp: fp(120)},    // +20%: within threshold
+		Result{Package: "pnn", Name: "BenchmarkLeaky", NsPerOp: 1000, AllocsPerOp: fp(130)},     // +30%: regression
+		Result{Package: "pnn", Name: "BenchmarkNoData", NsPerOp: 1000, AllocsPerOp: fp(999)},    // no baseline data: not gated
+		Result{Package: "pnn", Name: "BenchmarkZeroBase", NsPerOp: 1000, AllocsPerOp: fp(1000)}, // measured-zero baseline regressed: absolute gate
+	)
+	byKey := map[string]Row{}
+	for _, r := range diff(base, cur, 25, 25) {
+		byKey[r.Key] = r
+	}
+	if r := byKey["pnn BenchmarkSteady"]; r.Regressed() {
+		t.Errorf("Steady = %+v, want within threshold", r)
+	}
+	if r := byKey["pnn BenchmarkLeaky"]; !r.AllocsRegression || r.Regression || !r.Regressed() {
+		t.Errorf("Leaky = %+v, want allocs regression only", r)
+	}
+	if r := byKey["pnn BenchmarkNoData"]; r.Regressed() {
+		t.Errorf("NoData = %+v, want ungated without baseline allocation data", r)
+	}
+	if r := byKey["pnn BenchmarkZeroBase"]; !r.AllocsRegression {
+		t.Errorf("ZeroBase = %+v, want absolute regression: a measured zero-alloc baseline reintroduced allocations", r)
+	}
+}
+
+func TestDiffZeroAllocBaselineDefended(t *testing.T) {
+	// The steady state the kernel targets: 0 allocs/op recorded in the
+	// baseline. Staying at zero passes; any growth fails regardless of
+	// thresholds; absent current data (a run without -benchmem) stays
+	// ungated rather than false-failing.
+	base := mkFile(1,
+		Result{Package: "p", Name: "BenchmarkHot", NsPerOp: 100, AllocsPerOp: fp(0)},
+		Result{Package: "p", Name: "BenchmarkCold", NsPerOp: 100, AllocsPerOp: fp(0)},
+	)
+	cur := mkFile(1,
+		Result{Package: "p", Name: "BenchmarkHot", NsPerOp: 100, AllocsPerOp: fp(0)},
+		Result{Package: "p", Name: "BenchmarkCold", NsPerOp: 100, AllocsPerOp: fp(1)},
+	)
+	byKey := map[string]Row{}
+	for _, r := range diff(base, cur, 25, 1e9) {
+		byKey[r.Key] = r
+	}
+	if r := byKey["p BenchmarkHot"]; r.Regressed() {
+		t.Errorf("Hot = %+v, want zero staying zero to pass", r)
+	}
+	if r := byKey["p BenchmarkCold"]; !r.AllocsRegression {
+		t.Errorf("Cold = %+v, want 0 -> 1 allocs/op flagged even with a huge percent threshold", r)
+	}
+	noData := mkFile(1, Result{Package: "p", Name: "BenchmarkHot", NsPerOp: 100})
+	for _, r := range diff(base, noData, 25, 25) {
+		if r.Key == "p BenchmarkHot" && r.Regressed() {
+			t.Errorf("missing current allocation data must not fail the gate: %+v", r)
+		}
+	}
+}
+
+func TestDiffAllocThresholdIndependent(t *testing.T) {
+	// A tight allocation threshold must not inherit the ns/op one.
+	base := mkFile(4, Result{Package: "p", Name: "BenchmarkK", NsPerOp: 100, AllocsPerOp: fp(100)})
+	cur := mkFile(4, Result{Package: "p", Name: "BenchmarkK", NsPerOp: 100, AllocsPerOp: fp(110)})
+	if rows := diff(base, cur, 25, 5); !rows[0].AllocsRegression {
+		t.Errorf("+10%% allocs under a 5%% threshold not flagged: %+v", rows[0])
+	}
+	if rows := diff(base, cur, 5, 25); rows[0].Regressed() {
+		t.Errorf("+10%% allocs under a 25%% threshold flagged: %+v", rows[0])
+	}
+}
+
 func TestTableRendersMarkdown(t *testing.T) {
 	rows := diff(
-		mkFile(4, Result{Package: "pnn", Name: "BenchmarkA", NsPerOp: 100}),
-		mkFile(4, Result{Package: "pnn", Name: "BenchmarkA", NsPerOp: 150}),
-		25)
+		mkFile(4, Result{Package: "pnn", Name: "BenchmarkA", NsPerOp: 100, AllocsPerOp: fp(10)}),
+		mkFile(4, Result{Package: "pnn", Name: "BenchmarkA", NsPerOp: 150, AllocsPerOp: fp(40)}),
+		25, 25)
 	md := table(rows)
 	if !strings.Contains(md, "| benchmark |") || !strings.Contains(md, "**REGRESSION**") {
 		t.Errorf("table missing header or regression marker:\n%s", md)
 	}
-	if !strings.Contains(md, "+50.0%") {
-		t.Errorf("table missing delta:\n%s", md)
+	if !strings.Contains(md, "+50.0%") || !strings.Contains(md, "+300.0%") {
+		t.Errorf("table missing ns/op or allocs delta:\n%s", md)
+	}
+	if !strings.Contains(md, "allocs/op") {
+		t.Errorf("table missing allocation columns:\n%s", md)
 	}
 }
 

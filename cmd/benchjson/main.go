@@ -27,14 +27,18 @@ import (
 	"strings"
 )
 
-// Result is one benchmark measurement.
+// Result is one benchmark measurement. AllocsPerOp is a pointer so a
+// measured zero — the steady state of the world-sampling kernel, and
+// the value cmd/benchdiff's allocation gate most needs to defend — is
+// distinguishable in the JSON from "the benchmark did not report
+// allocations at all" (absent field).
 type Result struct {
-	Package     string  `json:"package,omitempty"`
-	Name        string  `json:"name"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
-	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	Package     string   `json:"package,omitempty"`
+	Name        string   `json:"name"`
+	Iterations  int64    `json:"iterations"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	BytesPerOp  float64  `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
 }
 
 // File is the whole summary.
@@ -170,7 +174,7 @@ func parseBenchLine(line string) (Result, bool) {
 		case "B/op":
 			r.BytesPerOp = v
 		case "allocs/op":
-			r.AllocsPerOp = v
+			r.AllocsPerOp = &v
 		}
 	}
 	return r, seen

@@ -27,6 +27,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -56,8 +58,27 @@ func main() {
 		ingest   = flag.Bool("ingest", true, "enable live ingestion (/v1/objects, /v1/observe)")
 		lenient  = flag.Bool("lenient", false, "drop objects with contradicting observations instead of failing")
 		grace    = flag.Duration("grace", 10*time.Second, "shutdown drain timeout")
+		pprofOn  = flag.String("pprof", "", "also serve net/http/pprof on this address (e.g. localhost:6060); off when empty")
 	)
 	flag.Parse()
+
+	if *pprofOn != "" {
+		// A dedicated listener, never the query mux: profiling endpoints
+		// stay bindable to loopback while the service faces traffic, and
+		// are off entirely by default.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("pprof listening on %s", *pprofOn)
+			if err := http.ListenAndServe(*pprofOn, mux); err != nil {
+				log.Printf("pprof listener failed: %v", err)
+			}
+		}()
+	}
 
 	var (
 		net *pnn.Network

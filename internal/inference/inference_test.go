@@ -572,11 +572,48 @@ func BenchmarkAdapt(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Adapt(o); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkNewSampler tracks the alias-table build cost — the one-off
+// per-object price of O(1) draws, paid inside PrepareAll and on every
+// sampler-cache miss.
+func BenchmarkNewSampler(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	sp, err := space.Synthetic(5000, 8, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	h, err := markov.NewHomogeneous(sp.TransitionMatrix(0.5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var path []int
+	for len(path) < 61 {
+		path = sp.ShortestPath(rng.Intn(sp.Len()), rng.Intn(sp.Len()))
+	}
+	var obs []uncertain.Observation
+	for t := 0; t <= 60; t += 15 {
+		obs = append(obs, uncertain.Observation{T: t, State: path[t]})
+	}
+	o, err := uncertain.NewObject(1, obs, h)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := Adapt(o)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewSampler(m)
 	}
 }
 
@@ -590,6 +627,7 @@ func BenchmarkSample(b *testing.B) {
 	}
 	s := NewSampler(m)
 	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.Sample(rng)

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"pnn/internal/mcrand"
 	"pnn/internal/sparse"
 	"pnn/internal/uncertain"
 )
@@ -14,72 +15,89 @@ import (
 // model F(t). Every drawn path starts at the first observation, ends at the
 // last, and passes through every observation in between with probability 1
 // (Section 5.2.3). A Sampler is safe for concurrent use as long as each
-// goroutine supplies its own *rand.Rand.
+// goroutine supplies its own generator.
 type Sampler struct {
 	model *Model
-	// cum[t-start] holds, aligned with the flat adapted matrix F(t), the
-	// within-row cumulative probabilities, so drawing a successor is one
-	// row lookup plus a binary search.
-	cum [][]float64
-	// postCum[t-start] is the cumulative posterior marginal at t, used to
-	// draw the entry state of window-restricted samples.
-	postCum []cumDist
+	// alias[t-start] holds, aligned with the flat adapted matrix F(t), the
+	// Walker alias tables of every row plus cached successor-row indices,
+	// so drawing a transition is one table lookup and one comparison —
+	// no binary search anywhere in the walk.
+	alias []rowAlias
+	// postCum[t-start] and postAlias[t-start] are the posterior marginal
+	// at t in cumulative and alias form, used to draw the entry state of
+	// window-restricted samples (cumulative for the math/rand path, alias
+	// for the columnar mcrand kernel).
+	postCum   []cumDist
+	postAlias []aliasDist
 }
 
 type cumDist struct {
 	states []int32
-	cum    []float64 // strictly increasing, last element ~1
+	// rowOf[k] is the row index of states[k] in the transition matrix
+	// leaving this timestep, or -1 at the model end (no transition
+	// follows). Carrying it through the walk removes the per-step
+	// row lookup.
+	rowOf []int32
+	cum   []float64 // strictly increasing, last element ~1
 }
 
-// NewSampler precomputes cumulative successor distributions from the
-// adapted model.
+// NewSampler precomputes alias tables and entry distributions from the
+// adapted model. The tables live as long as the sampler, which engines
+// cache per object — the build cost is paid once per adaptation, the
+// O(1) draws on every one of the millions of transitions sampled after.
 func NewSampler(m *Model) *Sampler {
 	n := m.end - m.start
 	s := &Sampler{
-		model:   m,
-		cum:     make([][]float64, n),
-		postCum: make([]cumDist, n+1),
+		model:     m,
+		alias:     make([]rowAlias, n),
+		postCum:   make([]cumDist, n+1),
+		postAlias: make([]aliasDist, n+1),
 	}
-	for t := m.start; t < m.end; t++ {
-		a := m.transitionAdj(t)
-		cum := make([]float64, len(a.p))
-		for r := 0; r+1 < len(a.off); r++ {
-			acc := 0.0
-			for k := a.off[r]; k < a.off[r+1]; k++ {
-				acc += a.p[k]
-				cum[k] = acc
-			}
+	sc := &aliasScratch{}
+	// Walk time backwards: when the loop reaches t, the scratch still
+	// indexes F(t+1) from the previous iteration — exactly the lookup
+	// the t → t+1 tables need for their next-row cache (empty at
+	// t == end-1, where no matrix leaves the final timestep).
+	for t := m.end; t >= m.start; t-- {
+		if t < m.end {
+			s.alias[t-m.start] = buildRowAlias(m.transitionAdj(t), sc)
 		}
-		s.cum[t-m.start] = cum
-	}
-	for t := m.start; t <= m.end; t++ {
-		s.postCum[t-m.start] = cumOf(m.Posterior(t))
+		sc.index(m.transitionAdj(t)) // nil at t == end: de-indexes
+		cd := cumOf(m.Posterior(t), sc)
+		s.postCum[t-m.start] = cd
+		s.postAlias[t-m.start] = aliasOf(cd, sc)
 	}
 	return s
 }
 
-// step draws the successor of state cur at time t, or panics if cur has no
-// adapted successors (impossible for states with posterior mass).
-func (s *Sampler) step(t, cur int, rng *rand.Rand) int {
-	a := s.model.transitionAdj(t)
-	r := a.rowIndex(int32(cur))
-	if r < 0 {
-		panic(fmt.Sprintf("inference: state %d at t=%d has no adapted successors", cur, t))
+// stepRow draws the successor of the state at row index `row` of F(t)
+// from one 64-bit uniform draw, returning the successor state and its
+// row index in F(t+1) (-1 when t+1 is the model end).
+func (s *Sampler) stepRow(t, row int, u uint64) (int32, int) {
+	a := s.model.f[t-s.model.start]
+	ra := &s.alias[t-s.model.start]
+	lo, hi := int(a.off[row]), int(a.off[row+1])
+	slot, frac := aliasPick(u, hi-lo)
+	k := lo + slot
+	if frac >= ra.prob[k] {
+		k = int(ra.alias[k])
 	}
-	lo, hi := int(a.off[r]), int(a.off[r+1])
-	cum := s.cum[t-s.model.start]
-	u := rng.Float64() * cum[hi-1]
-	k := lo + sort.SearchFloat64s(cum[lo:hi], u)
-	if k == hi {
-		k--
-	}
-	return int(a.dst[k])
+	return a.dst[k], int(ra.next[k])
 }
 
-func cumOf(v sparse.Vec) cumDist {
+func noSuccessors(cur int32, t int) string {
+	return fmt.Sprintf("inference: state %d at t=%d has no adapted successors", cur, t)
+}
+
+// cumOf builds the cumulative form of a posterior marginal, caching
+// each state's row index in the timestep's outgoing transition matrix
+// through the scratch lookup (which must index that matrix; -1
+// everywhere at the model end, where no matrix follows).
+func cumOf(v sparse.Vec, sc *aliasScratch) cumDist {
 	ents := v.Entries()
 	cd := cumDist{
 		states: make([]int32, len(ents)),
+		rowOf:  make([]int32, len(ents)),
 		cum:    make([]float64, len(ents)),
 	}
 	acc := 0.0
@@ -87,17 +105,56 @@ func cumOf(v sparse.Vec) cumDist {
 		acc += e.Val
 		cd.states[k] = int32(e.Idx)
 		cd.cum[k] = acc
+		cd.rowOf[k] = sc.lookup(int32(e.Idx))
 	}
 	return cd
 }
 
+// aliasOf converts a cumulative entry distribution to alias form. The
+// state and row slices are shared with cd (both are read-only).
+func aliasOf(cd cumDist, sc *aliasScratch) aliasDist {
+	n := len(cd.states)
+	d := aliasDist{
+		states: cd.states,
+		rowOf:  cd.rowOf,
+		prob:   make([]float64, n),
+		alias:  make([]int32, n),
+	}
+	w := make([]float64, n)
+	prev := 0.0
+	for k, c := range cd.cum {
+		w[k] = c - prev
+		prev = c
+	}
+	buildAliasRange(w, d.prob, d.alias, 0, sc)
+	return d
+}
+
+// draw returns the slot index of one sample of the distribution.
 func (cd cumDist) draw(rng *rand.Rand) int {
-	u := rng.Float64() * cd.cum[len(cd.cum)-1]
+	return cd.drawAt(rng.Float64() * cd.cum[len(cd.cum)-1])
+}
+
+// drawAt resolves a uniform draw u ∈ [0, total) to its slot. Floating-
+// point overshoot — u computed as fraction×total can round to a value
+// that SearchFloat64s places past the final cumulative entry — clamps
+// to the last slot, mirroring the transition-step clamp the cumulative
+// sampler always had.
+func (cd cumDist) drawAt(u float64) int {
 	k := sort.SearchFloat64s(cd.cum, u)
 	if k == len(cd.cum) {
 		k--
 	}
-	return int(cd.states[k])
+	return k
+}
+
+// draw returns the slot index of one sample of the distribution.
+func (d *aliasDist) draw(rng *mcrand.RNG) int {
+	slot, frac := aliasPick(rng.Uint64(), len(d.prob))
+	if frac >= d.prob[slot] {
+		slot = int(d.alias[slot])
+	}
+	return slot
 }
 
 // SampleWindow draws the object's trajectory restricted to [ts, te] ∩
@@ -121,13 +178,61 @@ func (s *Sampler) SampleWindow(rng *rand.Rand, ts, te int) (uncertain.Path, bool
 		return uncertain.Path{}, false
 	}
 	states := make([]int32, te-ts+1)
-	cur := s.postCum[ts-m.start].draw(rng)
-	states[0] = int32(cur)
+	cd := &s.postCum[ts-m.start]
+	k := cd.draw(rng)
+	cur, row := cd.states[k], int(cd.rowOf[k])
+	states[0] = cur
 	for t := ts; t < te; t++ {
-		cur = s.step(t, cur, rng)
-		states[t-ts+1] = int32(cur)
+		if row < 0 {
+			panic(noSuccessors(cur, t))
+		}
+		cur, row = s.stepRow(t, row, rng.Uint64())
+		states[t-ts+1] = cur
 	}
 	return uncertain.Path{Start: ts, States: states}, true
+}
+
+// SampleWindowInto is the columnar twin of SampleWindow: it draws the
+// trajectory over [ts, te] directly into dst, which must have length
+// te-ts+1. dst[t-ts] receives the state at t, or -1 ("dead") where t
+// falls outside the object's lifetime, the encoding nn.WorldBatch maps
+// to an infinite distance. No allocation, one alias-table lookup per
+// transition, an inlineable generator: this is the innermost call of
+// the Monte-Carlo world-sampling kernel. ok is false when the window
+// does not intersect the lifetime at all (dst is then all -1).
+func (s *Sampler) SampleWindowInto(rng *mcrand.RNG, ts, te int, dst []int32) bool {
+	m := s.model
+	cs, ce := ts, te
+	if cs < m.start {
+		cs = m.start
+	}
+	if ce > m.end {
+		ce = m.end
+	}
+	if ce < cs {
+		for i := range dst {
+			dst[i] = -1
+		}
+		return false
+	}
+	for i := 0; i < cs-ts; i++ {
+		dst[i] = -1
+	}
+	for i := ce - ts + 1; i < len(dst); i++ {
+		dst[i] = -1
+	}
+	ad := &s.postAlias[cs-m.start]
+	k := ad.draw(rng)
+	cur, row := ad.states[k], int(ad.rowOf[k])
+	dst[cs-ts] = cur
+	for t := cs; t < ce; t++ {
+		if row < 0 {
+			panic(noSuccessors(cur, t))
+		}
+		cur, row = s.stepRow(t, row, rng.Uint64())
+		dst[t-ts+1] = cur
+	}
+	return true
 }
 
 // Model returns the underlying adapted model.
@@ -137,11 +242,18 @@ func (s *Sampler) Model() *Model { return s.model }
 func (s *Sampler) Sample(rng *rand.Rand) uncertain.Path {
 	m := s.model
 	states := make([]int32, m.end-m.start+1)
-	cur := m.obj.First().State
-	states[0] = int32(cur)
+	cur := int32(m.obj.First().State)
+	states[0] = cur
+	row := -1
+	if m.end > m.start {
+		row = m.f[0].rowIndex(cur)
+	}
 	for t := m.start; t < m.end; t++ {
-		cur = s.step(t, cur, rng)
-		states[t-m.start+1] = int32(cur)
+		if row < 0 {
+			panic(noSuccessors(cur, t))
+		}
+		cur, row = s.stepRow(t, row, rng.Uint64())
+		states[t-m.start+1] = cur
 	}
 	return uncertain.Path{Start: m.start, States: states}
 }

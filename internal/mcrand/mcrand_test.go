@@ -1,0 +1,100 @@
+package mcrand
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if x, y := a.Uint64(), b.Uint64(); x != y {
+			t.Fatalf("draw %d: %x != %x", i, x, y)
+		}
+	}
+	c, d := New(43), New(42)
+	if x, y := d.Uint64(), c.Uint64(); x == y {
+		t.Fatal("different seeds produced the same first draw")
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var r RNG
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		seen[r.Uint64()] = true
+	}
+	if len(seen) != 100 {
+		t.Fatalf("zero-value RNG repeated outputs: %d distinct of 100", len(seen))
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(7)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+		sum += f
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.005 {
+		t.Errorf("Float64 mean %v, want ~0.5", mean)
+	}
+}
+
+// TestUniformity is a coarse chi-square check over 64 buckets — enough
+// to catch a broken mixer, not a BigCrush substitute.
+func TestUniformity(t *testing.T) {
+	r := New(99)
+	const buckets, n = 64, 64 * 4096
+	var counts [buckets]int
+	for i := 0; i < n; i++ {
+		counts[r.Uint64()%buckets]++
+	}
+	expected := float64(n) / buckets
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	// 63 degrees of freedom: mean 63, stddev ~11.2. 150 is ~7.7 sigma.
+	if chi2 > 150 {
+		t.Errorf("chi-square %v too high for uniform output", chi2)
+	}
+}
+
+func TestMix64Bijective(t *testing.T) {
+	// Spot-check injectivity on a dense low range plus known constants.
+	seen := map[uint64]uint64{}
+	for x := uint64(0); x < 1<<16; x++ {
+		h := Mix64(x)
+		if prev, ok := seen[h]; ok {
+			t.Fatalf("Mix64 collision: %d and %d -> %x", prev, x, h)
+		}
+		seen[h] = x
+	}
+}
+
+func TestSubSeedIndependence(t *testing.T) {
+	// Distinct keys under one seed, and distinct seeds under one key,
+	// must yield distinct sub-seeds (collisions would correlate what
+	// the determinism contract promises are independent streams).
+	seen := map[int64]bool{}
+	for key := 0; key < 10000; key++ {
+		s := SubSeed(12345, key)
+		if seen[s] {
+			t.Fatalf("SubSeed collision at key %d", key)
+		}
+		seen[s] = true
+	}
+	if SubSeed(1, 7) == SubSeed(2, 7) {
+		t.Error("same sub-seed for different request seeds")
+	}
+	// Stability: the derivation is part of observable behavior.
+	if SubSeed(7, 42) != SubSeed(7, 42) {
+		t.Error("SubSeed is not a pure function")
+	}
+}

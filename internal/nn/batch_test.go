@@ -1,0 +1,164 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pnn/internal/geo"
+	"pnn/internal/space"
+	"pnn/internal/uncertain"
+)
+
+// fillFromPaths writes the paths of one world into the batch's state
+// columns the way the sampling kernel does: -1 outside a path's span.
+func fillFromPaths(b *WorldBatch, w int, paths []uncertain.Path) {
+	for oi, p := range paths {
+		col := b.States(oi, w)
+		for t := b.Ts; t <= b.Te; t++ {
+			if s, ok := p.At(t); ok {
+				col[t-b.Ts] = int32(s)
+			} else {
+				col[t-b.Ts] = -1
+			}
+		}
+	}
+}
+
+// TestBatchMatchesWorld is the batch's correctness anchor: every
+// predicate over a WorldBatch must agree with the reference World
+// built from the same paths, across random worlds, windows and k.
+func TestBatchMatchesWorld(t *testing.T) {
+	sp, err := space.Line(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	const nObj, nW = 5, 16
+	q := func(ti int) geo.Point { return sp.Point(10 + ti%3) }
+
+	var b WorldBatch
+	for trial := 0; trial < 20; trial++ {
+		ts := rng.Intn(5)
+		te := ts + 1 + rng.Intn(6)
+		nT := te - ts + 1
+		worlds := make([][]uncertain.Path, nW)
+		b.Reset(nObj, nW, ts, te)
+		for w := 0; w < nW; w++ {
+			paths := make([]uncertain.Path, nObj)
+			for oi := range paths {
+				// Random span, possibly missing the window entirely.
+				start := ts - 2 + rng.Intn(5)
+				n := rng.Intn(nT + 3)
+				states := make([]int32, n)
+				for i := range states {
+					states[i] = int32(rng.Intn(sp.Len()))
+				}
+				paths[oi] = uncertain.Path{Start: start, States: states}
+			}
+			worlds[w] = paths
+			fillFromPaths(&b, w, paths)
+		}
+		b.ComputeDistances(sp, q)
+
+		mask := make([]bool, nT)
+		refMask := make([]bool, nT)
+		for w := 0; w < nW; w++ {
+			ref := NewWorld(sp, worlds[w], q, ts, te)
+			for oi := 0; oi < nObj; oi++ {
+				for tt := ts; tt <= te; tt++ {
+					bd, rd := b.Dist(w, oi, tt), ref.Dist(oi, tt)
+					if bd != rd && !(math.IsInf(bd, 1) && math.IsInf(rd, 1)) {
+						t.Fatalf("trial %d world %d: Dist(%d,%d) = %v, want %v", trial, w, oi, tt, bd, rd)
+					}
+					for k := 1; k <= 3; k++ {
+						if got, want := b.IsKNNAt(w, oi, tt, k), ref.IsKNNAt(oi, tt, k); got != want {
+							t.Fatalf("trial %d world %d: IsKNNAt(%d,%d,%d) = %v, want %v", trial, w, oi, tt, k, got, want)
+						}
+					}
+				}
+				for k := 1; k <= 3; k++ {
+					wantAll, wantSome := true, false
+					for tt := ts; tt <= te; tt++ {
+						knn := ref.IsKNNAt(oi, tt, k)
+						wantAll = wantAll && knn
+						wantSome = wantSome || knn
+					}
+					if got := b.KNNThroughout(w, oi, k); got != wantAll {
+						t.Fatalf("trial %d world %d: KNNThroughout(%d,%d) = %v, want %v", trial, w, oi, k, got, wantAll)
+					}
+					if got := b.KNNSometime(w, oi, k); got != wantSome {
+						t.Fatalf("trial %d world %d: KNNSometime(%d,%d) = %v, want %v", trial, w, oi, k, got, wantSome)
+					}
+					b.KNNMask(w, oi, k, mask)
+					ref.KNNMask(oi, k, refMask)
+					for i := range mask {
+						if mask[i] != refMask[i] {
+							t.Fatalf("trial %d world %d: KNNMask(%d,%d)[%d] = %v, want %v", trial, w, oi, k, i, mask[i], refMask[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBatchResetReuse pins the zero-allocation contract: once grown, a
+// batch reshaped to an equal-or-smaller geometry must not allocate.
+func TestBatchResetReuse(t *testing.T) {
+	var b WorldBatch
+	b.Reset(8, 64, 0, 9)
+	big := cap(b.states)
+	allocs := testing.AllocsPerRun(100, func() {
+		b.Reset(4, 32, 2, 7)
+		b.Reset(8, 64, 0, 9)
+	})
+	if allocs != 0 {
+		t.Errorf("Reset to covered geometry allocated %v times per run", allocs)
+	}
+	if cap(b.states) != big {
+		t.Errorf("Reset replaced a sufficient buffer")
+	}
+}
+
+// TestBatchRangeComputation checks that disjoint ComputeDistancesRange
+// calls compose to the full matrix.
+func TestBatchRangeComputation(t *testing.T) {
+	sp, err := space.Line(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := func(int) geo.Point { return sp.Point(3) }
+	rng := rand.New(rand.NewSource(9))
+	var whole, parts WorldBatch
+	const nObj, nW = 3, 10
+	whole.Reset(nObj, nW, 0, 4)
+	parts.Reset(nObj, nW, 0, 4)
+	for w := 0; w < nW; w++ {
+		for oi := 0; oi < nObj; oi++ {
+			col := whole.States(oi, w)
+			pcol := parts.States(oi, w)
+			for i := range col {
+				s := int32(rng.Intn(sp.Len()))
+				if rng.Intn(5) == 0 {
+					s = -1
+				}
+				col[i], pcol[i] = s, s
+			}
+		}
+	}
+	whole.ComputeDistances(sp, q)
+	parts.PrepareQuery(q)
+	parts.ComputeDistancesRange(sp, 0, 4)
+	parts.ComputeDistancesRange(sp, 4, nW)
+	for w := 0; w < nW; w++ {
+		for oi := 0; oi < nObj; oi++ {
+			for tt := 0; tt <= 4; tt++ {
+				a, b2 := whole.Dist(w, oi, tt), parts.Dist(w, oi, tt)
+				if a != b2 && !(math.IsInf(a, 1) && math.IsInf(b2, 1)) {
+					t.Fatalf("range fill differs at w=%d oi=%d t=%d: %v vs %v", w, oi, tt, a, b2)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package query
+
+import (
+	"sync"
+
+	"pnn/internal/inference"
+	"pnn/internal/mcrand"
+	"pnn/internal/nn"
+)
+
+// worldChunk is the shared chunking policy of the columnar kernel; see
+// nn.WorldChunk.
+const worldChunk = nn.WorldChunk
+
+// mcScratch is the per-worker scratch of the Monte-Carlo kernel: the
+// columnar world batch a worker fills and evaluates chunk after chunk.
+// Workers check one out of mcPool for the duration of their sample
+// budget, so steady-state query traffic draws millions of worlds
+// without allocating.
+type mcScratch struct {
+	batch nn.WorldBatch
+}
+
+var mcPool = sync.Pool{New: func() any { return new(mcScratch) }}
+
+// countChunk draws `worlds` possible worlds in columnar chunks from rng
+// and accumulates into out (zeroed, length len(tgtLocal)), per target
+// row, the worlds in which the target's (∀ or ∃) k-NN predicate holds.
+// tgtLocal maps target rows to sampler rows.
+func (e *Engine) countChunk(samplers []*inference.Sampler, q Query, ts, te, k int, forall bool, tgtLocal []int, worlds int, rng *mcrand.RNG, out []int) {
+	sc := mcPool.Get().(*mcScratch)
+	defer mcPool.Put(sc)
+	sp := e.tree.Space()
+	for w0 := 0; w0 < worlds; w0 += worldChunk {
+		cn := worldChunk
+		if left := worlds - w0; left < cn {
+			cn = left
+		}
+		sc.batch.Reset(len(samplers), cn, ts, te)
+		for li, s := range samplers {
+			for w := 0; w < cn; w++ {
+				s.SampleWindowInto(rng, ts, te, sc.batch.States(li, w))
+			}
+		}
+		sc.batch.ComputeDistances(sp, q.At)
+		for w := 0; w < cn; w++ {
+			for ci, li := range tgtLocal {
+				if forall {
+					if sc.batch.KNNThroughout(w, li, k) {
+						out[ci]++
+					}
+				} else if sc.batch.KNNSometime(w, li, k) {
+					out[ci]++
+				}
+			}
+		}
+	}
+}

@@ -6,8 +6,7 @@ import (
 	"sort"
 	"time"
 
-	"pnn/internal/nn"
-	"pnn/internal/uncertain"
+	"pnn/internal/mcrand"
 	"pnn/internal/ustree"
 )
 
@@ -69,26 +68,41 @@ func (e *Engine) CNNK(q Query, ts, te, k int, tau float64, rng *rand.Rand) ([]In
 
 	begin := time.Now()
 	nT := te - ts + 1
-	// masks[w][li*nT+k]: in world w, is object refine[li] the NN at ts+k?
+	// masks[w][li*nT+j]: in world w, is object refine[li] among the k
+	// nearest at ts+j? One flat backing array — the rows are consumed
+	// together by the lattice walk, so per-world allocations buy nothing.
+	nR := len(refine)
+	backing := make([]bool, e.samples*nR*nT)
 	masks := make([][]bool, e.samples)
-	paths := make([]uncertain.Path, len(refine))
-	scratch := make([]bool, nT)
-	for w := 0; w < e.samples; w++ {
-		for li, s := range samplers {
-			p, ok := s.SampleWindow(rng, ts, te)
-			if !ok {
-				p = uncertain.Path{Start: ts - 1}
-			}
-			paths[li] = p
-		}
-		world := nn.NewWorld(e.tree.Space(), paths, q.At, ts, te)
-		row := make([]bool, len(refine)*nT)
-		for li := range refine {
-			world.KNNMask(li, k, scratch)
-			copy(row[li*nT:(li+1)*nT], scratch)
-		}
-		masks[w] = row
+	for w := range masks {
+		masks[w] = backing[w*nR*nT : (w+1)*nR*nT]
 	}
+	// Worlds are drawn through the same columnar kernel as nnQuery, from
+	// the single sub-stream of worker 0 (the lattice walk needs every
+	// world's masks in memory anyway, so there is no budget split).
+	sub := mcrand.New(mcrand.SubSeed(rng.Int63(), 0))
+	sc := mcPool.Get().(*mcScratch)
+	sp := e.tree.Space()
+	for w0 := 0; w0 < e.samples; w0 += worldChunk {
+		cn := worldChunk
+		if left := e.samples - w0; left < cn {
+			cn = left
+		}
+		sc.batch.Reset(nR, cn, ts, te)
+		for li, s := range samplers {
+			for w := 0; w < cn; w++ {
+				s.SampleWindowInto(&sub, ts, te, sc.batch.States(li, w))
+			}
+		}
+		sc.batch.ComputeDistances(sp, q.At)
+		for w := 0; w < cn; w++ {
+			row := masks[w0+w]
+			for li := 0; li < nR; li++ {
+				sc.batch.KNNMask(w, li, k, row[li*nT:(li+1)*nT])
+			}
+		}
+	}
+	mcPool.Put(sc)
 	st.Worlds = e.samples
 
 	var out []IntervalResult

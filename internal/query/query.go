@@ -28,7 +28,7 @@ import (
 
 	"pnn/internal/geo"
 	"pnn/internal/inference"
-	"pnn/internal/nn"
+	"pnn/internal/mcrand"
 	"pnn/internal/uncertain"
 	"pnn/internal/ustree"
 )
@@ -244,7 +244,11 @@ func (e *Engine) nnQuery(q Query, ts, te, k int, tau float64, rng *rand.Rand, fo
 	for li, oi := range refine {
 		localIdx[oi] = li
 	}
-	counts := e.countWorlds(samplers, q, ts, te, k, forall, targets, localIdx, rng)
+	tgtLocal := make([]int, len(targets))
+	for ci, oi := range targets {
+		tgtLocal[ci] = localIdx[oi]
+	}
+	counts := e.countWorlds(samplers, q, ts, te, k, forall, tgtLocal, rng)
 	st.Worlds = e.samples
 	st.RefineTime = time.Since(begin)
 
@@ -258,41 +262,23 @@ func (e *Engine) nnQuery(q Query, ts, te, k int, tau float64, rng *rand.Rand, fo
 	return out, st, nil
 }
 
-// countWorlds samples e.samples possible worlds and counts, per target
-// object, the worlds in which its NN predicate holds. With parallelism p,
-// the budget is split statically into p chunks, each driven by a derived
-// deterministic generator.
-func (e *Engine) countWorlds(samplers []*inference.Sampler, q Query, ts, te, k int, forall bool, targets []int, localIdx map[int]int, rng *rand.Rand) []int {
+// countWorlds samples e.samples possible worlds through the columnar
+// kernel (see kernel.go) and counts, per target row, the worlds in
+// which its NN predicate holds. With parallelism p, the budget is split
+// statically into p chunks; worker w draws from the deterministic
+// sub-stream mcrand.SubSeed(base, w) of one base seed taken from the
+// caller's generator, so answers depend only on (caller rng state,
+// parallelism) and never on scheduling.
+func (e *Engine) countWorlds(samplers []*inference.Sampler, q Query, ts, te, k int, forall bool, tgtLocal []int, rng *rand.Rand) []int {
 	p := e.Parallelism()
 	if p > e.samples {
 		p = e.samples
 	}
-	chunk := func(worlds int, rng *rand.Rand, counts []int) {
-		paths := make([]uncertain.Path, len(samplers))
-		for w := 0; w < worlds; w++ {
-			for li, s := range samplers {
-				sp, ok := s.SampleWindow(rng, ts, te)
-				if !ok {
-					sp = uncertain.Path{Start: ts - 1} // empty: never alive
-				}
-				paths[li] = sp
-			}
-			world := nn.NewWorld(e.tree.Space(), paths, q.At, ts, te)
-			for ci, oi := range targets {
-				li := localIdx[oi]
-				if forall {
-					if isKNNThroughout(world, li, ts, te, k) {
-						counts[ci]++
-					}
-				} else if isKNNSometime(world, li, ts, te, k) {
-					counts[ci]++
-				}
-			}
-		}
-	}
+	base := rng.Int63()
+	counts := make([]int, len(tgtLocal))
 	if p <= 1 {
-		counts := make([]int, len(targets))
-		chunk(e.samples, rng, counts)
+		sub := mcrand.New(mcrand.SubSeed(base, 0))
+		e.countChunk(samplers, q, ts, te, k, forall, tgtLocal, e.samples, &sub, counts)
 		return counts
 	}
 	per := e.samples / p
@@ -304,38 +290,19 @@ func (e *Engine) countWorlds(samplers []*inference.Sampler, q Query, ts, te, k i
 		if w < extra {
 			worlds++
 		}
-		sub := rand.New(rand.NewSource(rng.Int63()))
-		all[w] = make([]int, len(targets))
+		all[w] = make([]int, len(tgtLocal))
 		wg.Add(1)
-		go func(w, worlds int, sub *rand.Rand) {
+		go func(w, worlds int) {
 			defer wg.Done()
-			chunk(worlds, sub, all[w])
-		}(w, worlds, sub)
+			sub := mcrand.New(mcrand.SubSeed(base, w))
+			e.countChunk(samplers, q, ts, te, k, forall, tgtLocal, worlds, &sub, all[w])
+		}(w, worlds)
 	}
 	wg.Wait()
-	counts := make([]int, len(targets))
 	for _, c := range all {
 		for i, v := range c {
 			counts[i] += v
 		}
 	}
 	return counts
-}
-
-func isKNNThroughout(w *nn.World, oi, t0, t1, k int) bool {
-	for t := t0; t <= t1; t++ {
-		if !w.IsKNNAt(oi, t, k) {
-			return false
-		}
-	}
-	return true
-}
-
-func isKNNSometime(w *nn.World, oi, t0, t1, k int) bool {
-	for t := t0; t <= t1; t++ {
-		if w.IsKNNAt(oi, t, k) {
-			return true
-		}
-	}
-	return false
 }

@@ -105,6 +105,7 @@ func BenchmarkShardedQuery(b *testing.B) {
 			}
 			snap := s.Snapshot()
 			q := query.StateQuery(sp.Point(center))
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, _, err := snap.ExistsKNN(q, 1, 15, 1, 0.01, int64(i)); err != nil {

@@ -2,15 +2,14 @@ package shard
 
 import (
 	"fmt"
-	"math/rand"
 	"sort"
 	"sync"
 	"time"
 
 	"pnn/internal/inference"
+	"pnn/internal/mcrand"
 	"pnn/internal/nn"
 	"pnn/internal/query"
-	"pnn/internal/uncertain"
 )
 
 // Result is one probabilistic query answer, keyed by the caller-chosen
@@ -30,24 +29,20 @@ type IntervalResult struct {
 	Prob  float64
 }
 
-// subSeed derives the deterministic per-object world-sampling seed.
-// Keying on the object ID (never on shard or engine index) is what
-// makes answers independent of the shard count: an object's sampled
-// trajectories for a given request seed are the same whether it shares
-// an engine with every other object or with none of them.
-func subSeed(seed int64, id int) int64 {
-	return int64(mix64(uint64(seed) ^ mix64(uint64(id)+0x9e3779b97f4a7c15)))
-}
-
 // entry is one influencer object of a scatter-gather query: where it
 // lives, its stable ID, its adapted sampler, and its private
-// deterministic world generator.
+// deterministic world generator. The generator is seeded by
+// mcrand.SubSeed(request seed, object ID) — keying on the object ID
+// (never on shard or engine index) is what makes answers independent
+// of the shard count: an object's sampled trajectories for a given
+// request seed are the same whether it shares an engine with every
+// other object or with none of them.
 type entry struct {
 	shard int
 	oi    int // engine index within the shard
 	id    int
 	smp   *inference.Sampler
-	rng   *rand.Rand
+	rng   mcrand.RNG
 }
 
 // exec is the gathered plan of one scatter-gather query: the merged
@@ -146,7 +141,7 @@ func (s *Snap) scatter(q query.Query, ts, te, k int, seed int64) (*exec, error) 
 				oi:    oi,
 				id:    id,
 				smp:   pl.samplers[i],
-				rng:   rand.New(rand.NewSource(subSeed(seed, id))),
+				rng:   mcrand.New(mcrand.SubSeed(seed, id)),
 			})
 			x.byShard[si] = append(x.byShard[si], ei)
 			if isCand[oi] {
@@ -163,28 +158,38 @@ func (s *Snap) scatter(q query.Query, ts, te, k int, seed int64) (*exec, error) 
 }
 
 // worldChunk bounds the possible worlds materialized at once, so the
-// gather phase streams instead of holding samples × influencers paths.
-const worldChunk = 256
+// gather phase streams instead of holding samples × influencers state;
+// the size is the kernel-wide chunking policy, nn.WorldChunk.
+const worldChunk = nn.WorldChunk
 
-// run samples every world and hands each to perWorld. The scatter half
-// of every chunk runs one goroutine per shard (each drawing its own
-// entries' paths from their private generators, in world order); the
-// gather half evaluates the chunk's worlds on x.workers goroutines.
-// perWorld is called exactly once per world index with disjoint worker
-// ids in [0, x.workers); any output it writes must be either per-worker
-// or per-world for the whole run to stay deterministic.
-func (x *exec) run(perWorld func(worker, w int, world *nn.World)) {
+// batchPool recycles the columnar world batches of the gather phase
+// across queries; a warmed pool makes scatter-gather refinement
+// allocation-free in steady state.
+var batchPool = sync.Pool{New: func() any { return new(nn.WorldBatch) }}
+
+// run samples every world through the columnar kernel and hands each to
+// perWorld. The scatter half of every chunk runs one goroutine per
+// shard, each drawing its entries' state columns from their private
+// per-object generators in world order; the gather half materializes
+// distance rows and evaluates the chunk's worlds on x.workers
+// goroutines (each worker computes the distances of its own world
+// range, then evaluates it). perWorld is called exactly once per world
+// index — w is the global world number, wi its row in b — with
+// disjoint worker ids in [0, x.workers); any output it writes must be
+// either per-worker or per-world for the whole run to stay
+// deterministic.
+func (x *exec) run(perWorld func(worker, w int, b *nn.WorldBatch, wi int)) {
 	nE := len(x.entries)
-	buf := make([][]uncertain.Path, worldChunk)
-	for i := range buf {
-		buf[i] = make([]uncertain.Path, nE)
-	}
+	b := batchPool.Get().(*nn.WorldBatch)
+	defer batchPool.Put(b)
 	sp := x.snap.Parts[0].Engine.Tree().Space()
 	for w0 := 0; w0 < x.samples; w0 += worldChunk {
 		cn := worldChunk
 		if left := x.samples - w0; left < cn {
 			cn = left
 		}
+		b.Reset(nE, cn, x.ts, x.te)
+		b.PrepareQuery(x.q.At)
 		var wg sync.WaitGroup
 		for _, idxs := range x.byShard {
 			if len(idxs) == 0 {
@@ -196,11 +201,7 @@ func (x *exec) run(perWorld func(worker, w int, world *nn.World)) {
 				for _, ei := range idxs {
 					e := &x.entries[ei]
 					for w := 0; w < cn; w++ {
-						p, ok := e.smp.SampleWindow(e.rng, x.ts, x.te)
-						if !ok {
-							p = uncertain.Path{Start: x.ts - 1} // empty: never alive
-						}
-						buf[w][ei] = p
+						e.smp.SampleWindowInto(&e.rng, x.ts, x.te, b.States(ei, w))
 					}
 				}
 			}(idxs)
@@ -212,8 +213,9 @@ func (x *exec) run(perWorld func(worker, w int, world *nn.World)) {
 			nw = cn
 		}
 		if nw <= 1 {
+			b.ComputeDistancesRange(sp, 0, cn)
 			for w := 0; w < cn; w++ {
-				perWorld(0, w0+w, nn.NewWorld(sp, buf[w], x.q.At, x.ts, x.te))
+				perWorld(0, w0+w, b, w)
 			}
 			continue
 		}
@@ -229,8 +231,9 @@ func (x *exec) run(perWorld func(worker, w int, world *nn.World)) {
 			eg.Add(1)
 			go func(worker, lo, hi int) {
 				defer eg.Done()
+				b.ComputeDistancesRange(sp, lo, hi)
 				for w := lo; w < hi; w++ {
-					perWorld(worker, w0+w, nn.NewWorld(sp, buf[w], x.q.At, x.ts, x.te))
+					perWorld(worker, w0+w, b, w)
 				}
 			}(worker, lo, lo+n)
 			lo += n
@@ -279,14 +282,14 @@ func (s *Snap) nnQuery(q query.Query, ts, te, k int, tau float64, seed int64, fo
 	for i := range partial {
 		partial[i] = make([]int, len(targets))
 	}
-	x.run(func(worker, _ int, world *nn.World) {
+	x.run(func(worker, _ int, b *nn.WorldBatch, wi int) {
 		counts := partial[worker]
 		for ci, ei := range targets {
 			if forall {
-				if kNNThroughout(world, ei, ts, te, k) {
+				if b.KNNThroughout(wi, ei, k) {
 					counts[ci]++
 				}
-			} else if kNNSometime(world, ei, ts, te, k) {
+			} else if b.KNNSometime(wi, ei, k) {
 				counts[ci]++
 			}
 		}
@@ -331,20 +334,19 @@ func (s *Snap) CNNK(q query.Query, ts, te, k int, tau float64, seed int64) ([]In
 	nT := te - ts + 1
 	nE := len(x.entries)
 	// masks[w][ei*nT+j]: in world w, is entry ei among the k nearest at
-	// ts+j? Rows are written by exactly one worker (per-world), so the
-	// parallel gather stays race-free and deterministic.
+	// ts+j? One flat backing array, with each row written by exactly one
+	// worker (per-world), so the parallel gather stays race-free and
+	// deterministic.
+	backing := make([]bool, x.samples*nE*nT)
 	masks := make([][]bool, x.samples)
-	scratch := make([][]bool, x.workers)
-	for i := range scratch {
-		scratch[i] = make([]bool, nT)
+	for w := range masks {
+		masks[w] = backing[w*nE*nT : (w+1)*nE*nT]
 	}
-	x.run(func(worker, w int, world *nn.World) {
-		row := make([]bool, nE*nT)
+	x.run(func(_, w int, b *nn.WorldBatch, wi int) {
+		row := masks[w]
 		for ei := 0; ei < nE; ei++ {
-			world.KNNMask(ei, k, scratch[worker])
-			copy(row[ei*nT:(ei+1)*nT], scratch[worker])
+			b.KNNMask(wi, ei, k, row[ei*nT:(ei+1)*nT])
 		}
-		masks[w] = row
 	})
 
 	order := make([]int, nE)
@@ -375,24 +377,6 @@ func (s *Snap) CNNK(q query.Query, ts, te, k int, tau float64, seed int64) ([]In
 		return lessIntSlice(out[a].Times, out[b].Times)
 	})
 	return out, x.stats, nil
-}
-
-func kNNThroughout(w *nn.World, ei, t0, t1, k int) bool {
-	for t := t0; t <= t1; t++ {
-		if !w.IsKNNAt(ei, t, k) {
-			return false
-		}
-	}
-	return true
-}
-
-func kNNSometime(w *nn.World, ei, t0, t1, k int) bool {
-	for t := t0; t <= t1; t++ {
-		if w.IsKNNAt(ei, t, k) {
-			return true
-		}
-	}
-	return false
 }
 
 func lessIntSlice(a, b []int) bool {

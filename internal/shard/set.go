@@ -38,6 +38,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"pnn/internal/mcrand"
 	"pnn/internal/query"
 	"pnn/internal/space"
 	"pnn/internal/store"
@@ -105,24 +106,13 @@ type Set struct {
 // shardOf routes an object ID to its shard. The hash must be stable
 // across processes and shard-set rebuilds — the partition an object
 // lands in is part of the system's observable behavior (per-shard
-// versions, routing tests), so no per-process seeding.
+// versions, routing tests), so no per-process seeding. The mixer is
+// the same splitmix64 finalizer the seed-derivation contract uses.
 func shardOf(id, shards int) int {
 	if shards <= 1 {
 		return 0
 	}
-	return int(mix64(uint64(id)) % uint64(shards))
-}
-
-// mix64 is the splitmix64 finalizer: a cheap, well-distributed 64-bit
-// mixer (Steele et al., "Fast Splittable Pseudorandom Number
-// Generators", OOPSLA 2014).
-func mix64(x uint64) uint64 {
-	x ^= x >> 30
-	x *= 0xbf58476d1ce4e5b9
-	x ^= x >> 27
-	x *= 0x94d049bb133111eb
-	x ^= x >> 31
-	return x
+	return int(mcrand.Mix64(uint64(id)) % uint64(shards))
 }
 
 // New partitions objs across `shards` stores by object-ID hash and
