@@ -1,10 +1,16 @@
 package pnn
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
+	"math"
 	"runtime"
 	"sync"
+	"time"
 
+	"pnn/internal/mcrand"
+	"pnn/internal/query"
 	"pnn/internal/shard"
 )
 
@@ -28,11 +34,21 @@ type Request struct {
 	Ts, Te    int
 	K         int // k for kNN semantics; 0 means 1
 	Tau       float64
-	Seed      int64 // per-request RNG seed; results depend only on it, not on scheduling
+	// Seed is the per-request RNG seed; with world sharing disabled,
+	// results depend only on it, never on scheduling. With sharing
+	// enabled the group seed takes over (see BatchOptions.SharedSeed)
+	// and Seed is ignored.
+	Seed int64
 }
 
 // Response is the answer to one batch Request, in the same position.
 // Results is set for ForAll/Exists, Intervals for Continuous.
+//
+// Stats.SamplerBuilds and adaptation time are reported at batch level
+// (BatchStats), not per response: on a cold cache the single-flight
+// sampler cache attributes each shared build to whichever request
+// happened to win it, which depends on scheduling. The batch-level sum
+// is scheduling-independent; the per-response field is always 0 here.
 type Response struct {
 	Results   []Result
 	Intervals []IntervalResult
@@ -40,36 +56,109 @@ type Response struct {
 	Err       error
 }
 
+// BatchStats is the scheduling-independent work accounting of one
+// RunBatch call. Unlike the per-response Stats of historical releases,
+// every field is deterministic for a given processor state and batch:
+// SamplerBuilds is the number of models the whole batch adapted (each
+// shared build counted exactly once, no matter which request won it).
+type BatchStats struct {
+	// Requests is the number of requests answered (== len(reqs)).
+	Requests int
+	// SamplerBuilds is the number of model adaptations the batch
+	// performed; 0 once the cache is warm for every influencer touched.
+	SamplerBuilds int
+	// AdaptTime is the summed model-adaptation wall time across the
+	// batch's queries (the TS phase of the paper's experiments).
+	AdaptTime time.Duration
+	// Groups is the number of shared-world groups executed; 0 when
+	// sharing was disabled. Requests-Groups sampling passes were saved
+	// by coalescing.
+	Groups int
+}
+
+// BatchOptions tunes RunBatchStats.
+type BatchOptions struct {
+	// Workers is the worker-pool size; 0 or less picks GOMAXPROCS.
+	Workers int
+	// ShareWorlds coalesces compatible requests — same query reference
+	// over the window, same [Ts, Te], same k — into one plan that
+	// prunes once, adapts samplers once and samples each possible world
+	// once, evaluating every member's predicate per chunk. Responses
+	// are then estimated from shared worlds: probabilities agree with
+	// independent evaluation within Monte-Carlo tolerance but are not
+	// bit-identical to it, and the members of a group are correlated
+	// (they saw the same worlds).
+	ShareWorlds bool
+	// SharedSeed is the batch-level seed of the sharing contract: a
+	// group's worlds are drawn from mcrand.SubSeed(SharedSeed,
+	// hash(group key)), where the group key is (Ts, Te, k, the query's
+	// positions over the window). A response under sharing therefore
+	// depends only on (snapshot, SharedSeed, its request's own
+	// parameters) — never on which other requests were batched with it,
+	// their order, or the worker count. Per-request Seeds are ignored.
+	SharedSeed int64
+}
+
 // RunBatch answers a slice of independent queries, fanning them across a
 // pool of `workers` goroutines (0 or less: GOMAXPROCS). All queries share
 // the processor's sampler cache, so an object's model is adapted at most
 // once for the whole batch. Each request draws its worlds from its own
-// Seed, which makes every Response's Results/Intervals deterministic —
-// independent of the worker count and of scheduling order. (The
-// work-accounting Stats.SamplerBuilds is the exception: on a cold cache
-// it reports whichever request happened to win each shared build, which
-// does depend on scheduling.) The whole batch runs against the
+// Seed, which makes every Response deterministic — independent of the
+// worker count and of scheduling order. The whole batch runs against the
 // single engine snapshot current when RunBatch was called, so its
 // responses are mutually consistent even while AddObject/Observe traffic
 // lands concurrently. Responses align with requests by index;
 // per-request failures land in Response.Err, never panic the batch.
+//
+// It is RunBatchStats with sharing disabled, discarding the batch-level
+// accounting.
 func (p *Processor) RunBatch(reqs []Request, workers int) []Response {
+	out, _ := p.RunBatchStats(reqs, BatchOptions{Workers: workers})
+	return out
+}
+
+// RunBatchStats is RunBatch with explicit options — most importantly
+// shared-world coalescing (BatchOptions.ShareWorlds) — and returns the
+// batch-level work accounting alongside the responses.
+func (p *Processor) RunBatchStats(reqs []Request, opts BatchOptions) ([]Response, BatchStats) {
 	out := make([]Response, len(reqs))
+	bst := BatchStats{Requests: len(reqs)}
 	if len(reqs) == 0 {
-		return out
+		return out, bst
 	}
 	snap := p.set.Snapshot()
+	workers := opts.Workers
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(reqs) {
-		workers = len(reqs)
+	if opts.ShareWorlds {
+		p.runShared(snap, reqs, opts.SharedSeed, workers, out, &bst)
+		return out, bst
 	}
-	if workers == 1 {
-		for i := range reqs {
-			out[i] = runOne(snap, reqs[i])
+	var mu sync.Mutex
+	runPool(len(reqs), workers, func(i int) {
+		var raw query.Stats
+		out[i], raw = runOne(snap, reqs[i])
+		mu.Lock()
+		bst.SamplerBuilds += raw.SamplerBuilds
+		bst.AdaptTime += raw.AdaptTime
+		mu.Unlock()
+	})
+	return out, bst
+}
+
+// runPool fans fn over the item indices [0, n) on a pool of `workers`
+// goroutines (clamped to n; one runs inline). fn must be safe for
+// concurrent calls on distinct indices.
+func runPool(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
 		}
-		return out
+		return
 	}
 	jobs := make(chan int)
 	var wg sync.WaitGroup
@@ -78,16 +167,167 @@ func (p *Processor) RunBatch(reqs []Request, workers int) []Response {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				out[i] = runOne(snap, reqs[i])
+				fn(i)
 			}
 		}()
 	}
-	for i := range reqs {
+	for i := 0; i < n; i++ {
 		jobs <- i
 	}
 	close(jobs)
 	wg.Wait()
-	return out
+}
+
+// batchGroup is one shared-world group: the requests whose (query
+// positions over the window, interval, k) coincide, answered over one
+// sampled world set.
+type batchGroup struct {
+	q      Query
+	ts, te int
+	k      int
+	seed   int64
+	items  []shard.GroupItem
+	reqIdx []int
+}
+
+// runShared partitions the valid requests into shared-world groups and
+// executes each group as one plan via shard.Snap.RunShared, fanning
+// groups across the worker pool. Invalid requests fail individually
+// without joining a group.
+func (p *Processor) runShared(snap *shard.Snap, reqs []Request, sharedSeed int64, workers int, out []Response, bst *BatchStats) {
+	groups := make(map[string]*batchGroup)
+	var order []*batchGroup
+	for i, req := range reqs {
+		k, op, err := normalizeRequest(req)
+		if err != nil {
+			out[i] = Response{Err: err}
+			continue
+		}
+		key := groupKey(req.Query, req.Ts, req.Te, k)
+		g := groups[key]
+		if g == nil {
+			h := fnv.New64a()
+			h.Write([]byte(key))
+			g = &batchGroup{
+				q: req.Query, ts: req.Ts, te: req.Te, k: k,
+				seed: mcrand.SubSeed64(sharedSeed, h.Sum64()),
+			}
+			groups[key] = g
+			order = append(order, g)
+		}
+		g.items = append(g.items, shard.GroupItem{Op: op, Tau: req.Tau})
+		g.reqIdx = append(g.reqIdx, i)
+	}
+	bst.Groups = len(order)
+	var mu sync.Mutex
+	runPool(len(order), workers, func(gi int) {
+		g := order[gi]
+		answers, st, err := sharedGroup(snap, g)
+		mu.Lock()
+		bst.SamplerBuilds += st.SamplerBuilds
+		bst.AdaptTime += st.AdaptTime
+		mu.Unlock()
+		for j, ri := range g.reqIdx {
+			if err != nil {
+				out[ri] = Response{Err: err}
+				continue
+			}
+			out[ri] = answers[j]
+		}
+	})
+}
+
+// sharedGroup answers one group over one shared world set, converting
+// shard answers to facade responses. A panic becomes the whole group's
+// error rather than killing the worker.
+func sharedGroup(snap *shard.Snap, g *batchGroup) (resps []Response, st query.Stats, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			resps, err = nil, fmt.Errorf("pnn: shared batch group panicked: %v", r)
+		}
+	}()
+	answers, st, err := snap.RunShared(g.q, g.ts, g.te, g.k, g.seed, g.items)
+	if err != nil {
+		return nil, st, err
+	}
+	stats := convStats(st)
+	stats.SamplerBuilds = 0 // batch-level accounting; see BatchStats
+	resps = make([]Response, len(answers))
+	for i, a := range answers {
+		resps[i] = Response{Stats: stats, Err: a.Err}
+		if a.Err != nil {
+			continue
+		}
+		resps[i].Results = convertResults(a.Results)
+		if a.Intervals != nil {
+			ivs := make([]IntervalResult, len(a.Intervals))
+			for j, r := range a.Intervals {
+				ivs[j] = IntervalResult{ObjectID: r.ID, Times: r.Times, Prob: r.Prob}
+			}
+			resps[i].Intervals = ivs
+		}
+	}
+	return resps, st, nil
+}
+
+// normalizeRequest is the single validation point of both batch paths:
+// it checks the request fields that must hold before a request may join
+// a shared-world group (the fingerprint walks the query over the
+// window, so the window and reference must be sane) or run
+// independently, and maps the semantics to its predicate. Keeping one
+// copy means a given invalid request fails with the same error whether
+// or not sharing is enabled.
+func normalizeRequest(req Request) (k int, op shard.GroupOp, err error) {
+	k = req.K
+	if k == 0 {
+		k = 1
+	}
+	if k < 1 {
+		return 0, 0, fmt.Errorf("pnn: batch request needs k >= 1, got %d", k)
+	}
+	switch req.Semantics {
+	case ForAll:
+		op = shard.OpForAll
+	case Exists:
+		op = shard.OpExists
+	case Continuous:
+		op = shard.OpCNN
+		if req.Tau <= 0 {
+			return 0, 0, fmt.Errorf("pnn: PCNN requires tau > 0, got %v", req.Tau)
+		}
+	default:
+		return 0, 0, fmt.Errorf("pnn: unknown batch semantics %q (want %q, %q or %q)",
+			req.Semantics, ForAll, Exists, Continuous)
+	}
+	if req.Query.Zero() {
+		return 0, 0, fmt.Errorf("pnn: batch request has a zero Query (build one with AtPoint, AtState or Moving)")
+	}
+	if req.Te < req.Ts {
+		return 0, 0, fmt.Errorf("pnn: inverted interval [%d, %d]", req.Ts, req.Te)
+	}
+	return k, op, nil
+}
+
+// groupKey fingerprints what the sampled worlds of a request depend on:
+// the interval, k, and the query's position at every timestep of the
+// window. Two requests with equal keys can share one world set; the
+// key's hash also fixes the group's seed under the sharing contract.
+func groupKey(q Query, ts, te, k int) string {
+	buf := make([]byte, 0, 24+16*(te-ts+1))
+	var tmp [8]byte
+	put := func(u uint64) {
+		binary.LittleEndian.PutUint64(tmp[:], u)
+		buf = append(buf, tmp[:]...)
+	}
+	put(uint64(ts))
+	put(uint64(te))
+	put(uint64(k))
+	for t := ts; t <= te; t++ {
+		pt := q.At(t)
+		put(math.Float64bits(pt.X))
+		put(math.Float64bits(pt.Y))
+	}
+	return string(buf)
 }
 
 // BatchForAllNN answers one P∀NN query per entry of qs over a shared
@@ -110,7 +350,12 @@ func sameShape(sem Semantics, qs []Query, ts, te int, tau float64, baseSeed int6
 	return reqs
 }
 
-func runOne(snap *shard.Snap, req Request) (resp Response) {
+// runOne answers one independent request, returning the facade response
+// plus the raw engine statistics for batch-level accounting. The
+// response's own SamplerBuilds is zeroed: build attribution to a single
+// request is scheduling-dependent, so it is reported only as the
+// batch-level sum.
+func runOne(snap *shard.Snap, req Request) (resp Response, raw query.Stats) {
 	// Enforce the no-panic contract: a panicking request becomes its own
 	// Response.Err instead of killing the worker goroutine (and with it
 	// the whole process).
@@ -119,23 +364,38 @@ func runOne(snap *shard.Snap, req Request) (resp Response) {
 			resp = Response{Err: fmt.Errorf("pnn: batch request panicked: %v", r)}
 		}
 	}()
-	k := req.K
-	if k == 0 {
-		k = 1
+	k, op, err := normalizeRequest(req)
+	if err != nil {
+		return Response{Err: err}, raw
 	}
-	if k < 1 {
-		return Response{Err: fmt.Errorf("pnn: batch request needs k >= 1, got %d", k)}
+	switch op {
+	case shard.OpForAll:
+		resp.Results, raw, resp.Err = rawForAllKNN(snap, req.Query, req.Ts, req.Te, k, req.Tau, req.Seed)
+	case shard.OpExists:
+		resp.Results, raw, resp.Err = rawExistsKNN(snap, req.Query, req.Ts, req.Te, k, req.Tau, req.Seed)
+	case shard.OpCNN:
+		resp.Intervals, raw, resp.Err = rawContinuousKNN(snap, req.Query, req.Ts, req.Te, k, req.Tau, req.Seed)
 	}
-	switch req.Semantics {
-	case ForAll:
-		resp.Results, resp.Stats, resp.Err = snapForAllKNN(snap, req.Query, req.Ts, req.Te, k, req.Tau, req.Seed)
-	case Exists:
-		resp.Results, resp.Stats, resp.Err = snapExistsKNN(snap, req.Query, req.Ts, req.Te, k, req.Tau, req.Seed)
-	case Continuous:
-		resp.Intervals, resp.Stats, resp.Err = snapContinuousKNN(snap, req.Query, req.Ts, req.Te, k, req.Tau, req.Seed)
-	default:
-		resp.Err = fmt.Errorf("pnn: unknown batch semantics %q (want %q, %q or %q)",
-			req.Semantics, ForAll, Exists, Continuous)
+	resp.Stats = convStats(raw)
+	resp.Stats.SamplerBuilds = 0 // batch-level accounting; see BatchStats
+	return resp, raw
+}
+
+func rawForAllKNN(snap *shard.Snap, q Query, ts, te, k int, tau float64, seed int64) ([]Result, query.Stats, error) {
+	res, st, err := snap.ForAllKNN(q, ts, te, k, tau, seed)
+	return convertResults(res), st, err
+}
+
+func rawExistsKNN(snap *shard.Snap, q Query, ts, te, k int, tau float64, seed int64) ([]Result, query.Stats, error) {
+	res, st, err := snap.ExistsKNN(q, ts, te, k, tau, seed)
+	return convertResults(res), st, err
+}
+
+func rawContinuousKNN(snap *shard.Snap, q Query, ts, te, k int, tau float64, seed int64) ([]IntervalResult, query.Stats, error) {
+	res, st, err := snap.CNNK(q, ts, te, k, tau, seed)
+	out := make([]IntervalResult, len(res))
+	for i, r := range res {
+		out[i] = IntervalResult{ObjectID: r.ID, Times: r.Times, Prob: r.Prob}
 	}
-	return resp
+	return out, st, err
 }

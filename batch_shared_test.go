@@ -1,0 +1,228 @@
+package pnn
+
+import (
+	"math"
+	"testing"
+)
+
+// probsOf flattens a response's results into an ID → probability map.
+func probsOf(t *testing.T, r Response) map[int]float64 {
+	t.Helper()
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	out := make(map[int]float64, len(r.Results))
+	for _, res := range r.Results {
+		out[res.ObjectID] = res.Prob
+	}
+	return out
+}
+
+// TestSharedMatchesIndependentWithinTolerance is the accuracy half of
+// the sharing contract: an 8-request same-window batch answered from
+// one shared world set agrees with independent per-request evaluation
+// within Monte-Carlo tolerance (both sides are estimates from finite
+// samples; they are not bit-identical).
+func TestSharedMatchesIndependentWithinTolerance(t *testing.T) {
+	const samples = 2000
+	_, proc, q := batchDB(t, samples)
+	var reqs []Request
+	for i := 0; i < 8; i++ {
+		sem := ForAll
+		if i%2 == 1 {
+			sem = Exists
+		}
+		reqs = append(reqs, Request{Semantics: sem, Query: q, Ts: 1, Te: 6, Tau: 0, Seed: int64(100 + i)})
+	}
+	indep, _ := proc.RunBatchStats(reqs, BatchOptions{Workers: 2})
+	shared, st := proc.RunBatchStats(reqs, BatchOptions{Workers: 2, ShareWorlds: true, SharedSeed: 7})
+	if st.Groups != 1 {
+		t.Fatalf("8 identical-window requests formed %d groups, want 1", st.Groups)
+	}
+	// Two independent estimates of the same probability from n worlds
+	// each differ by more than ~3*sqrt(2*p(1-p)/n) only with vanishing
+	// probability; 0.08 gives ample slack at n=2000 (and the seeds are
+	// fixed, so this cannot flake).
+	const eps = 0.08
+	for i := range reqs {
+		pi := probsOf(t, indep[i])
+		ps := probsOf(t, shared[i])
+		ids := make(map[int]bool)
+		for id := range pi {
+			ids[id] = true
+		}
+		for id := range ps {
+			ids[id] = true
+		}
+		if len(ids) == 0 {
+			t.Fatalf("request %d: both evaluations returned no results", i)
+		}
+		for id := range ids {
+			if d := math.Abs(pi[id] - ps[id]); d > eps {
+				t.Errorf("request %d object %d: independent %.4f vs shared %.4f (Δ=%.4f > %v)",
+					i, id, pi[id], ps[id], d, eps)
+			}
+		}
+	}
+}
+
+// TestSharedBatchDeterminism pins the group-seed contract: under
+// sharing, a response depends only on (snapshot, SharedSeed, its own
+// request parameters) — not on batch order, on which other requests
+// were batched with it, or on the worker count.
+func TestSharedBatchDeterminism(t *testing.T) {
+	_, proc, q := batchDB(t, 400)
+	q2 := AtPoint(Point{X: 0.3, Y: 0.7})
+	reqs := []Request{
+		{Semantics: ForAll, Query: q, Ts: 1, Te: 6, Tau: 0, Seed: 1},
+		{Semantics: Exists, Query: q, Ts: 1, Te: 6, Tau: 0, Seed: 2},
+		{Semantics: Continuous, Query: q, Ts: 1, Te: 4, Tau: 0.3, Seed: 3},
+	}
+	opts := BatchOptions{Workers: 2, ShareWorlds: true, SharedSeed: 99}
+	base, _ := proc.RunBatchStats(reqs, opts)
+
+	// Same batch again: identical.
+	again, _ := proc.RunBatchStats(reqs, opts)
+	sameResponses(t, base, again)
+
+	// Single worker: identical.
+	serial, _ := proc.RunBatchStats(reqs, BatchOptions{Workers: 1, ShareWorlds: true, SharedSeed: 99})
+	sameResponses(t, base, serial)
+
+	// Reordered, with unrelated requests interleaved (different query →
+	// different group, different window → different group): each
+	// original request still gets byte-identical answers.
+	mixed := []Request{
+		{Semantics: ForAll, Query: q2, Ts: 1, Te: 6, Tau: 0, Seed: 50},
+		reqs[2],
+		{Semantics: Exists, Query: q, Ts: 2, Te: 5, Tau: 0, Seed: 51},
+		reqs[0],
+		reqs[1],
+	}
+	got, st := proc.RunBatchStats(mixed, BatchOptions{Workers: 3, ShareWorlds: true, SharedSeed: 99})
+	// Four distinct (query, window) combinations: {q2, 1-6}, {q, 1-4},
+	// {q, 2-5}, {q, 1-6}.
+	if st.Groups != 4 {
+		t.Errorf("mixed batch formed %d groups, want 4", st.Groups)
+	}
+	sameResponses(t, base, []Response{got[3], got[4], got[1]})
+
+	// A different SharedSeed draws different worlds: at least one
+	// probability should move (samples are modest, so estimates differ).
+	other, _ := proc.RunBatchStats(reqs, BatchOptions{Workers: 2, ShareWorlds: true, SharedSeed: 100})
+	same := true
+	for i := range base {
+		a, b := base[i], other[i]
+		if len(a.Results) != len(b.Results) {
+			same = false
+			break
+		}
+		for j := range a.Results {
+			if a.Results[j] != b.Results[j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("changing SharedSeed left every count-query response identical; group seed appears unused")
+	}
+}
+
+// TestSharedBatchValidation: under sharing, malformed requests still
+// fail per-response without disturbing the valid members of any group.
+func TestSharedBatchValidation(t *testing.T) {
+	_, proc, q := batchDB(t, 100)
+	resps, st := proc.RunBatchStats([]Request{
+		{Semantics: "nope", Query: q, Ts: 1, Te: 5},
+		{Semantics: ForAll, Query: q, Ts: 1, Te: 5, K: -1},
+		{Semantics: ForAll, Query: q, Ts: 5, Te: 1},
+		{Semantics: Continuous, Query: q, Ts: 1, Te: 3}, // tau 0 invalid for PCNN
+		{Semantics: ForAll, Query: Query{}, Ts: 1, Te: 5},
+		{Semantics: Exists, Query: q, Ts: 1, Te: 5, Tau: 0.05},
+	}, BatchOptions{Workers: 2, ShareWorlds: true, SharedSeed: 3})
+	for i := 0; i < 5; i++ {
+		if resps[i].Err == nil {
+			t.Errorf("request %d should have failed", i)
+		}
+	}
+	if resps[5].Err != nil {
+		t.Errorf("valid request failed: %v", resps[5].Err)
+	}
+	if st.Groups != 1 {
+		t.Errorf("one valid request formed %d groups, want 1", st.Groups)
+	}
+	out, bst := proc.RunBatchStats(nil, BatchOptions{ShareWorlds: true})
+	if len(out) != 0 || bst.Groups != 0 {
+		t.Error("empty shared batch should return empty responses and no groups")
+	}
+}
+
+// TestSharedBatchMixedSemantics: one group serves ∀, ∃ and PCNN members
+// from the same worlds, and the per-semantics invariants hold between
+// them — P∀ ≤ P∃ per object on the SAME world set (exactly, not just in
+// expectation), and singleton PCNN probabilities are consistent with
+// the masks.
+func TestSharedBatchMixedSemantics(t *testing.T) {
+	_, proc, q := batchDB(t, 500)
+	reqs := []Request{
+		{Semantics: ForAll, Query: q, Ts: 1, Te: 4, Tau: 0},
+		{Semantics: Exists, Query: q, Ts: 1, Te: 4, Tau: 0},
+		{Semantics: Continuous, Query: q, Ts: 1, Te: 4, Tau: 0.2},
+	}
+	resps, st := proc.RunBatchStats(reqs, BatchOptions{Workers: 2, ShareWorlds: true, SharedSeed: 11})
+	if st.Groups != 1 {
+		t.Fatalf("mixed-semantics same-window batch formed %d groups, want 1", st.Groups)
+	}
+	fa := probsOf(t, resps[0])
+	ex := probsOf(t, resps[1])
+	if resps[2].Err != nil {
+		t.Fatal(resps[2].Err)
+	}
+	if len(ex) == 0 {
+		t.Fatal("exists member returned no results")
+	}
+	for id, p := range fa {
+		if ex[id] < p {
+			t.Errorf("object %d: P∀=%.4f exceeds P∃=%.4f on the shared world set", id, p, ex[id])
+		}
+	}
+	for _, iv := range resps[2].Intervals {
+		if iv.Prob < 0.2 {
+			t.Errorf("PCNN interval for object %d reports prob %.4f below tau", iv.ObjectID, iv.Prob)
+		}
+	}
+}
+
+// TestSharedBatchDuplicateCNNNoAliasing: duplicate-tau PCNN members of
+// one group are answered from one memoized lattice walk but must not
+// share result backing arrays — editing one response in place may not
+// corrupt its twin.
+func TestSharedBatchDuplicateCNNNoAliasing(t *testing.T) {
+	_, proc, q := batchDB(t, 300)
+	reqs := []Request{
+		{Semantics: Continuous, Query: q, Ts: 1, Te: 4, Tau: 0.3},
+		{Semantics: Continuous, Query: q, Ts: 1, Te: 4, Tau: 0.3},
+	}
+	resps, st := proc.RunBatchStats(reqs, BatchOptions{Workers: 2, ShareWorlds: true, SharedSeed: 4})
+	if st.Groups != 1 {
+		t.Fatalf("groups = %d, want 1", st.Groups)
+	}
+	a, b := resps[0], resps[1]
+	if a.Err != nil || b.Err != nil {
+		t.Fatal(a.Err, b.Err)
+	}
+	if len(a.Intervals) == 0 || len(a.Intervals) != len(b.Intervals) {
+		t.Fatalf("interval cardinality: %d vs %d", len(a.Intervals), len(b.Intervals))
+	}
+	for i := range a.Intervals {
+		if len(a.Intervals[i].Times) == 0 {
+			t.Fatal("empty Times")
+		}
+		a.Intervals[i].Times[0] = -999
+		if b.Intervals[i].Times[0] == -999 {
+			t.Fatalf("interval %d: responses share Times backing arrays", i)
+		}
+		a.Intervals[i].Times[0] = b.Intervals[i].Times[0]
+	}
+	sameResponses(t, []Response{a}, []Response{b})
+}

@@ -236,6 +236,58 @@ func BenchmarkBatchService(b *testing.B) {
 	}
 }
 
+// BenchmarkBatchSharedWorlds measures what shared-world coalescing buys
+// on the workload it targets: 8 requests against the same query point
+// and window (mixed ∀/∃ semantics, distinct thresholds), answered
+// independently vs. from one shared world set. The shared side prunes,
+// adapts and samples once for the whole group, so it should run several
+// times faster than the 8 independent sampling passes.
+func BenchmarkBatchSharedWorlds(b *testing.B) {
+	net, db, err := SyntheticDataset(3000, 8, 300, 100, 1000, 10, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	proc, err := db.Build(1000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := proc.PrepareAll(); err != nil {
+		b.Fatal(err)
+	}
+	q := AtState(net, 17)
+	reqs := make([]Request, 8)
+	for i := range reqs {
+		sem := ForAll
+		if i%2 == 1 {
+			sem = Exists
+		}
+		reqs[i] = Request{
+			Semantics: sem, Query: q, Ts: 450, Te: 459,
+			Tau:  0.01 * float64(i+1),
+			Seed: int64(i),
+		}
+	}
+	for _, tc := range []struct {
+		name string
+		opts BatchOptions
+	}{
+		{"independent", BatchOptions{Workers: 4}},
+		{"shared", BatchOptions{Workers: 4, ShareWorlds: true, SharedSeed: 42}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				resps, _ := proc.RunBatchStats(reqs, tc.opts)
+				for _, resp := range resps {
+					if resp.Err != nil {
+						b.Fatal(resp.Err)
+					}
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkAblationWindowSampling compares whole-lifetime sampling with
 // the window-restricted sampler used by the engine.
 func BenchmarkAblationWindowSampling(b *testing.B) {

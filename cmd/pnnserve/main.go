@@ -56,6 +56,7 @@ func main() {
 		qpar     = flag.Int("query-parallel", 0, "sampling goroutines per query (0: GOMAXPROCS/workers, so a full batch saturates the host without oversubscribing it)")
 		warm     = flag.Bool("warm", false, "adapt all object models before accepting traffic")
 		ingest   = flag.Bool("ingest", true, "enable live ingestion (/v1/objects, /v1/observe)")
+		share    = flag.Bool("share-batch", false, "coalesce compatible /v1/batch requests into shared-world groups by default (per-request share_worlds overrides)")
 		lenient  = flag.Bool("lenient", false, "drop objects with contradicting observations instead of failing")
 		grace    = flag.Duration("grace", 10*time.Second, "shutdown drain timeout")
 		pprofOn  = flag.String("pprof", "", "also serve net/http/pprof on this address (e.g. localhost:6060); off when empty")
@@ -138,7 +139,7 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	srv := server.New(net, proc, server.Config{BatchWorkers: *workers, Ingest: *ingest})
+	srv := server.New(net, proc, server.Config{BatchWorkers: *workers, Ingest: *ingest, ShareBatch: *share})
 	log.Printf("serving on %s", *addr)
 	if err := srv.Run(ctx, *addr, *grace); err != nil {
 		fatal(err)

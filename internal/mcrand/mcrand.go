@@ -70,5 +70,14 @@ func Mix64(x uint64) uint64 {
 // determinism break — sampled worlds for a given (seed, key) are part
 // of the system's observable behavior.
 func SubSeed(seed int64, key int) int64 {
-	return int64(Mix64(uint64(seed) ^ Mix64(uint64(key)+0x9e3779b97f4a7c15)))
+	return SubSeed64(seed, uint64(key))
+}
+
+// SubSeed64 is SubSeed for full-width keys (e.g. a 64-bit group-key
+// hash): converting such a key through int would truncate it on 32-bit
+// platforms and silently break the cross-process stability promise.
+// For keys that round-trip int — every small ID and worker index —
+// SubSeed and SubSeed64 agree bit for bit.
+func SubSeed64(seed int64, key uint64) int64 {
+	return int64(Mix64(uint64(seed) ^ Mix64(key+0x9e3779b97f4a7c15)))
 }

@@ -98,3 +98,19 @@ func TestSubSeedIndependence(t *testing.T) {
 		t.Error("SubSeed is not a pure function")
 	}
 }
+
+// TestSubSeed64Agreement: SubSeed and SubSeed64 agree wherever the key
+// round-trips int, and SubSeed64 keeps full-width keys distinct where
+// a 32-bit int truncation would collide them.
+func TestSubSeed64Agreement(t *testing.T) {
+	for _, key := range []int{0, 1, 42, 1 << 20, -7} {
+		if SubSeed(9, key) != SubSeed64(9, uint64(key)) {
+			t.Errorf("SubSeed(9, %d) != SubSeed64 of the same key", key)
+		}
+	}
+	lo := uint64(0xdeadbeef)
+	hi := lo | (1 << 40)
+	if SubSeed64(9, lo) == SubSeed64(9, hi) {
+		t.Error("SubSeed64 collapsed keys differing only above bit 31")
+	}
+}

@@ -6,7 +6,6 @@ import (
 	"sort"
 	"time"
 
-	"pnn/internal/mcrand"
 	"pnn/internal/ustree"
 )
 
@@ -29,10 +28,33 @@ func (e *Engine) CNN(q Query, ts, te int, tau float64, rng *rand.Rand) ([]Interv
 	return e.CNNK(q, ts, te, 1, tau, rng)
 }
 
+// CNNSeed is CNN with the unified seed contract: worlds are drawn from
+// sub-streams of seed, as in ForAllNNSeed.
+func (e *Engine) CNNSeed(q Query, ts, te int, tau float64, seed int64) ([]IntervalResult, Stats, error) {
+	return e.cnnQuery(q, ts, te, 1, tau, fixedSeed(seed))
+}
+
+// CNNKSeed is CNNK with the unified seed contract.
+func (e *Engine) CNNKSeed(q Query, ts, te, k int, tau float64, seed int64) ([]IntervalResult, Stats, error) {
+	return e.cnnQuery(q, ts, te, k, tau, fixedSeed(seed))
+}
+
 // CNNK generalizes CNN to k nearest neighbors (PCkNNQ, Section 8): maximal
 // timestamp sets on which the object stays among the k nearest with
-// probability at least tau.
+// probability at least tau. The legacy generator signature draws the
+// base seed from rng exactly where the historical implementation did —
+// after the empty-influencer early return.
 func (e *Engine) CNNK(q Query, ts, te, k int, tau float64, rng *rand.Rand) ([]IntervalResult, Stats, error) {
+	return e.cnnQuery(q, ts, te, k, tau, rng.Int63)
+}
+
+// cnnQuery answers PCkNNQ as a plan construction over the shared
+// executor: one MaskEvaluator accumulates every world's per-timestep
+// NN-set rows, then the Apriori lattice walk mines them per object.
+// Sampling runs on one worker — the lattice walk needs every world's
+// masks in memory anyway, so there is no budget split — which keeps the
+// drawn worlds identical to the historical single-stream loop.
+func (e *Engine) cnnQuery(q Query, ts, te, k int, tau float64, seed func() int64) ([]IntervalResult, Stats, error) {
 	var st Stats
 	if q.Zero() {
 		return nil, st, errZeroQuery
@@ -68,41 +90,15 @@ func (e *Engine) CNNK(q Query, ts, te, k int, tau float64, rng *rand.Rand) ([]In
 
 	begin := time.Now()
 	nT := te - ts + 1
-	// masks[w][li*nT+j]: in world w, is object refine[li] among the k
-	// nearest at ts+j? One flat backing array — the rows are consumed
-	// together by the lattice walk, so per-world allocations buy nothing.
 	nR := len(refine)
-	backing := make([]bool, e.samples*nR*nT)
-	masks := make([][]bool, e.samples)
-	for w := range masks {
-		masks[w] = backing[w*nR*nT : (w+1)*nR*nT]
+	ev := NewMaskEvaluator(k, nR, nT, e.samples)
+	plan := e.NewPlan(q, ts, te, samplers, seed())
+	plan.Workers = 1
+	plan.Attach(ev)
+	if err := e.Execute(plan); err != nil {
+		return nil, st, err
 	}
-	// Worlds are drawn through the same columnar kernel as nnQuery, from
-	// the single sub-stream of worker 0 (the lattice walk needs every
-	// world's masks in memory anyway, so there is no budget split).
-	sub := mcrand.New(mcrand.SubSeed(rng.Int63(), 0))
-	sc := mcPool.Get().(*mcScratch)
-	sp := e.tree.Space()
-	for w0 := 0; w0 < e.samples; w0 += worldChunk {
-		cn := worldChunk
-		if left := e.samples - w0; left < cn {
-			cn = left
-		}
-		sc.batch.Reset(nR, cn, ts, te)
-		for li, s := range samplers {
-			for w := 0; w < cn; w++ {
-				s.SampleWindowInto(&sub, ts, te, sc.batch.States(li, w))
-			}
-		}
-		sc.batch.ComputeDistances(sp, q.At)
-		for w := 0; w < cn; w++ {
-			row := masks[w0+w]
-			for li := 0; li < nR; li++ {
-				sc.batch.KNNMask(w, li, k, row[li*nT:(li+1)*nT])
-			}
-		}
-	}
-	mcPool.Put(sc)
+	masks := ev.Masks()
 	st.Worlds = e.samples
 
 	var out []IntervalResult

@@ -1,0 +1,405 @@
+package query
+
+import (
+	"fmt"
+	"sync"
+
+	"pnn/internal/inference"
+	"pnn/internal/mcrand"
+	"pnn/internal/nn"
+	"pnn/internal/space"
+)
+
+// This file is the single Monte-Carlo sampling loop of the system. Every
+// query semantics — P∀NNQ, P∃NNQ, their kNN variants, PCNNQ — and every
+// deployment shape (single engine, sharded scatter-gather, coalesced
+// batches) evaluates the same set of sampled possible worlds; what
+// differs is only which per-chunk consumers (Evaluators) are attached to
+// the Plan and how the worlds are drawn. The paper's sampling approach
+// (Section 6) makes no distinction between the semantics beyond the
+// per-world predicate, so neither does the executor.
+//
+// Two draw policies exist, both living entirely in this file:
+//
+//   - budget-split: the sample budget is divided statically across
+//     Workers; worker w draws every influencer's trajectories from the
+//     sub-stream mcrand.SubSeed(BaseSeed, w). Used by the single-engine
+//     query path. Answers depend only on (BaseSeed, Workers), never on
+//     scheduling.
+//   - per-row: every object row carries its own generator, seeded by
+//     mcrand.SubSeed(request seed, object ID) by the sharded executor.
+//     Because a row's draws depend on nothing but its own generator, the
+//     sampled worlds are byte-identical for any shard count and any
+//     FillGroups partition — the S ∈ {1,2,4} equivalence contract.
+
+// worldChunk is the chunking policy of the executor; see nn.WorldChunk.
+const worldChunk = nn.WorldChunk
+
+// batchPool recycles the columnar world batches of the executor across
+// queries and workers; a warmed pool makes steady-state sampling
+// allocation-free.
+var batchPool = sync.Pool{New: func() any { return new(nn.WorldBatch) }}
+
+// Evaluator is a per-chunk consumer of sampled possible worlds: the
+// predicate side of one query semantics, decoupled from the sampling
+// loop. Any number of evaluators may be attached to one Plan; each
+// world is handed to every evaluator exactly once, which is what lets a
+// coalesced batch of queries share a single world set.
+type Evaluator interface {
+	// Bind is called once before sampling with the worker fan-out the
+	// executor will use; evaluators allocate per-worker accumulators
+	// here so World never needs synchronization.
+	Bind(workers int)
+	// World is called exactly once per sampled world: worker identifies
+	// the calling goroutine (disjoint ids in [0, workers)), w is the
+	// global world number in [0, Samples), and wi is the world's row in
+	// b. Implementations must write only per-worker or per-world state.
+	World(worker, w int, b *nn.WorldBatch, wi int)
+}
+
+// CountEvaluator counts, per target row, the worlds in which the row's
+// k-NN predicate holds: throughout the window (∀, Definition 2) or at
+// some timestep (∃, Definition 1). It is the evaluator behind
+// ForAllNN/ExistsNN and their kNN variants.
+type CountEvaluator struct {
+	k       int
+	forall  bool
+	targets []int // sampler-row indices to count
+	partial [][]int
+}
+
+// NewCountEvaluator returns a count evaluator over the given sampler
+// rows; forall selects the ∀ predicate, otherwise ∃.
+func NewCountEvaluator(k int, forall bool, targets []int) *CountEvaluator {
+	return &CountEvaluator{k: k, forall: forall, targets: targets}
+}
+
+// Bind implements Evaluator.
+func (c *CountEvaluator) Bind(workers int) {
+	c.partial = make([][]int, workers)
+	for i := range c.partial {
+		c.partial[i] = make([]int, len(c.targets))
+	}
+}
+
+// World implements Evaluator.
+func (c *CountEvaluator) World(worker, _ int, b *nn.WorldBatch, wi int) {
+	counts := c.partial[worker]
+	for ci, li := range c.targets {
+		if c.forall {
+			if b.KNNThroughout(wi, li, c.k) {
+				counts[ci]++
+			}
+		} else if b.KNNSometime(wi, li, c.k) {
+			counts[ci]++
+		}
+	}
+}
+
+// Counts merges the per-worker accumulators: Counts()[i] is the number
+// of worlds in which target row targets[i] satisfied the predicate.
+func (c *CountEvaluator) Counts() []int {
+	out := make([]int, len(c.targets))
+	for _, p := range c.partial {
+		for i, v := range p {
+			out[i] += v
+		}
+	}
+	return out
+}
+
+// MaskEvaluator accumulates, for every world, the per-row per-timestep
+// k-NN indicator rows the PCNN lattice walk (Algorithm 1) mines. Unlike
+// counting, the lattice walk needs every world's masks in memory at
+// once, so the evaluator materializes samples × rows × nT booleans in
+// one flat backing array; each row is written by exactly one worker
+// (per-world), keeping the parallel gather race-free and deterministic.
+type MaskEvaluator struct {
+	k, rows, nT int
+	masks       [][]bool
+}
+
+// NewMaskEvaluator returns a mask evaluator over `rows` sampler rows, a
+// window of nT timesteps and `samples` worlds.
+func NewMaskEvaluator(k, rows, nT, samples int) *MaskEvaluator {
+	backing := make([]bool, samples*rows*nT)
+	masks := make([][]bool, samples)
+	for w := range masks {
+		masks[w] = backing[w*rows*nT : (w+1)*rows*nT]
+	}
+	return &MaskEvaluator{k: k, rows: rows, nT: nT, masks: masks}
+}
+
+// Bind implements Evaluator.
+func (m *MaskEvaluator) Bind(int) {}
+
+// World implements Evaluator.
+func (m *MaskEvaluator) World(_, w int, b *nn.WorldBatch, wi int) {
+	row := m.masks[w]
+	for li := 0; li < m.rows; li++ {
+		b.KNNMask(wi, li, m.k, row[li*m.nT:(li+1)*m.nT])
+	}
+}
+
+// Masks returns the accumulated indicator rows in the layout
+// MineTimeSets consumes: Masks()[w][li*nT+j] reports whether row li was
+// among the k nearest at window offset j in world w.
+func (m *MaskEvaluator) Masks() [][]bool { return m.masks }
+
+// Plan is one executable Monte-Carlo sampling pass: the influencer rows
+// to sample, the query and window to evaluate against, a draw policy,
+// and any number of attached evaluators. Build one, attach evaluators,
+// and hand it to Engine.Execute; the executor draws every world chunk
+// once through the columnar kernel and feeds all evaluators.
+type Plan struct {
+	// Query and window. Query must be non-zero and Te >= Ts.
+	Query  Query
+	Ts, Te int
+
+	// Samplers holds the adapted sampler of every influencer row; row
+	// indices in evaluators refer to positions in this slice.
+	Samplers []*inference.Sampler
+
+	// Samples is the number of worlds to draw; 0 means the executing
+	// engine's budget. Workers bounds the sampling/evaluation fan-out;
+	// 0 means the executing engine's parallelism.
+	Samples int
+	Workers int
+
+	// Space is the geometry distances are computed in; nil means the
+	// executing engine's space.
+	Space *space.Space
+
+	// BaseSeed selects the budget-split draw policy (single-engine
+	// path): worker w draws from mcrand.SubSeed(BaseSeed, w). Ignored
+	// when RowRngs is set.
+	BaseSeed int64
+
+	// RowRngs selects the per-row draw policy (scatter-gather path):
+	// RowRngs[i] is row i's private generator, advanced in world order
+	// across the whole run. len(RowRngs) must equal len(Samplers).
+	RowRngs []mcrand.RNG
+
+	// FillGroups optionally partitions rows for the parallel fill phase
+	// of the per-row policy (the sharded executor groups rows by owning
+	// shard). Each group is filled sequentially by one goroutine; the
+	// drawn worlds are identical for any partition because rows draw
+	// from private generators. nil means one group holding all rows.
+	FillGroups [][]int
+
+	evals []Evaluator
+}
+
+// Attach adds an evaluator to the plan. Every sampled world is handed
+// to every attached evaluator exactly once.
+func (p *Plan) Attach(ev Evaluator) { p.evals = append(p.evals, ev) }
+
+// NewPlan returns a budget-split plan over this engine's index: the
+// engine's sample budget and parallelism, worlds drawn from sub-streams
+// of seed. It is how the engine's own query methods construct their
+// sampling pass.
+func (e *Engine) NewPlan(q Query, ts, te int, samplers []*inference.Sampler, seed int64) *Plan {
+	return &Plan{Query: q, Ts: ts, Te: te, Samplers: samplers, BaseSeed: seed}
+}
+
+// Execute runs the plan: it draws each world chunk once through the
+// columnar kernel and feeds every attached evaluator. Engine defaults
+// fill unset plan fields (Space, Samples, Workers). Execute is the only
+// sampling loop in the system; it returns once every world has been
+// evaluated.
+func (e *Engine) Execute(p *Plan) error {
+	if p.Space == nil {
+		p.Space = e.tree.Space()
+	}
+	if p.Samples <= 0 {
+		p.Samples = e.samples
+	}
+	if p.Workers <= 0 {
+		p.Workers = e.Parallelism()
+	}
+	return execute(p)
+}
+
+func execute(p *Plan) error {
+	if p.Query.Zero() {
+		return errZeroQuery
+	}
+	if p.Te < p.Ts {
+		return fmt.Errorf("query: inverted interval [%d, %d]", p.Ts, p.Te)
+	}
+	if p.Space == nil {
+		return fmt.Errorf("query: plan has no space")
+	}
+	if p.Samples < 1 {
+		return fmt.Errorf("query: plan needs samples >= 1, got %d", p.Samples)
+	}
+	if p.RowRngs != nil && len(p.RowRngs) != len(p.Samplers) {
+		return fmt.Errorf("query: plan has %d row generators for %d rows", len(p.RowRngs), len(p.Samplers))
+	}
+	if p.Workers < 1 {
+		p.Workers = 1
+	}
+	if len(p.Samplers) == 0 || len(p.evals) == 0 {
+		for _, ev := range p.evals {
+			ev.Bind(1)
+		}
+		return nil
+	}
+	if p.RowRngs != nil {
+		executePerRow(p)
+		return nil
+	}
+	executeBudgetSplit(p)
+	return nil
+}
+
+// executeBudgetSplit divides the sample budget statically across
+// min(Workers, Samples) workers; worker w draws all rows' trajectories
+// world by world from the sub-stream mcrand.SubSeed(BaseSeed, w), so
+// answers depend only on (BaseSeed, Workers) and never on scheduling.
+// Worker w's worlds occupy the contiguous global index range after
+// worker w-1's.
+func executeBudgetSplit(p *Plan) {
+	workers := p.Workers
+	if workers > p.Samples {
+		workers = p.Samples
+	}
+	for _, ev := range p.evals {
+		ev.Bind(workers)
+	}
+	if workers <= 1 {
+		rng := mcrand.New(mcrand.SubSeed(p.BaseSeed, 0))
+		budgetChunk(p, 0, 0, p.Samples, &rng)
+		return
+	}
+	per := p.Samples / workers
+	extra := p.Samples % workers
+	var wg sync.WaitGroup
+	start := 0
+	for w := 0; w < workers; w++ {
+		worlds := per
+		if w < extra {
+			worlds++
+		}
+		wg.Add(1)
+		go func(w, start, worlds int) {
+			defer wg.Done()
+			rng := mcrand.New(mcrand.SubSeed(p.BaseSeed, w))
+			budgetChunk(p, w, start, worlds, &rng)
+		}(w, start, worlds)
+		start += worlds
+	}
+	wg.Wait()
+}
+
+// budgetChunk draws `worlds` possible worlds in columnar chunks from
+// rng (rows filled in row-major order within each chunk — the draw
+// order the determinism contract fixes) and feeds them to every
+// evaluator under the given worker id, with global world indices
+// starting at `start`.
+func budgetChunk(p *Plan, worker, start, worlds int, rng *mcrand.RNG) {
+	b := batchPool.Get().(*nn.WorldBatch)
+	defer batchPool.Put(b)
+	for w0 := 0; w0 < worlds; w0 += worldChunk {
+		cn := worldChunk
+		if left := worlds - w0; left < cn {
+			cn = left
+		}
+		b.Reset(len(p.Samplers), cn, p.Ts, p.Te)
+		for li, s := range p.Samplers {
+			for w := 0; w < cn; w++ {
+				s.SampleWindowInto(rng, p.Ts, p.Te, b.States(li, w))
+			}
+		}
+		b.ComputeDistances(p.Space, p.Query.At)
+		for w := 0; w < cn; w++ {
+			for _, ev := range p.evals {
+				ev.World(worker, start+w0+w, b, w)
+			}
+		}
+	}
+}
+
+// executePerRow samples every world through one shared batch per chunk.
+// The fill half of every chunk runs one goroutine per fill group, each
+// drawing its rows' state columns from their private generators in
+// world order; the gather half materializes distance rows and evaluates
+// the chunk's worlds on Workers goroutines (each worker computes the
+// distances of its own world range, then evaluates it).
+func executePerRow(p *Plan) {
+	groups := p.FillGroups
+	if groups == nil {
+		all := make([]int, len(p.Samplers))
+		for i := range all {
+			all[i] = i
+		}
+		groups = [][]int{all}
+	}
+	for _, ev := range p.evals {
+		ev.Bind(p.Workers)
+	}
+	b := batchPool.Get().(*nn.WorldBatch)
+	defer batchPool.Put(b)
+	for w0 := 0; w0 < p.Samples; w0 += worldChunk {
+		cn := worldChunk
+		if left := p.Samples - w0; left < cn {
+			cn = left
+		}
+		b.Reset(len(p.Samplers), cn, p.Ts, p.Te)
+		b.PrepareQuery(p.Query.At)
+		var wg sync.WaitGroup
+		for _, rows := range groups {
+			if len(rows) == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(rows []int) {
+				defer wg.Done()
+				for _, li := range rows {
+					s := p.Samplers[li]
+					rng := &p.RowRngs[li]
+					for w := 0; w < cn; w++ {
+						s.SampleWindowInto(rng, p.Ts, p.Te, b.States(li, w))
+					}
+				}
+			}(rows)
+		}
+		wg.Wait()
+
+		nw := p.Workers
+		if nw > cn {
+			nw = cn
+		}
+		if nw <= 1 {
+			b.ComputeDistancesRange(p.Space, 0, cn)
+			for w := 0; w < cn; w++ {
+				for _, ev := range p.evals {
+					ev.World(0, w0+w, b, w)
+				}
+			}
+			continue
+		}
+		var eg sync.WaitGroup
+		per := cn / nw
+		extra := cn % nw
+		lo := 0
+		for worker := 0; worker < nw; worker++ {
+			n := per
+			if worker < extra {
+				n++
+			}
+			eg.Add(1)
+			go func(worker, lo, hi int) {
+				defer eg.Done()
+				b.ComputeDistancesRange(p.Space, lo, hi)
+				for w := lo; w < hi; w++ {
+					for _, ev := range p.evals {
+						ev.World(worker, w0+w, b, w)
+					}
+				}
+			}(worker, lo, lo+n)
+			lo += n
+		}
+		eg.Wait()
+	}
+}

@@ -1,0 +1,138 @@
+package query
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"pnn/internal/mcrand"
+	"pnn/internal/uncertain"
+)
+
+func planFixture(t *testing.T) (*Engine, Query, []int) {
+	t.Helper()
+	sp, _, eng := lineDB(t, 600,
+		[]uncertain.Observation{{T: 0, State: 30}, {T: 6, State: 32}},
+		[]uncertain.Observation{{T: 0, State: 34}, {T: 6, State: 30}},
+		[]uncertain.Observation{{T: 0, State: 26}, {T: 6, State: 28}},
+	)
+	return eng, StateQuery(sp.Point(30)), []int{0, 1, 2}
+}
+
+// TestExecuteValidation covers the plan validation errors.
+func TestExecuteValidation(t *testing.T) {
+	eng, q, rows := planFixture(t)
+	refine, smps, _, _, err := eng.buildSamplers(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refine) != 3 {
+		t.Fatalf("refine = %v", refine)
+	}
+
+	if err := eng.Execute(&Plan{Ts: 1, Te: 5, Samplers: smps}); err == nil ||
+		!strings.Contains(err.Error(), "zero Query") {
+		t.Errorf("zero query: err = %v", err)
+	}
+	if err := eng.Execute(&Plan{Query: q, Ts: 5, Te: 1, Samplers: smps}); err == nil ||
+		!strings.Contains(err.Error(), "inverted interval") {
+		t.Errorf("inverted interval: err = %v", err)
+	}
+	bad := &Plan{Query: q, Ts: 1, Te: 5, Samplers: smps, RowRngs: make([]mcrand.RNG, 1)}
+	bad.Attach(NewCountEvaluator(1, true, rows))
+	if err := eng.Execute(bad); err == nil || !strings.Contains(err.Error(), "row generators") {
+		t.Errorf("rng/sampler mismatch: err = %v", err)
+	}
+
+	// No evaluators, or no samplers: a no-op, not an error.
+	if err := eng.Execute(&Plan{Query: q, Ts: 1, Te: 5, Samplers: smps}); err != nil {
+		t.Errorf("evaluator-less plan: %v", err)
+	}
+	ev := NewCountEvaluator(1, true, nil)
+	empty := &Plan{Query: q, Ts: 1, Te: 5}
+	empty.Attach(ev)
+	if err := eng.Execute(empty); err != nil {
+		t.Errorf("sampler-less plan: %v", err)
+	}
+	if got := ev.Counts(); len(got) != 0 {
+		t.Errorf("sampler-less counts = %v", got)
+	}
+}
+
+// TestExecuteSharedEvaluators pins the coalescing property the batch
+// layer builds on: two evaluators attached to one plan see the same
+// worlds, so the ∀ count can never exceed the ∃ count for any row, and
+// re-executing an identical plan reproduces both counts exactly.
+func TestExecuteSharedEvaluators(t *testing.T) {
+	eng, q, rows := planFixture(t)
+	_, smps, _, _, err := eng.buildSamplers(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() ([]int, []int) {
+		fa := NewCountEvaluator(1, true, rows)
+		ex := NewCountEvaluator(1, false, rows)
+		pl := eng.NewPlan(q, 1, 5, smps, 99)
+		pl.Attach(fa)
+		pl.Attach(ex)
+		if err := eng.Execute(pl); err != nil {
+			t.Fatal(err)
+		}
+		return fa.Counts(), ex.Counts()
+	}
+	fa1, ex1 := run()
+	for i := range rows {
+		if fa1[i] > ex1[i] {
+			t.Errorf("row %d: ∀ count %d exceeds ∃ count %d on the same worlds", i, fa1[i], ex1[i])
+		}
+	}
+	total := 0
+	for _, c := range ex1 {
+		total += c
+	}
+	if total == 0 {
+		t.Fatal("no world had any nearest neighbor; fixture is broken")
+	}
+	fa2, ex2 := run()
+	if !reflect.DeepEqual(fa1, fa2) || !reflect.DeepEqual(ex1, ex2) {
+		t.Error("re-executing an identical plan changed counts")
+	}
+}
+
+// TestExecutePerRowMatchesAnyGrouping: the per-row draw policy is
+// independent of the FillGroups partition, because every row draws
+// from its private generator.
+func TestExecutePerRowMatchesAnyGrouping(t *testing.T) {
+	eng, q, rows := planFixture(t)
+	_, smps, _, _, err := eng.buildSamplers(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(groups [][]int, workers int) []int {
+		rngs := make([]mcrand.RNG, len(smps))
+		for i := range rngs {
+			rngs[i] = mcrand.New(mcrand.SubSeed(7, i))
+		}
+		ev := NewCountEvaluator(1, false, rows)
+		pl := &Plan{Query: q, Ts: 1, Te: 5, Samplers: smps, RowRngs: rngs, FillGroups: groups, Workers: workers}
+		pl.Attach(ev)
+		if err := eng.Execute(pl); err != nil {
+			t.Fatal(err)
+		}
+		return ev.Counts()
+	}
+	base := run(nil, 1)
+	for _, tc := range []struct {
+		name   string
+		groups [][]int
+		wk     int
+	}{
+		{"one-group-parallel", nil, 4},
+		{"split-groups", [][]int{{0, 2}, {}, {1}}, 2},
+		{"singleton-groups", [][]int{{2}, {0}, {1}}, 3},
+	} {
+		if got := run(tc.groups, tc.wk); !reflect.DeepEqual(got, base) {
+			t.Errorf("%s: counts %v differ from baseline %v", tc.name, got, base)
+		}
+	}
+}

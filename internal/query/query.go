@@ -22,13 +22,10 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
-	"sync"
 	"sync/atomic"
 	"time"
 
 	"pnn/internal/geo"
-	"pnn/internal/inference"
-	"pnn/internal/mcrand"
 	"pnn/internal/uncertain"
 	"pnn/internal/ustree"
 )
@@ -182,30 +179,68 @@ func (e *Engine) DisablePruning() { e.noPrune = true }
 // SampleCount returns the number of worlds drawn per query.
 func (e *Engine) SampleCount() int { return e.samples }
 
-// ForAllNN answers P∀NNQ(q, D, [ts..te], tau): all objects whose
+// ForAllNNSeed answers P∀NNQ(q, D, [ts..te], tau): all objects whose
 // probability of being the NN of q at every t in the interval is at least
 // tau, with their estimated probabilities, sorted by object index.
+// Worlds are drawn from sub-streams of seed (see plan.go for the
+// determinism contract); answers depend only on (seed, parallelism).
+func (e *Engine) ForAllNNSeed(q Query, ts, te int, tau float64, seed int64) ([]Result, Stats, error) {
+	return e.nnQuery(q, ts, te, 1, tau, fixedSeed(seed), true)
+}
+
+// ExistsNNSeed answers P∃NNQ(q, D, [ts..te], tau) from sub-streams of
+// seed.
+func (e *Engine) ExistsNNSeed(q Query, ts, te int, tau float64, seed int64) ([]Result, Stats, error) {
+	return e.nnQuery(q, ts, te, 1, tau, fixedSeed(seed), false)
+}
+
+// ForAllKNNSeed generalizes ForAllNNSeed to k nearest neighbors
+// (Section 8): the probability that the object is among the k nearest
+// at every time.
+func (e *Engine) ForAllKNNSeed(q Query, ts, te, k int, tau float64, seed int64) ([]Result, Stats, error) {
+	return e.nnQuery(q, ts, te, k, tau, fixedSeed(seed), true)
+}
+
+// ExistsKNNSeed generalizes ExistsNNSeed to k nearest neighbors.
+func (e *Engine) ExistsKNNSeed(q Query, ts, te, k int, tau float64, seed int64) ([]Result, Stats, error) {
+	return e.nnQuery(q, ts, te, k, tau, fixedSeed(seed), false)
+}
+
+// ForAllNN is ForAllNNSeed with the legacy generator signature: the
+// base seed is one Int63 drawn from rng. The draw happens at the point
+// the historical implementation consumed it -- after the empty-target
+// early return -- so callers sharing one generator across queries
+// observe byte-identical sequences.
 func (e *Engine) ForAllNN(q Query, ts, te int, tau float64, rng *rand.Rand) ([]Result, Stats, error) {
-	return e.nnQuery(q, ts, te, 1, tau, rng, true)
+	return e.nnQuery(q, ts, te, 1, tau, rng.Int63, true)
 }
 
-// ExistsNN answers P∃NNQ(q, D, [ts..te], tau).
+// ExistsNN is ExistsNNSeed with the legacy generator signature.
 func (e *Engine) ExistsNN(q Query, ts, te int, tau float64, rng *rand.Rand) ([]Result, Stats, error) {
-	return e.nnQuery(q, ts, te, 1, tau, rng, false)
+	return e.nnQuery(q, ts, te, 1, tau, rng.Int63, false)
 }
 
-// ForAllKNN generalizes ForAllNN to k nearest neighbors (Section 8): the
-// probability that the object is among the k nearest at every time.
+// ForAllKNN is ForAllKNNSeed with the legacy generator signature.
 func (e *Engine) ForAllKNN(q Query, ts, te, k int, tau float64, rng *rand.Rand) ([]Result, Stats, error) {
-	return e.nnQuery(q, ts, te, k, tau, rng, true)
+	return e.nnQuery(q, ts, te, k, tau, rng.Int63, true)
 }
 
-// ExistsKNN generalizes ExistsNN to k nearest neighbors.
+// ExistsKNN is ExistsKNNSeed with the legacy generator signature.
 func (e *Engine) ExistsKNN(q Query, ts, te, k int, tau float64, rng *rand.Rand) ([]Result, Stats, error) {
-	return e.nnQuery(q, ts, te, k, tau, rng, false)
+	return e.nnQuery(q, ts, te, k, tau, rng.Int63, false)
 }
 
-func (e *Engine) nnQuery(q Query, ts, te, k int, tau float64, rng *rand.Rand, forall bool) ([]Result, Stats, error) {
+// fixedSeed adapts an int64 seed to the lazy seed-provider shape shared
+// with the legacy *rand.Rand wrappers.
+func fixedSeed(seed int64) func() int64 { return func() int64 { return seed } }
+
+// nnQuery answers the count-based semantics (∀/∃, any k) as a
+// thin plan construction over the shared executor: prune, adapt
+// samplers, attach a CountEvaluator, Execute. seed is consulted lazily
+// -- only when worlds are actually drawn -- which keeps the legacy
+// wrappers' generator consumption identical to the historical
+// implementation.
+func (e *Engine) nnQuery(q Query, ts, te, k int, tau float64, seed func() int64, forall bool) ([]Result, Stats, error) {
 	var st Stats
 	if q.Zero() {
 		return nil, st, errZeroQuery
@@ -222,8 +257,9 @@ func (e *Engine) nnQuery(q Query, ts, te, k int, tau float64, rng *rand.Rand, fo
 	st.Candidates = len(pr.Candidates)
 	st.Influencers = len(pr.Influencers)
 
-	// For ∃ semantics every influencer is a potential result (Section 6:
-	// "every pruner can be a valid result of the P∃NNQ query").
+	// For exists semantics every influencer is a potential result
+	// (Section 6: "every pruner can be a valid result of the P∃NNQ
+	// query").
 	targets := pr.Candidates
 	if !forall {
 		targets = pr.Influencers
@@ -248,7 +284,13 @@ func (e *Engine) nnQuery(q Query, ts, te, k int, tau float64, rng *rand.Rand, fo
 	for ci, oi := range targets {
 		tgtLocal[ci] = localIdx[oi]
 	}
-	counts := e.countWorlds(samplers, q, ts, te, k, forall, tgtLocal, rng)
+	ev := NewCountEvaluator(k, forall, tgtLocal)
+	plan := e.NewPlan(q, ts, te, samplers, seed())
+	plan.Attach(ev)
+	if err := e.Execute(plan); err != nil {
+		return nil, st, err
+	}
+	counts := ev.Counts()
 	st.Worlds = e.samples
 	st.RefineTime = time.Since(begin)
 
@@ -260,49 +302,4 @@ func (e *Engine) nnQuery(q Query, ts, te, k int, tau float64, rng *rand.Rand, fo
 		}
 	}
 	return out, st, nil
-}
-
-// countWorlds samples e.samples possible worlds through the columnar
-// kernel (see kernel.go) and counts, per target row, the worlds in
-// which its NN predicate holds. With parallelism p, the budget is split
-// statically into p chunks; worker w draws from the deterministic
-// sub-stream mcrand.SubSeed(base, w) of one base seed taken from the
-// caller's generator, so answers depend only on (caller rng state,
-// parallelism) and never on scheduling.
-func (e *Engine) countWorlds(samplers []*inference.Sampler, q Query, ts, te, k int, forall bool, tgtLocal []int, rng *rand.Rand) []int {
-	p := e.Parallelism()
-	if p > e.samples {
-		p = e.samples
-	}
-	base := rng.Int63()
-	counts := make([]int, len(tgtLocal))
-	if p <= 1 {
-		sub := mcrand.New(mcrand.SubSeed(base, 0))
-		e.countChunk(samplers, q, ts, te, k, forall, tgtLocal, e.samples, &sub, counts)
-		return counts
-	}
-	per := e.samples / p
-	extra := e.samples % p
-	all := make([][]int, p)
-	var wg sync.WaitGroup
-	for w := 0; w < p; w++ {
-		worlds := per
-		if w < extra {
-			worlds++
-		}
-		all[w] = make([]int, len(tgtLocal))
-		wg.Add(1)
-		go func(w, worlds int) {
-			defer wg.Done()
-			sub := mcrand.New(mcrand.SubSeed(base, w))
-			e.countChunk(samplers, q, ts, te, k, forall, tgtLocal, worlds, &sub, all[w])
-		}(w, worlds)
-	}
-	wg.Wait()
-	for _, c := range all {
-		for i, v := range c {
-			counts[i] += v
-		}
-	}
-	return counts
 }

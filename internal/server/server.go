@@ -11,7 +11,10 @@
 //	POST /v1/existsnn  P∃NNQ  (ExistsKNN)
 //	POST /v1/pcnn      PCNNQ  (ContinuousKNN)
 //	POST /v1/batch     a slice of independent requests, answered by
-//	                   Processor.RunBatch on the server's worker pool
+//	                   Processor.RunBatchStats on the server's worker
+//	                   pool; set "share_worlds" to coalesce compatible
+//	                   requests (same reference, window and k) into
+//	                   shared-world groups that sample once per group
 //	POST /v1/objects   live ingestion: register a new object
 //	POST /v1/observe   live ingestion: append observations to an object
 //
@@ -56,6 +59,11 @@ type Config struct {
 	// When false they answer 403, making a read-only replica explicit
 	// rather than a missing route.
 	Ingest bool
+	// ShareBatch makes /v1/batch coalesce compatible requests into
+	// shared-world groups by default; a request body's "share_worlds"
+	// field overrides it either way. See pnn.BatchOptions.ShareWorlds
+	// for the semantics and determinism contract.
+	ShareBatch bool
 	// MaxObservations caps the observations one ingest call may carry;
 	// 0 means 4096.
 	MaxObservations int
@@ -178,6 +186,14 @@ type QueryResponse struct {
 // BatchRequest is the body of /v1/batch.
 type BatchRequest struct {
 	Requests []BatchItem `json:"requests"`
+	// ShareWorlds coalesces compatible requests (same query reference
+	// over the window, same interval and k) into groups that sample
+	// one shared world set; omitted, the server default
+	// (Config.ShareBatch) applies. Under sharing, per-request seeds
+	// are ignored in favor of SharedSeed — see
+	// pnn.BatchOptions.SharedSeed for the group-seed contract.
+	ShareWorlds *bool `json:"share_worlds,omitempty"`
+	SharedSeed  int64 `json:"shared_seed,omitempty"`
 }
 
 // BatchItem is one request of a batch, tagged with its semantics.
@@ -186,9 +202,20 @@ type BatchItem struct {
 	QueryRequest
 }
 
+// BatchStatsJSON mirrors pnn.BatchStats: the scheduling-independent
+// work accounting of the whole batch. Per-item sampler_builds are
+// always 0 in batch responses; this is the authoritative sum.
+type BatchStatsJSON struct {
+	Requests      int     `json:"requests"`
+	SamplerBuilds int     `json:"sampler_builds"`
+	AdaptMillis   float64 `json:"adapt_ms"`
+	Groups        int     `json:"groups,omitempty"` // shared-world groups executed; 0 unless sharing
+}
+
 // BatchResponse aligns with BatchRequest.Requests by index.
 type BatchResponse struct {
-	Responses []QueryResponse `json:"responses"`
+	Responses  []QueryResponse `json:"responses"`
+	BatchStats BatchStatsJSON  `json:"batch_stats"`
 }
 
 // HealthResponse is the body of /healthz.
@@ -340,7 +367,12 @@ func (s *Server) queryHandler(sem pnn.Semantics) http.HandlerFunc {
 			httpError(w, http.StatusBadRequest, err.Error())
 			return
 		}
-		resp := s.proc.RunBatch([]pnn.Request{pr}, 1)[0]
+		resps, bst := s.proc.RunBatchStats([]pnn.Request{pr}, pnn.BatchOptions{Workers: 1})
+		resp := resps[0]
+		// Single-query responses keep per-request build accounting on
+		// the wire: with one request the batch-level sum is exactly
+		// this query's builds.
+		resp.Stats.SamplerBuilds = bst.SamplerBuilds
 		if resp.Err != nil {
 			// toRequest already rejected every caller mistake the engine
 			// would complain about (inverted intervals, tau and k out of
@@ -381,8 +413,24 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		reqs[i] = pr
 	}
-	responses := s.proc.RunBatch(reqs, s.cfg.BatchWorkers)
-	out := BatchResponse{Responses: make([]QueryResponse, len(responses))}
+	share := s.cfg.ShareBatch
+	if req.ShareWorlds != nil {
+		share = *req.ShareWorlds
+	}
+	responses, bst := s.proc.RunBatchStats(reqs, pnn.BatchOptions{
+		Workers:     s.cfg.BatchWorkers,
+		ShareWorlds: share,
+		SharedSeed:  req.SharedSeed,
+	})
+	out := BatchResponse{
+		Responses: make([]QueryResponse, len(responses)),
+		BatchStats: BatchStatsJSON{
+			Requests:      bst.Requests,
+			SamplerBuilds: bst.SamplerBuilds,
+			AdaptMillis:   float64(bst.AdaptTime.Microseconds()) / 1e3,
+			Groups:        bst.Groups,
+		},
+	}
 	for i, resp := range responses {
 		out.Responses[i] = toJSON(resp)
 	}

@@ -501,3 +501,46 @@ func TestIngestDisabled(t *testing.T) {
 		t.Errorf("query on read-only server = %d, want 200", code)
 	}
 }
+
+// TestBatchSharedWorlds exercises the share_worlds wire option: same-
+// window requests coalesce into one shared-world group, batch_stats
+// reports the grouping, and answers match the library-level shared
+// path for the same shared seed.
+func TestBatchSharedWorlds(t *testing.T) {
+	net, proc, ts := testServer(t)
+	center := net.NearestState(pnn.Point{X: 0.5, Y: 0.5})
+	q := pnn.AtState(net, center)
+	body := fmt.Sprintf(`{"share_worlds": true, "shared_seed": 9, "requests": [
+		{"semantics": "forall", "state": %d, "ts": 1, "te": 6, "tau": 0.05},
+		{"semantics": "exists", "state": %d, "ts": 1, "te": 6, "tau": 0.05},
+		{"semantics": "exists", "state": %d, "ts": 2, "te": 5, "tau": 0.05}
+	]}`, center, center, center)
+	code, raw := post(t, ts.URL+"/v1/batch", body)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, raw)
+	}
+	var got BatchResponse
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Responses) != 3 {
+		t.Fatalf("responses = %d, want 3", len(got.Responses))
+	}
+	if got.BatchStats.Groups != 2 {
+		t.Errorf("batch_stats.groups = %d, want 2 (two distinct windows)", got.BatchStats.Groups)
+	}
+	if got.BatchStats.Requests != 3 {
+		t.Errorf("batch_stats.requests = %d, want 3", got.BatchStats.Requests)
+	}
+	want, _ := proc.RunBatchStats([]pnn.Request{
+		{Semantics: pnn.ForAll, Query: q, Ts: 1, Te: 6, Tau: 0.05},
+		{Semantics: pnn.Exists, Query: q, Ts: 1, Te: 6, Tau: 0.05},
+		{Semantics: pnn.Exists, Query: q, Ts: 2, Te: 5, Tau: 0.05},
+	}, pnn.BatchOptions{ShareWorlds: true, SharedSeed: 9})
+	for i := range want {
+		if want[i].Err != nil {
+			t.Fatal(want[i].Err)
+		}
+		compareResults(t, got.Responses[i].Results, want[i].Results)
+	}
+}

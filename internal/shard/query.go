@@ -8,7 +8,6 @@ import (
 
 	"pnn/internal/inference"
 	"pnn/internal/mcrand"
-	"pnn/internal/nn"
 	"pnn/internal/query"
 )
 
@@ -30,19 +29,18 @@ type IntervalResult struct {
 }
 
 // entry is one influencer object of a scatter-gather query: where it
-// lives, its stable ID, its adapted sampler, and its private
-// deterministic world generator. The generator is seeded by
-// mcrand.SubSeed(request seed, object ID) — keying on the object ID
-// (never on shard or engine index) is what makes answers independent
-// of the shard count: an object's sampled trajectories for a given
-// request seed are the same whether it shares an engine with every
-// other object or with none of them.
+// lives, its stable ID, and its adapted sampler. Its possible worlds
+// are drawn from a private generator seeded by mcrand.SubSeed(request
+// seed, object ID) — keying on the object ID (never on shard or engine
+// index) is what makes answers independent of the shard count: an
+// object's sampled trajectories for a given request seed are the same
+// whether it shares an engine with every other object or with none of
+// them.
 type entry struct {
 	shard int
 	oi    int // engine index within the shard
 	id    int
 	smp   *inference.Sampler
-	rng   mcrand.RNG
 }
 
 // exec is the gathered plan of one scatter-gather query: the merged
@@ -52,6 +50,8 @@ type exec struct {
 	snap    *Snap
 	q       query.Query
 	ts, te  int
+	k       int
+	seed    int64
 	samples int
 	workers int
 
@@ -77,6 +77,8 @@ func (s *Snap) scatter(q query.Query, ts, te, k int, seed int64) (*exec, error) 
 		q:       q,
 		ts:      ts,
 		te:      te,
+		k:       k,
+		seed:    seed,
 		samples: s.Parts[0].Engine.SampleCount(),
 		workers: s.Parts[0].Engine.Parallelism(),
 		byShard: make([][]int, len(s.Parts)),
@@ -141,7 +143,6 @@ func (s *Snap) scatter(q query.Query, ts, te, k int, seed int64) (*exec, error) 
 				oi:    oi,
 				id:    id,
 				smp:   pl.samplers[i],
-				rng:   mcrand.New(mcrand.SubSeed(seed, id)),
 			})
 			x.byShard[si] = append(x.byShard[si], ei)
 			if isCand[oi] {
@@ -157,89 +158,247 @@ func (s *Snap) scatter(q query.Query, ts, te, k int, seed int64) (*exec, error) 
 	return x, nil
 }
 
-// worldChunk bounds the possible worlds materialized at once, so the
-// gather phase streams instead of holding samples × influencers state;
-// the size is the kernel-wide chunking policy, nn.WorldChunk.
-const worldChunk = nn.WorldChunk
+// execute builds the per-row plan of this query — every entry sampling
+// from its private (request seed, object ID) generator, fill
+// parallelism grouped by owning shard — attaches the given evaluators
+// and runs it on the shared query executor. It replaces the package's
+// former private chunk loop: sharded queries and single-engine queries
+// now draw their worlds through one and the same Engine.Execute.
+func (x *exec) execute(evs ...query.Evaluator) error {
+	smps := make([]*inference.Sampler, len(x.entries))
+	rngs := make([]mcrand.RNG, len(x.entries))
+	for i := range x.entries {
+		smps[i] = x.entries[i].smp
+		rngs[i] = mcrand.New(mcrand.SubSeed(x.seed, x.entries[i].id))
+	}
+	pl := &query.Plan{
+		Query:      x.q,
+		Ts:         x.ts,
+		Te:         x.te,
+		Samplers:   smps,
+		Samples:    x.samples,
+		Workers:    x.workers,
+		RowRngs:    rngs,
+		FillGroups: x.byShard,
+	}
+	for _, ev := range evs {
+		pl.Attach(ev)
+	}
+	return x.snap.Parts[0].Engine.Execute(pl)
+}
 
-// batchPool recycles the columnar world batches of the gather phase
-// across queries; a warmed pool makes scatter-gather refinement
-// allocation-free in steady state.
-var batchPool = sync.Pool{New: func() any { return new(nn.WorldBatch) }}
+// idOrder returns the given entry indices sorted by object ID — the
+// only report order that is stable under re-partitioning.
+func (x *exec) idOrder(entries []int) []int {
+	order := append([]int(nil), entries...)
+	sort.Slice(order, func(a, b int) bool { return x.entries[order[a]].id < x.entries[order[b]].id })
+	return order
+}
 
-// run samples every world through the columnar kernel and hands each to
-// perWorld. The scatter half of every chunk runs one goroutine per
-// shard, each drawing its entries' state columns from their private
-// per-object generators in world order; the gather half materializes
-// distance rows and evaluates the chunk's worlds on x.workers
-// goroutines (each worker computes the distances of its own world
-// range, then evaluates it). perWorld is called exactly once per world
-// index — w is the global world number, wi its row in b — with
-// disjoint worker ids in [0, x.workers); any output it writes must be
-// either per-worker or per-world for the whole run to stay
-// deterministic.
-func (x *exec) run(perWorld func(worker, w int, b *nn.WorldBatch, wi int)) {
-	nE := len(x.entries)
-	b := batchPool.Get().(*nn.WorldBatch)
-	defer batchPool.Put(b)
-	sp := x.snap.Parts[0].Engine.Tree().Space()
-	for w0 := 0; w0 < x.samples; w0 += worldChunk {
-		cn := worldChunk
-		if left := x.samples - w0; left < cn {
-			cn = left
+// countResults converts per-target world counts into the tau-filtered,
+// ID-ordered result set. targets[i] is the entry index counted in
+// counts[i].
+func (x *exec) countResults(targets, counts []int, tau float64) []Result {
+	targetOf := make(map[int]int, len(targets)) // entry index -> target row
+	for ci, ei := range targets {
+		targetOf[ei] = ci
+	}
+	var out []Result
+	for _, ei := range x.idOrder(targets) {
+		p := float64(counts[targetOf[ei]]) / float64(x.samples)
+		if p >= tau && p > 0 {
+			out = append(out, Result{ID: x.entries[ei].id, Prob: p})
 		}
-		b.Reset(nE, cn, x.ts, x.te)
-		b.PrepareQuery(x.q.At)
-		var wg sync.WaitGroup
-		for _, idxs := range x.byShard {
-			if len(idxs) == 0 {
+	}
+	return out
+}
+
+// mineIntervals runs the Apriori lattice walk over the accumulated
+// per-world masks for every entry, in ID order, returning the maximal
+// qualifying timestamp sets at threshold tau plus the number of
+// qualifying lattice sets examined.
+func (x *exec) mineIntervals(masks [][]bool, tau float64) ([]IntervalResult, int, error) {
+	nT := x.te - x.ts + 1
+	all := make([]int, len(x.entries))
+	for i := range all {
+		all[i] = i
+	}
+	lattice := 0
+	var out []IntervalResult
+	for _, ei := range x.idOrder(all) {
+		sets, qualifying, err := query.MineTimeSets(masks, ei, nT, tau)
+		if err != nil {
+			return nil, lattice, err
+		}
+		lattice += qualifying
+		for _, ts2 := range sets {
+			times := make([]int, len(ts2.Offsets))
+			for i, off := range ts2.Offsets {
+				times[i] = x.ts + off
+			}
+			out = append(out, IntervalResult{ID: x.entries[ei].id, Times: times, Prob: ts2.Prob})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].ID != out[b].ID {
+			return out[a].ID < out[b].ID
+		}
+		return lessIntSlice(out[a].Times, out[b].Times)
+	})
+	return out, lattice, nil
+}
+
+// GroupOp selects the predicate of one member of a shared-world group.
+type GroupOp int
+
+const (
+	// OpForAll is P∀kNNQ: the object is among the k nearest at every
+	// time in the window.
+	OpForAll GroupOp = iota
+	// OpExists is P∃kNNQ: the object is among the k nearest at some
+	// time in the window.
+	OpExists
+	// OpCNN is PCkNNQ: maximal timestamp sets on which the object
+	// stays among the k likely nearest. Tau must be positive.
+	OpCNN
+)
+
+// GroupItem is one member of a shared-world group: a predicate plus its
+// probability threshold. The sampled worlds are shared by every member;
+// only the per-world predicate evaluation and the final tau filter
+// differ.
+type GroupItem struct {
+	Op  GroupOp
+	Tau float64
+}
+
+// GroupAnswer is the answer to one GroupItem, in the same position.
+// Results is set for OpForAll/OpExists, Intervals for OpCNN. A
+// per-item failure (e.g. the PCNN lattice cap) lands in Err without
+// disturbing the other members.
+type GroupAnswer struct {
+	Results   []Result
+	Intervals []IntervalResult
+	Err       error
+}
+
+// RunShared answers every item of a shared-world group over ONE set of
+// sampled possible worlds: the snapshot is pruned once for the union of
+// the members' targets, samplers are adapted once, each world chunk is
+// drawn once through the columnar kernel, and every member's evaluator
+// consumes it. It is the batching primitive behind
+// pnn.Processor.RunBatch's world sharing; the single-query paths are
+// the one-member special case.
+//
+// Determinism: answers depend only on (snapshot, q, ts, te, k, seed,
+// the item's own Op and Tau) — adding or removing other members of the
+// group changes nothing, because the worlds are a function of the
+// influencer set and seed alone.
+func (s *Snap) RunShared(q query.Query, ts, te, k int, seed int64, items []GroupItem) ([]GroupAnswer, query.Stats, error) {
+	for _, it := range items {
+		if it.Op == OpCNN && it.Tau <= 0 {
+			return nil, query.Stats{}, fmt.Errorf("shard: PCNN requires tau > 0, got %v", it.Tau)
+		}
+	}
+	x, err := s.scatter(q, ts, te, k, seed)
+	if err != nil {
+		return nil, query.Stats{}, err
+	}
+	answers := make([]GroupAnswer, len(items))
+	if len(x.entries) == 0 {
+		return answers, x.stats, nil
+	}
+	begin := time.Now()
+
+	// Attach at most one evaluator per predicate shape — members with
+	// the same Op share counts/masks and differ only in their tau
+	// filter.
+	allRows := make([]int, len(x.entries))
+	for i := range allRows {
+		allRows[i] = i
+	}
+	var faEv, exEv *query.CountEvaluator
+	var maskEv *query.MaskEvaluator
+	var evs []query.Evaluator
+	for _, it := range items {
+		switch it.Op {
+		case OpForAll:
+			// For ∀ semantics only the merged candidates can answer; an
+			// empty candidate set needs no sampling for this member.
+			if faEv == nil && len(x.cands) > 0 {
+				faEv = query.NewCountEvaluator(k, true, x.cands)
+				evs = append(evs, faEv)
+			}
+		case OpExists:
+			if exEv == nil {
+				exEv = query.NewCountEvaluator(k, false, allRows)
+				evs = append(evs, exEv)
+			}
+		case OpCNN:
+			if maskEv == nil {
+				maskEv = query.NewMaskEvaluator(k, len(x.entries), te-ts+1, x.samples)
+				evs = append(evs, maskEv)
+			}
+		}
+	}
+	if len(evs) > 0 {
+		if err := x.execute(evs...); err != nil {
+			return nil, x.stats, err
+		}
+	}
+
+	var faCounts, exCounts []int
+	if faEv != nil {
+		faCounts = faEv.Counts()
+	}
+	if exEv != nil {
+		exCounts = exEv.Counts()
+	}
+	// The lattice walk is the dominant refine cost at low tau, so mined
+	// results are memoized per distinct tau: duplicate PCNN members
+	// (standing subscriptions) pay for one walk, and LatticeSets counts
+	// each walk once.
+	type mined struct {
+		ivs []IntervalResult
+		err error
+	}
+	minedByTau := make(map[float64]mined)
+	for i, it := range items {
+		switch it.Op {
+		case OpForAll:
+			if faEv != nil {
+				answers[i].Results = x.countResults(x.cands, faCounts, it.Tau)
+			}
+		case OpExists:
+			answers[i].Results = x.countResults(allRows, exCounts, it.Tau)
+		case OpCNN:
+			m, hit := minedByTau[it.Tau]
+			if !hit {
+				var lattice int
+				m.ivs, lattice, m.err = x.mineIntervals(maskEv.Masks(), it.Tau)
+				x.stats.LatticeSets += lattice
+				minedByTau[it.Tau] = m
+			}
+			answers[i].Err = m.err
+			if m.err != nil {
 				continue
 			}
-			wg.Add(1)
-			go func(idxs []int) {
-				defer wg.Done()
-				for _, ei := range idxs {
-					e := &x.entries[ei]
-					for w := 0; w < cn; w++ {
-						e.smp.SampleWindowInto(&e.rng, x.ts, x.te, b.States(ei, w))
-					}
-				}
-			}(idxs)
-		}
-		wg.Wait()
-
-		nw := x.workers
-		if nw > cn {
-			nw = cn
-		}
-		if nw <= 1 {
-			b.ComputeDistancesRange(sp, 0, cn)
-			for w := 0; w < cn; w++ {
-				perWorld(0, w0+w, b, w)
+			if !hit {
+				answers[i].Intervals = m.ivs
+				continue
 			}
-			continue
-		}
-		var eg sync.WaitGroup
-		per := cn / nw
-		extra := cn % nw
-		lo := 0
-		for worker := 0; worker < nw; worker++ {
-			n := per
-			if worker < extra {
-				n++
+			// Memo hits get their own deep copy: two answers must never
+			// share Times backing arrays, or a caller editing one
+			// response in place would corrupt its twin.
+			cp := make([]IntervalResult, len(m.ivs))
+			for j, iv := range m.ivs {
+				cp[j] = IntervalResult{ID: iv.ID, Times: append([]int(nil), iv.Times...), Prob: iv.Prob}
 			}
-			eg.Add(1)
-			go func(worker, lo, hi int) {
-				defer eg.Done()
-				b.ComputeDistancesRange(sp, lo, hi)
-				for w := lo; w < hi; w++ {
-					perWorld(worker, w0+w, b, w)
-				}
-			}(worker, lo, lo+n)
-			lo += n
+			answers[i].Intervals = cp
 		}
-		eg.Wait()
 	}
+	x.stats.RefineTime = time.Since(begin)
+	return answers, x.stats, nil
 }
 
 // ForAllKNN answers P∀kNNQ(q, D, [ts..te], tau) over the composite
@@ -257,126 +416,29 @@ func (s *Snap) ExistsKNN(q query.Query, ts, te, k int, tau float64, seed int64) 
 }
 
 func (s *Snap) nnQuery(q query.Query, ts, te, k int, tau float64, seed int64, forall bool) ([]Result, query.Stats, error) {
-	x, err := s.scatter(q, ts, te, k, seed)
+	op := OpExists
+	if forall {
+		op = OpForAll
+	}
+	ans, st, err := s.RunShared(q, ts, te, k, seed, []GroupItem{{Op: op, Tau: tau}})
 	if err != nil {
-		return nil, query.Stats{}, err
+		return nil, st, err
 	}
-	// For ∃ semantics every influencer is a potential result; for ∀ only
-	// the merged candidates are.
-	targets := x.cands
-	if !forall {
-		targets = make([]int, len(x.entries))
-		for i := range x.entries {
-			targets[i] = i
-		}
-	}
-	if len(targets) == 0 {
-		return nil, x.stats, nil
-	}
-	begin := time.Now()
-	targetOf := make(map[int]int, len(targets)) // entry index -> target row
-	for ci, ei := range targets {
-		targetOf[ei] = ci
-	}
-	partial := make([][]int, x.workers)
-	for i := range partial {
-		partial[i] = make([]int, len(targets))
-	}
-	x.run(func(worker, _ int, b *nn.WorldBatch, wi int) {
-		counts := partial[worker]
-		for ci, ei := range targets {
-			if forall {
-				if b.KNNThroughout(wi, ei, k) {
-					counts[ci]++
-				}
-			} else if b.KNNSometime(wi, ei, k) {
-				counts[ci]++
-			}
-		}
-	})
-	counts := make([]int, len(targets))
-	for _, p := range partial {
-		for i, v := range p {
-			counts[i] += v
-		}
-	}
-	x.stats.RefineTime = time.Since(begin)
-
-	// Report in ascending object-ID order — the only order stable under
-	// re-partitioning.
-	order := append([]int(nil), targets...)
-	sort.Slice(order, func(a, b int) bool { return x.entries[order[a]].id < x.entries[order[b]].id })
-	var out []Result
-	for _, ei := range order {
-		p := float64(counts[targetOf[ei]]) / float64(x.samples)
-		if p >= tau && p > 0 {
-			out = append(out, Result{ID: x.entries[ei].id, Prob: p})
-		}
-	}
-	return out, x.stats, nil
+	return ans[0].Results, st, ans[0].Err
 }
 
 // CNNK answers PCkNNQ(q, D, [ts..te], tau) over the composite snapshot:
 // per object the maximal timestamp sets on which it stays among the k
 // likely nearest, sorted by (object ID, times).
 func (s *Snap) CNNK(q query.Query, ts, te, k int, tau float64, seed int64) ([]IntervalResult, query.Stats, error) {
-	if tau <= 0 {
-		return nil, query.Stats{}, fmt.Errorf("shard: PCNN requires tau > 0, got %v", tau)
-	}
-	x, err := s.scatter(q, ts, te, k, seed)
+	ans, st, err := s.RunShared(q, ts, te, k, seed, []GroupItem{{Op: OpCNN, Tau: tau}})
 	if err != nil {
-		return nil, query.Stats{}, err
+		return nil, st, err
 	}
-	if len(x.entries) == 0 {
-		return nil, x.stats, nil
+	if ans[0].Err != nil {
+		return nil, st, ans[0].Err
 	}
-	begin := time.Now()
-	nT := te - ts + 1
-	nE := len(x.entries)
-	// masks[w][ei*nT+j]: in world w, is entry ei among the k nearest at
-	// ts+j? One flat backing array, with each row written by exactly one
-	// worker (per-world), so the parallel gather stays race-free and
-	// deterministic.
-	backing := make([]bool, x.samples*nE*nT)
-	masks := make([][]bool, x.samples)
-	for w := range masks {
-		masks[w] = backing[w*nE*nT : (w+1)*nE*nT]
-	}
-	x.run(func(_, w int, b *nn.WorldBatch, wi int) {
-		row := masks[w]
-		for ei := 0; ei < nE; ei++ {
-			b.KNNMask(wi, ei, k, row[ei*nT:(ei+1)*nT])
-		}
-	})
-
-	order := make([]int, nE)
-	for i := range order {
-		order[i] = i
-	}
-	sort.Slice(order, func(a, b int) bool { return x.entries[order[a]].id < x.entries[order[b]].id })
-	var out []IntervalResult
-	for _, ei := range order {
-		sets, qualifying, err := query.MineTimeSets(masks, ei, nT, tau)
-		if err != nil {
-			return nil, x.stats, err
-		}
-		x.stats.LatticeSets += qualifying
-		for _, ts2 := range sets {
-			times := make([]int, len(ts2.Offsets))
-			for i, off := range ts2.Offsets {
-				times[i] = ts + off
-			}
-			out = append(out, IntervalResult{ID: x.entries[ei].id, Times: times, Prob: ts2.Prob})
-		}
-	}
-	x.stats.RefineTime = time.Since(begin)
-	sort.Slice(out, func(a, b int) bool {
-		if out[a].ID != out[b].ID {
-			return out[a].ID < out[b].ID
-		}
-		return lessIntSlice(out[a].Times, out[b].Times)
-	})
-	return out, x.stats, nil
+	return ans[0].Intervals, st, nil
 }
 
 func lessIntSlice(a, b []int) bool {

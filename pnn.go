@@ -423,22 +423,18 @@ func (p *Processor) ContinuousKNN(q Query, ts, te, k int, tau float64, seed int6
 }
 
 func snapForAllKNN(snap *shard.Snap, q Query, ts, te, k int, tau float64, seed int64) ([]Result, Stats, error) {
-	res, st, err := snap.ForAllKNN(q, ts, te, k, tau, seed)
-	return convertResults(res), convStats(st), err
+	res, st, err := rawForAllKNN(snap, q, ts, te, k, tau, seed)
+	return res, convStats(st), err
 }
 
 func snapExistsKNN(snap *shard.Snap, q Query, ts, te, k int, tau float64, seed int64) ([]Result, Stats, error) {
-	res, st, err := snap.ExistsKNN(q, ts, te, k, tau, seed)
-	return convertResults(res), convStats(st), err
+	res, st, err := rawExistsKNN(snap, q, ts, te, k, tau, seed)
+	return res, convStats(st), err
 }
 
 func snapContinuousKNN(snap *shard.Snap, q Query, ts, te, k int, tau float64, seed int64) ([]IntervalResult, Stats, error) {
-	res, st, err := snap.CNNK(q, ts, te, k, tau, seed)
-	out := make([]IntervalResult, len(res))
-	for i, r := range res {
-		out[i] = IntervalResult{ObjectID: r.ID, Times: r.Times, Prob: r.Prob}
-	}
-	return out, convStats(st), err
+	res, st, err := rawContinuousKNN(snap, q, ts, te, k, tau, seed)
+	return res, convStats(st), err
 }
 
 func convertResults(res []shard.Result) []Result {
