@@ -39,6 +39,16 @@ type Request struct {
 	// enabled the group seed takes over (see BatchOptions.SharedSeed)
 	// and Seed is ignored.
 	Seed int64
+	// Confidence, when enabled, replaces the processor's fixed sample
+	// budget with an adaptive one: sampling stops as soon as every
+	// estimate separates from Tau by more than the Hoeffding error (or
+	// the error itself reaches Confidence.Eps), escalating up to
+	// Confidence.MaxSamples worlds. Under world sharing the policy joins
+	// the group key — only requests with identical policies coalesce —
+	// and the group stops only when every member is decided, so a member
+	// may see more worlds than it would alone, never fewer. The zero
+	// value keeps the fixed budget.
+	Confidence Confidence
 }
 
 // Response is the answer to one batch Request, in the same position.
@@ -186,6 +196,7 @@ type batchGroup struct {
 	ts, te int
 	k      int
 	seed   int64
+	conf   Confidence
 	items  []shard.GroupItem
 	reqIdx []int
 }
@@ -203,7 +214,7 @@ func (p *Processor) runShared(snap *shard.Snap, reqs []Request, sharedSeed int64
 			out[i] = Response{Err: err}
 			continue
 		}
-		key := groupKey(req.Query, req.Ts, req.Te, k)
+		key := groupKey(req.Query, req.Ts, req.Te, k, req.Confidence)
 		g := groups[key]
 		if g == nil {
 			h := fnv.New64a()
@@ -211,6 +222,7 @@ func (p *Processor) runShared(snap *shard.Snap, reqs []Request, sharedSeed int64
 			g = &batchGroup{
 				q: req.Query, ts: req.Ts, te: req.Te, k: k,
 				seed: mcrand.SubSeed64(sharedSeed, h.Sum64()),
+				conf: req.Confidence,
 			}
 			groups[key] = g
 			order = append(order, g)
@@ -246,7 +258,9 @@ func sharedGroup(snap *shard.Snap, g *batchGroup) (resps []Response, st query.St
 			resps, err = nil, fmt.Errorf("pnn: shared batch group panicked: %v", r)
 		}
 	}()
-	answers, st, err := snap.RunShared(g.q, g.ts, g.te, g.k, g.seed, g.items)
+	answers, st, err := snap.RunShared(shard.GroupSpec{
+		Q: g.q, Ts: g.ts, Te: g.te, K: g.k, Seed: g.seed, Conf: g.conf,
+	}, g.items)
 	if err != nil {
 		return nil, st, err
 	}
@@ -305,15 +319,21 @@ func normalizeRequest(req Request) (k int, op shard.GroupOp, err error) {
 	if req.Te < req.Ts {
 		return 0, 0, fmt.Errorf("pnn: inverted interval [%d, %d]", req.Ts, req.Te)
 	}
+	if err := req.Confidence.Validate(); err != nil {
+		return 0, 0, err
+	}
 	return k, op, nil
 }
 
 // groupKey fingerprints what the sampled worlds of a request depend on:
-// the interval, k, and the query's position at every timestep of the
-// window. Two requests with equal keys can share one world set; the
-// key's hash also fixes the group's seed under the sharing contract.
-func groupKey(q Query, ts, te, k int) string {
-	buf := make([]byte, 0, 24+16*(te-ts+1))
+// the interval, k, the confidence policy (an adaptive group's stop
+// point is a function of the policy, so requests with different
+// policies must not share worlds) and the query's position at every
+// timestep of the window. Two requests with equal keys can share one
+// world set; the key's hash also fixes the group's seed under the
+// sharing contract.
+func groupKey(q Query, ts, te, k int, conf Confidence) string {
+	buf := make([]byte, 0, 48+16*(te-ts+1))
 	var tmp [8]byte
 	put := func(u uint64) {
 		binary.LittleEndian.PutUint64(tmp[:], u)
@@ -322,6 +342,9 @@ func groupKey(q Query, ts, te, k int) string {
 	put(uint64(ts))
 	put(uint64(te))
 	put(uint64(k))
+	put(math.Float64bits(conf.Eps))
+	put(math.Float64bits(conf.Delta))
+	put(uint64(conf.MaxSamples))
 	for t := ts; t <= te; t++ {
 		pt := q.At(t)
 		put(math.Float64bits(pt.X))
@@ -368,31 +391,34 @@ func runOne(snap *shard.Snap, req Request) (resp Response, raw query.Stats) {
 	if err != nil {
 		return Response{Err: err}, raw
 	}
+	spec := shard.GroupSpec{
+		Q: req.Query, Ts: req.Ts, Te: req.Te, K: k, Seed: req.Seed, Conf: req.Confidence,
+	}
 	switch op {
 	case shard.OpForAll:
-		resp.Results, raw, resp.Err = rawForAllKNN(snap, req.Query, req.Ts, req.Te, k, req.Tau, req.Seed)
+		resp.Results, raw, resp.Err = rawForAllKNN(snap, spec, req.Tau)
 	case shard.OpExists:
-		resp.Results, raw, resp.Err = rawExistsKNN(snap, req.Query, req.Ts, req.Te, k, req.Tau, req.Seed)
+		resp.Results, raw, resp.Err = rawExistsKNN(snap, spec, req.Tau)
 	case shard.OpCNN:
-		resp.Intervals, raw, resp.Err = rawContinuousKNN(snap, req.Query, req.Ts, req.Te, k, req.Tau, req.Seed)
+		resp.Intervals, raw, resp.Err = rawContinuousKNN(snap, spec, req.Tau)
 	}
 	resp.Stats = convStats(raw)
 	resp.Stats.SamplerBuilds = 0 // batch-level accounting; see BatchStats
 	return resp, raw
 }
 
-func rawForAllKNN(snap *shard.Snap, q Query, ts, te, k int, tau float64, seed int64) ([]Result, query.Stats, error) {
-	res, st, err := snap.ForAllKNN(q, ts, te, k, tau, seed)
+func rawForAllKNN(snap *shard.Snap, spec shard.GroupSpec, tau float64) ([]Result, query.Stats, error) {
+	res, st, err := snap.ForAllKNNSpec(spec, tau)
 	return convertResults(res), st, err
 }
 
-func rawExistsKNN(snap *shard.Snap, q Query, ts, te, k int, tau float64, seed int64) ([]Result, query.Stats, error) {
-	res, st, err := snap.ExistsKNN(q, ts, te, k, tau, seed)
+func rawExistsKNN(snap *shard.Snap, spec shard.GroupSpec, tau float64) ([]Result, query.Stats, error) {
+	res, st, err := snap.ExistsKNNSpec(spec, tau)
 	return convertResults(res), st, err
 }
 
-func rawContinuousKNN(snap *shard.Snap, q Query, ts, te, k int, tau float64, seed int64) ([]IntervalResult, query.Stats, error) {
-	res, st, err := snap.CNNK(q, ts, te, k, tau, seed)
+func rawContinuousKNN(snap *shard.Snap, spec shard.GroupSpec, tau float64) ([]IntervalResult, query.Stats, error) {
+	res, st, err := snap.CNNKSpec(spec, tau)
 	out := make([]IntervalResult, len(res))
 	for i, r := range res {
 		out[i] = IntervalResult{ObjectID: r.ID, Times: r.Times, Prob: r.Prob}

@@ -288,6 +288,61 @@ func BenchmarkBatchSharedWorlds(b *testing.B) {
 	}
 }
 
+// BenchmarkAdaptiveBudget measures what confidence-adaptive sampling
+// buys against the fixed 20000-world budget, on the two workloads that
+// bracket it. The "easy" query's estimates sit far from tau (min margin
+// ≈ 0.43), so the Hoeffding bound separates every row at the first
+// poll: the confidence run should finish several times faster than the
+// fixed one. The "hard" query's tau is planted on the top candidate's
+// estimate, so separation never happens and eps=0.005 needs more worlds
+// than the budget holds: the confidence run draws all 20000 worlds and
+// shows the polling overhead of the adaptive executor, which should be
+// in the noise.
+func BenchmarkAdaptiveBudget(b *testing.B) {
+	net, db, err := SyntheticDataset(3000, 8, 300, 100, 1000, 10, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	proc, err := db.Build(20000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := proc.PrepareAll(); err != nil {
+		b.Fatal(err)
+	}
+	q := AtState(net, 17)
+	base := Request{Semantics: ForAll, Query: q, Ts: 450, Te: 459, Seed: 7}
+	easy, hard := base, base
+	easy.Tau = 0.5
+	hard.Tau = 0.9267 // the top candidate's estimate at 20000 worlds
+	for _, tc := range []struct {
+		name string
+		req  Request
+		conf Confidence
+	}{
+		{"easy/fixed-20000", easy, Confidence{}},
+		{"easy/confidence-eps0.05", easy, Confidence{Eps: 0.05}},
+		{"hard/fixed-20000", hard, Confidence{}},
+		{"hard/confidence-eps0.005", hard, Confidence{Eps: 0.005}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			req := tc.req
+			req.Confidence = tc.conf
+			worlds := 0
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				resp := proc.Run(req)
+				if resp.Err != nil {
+					b.Fatal(resp.Err)
+				}
+				worlds = resp.Stats.Worlds
+			}
+			b.ReportMetric(float64(worlds), "worlds/op")
+		})
+	}
+}
+
 // BenchmarkAblationWindowSampling compares whole-lifetime sampling with
 // the window-restricted sampler used by the engine.
 func BenchmarkAblationWindowSampling(b *testing.B) {

@@ -8,6 +8,7 @@
 //	pnnquery -dataset synthetic -objects 1000 -semantics forall -tau 0.3
 //	pnnquery -dataset taxi -objects 500 -semantics cnn -tau 0.5 -ts 120 -te 130
 //	pnnquery -semantics exists -k 2
+//	pnnquery -semantics forall -tau 0.3 -eps 0.05 -max-samples 100000
 package main
 
 import (
@@ -33,6 +34,9 @@ func main() {
 		ts        = flag.Int("ts", -1, "query interval start (-1: auto)")
 		te        = flag.Int("te", -1, "query interval end (-1: ts+9)")
 		seed      = flag.Int64("seed", 1, "random seed")
+		eps       = flag.Float64("eps", 0, "adaptive sampling: stop once the Hoeffding error separates every estimate from τ, or reaches eps (0: fixed budget)")
+		delta     = flag.Float64("delta", 0, "adaptive sampling: failure probability δ (0: default 0.05)")
+		maxSamp   = flag.Int("max-samples", 0, "adaptive sampling: escalation cap on sampled worlds (0: -samples)")
 	)
 	flag.Parse()
 
@@ -68,39 +72,54 @@ func main() {
 	fmt.Printf("dataset=%s |D|=%d states=%d  query state %d %v  T=[%d,%d]  τ=%.2f\n\n",
 		*dataset, db.Len(), net.NumStates(), qs, net.StatePoint(qs), *ts, *te, *tau)
 
+	var sem pnn.Semantics
 	switch *semantics {
-	case "forall", "exists":
-		var res []pnn.Result
-		var stats pnn.Stats
-		if *semantics == "forall" {
-			res, stats, err = proc.ForAllKNN(q, *ts, *te, *k, *tau, *seed)
-		} else {
-			res, stats, err = proc.ExistsKNN(q, *ts, *te, *k, *tau, *seed)
-		}
-		fatal(err)
-		fmt.Printf("filter: %d candidates, %d influencers; %d worlds sampled\n",
-			stats.Candidates, stats.Influencers, stats.Worlds)
-		fmt.Printf("±%.3f at 95%% confidence (Hoeffding)\n\n", pnn.SampleBound(*samples, 0.05))
-		if len(res) == 0 {
-			fmt.Println("no object meets the threshold")
-		}
-		for _, r := range res {
-			fmt.Printf("  object %6d  p=%.4f\n", r.ObjectID, r.Prob)
-		}
+	case "forall":
+		sem = pnn.ForAll
+	case "exists":
+		sem = pnn.Exists
 	case "cnn":
-		res, stats, err := proc.ContinuousNN(q, *ts, *te, *tau, *seed)
-		fatal(err)
-		fmt.Printf("filter: %d candidates, %d influencers; %d worlds sampled\n\n",
-			stats.Candidates, stats.Influencers, stats.Worlds)
-		if len(res) == 0 {
-			fmt.Println("no (object, timestamp set) meets the threshold")
-		}
-		for _, r := range res {
-			fmt.Printf("  object %6d  tics %v  p=%.4f\n", r.ObjectID, r.Times, r.Prob)
-		}
+		sem = pnn.Continuous
 	default:
 		fmt.Fprintf(os.Stderr, "pnnquery: unknown semantics %q\n", *semantics)
 		os.Exit(2)
+	}
+	conf := pnn.Confidence{Eps: *eps, Delta: *delta, MaxSamples: *maxSamp}
+	if err := conf.Validate(); err != nil {
+		fatal(err)
+	}
+	resp := proc.Run(pnn.Request{
+		Semantics: sem, Query: q, Ts: *ts, Te: *te, K: *k, Tau: *tau, Seed: *seed,
+		Confidence: conf,
+	})
+	fatal(resp.Err)
+	stats := resp.Stats
+	fmt.Printf("filter: %d candidates, %d influencers; %d worlds sampled\n",
+		stats.Candidates, stats.Influencers, stats.Worlds)
+	if conf.Enabled() {
+		stopped := "budget exhausted"
+		if stats.EarlyStopped {
+			stopped = "stopped early"
+		}
+		fmt.Printf("±%.4f Hoeffding bound at δ=%.3g (%s)\n\n", stats.ErrorBound, conf.EffDelta(), stopped)
+	} else {
+		fmt.Printf("±%.3f at 95%% confidence (Hoeffding)\n\n", pnn.SampleBound(stats.Worlds, 0.05))
+	}
+	switch sem {
+	case pnn.Continuous:
+		if len(resp.Intervals) == 0 {
+			fmt.Println("no (object, timestamp set) meets the threshold")
+		}
+		for _, r := range resp.Intervals {
+			fmt.Printf("  object %6d  tics %v  p=%.4f\n", r.ObjectID, r.Times, r.Prob)
+		}
+	default:
+		if len(resp.Results) == 0 {
+			fmt.Println("no object meets the threshold")
+		}
+		for _, r := range resp.Results {
+			fmt.Printf("  object %6d  p=%.4f\n", r.ObjectID, r.Prob)
+		}
 	}
 }
 

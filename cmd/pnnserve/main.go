@@ -57,6 +57,7 @@ func main() {
 		warm     = flag.Bool("warm", false, "adapt all object models before accepting traffic")
 		ingest   = flag.Bool("ingest", true, "enable live ingestion (/v1/objects, /v1/observe)")
 		share    = flag.Bool("share-batch", false, "coalesce compatible /v1/batch requests into shared-world groups by default (per-request share_worlds overrides)")
+		capSamp  = flag.Int("max-samples-cap", 0, "largest confidence.max_samples a request may ask for (0: 10x -samples)")
 		lenient  = flag.Bool("lenient", false, "drop objects with contradicting observations instead of failing")
 		grace    = flag.Duration("grace", 10*time.Second, "shutdown drain timeout")
 		pprofOn  = flag.String("pprof", "", "also serve net/http/pprof on this address (e.g. localhost:6060); off when empty")
@@ -139,7 +140,9 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	srv := server.New(net, proc, server.Config{BatchWorkers: *workers, Ingest: *ingest, ShareBatch: *share})
+	srv := server.New(net, proc, server.Config{
+		BatchWorkers: *workers, Ingest: *ingest, ShareBatch: *share, MaxSamplesCap: *capSamp,
+	})
 	log.Printf("serving on %s", *addr)
 	if err := srv.Run(ctx, *addr, *grace); err != nil {
 		fatal(err)

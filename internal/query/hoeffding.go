@@ -1,6 +1,9 @@
 package query
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // Hoeffding error control (Section 5.2.3, [29]): the indicator "object o is
 // the ∀NN (∃NN) of q in a sampled world" is a Bernoulli variable, so the
@@ -24,4 +27,71 @@ func ErrorBound(n int, delta float64) float64 {
 		return 1
 	}
 	return math.Sqrt(math.Log(2/delta) / (2 * float64(n)))
+}
+
+// DefaultDelta is the confidence level the system assumes when a policy
+// leaves Delta unset: estimates miss their error bound with probability
+// at most 5%, the delta the paper's sample-count discussion uses.
+const DefaultDelta = 0.05
+
+// Confidence is the adaptive sample-budget policy of a Plan: instead of
+// drawing a fixed number of worlds, the executor polls every attached
+// evaluator's Hoeffding bound at deterministic chunk-round boundaries
+// and stops as soon as the answer is decided — every estimate separated
+// from its threshold τ by more than the current error bound ε(n, Delta),
+// or ε(n, Delta) itself at most Eps (the requested accuracy reached).
+//
+// The zero value disables adaptivity: the plan draws its full fixed
+// budget exactly as before. A policy is enabled by Eps > 0.
+type Confidence struct {
+	// Eps is the requested accuracy: sampling never continues past the
+	// point where every estimate carries error at most Eps with
+	// probability 1−Delta. Eps > 0 enables the policy; Eps must be < 1.
+	Eps float64
+	// Delta is the allowed probability of an estimate missing its error
+	// bound; 0 means DefaultDelta. Must be < 1.
+	Delta float64
+	// MaxSamples caps the escalation: the executor never draws more than
+	// this many worlds even while some estimate stays undecided. 0 means
+	// the plan's fixed budget (the executing engine's sample count).
+	MaxSamples int
+}
+
+// Enabled reports whether the policy requests adaptive budgets.
+func (c Confidence) Enabled() bool { return c.Eps != 0 || c.Delta != 0 || c.MaxSamples != 0 }
+
+// Validate rejects policies the Hoeffding machinery cannot honor. The
+// zero (disabled) value is valid.
+func (c Confidence) Validate() error {
+	if !c.Enabled() {
+		return nil
+	}
+	if c.Eps <= 0 || c.Eps >= 1 {
+		return fmt.Errorf("query: confidence eps must be in (0, 1), got %v", c.Eps)
+	}
+	if c.Delta < 0 || c.Delta >= 1 {
+		return fmt.Errorf("query: confidence delta must be in [0, 1), got %v", c.Delta)
+	}
+	if c.MaxSamples < 0 {
+		return fmt.Errorf("query: confidence max samples must be >= 0, got %d", c.MaxSamples)
+	}
+	return nil
+}
+
+// EffDelta returns the policy's delta with the default applied.
+func (c Confidence) EffDelta() float64 {
+	if c.Delta > 0 {
+		return c.Delta
+	}
+	return DefaultDelta
+}
+
+// Budget returns the world cap the executor enforces for this policy
+// given the plan's fixed budget: MaxSamples when set, else the fixed
+// budget itself.
+func (c Confidence) Budget(fixed int) int {
+	if c.Enabled() && c.MaxSamples > 0 {
+		return c.MaxSamples
+	}
+	return fixed
 }

@@ -1,0 +1,267 @@
+package query
+
+import (
+	"math"
+	"testing"
+
+	"pnn/internal/inference"
+)
+
+// TestHoeffdingEdgeCases pins the degenerate inputs of the bound
+// helpers: out-of-range accuracy or confidence never panics and never
+// pretends precision it cannot have.
+func TestHoeffdingEdgeCases(t *testing.T) {
+	for _, tc := range []struct{ eps, delta float64 }{
+		{0, 0.05}, {-0.1, 0.05}, {0.05, 0}, {0.05, -1}, {0.05, 1}, {0.05, 1.5},
+	} {
+		if n := RequiredSamples(tc.eps, tc.delta); n != math.MaxInt32 {
+			t.Errorf("RequiredSamples(%v, %v) = %d, want MaxInt32", tc.eps, tc.delta, n)
+		}
+	}
+	for _, tc := range []struct {
+		n     int
+		delta float64
+	}{
+		{0, 0.05}, {-5, 0.05}, {100, 0}, {100, -1}, {100, 1}, {100, 2},
+	} {
+		if eps := ErrorBound(tc.n, tc.delta); eps != 1 {
+			t.Errorf("ErrorBound(%d, %v) = %v, want 1 (no information)", tc.n, tc.delta, eps)
+		}
+	}
+}
+
+// TestHoeffdingInverseConsistency: RequiredSamples and ErrorBound are
+// inverses — the sample count bought for a target eps yields an error
+// bound no worse than eps, and one sample fewer does not.
+func TestHoeffdingInverseConsistency(t *testing.T) {
+	for _, eps := range []float64{0.2, 0.1, 0.05, 0.01, 0.005} {
+		for _, delta := range []float64{0.2, 0.05, 0.01} {
+			n := RequiredSamples(eps, delta)
+			if got := ErrorBound(n, delta); got > eps {
+				t.Errorf("ErrorBound(RequiredSamples(%v, %v)=%d) = %v > %v", eps, delta, n, got, eps)
+			}
+			if got := ErrorBound(n-1, delta); got <= eps {
+				t.Errorf("ErrorBound(%d, %v) = %v <= %v: RequiredSamples overshot", n-1, delta, got, eps)
+			}
+		}
+	}
+}
+
+func TestConfidenceValidate(t *testing.T) {
+	valid := []Confidence{
+		{},
+		{Eps: 0.05},
+		{Eps: 0.05, Delta: 0.01},
+		{Eps: 0.5, MaxSamples: 100000},
+		{Eps: 0.999, Delta: 0.999},
+	}
+	for _, c := range valid {
+		if err := c.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", c, err)
+		}
+	}
+	invalid := []Confidence{
+		{Eps: -0.1},
+		{Eps: 1},
+		{Eps: 1.5},
+		{Delta: 0.05},               // enabled (non-zero) but eps unset
+		{MaxSamples: 1000},          // enabled but eps unset
+		{Eps: 0.05, Delta: 1},       // delta must stay < 1
+		{Eps: 0.05, Delta: -0.5},    // negative delta
+		{Eps: 0.05, MaxSamples: -1}, // negative cap
+	}
+	for _, c := range invalid {
+		if err := c.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", c)
+		}
+	}
+}
+
+func TestConfidenceDefaults(t *testing.T) {
+	if d := (Confidence{Eps: 0.05}).EffDelta(); d != DefaultDelta {
+		t.Errorf("EffDelta with unset delta = %v, want %v", d, DefaultDelta)
+	}
+	if d := (Confidence{Eps: 0.05, Delta: 0.2}).EffDelta(); d != 0.2 {
+		t.Errorf("EffDelta = %v, want 0.2", d)
+	}
+	if b := (Confidence{}).Budget(5000); b != 5000 {
+		t.Errorf("disabled Budget = %d, want the fixed 5000", b)
+	}
+	if b := (Confidence{Eps: 0.05}).Budget(5000); b != 5000 {
+		t.Errorf("enabled Budget without cap = %d, want the fixed 5000", b)
+	}
+	if b := (Confidence{Eps: 0.05, MaxSamples: 80000}).Budget(5000); b != 80000 {
+		t.Errorf("enabled Budget with cap = %d, want 80000", b)
+	}
+	if (Confidence{}).Enabled() {
+		t.Error("zero Confidence reports Enabled")
+	}
+	for _, c := range []Confidence{{Eps: 0.05}, {Delta: 0.1}, {MaxSamples: 3}} {
+		if !c.Enabled() {
+			t.Errorf("%+v reports disabled", c)
+		}
+	}
+}
+
+// adaptiveFixture runs the plan fixture once at a large fixed budget to
+// learn the true-ish row probabilities, then picks a tau that every row
+// separates from by a wide margin — the setting where adaptive sampling
+// should stop long before the cap. It returns everything needed to
+// build fresh plans: the engine, query, adapted samplers, rows, tau.
+func adaptiveFixture(t *testing.T) (*Engine, Query, []*inference.Sampler, []int, float64) {
+	t.Helper()
+	eng, q, rows := planFixture(t)
+	_, smps, _, _, err := eng.buildSamplers(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := NewCountEvaluator(1, true, rows)
+	pl := eng.NewPlan(q, 1, 5, smps, 7)
+	pl.Samples = 20000
+	pl.Attach(ev)
+	if _, err := eng.Execute(pl); err != nil {
+		t.Fatal(err)
+	}
+	// Midpoint between the two probability clusters; the fixture has one
+	// dominant row, so every estimate sits far from it.
+	tau := 0.5
+	for i, c := range ev.Counts() {
+		p := float64(c) / 20000
+		if d := math.Abs(p - tau); d < 0.15 {
+			t.Fatalf("fixture drifted: row %d has p=%v too close to tau=%v for a separation test", i, p, tau)
+		}
+	}
+	return eng, q, smps, rows, tau
+}
+
+// TestAdaptiveBudgetSplitEarlyStop: under a confidence policy with
+// well-separated estimates the budget-split executor stops at a round
+// boundary far below the cap, reports it, and reproduces the identical
+// decision and counts when re-run.
+func TestAdaptiveBudgetSplitEarlyStop(t *testing.T) {
+	eng, q, smps, rows, tau := adaptiveFixture(t)
+	run := func(workers int) ([]int, ExecStats) {
+		ev := NewCountEvaluator(1, true, rows)
+		ev.SetBound(Confidence{Eps: 0.01, MaxSamples: 50000}, tau)
+		pl := eng.NewPlan(q, 1, 5, smps, 7)
+		pl.Samples = 50000
+		pl.Workers = workers
+		pl.Confidence = Confidence{Eps: 0.01, MaxSamples: 50000}
+		pl.Attach(ev)
+		es, err := eng.Execute(pl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ev.Counts(), es
+	}
+	c1, es1 := run(1)
+	if !es1.EarlyStopped || es1.Worlds >= 50000 {
+		t.Fatalf("no early stop: %+v", es1)
+	}
+	if es1.Worlds%1024 != 0 {
+		t.Errorf("stop point %d is not a round boundary", es1.Worlds)
+	}
+	if es1.ErrorBound != ErrorBound(es1.Worlds, DefaultDelta) {
+		t.Errorf("ErrorBound = %v, want %v", es1.ErrorBound, ErrorBound(es1.Worlds, DefaultDelta))
+	}
+	// Deterministic: the identical plan reproduces counts and stop point.
+	c2, es2 := run(1)
+	if es1.Worlds != es2.Worlds {
+		t.Errorf("stop point not deterministic: %d vs %d", es1.Worlds, es2.Worlds)
+	}
+	for i := range c1 {
+		if c1[i] != c2[i] {
+			t.Errorf("row %d count not deterministic: %d vs %d", i, c1[i], c2[i])
+		}
+	}
+	// Every decided estimate is separated from tau by the final bound.
+	for i, c := range c1 {
+		p := float64(c) / float64(es1.Worlds)
+		if math.Abs(p-tau) <= es1.ErrorBound {
+			t.Errorf("row %d stopped undecided: |%v - %v| <= %v", i, p, tau, es1.ErrorBound)
+		}
+	}
+}
+
+// TestAdaptiveAccuracyFallback: with tau = 0 no estimate can ever
+// separate downward (|0 − 0| is never > eps), so the executor must fall
+// back to the accuracy rule and stop at the first round boundary where
+// the error bound reaches Eps.
+func TestAdaptiveAccuracyFallback(t *testing.T) {
+	eng, q, smps, rows, _ := adaptiveFixture(t)
+	ev := NewCountEvaluator(1, true, rows)
+	conf := Confidence{Eps: 0.05, MaxSamples: 50000}
+	ev.SetBound(conf, 0)
+	pl := eng.NewPlan(q, 1, 5, smps, 7)
+	pl.Samples = 50000
+	pl.Confidence = conf
+	pl.Attach(ev)
+	es, err := eng.Execute(pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// RequiredSamples(0.05, 0.05) ≈ 738, rounded up to the 1024-world
+	// round boundary.
+	if es.Worlds != 1024 {
+		t.Errorf("accuracy-rule stop at %d worlds, want 1024", es.Worlds)
+	}
+	if !es.EarlyStopped {
+		t.Error("accuracy-rule stop not reported as early")
+	}
+	if es.ErrorBound > conf.Eps {
+		t.Errorf("final bound %v exceeds requested eps %v", es.ErrorBound, conf.Eps)
+	}
+}
+
+// TestAdaptiveMatchesFixedWithinBound: the adaptive estimate agrees
+// with a fixed large-budget estimate to within the sum of both error
+// bounds — early stopping trades worlds for the declared accuracy, not
+// for bias.
+func TestAdaptiveMatchesFixedWithinBound(t *testing.T) {
+	eng, q, smps, rows, tau := adaptiveFixture(t)
+	fixedEv := NewCountEvaluator(1, true, rows)
+	fp := eng.NewPlan(q, 1, 5, smps, 7)
+	fp.Samples = 40000
+	fp.Attach(fixedEv)
+	if _, err := eng.Execute(fp); err != nil {
+		t.Fatal(err)
+	}
+
+	adEv := NewCountEvaluator(1, true, rows)
+	conf := Confidence{Eps: 0.02, MaxSamples: 40000}
+	adEv.SetBound(conf, tau)
+	pl := eng.NewPlan(q, 1, 5, smps, 7)
+	pl.Samples = 40000
+	pl.Confidence = conf
+	pl.Attach(adEv)
+	es, err := eng.Execute(pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slack := es.ErrorBound + ErrorBound(40000, DefaultDelta)
+	for i := range rows {
+		pa := float64(adEv.Counts()[i]) / float64(es.Worlds)
+		pf := float64(fixedEv.Counts()[i]) / 40000
+		if math.Abs(pa-pf) > slack {
+			t.Errorf("row %d: adaptive %v vs fixed %v differ beyond %v", i, pa, pf, slack)
+		}
+	}
+}
+
+// TestAdaptiveDisabledDrawsFixedBudget: the zero policy must leave the
+// executor byte-for-byte on the old fixed path.
+func TestAdaptiveDisabledDrawsFixedBudget(t *testing.T) {
+	eng, q, smps, rows, _ := adaptiveFixture(t)
+	ev := NewCountEvaluator(1, true, rows)
+	ev.SetBound(Confidence{}, 0.5)
+	pl := eng.NewPlan(q, 1, 5, smps, 7)
+	pl.Samples = 2048
+	pl.Attach(ev)
+	es, err := eng.Execute(pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if es.Worlds != 2048 || es.EarlyStopped {
+		t.Errorf("disabled policy: %+v, want exactly the 2048 fixed worlds", es)
+	}
+}

@@ -31,12 +31,12 @@ func (e *Engine) CNN(q Query, ts, te int, tau float64, rng *rand.Rand) ([]Interv
 // CNNSeed is CNN with the unified seed contract: worlds are drawn from
 // sub-streams of seed, as in ForAllNNSeed.
 func (e *Engine) CNNSeed(q Query, ts, te int, tau float64, seed int64) ([]IntervalResult, Stats, error) {
-	return e.cnnQuery(q, ts, te, 1, tau, fixedSeed(seed))
+	return e.cnnQuery(q, ts, te, 1, tau, fixedSeed(seed), Confidence{})
 }
 
 // CNNKSeed is CNNK with the unified seed contract.
 func (e *Engine) CNNKSeed(q Query, ts, te, k int, tau float64, seed int64) ([]IntervalResult, Stats, error) {
-	return e.cnnQuery(q, ts, te, k, tau, fixedSeed(seed))
+	return e.cnnQuery(q, ts, te, k, tau, fixedSeed(seed), Confidence{})
 }
 
 // CNNK generalizes CNN to k nearest neighbors (PCkNNQ, Section 8): maximal
@@ -45,7 +45,15 @@ func (e *Engine) CNNKSeed(q Query, ts, te, k int, tau float64, seed int64) ([]In
 // base seed from rng exactly where the historical implementation did —
 // after the empty-influencer early return.
 func (e *Engine) CNNK(q Query, ts, te, k int, tau float64, rng *rand.Rand) ([]IntervalResult, Stats, error) {
-	return e.cnnQuery(q, ts, te, k, tau, rng.Int63)
+	return e.cnnQuery(q, ts, te, k, tau, rng.Int63, Confidence{})
+}
+
+// CNNKConf is CNNKSeed under an adaptive sample-budget policy: the
+// lattice walk's frequencies are mined from however many worlds the
+// accuracy rule needed (PCNN has no per-estimate threshold to separate
+// from, so the policy stops once the Hoeffding error reaches conf.Eps).
+func (e *Engine) CNNKConf(q Query, ts, te, k int, tau float64, seed int64, conf Confidence) ([]IntervalResult, Stats, error) {
+	return e.cnnQuery(q, ts, te, k, tau, fixedSeed(seed), conf)
 }
 
 // cnnQuery answers PCkNNQ as a plan construction over the shared
@@ -54,7 +62,7 @@ func (e *Engine) CNNK(q Query, ts, te, k int, tau float64, rng *rand.Rand) ([]In
 // Sampling runs on one worker — the lattice walk needs every world's
 // masks in memory anyway, so there is no budget split — which keeps the
 // drawn worlds identical to the historical single-stream loop.
-func (e *Engine) cnnQuery(q Query, ts, te, k int, tau float64, seed func() int64) ([]IntervalResult, Stats, error) {
+func (e *Engine) cnnQuery(q Query, ts, te, k int, tau float64, seed func() int64, conf Confidence) ([]IntervalResult, Stats, error) {
 	var st Stats
 	if q.Zero() {
 		return nil, st, errZeroQuery
@@ -91,15 +99,22 @@ func (e *Engine) cnnQuery(q Query, ts, te, k int, tau float64, seed func() int64
 	begin := time.Now()
 	nT := te - ts + 1
 	nR := len(refine)
-	ev := NewMaskEvaluator(k, nR, nT, e.samples)
+	// The mask backing must hold the worst case the policy may draw;
+	// after the run only the rows actually written are mined.
+	ev := NewMaskEvaluator(k, nR, nT, conf.Budget(e.samples))
+	ev.SetBound(conf)
 	plan := e.NewPlan(q, ts, te, samplers, seed())
 	plan.Workers = 1
+	plan.Confidence = conf
 	plan.Attach(ev)
-	if err := e.Execute(plan); err != nil {
+	es, err := e.Execute(plan)
+	if err != nil {
 		return nil, st, err
 	}
-	masks := ev.Masks()
-	st.Worlds = e.samples
+	masks := ev.Masks()[:es.Worlds]
+	st.Worlds = es.Worlds
+	st.ErrorBound = es.ErrorBound
+	st.EarlyStopped = es.EarlyStopped
 
 	var out []IntervalResult
 	for li, oi := range refine {

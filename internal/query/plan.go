@@ -35,6 +35,14 @@ import (
 // worldChunk is the chunking policy of the executor; see nn.WorldChunk.
 const worldChunk = nn.WorldChunk
 
+// boundEvery is the decision cadence of confidence-adaptive plans: the
+// executor polls every evaluator's Bound after each run of boundEvery
+// 256-world chunks, in sequential round order. Decisions happen only at
+// these deterministic multiples of boundEvery*worldChunk worlds — never
+// "whenever a worker finishes" — so the stop point depends only on
+// (snapshot, seed, confidence), not on scheduling.
+const boundEvery = 4
+
 // batchPool recycles the columnar world batches of the executor across
 // queries and workers; a warmed pool makes steady-state sampling
 // allocation-free.
@@ -55,6 +63,15 @@ type Evaluator interface {
 	// global world number in [0, Samples), and wi is the world's row in
 	// b. Implementations must write only per-worker or per-world state.
 	World(worker, w int, b *nn.WorldBatch, wi int)
+	// Bound reports whether worldsSeen sampled worlds decide this
+	// evaluator's answer under its confidence policy — every estimate
+	// separated from its threshold τ by more than the Hoeffding error
+	// ε(worldsSeen), or ε itself within the requested accuracy. The
+	// executor calls it only at deterministic chunk-round boundaries,
+	// between rounds (never concurrently with World), and stops the plan
+	// early once every attached evaluator is decided. Evaluators without
+	// a policy return false, leaving the stop to the sample budget.
+	Bound(worldsSeen int) (decided bool)
 }
 
 // CountEvaluator counts, per target row, the worlds in which the row's
@@ -66,6 +83,10 @@ type CountEvaluator struct {
 	forall  bool
 	targets []int // sampler-row indices to count
 	partial [][]int
+
+	conf    Confidence
+	taus    []float64 // thresholds the estimates must separate from
+	scratch []int     // merged counts, reused across Bound polls
 }
 
 // NewCountEvaluator returns a count evaluator over the given sampler
@@ -108,6 +129,64 @@ func (c *CountEvaluator) Counts() []int {
 	return out
 }
 
+// SetBound arms the evaluator's early-stop rule: under conf, Bound
+// decides once every target's estimate separates from every tau by more
+// than the Hoeffding error ε(n), or once ε(n) reaches conf.Eps. The
+// rule additionally requires every tau > ε(n) — the "virtual zero row"
+// condition. A row another layout's pruning would have dropped always
+// counts zero worlds, and |0 − τ| > ε(n) is exactly τ > ε(n); baking
+// that clause in unconditionally makes the decision identical whether
+// or not such rows are present, so the stop point cannot depend on the
+// shard layout or pruning superset that produced the target set.
+func (c *CountEvaluator) SetBound(conf Confidence, taus ...float64) {
+	c.conf = conf
+	c.taus = taus
+}
+
+// Bound implements Evaluator; see SetBound for the decision rule.
+func (c *CountEvaluator) Bound(worldsSeen int) bool {
+	if !c.conf.Enabled() || worldsSeen <= 0 {
+		return false
+	}
+	eps := ErrorBound(worldsSeen, c.conf.EffDelta())
+	if eps <= c.conf.Eps {
+		return true
+	}
+	if len(c.taus) == 0 {
+		return false
+	}
+	for _, tau := range c.taus {
+		if tau <= eps { // the virtual zero row has not separated
+			return false
+		}
+	}
+	if c.scratch == nil {
+		c.scratch = make([]int, len(c.targets))
+	}
+	for i := range c.scratch {
+		c.scratch[i] = 0
+	}
+	for _, p := range c.partial {
+		for i, v := range p {
+			c.scratch[i] += v
+		}
+	}
+	inv := 1 / float64(worldsSeen)
+	for _, cnt := range c.scratch {
+		est := float64(cnt) * inv
+		for _, tau := range c.taus {
+			d := est - tau
+			if d < 0 {
+				d = -d
+			}
+			if d <= eps {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // MaskEvaluator accumulates, for every world, the per-row per-timestep
 // k-NN indicator rows the PCNN lattice walk (Algorithm 1) mines. Unlike
 // counting, the lattice walk needs every world's masks in memory at
@@ -117,6 +196,7 @@ func (c *CountEvaluator) Counts() []int {
 type MaskEvaluator struct {
 	k, rows, nT int
 	masks       [][]bool
+	conf        Confidence
 }
 
 // NewMaskEvaluator returns a mask evaluator over `rows` sampler rows, a
@@ -143,8 +223,24 @@ func (m *MaskEvaluator) World(_, w int, b *nn.WorldBatch, wi int) {
 
 // Masks returns the accumulated indicator rows in the layout
 // MineTimeSets consumes: Masks()[w][li*nT+j] reports whether row li was
-// among the k nearest at window offset j in world w.
+// among the k nearest at window offset j in world w. Under an adaptive
+// plan only the first ExecStats.Worlds rows were written; slice to that
+// count before mining so frequencies normalize by worlds drawn.
 func (m *MaskEvaluator) Masks() [][]bool { return m.masks }
+
+// SetBound arms the evaluator's early-stop rule. PCNN mines interval
+// probabilities rather than testing them against a threshold, so the
+// mask evaluator's decision is accuracy-only: it is decided once the
+// Hoeffding error of every mined frequency is within conf.Eps. The rule
+// reads no sampled state, so it is trivially identical across shard
+// layouts.
+func (m *MaskEvaluator) SetBound(conf Confidence) { m.conf = conf }
+
+// Bound implements Evaluator; see SetBound for the decision rule.
+func (m *MaskEvaluator) Bound(worldsSeen int) bool {
+	return m.conf.Enabled() && worldsSeen > 0 &&
+		ErrorBound(worldsSeen, m.conf.EffDelta()) <= m.conf.Eps
+}
 
 // Plan is one executable Monte-Carlo sampling pass: the influencer rows
 // to sample, the query and window to evaluate against, a draw policy,
@@ -165,6 +261,13 @@ type Plan struct {
 	// 0 means the executing engine's parallelism.
 	Samples int
 	Workers int
+
+	// Confidence, when enabled, makes the pass adaptive: the executor
+	// polls every attached evaluator's Bound at deterministic chunk-round
+	// boundaries and stops as soon as all are decided, escalating up to
+	// Confidence.Budget(Samples) worlds while any is not. The zero value
+	// draws exactly Samples worlds, as before.
+	Confidence Confidence
 
 	// Space is the geometry distances are computed in; nil means the
 	// executing engine's space.
@@ -202,12 +305,34 @@ func (e *Engine) NewPlan(q Query, ts, te int, samplers []*inference.Sampler, see
 	return &Plan{Query: q, Ts: ts, Te: te, Samplers: samplers, BaseSeed: seed}
 }
 
+// ExecStats reports what one executed plan actually paid and
+// guarantees: the number of worlds drawn, the Hoeffding error bound
+// those worlds buy at the plan's confidence level (DefaultDelta when no
+// policy was set), and whether an adaptive plan stopped before its
+// escalation cap.
+type ExecStats struct {
+	// Worlds is the number of possible worlds drawn and evaluated; 0
+	// when the plan had nothing to sample (no influencer rows or no
+	// evaluators), in which case the answer is exact.
+	Worlds int
+	// ErrorBound is ε such that every per-object estimate is within ε
+	// of the true probability with probability 1−delta; 0 for an exact
+	// (sampling-free) answer.
+	ErrorBound float64
+	// EarlyStopped reports that a confidence policy decided the answer
+	// before the escalation cap was exhausted.
+	EarlyStopped bool
+}
+
 // Execute runs the plan: it draws each world chunk once through the
 // columnar kernel and feeds every attached evaluator. Engine defaults
 // fill unset plan fields (Space, Samples, Workers). Execute is the only
 // sampling loop in the system; it returns once every world has been
-// evaluated.
-func (e *Engine) Execute(p *Plan) error {
+// evaluated — every budgeted world, or, for a plan with an enabled
+// Confidence, every world up to the first deterministic chunk-round
+// boundary at which all attached evaluators report their answer
+// decided.
+func (e *Engine) Execute(p *Plan) (ExecStats, error) {
 	if p.Space == nil {
 		p.Space = e.tree.Space()
 	}
@@ -220,21 +345,24 @@ func (e *Engine) Execute(p *Plan) error {
 	return execute(p)
 }
 
-func execute(p *Plan) error {
+func execute(p *Plan) (ExecStats, error) {
 	if p.Query.Zero() {
-		return errZeroQuery
+		return ExecStats{}, errZeroQuery
 	}
 	if p.Te < p.Ts {
-		return fmt.Errorf("query: inverted interval [%d, %d]", p.Ts, p.Te)
+		return ExecStats{}, fmt.Errorf("query: inverted interval [%d, %d]", p.Ts, p.Te)
 	}
 	if p.Space == nil {
-		return fmt.Errorf("query: plan has no space")
+		return ExecStats{}, fmt.Errorf("query: plan has no space")
 	}
 	if p.Samples < 1 {
-		return fmt.Errorf("query: plan needs samples >= 1, got %d", p.Samples)
+		return ExecStats{}, fmt.Errorf("query: plan needs samples >= 1, got %d", p.Samples)
 	}
 	if p.RowRngs != nil && len(p.RowRngs) != len(p.Samplers) {
-		return fmt.Errorf("query: plan has %d row generators for %d rows", len(p.RowRngs), len(p.Samplers))
+		return ExecStats{}, fmt.Errorf("query: plan has %d row generators for %d rows", len(p.RowRngs), len(p.Samplers))
+	}
+	if err := p.Confidence.Validate(); err != nil {
+		return ExecStats{}, err
 	}
 	if p.Workers < 1 {
 		p.Workers = 1
@@ -243,14 +371,38 @@ func execute(p *Plan) error {
 		for _, ev := range p.evals {
 			ev.Bind(1)
 		}
-		return nil
+		// Nothing was sampled: the (empty or evaluator-less) answer is
+		// exact, so the stats advertise zero worlds and zero error.
+		return ExecStats{}, nil
 	}
-	if p.RowRngs != nil {
-		executePerRow(p)
-		return nil
+	adaptive := p.Confidence.Enabled()
+	maxN := p.Confidence.Budget(p.Samples)
+	var drawn int
+	switch {
+	case p.RowRngs != nil:
+		drawn = executePerRow(p, maxN, adaptive)
+	case adaptive:
+		drawn = executeBudgetSplitAdaptive(p, maxN)
+	default:
+		executeBudgetSplit(p)
+		drawn = p.Samples
 	}
-	executeBudgetSplit(p)
-	return nil
+	return ExecStats{
+		Worlds:       drawn,
+		ErrorBound:   ErrorBound(drawn, p.Confidence.EffDelta()),
+		EarlyStopped: adaptive && drawn < maxN,
+	}, nil
+}
+
+// allDecided polls every evaluator's Bound; a plan stops early only
+// when all of them have decided.
+func allDecided(evals []Evaluator, worldsSeen int) bool {
+	for _, ev := range evals {
+		if !ev.Bound(worldsSeen) {
+			return false
+		}
+	}
+	return true
 }
 
 // executeBudgetSplit divides the sample budget statically across
@@ -292,6 +444,67 @@ func executeBudgetSplit(p *Plan) {
 	wg.Wait()
 }
 
+// executeBudgetSplitAdaptive is the confidence-adaptive variant of the
+// budget-split policy. Sampling proceeds in sequential rounds of up to
+// boundEvery*worldChunk worlds; each round is split contiguously across
+// the workers, with worker w drawing from a persistent generator on the
+// sub-stream mcrand.SubSeed(BaseSeed, w), and all evaluators' bounds
+// are polled once between rounds. Round sizes and decision points are
+// fixed by (maxN, Workers) alone, so for a given (BaseSeed, Workers,
+// Confidence) the drawn worlds and the stop point are identical no
+// matter how goroutines are scheduled. Returns the worlds drawn.
+func executeBudgetSplitAdaptive(p *Plan, maxN int) int {
+	const roundWorlds = boundEvery * worldChunk
+	workers := p.Workers
+	if workers > roundWorlds {
+		workers = roundWorlds
+	}
+	for _, ev := range p.evals {
+		ev.Bind(workers)
+	}
+	rngs := make([]mcrand.RNG, workers)
+	for w := range rngs {
+		rngs[w] = mcrand.New(mcrand.SubSeed(p.BaseSeed, w))
+	}
+	seen := 0
+	for seen < maxN {
+		round := roundWorlds
+		if left := maxN - seen; left < round {
+			round = left
+		}
+		nw := workers
+		if nw > round {
+			nw = round
+		}
+		if nw <= 1 {
+			budgetChunk(p, 0, seen, round, &rngs[0])
+		} else {
+			per := round / nw
+			extra := round % nw
+			var wg sync.WaitGroup
+			start := seen
+			for w := 0; w < nw; w++ {
+				n := per
+				if w < extra {
+					n++
+				}
+				wg.Add(1)
+				go func(w, start, n int) {
+					defer wg.Done()
+					budgetChunk(p, w, start, n, &rngs[w])
+				}(w, start, n)
+				start += n
+			}
+			wg.Wait()
+		}
+		seen += round
+		if allDecided(p.evals, seen) {
+			break
+		}
+	}
+	return seen
+}
+
 // budgetChunk draws `worlds` possible worlds in columnar chunks from
 // rng (rows filled in row-major order within each chunk — the draw
 // order the determinism contract fixes) and feeds them to every
@@ -320,13 +533,19 @@ func budgetChunk(p *Plan, worker, start, worlds int, rng *mcrand.RNG) {
 	}
 }
 
-// executePerRow samples every world through one shared batch per chunk.
-// The fill half of every chunk runs one goroutine per fill group, each
-// drawing its rows' state columns from their private generators in
-// world order; the gather half materializes distance rows and evaluates
-// the chunk's worlds on Workers goroutines (each worker computes the
-// distances of its own world range, then evaluates it).
-func executePerRow(p *Plan) {
+// executePerRow samples every world through one shared batch per chunk,
+// up to maxN worlds. The fill half of every chunk runs one goroutine
+// per fill group, each drawing its rows' state columns from their
+// private generators in world order; the gather half materializes
+// distance rows and evaluates the chunk's worlds on Workers goroutines
+// (each worker computes the distances of its own world range, then
+// evaluates it). When adaptive, the sequential chunk loop polls every
+// evaluator's bound after each boundEvery-th chunk; the decision points
+// are fixed multiples of boundEvery*worldChunk worlds and the counts at
+// them depend only on the rows' private generators, so the stop point
+// is identical for any worker count, shard count, or FillGroups
+// partition. Returns the worlds drawn.
+func executePerRow(p *Plan, maxN int, adaptive bool) int {
 	groups := p.FillGroups
 	if groups == nil {
 		all := make([]int, len(p.Samplers))
@@ -340,9 +559,10 @@ func executePerRow(p *Plan) {
 	}
 	b := batchPool.Get().(*nn.WorldBatch)
 	defer batchPool.Put(b)
-	for w0 := 0; w0 < p.Samples; w0 += worldChunk {
+	chunks := 0
+	for w0 := 0; w0 < maxN; w0 += worldChunk {
 		cn := worldChunk
-		if left := p.Samples - w0; left < cn {
+		if left := maxN - w0; left < cn {
 			cn = left
 		}
 		b.Reset(len(p.Samplers), cn, p.Ts, p.Te)
@@ -377,29 +597,35 @@ func executePerRow(p *Plan) {
 					ev.World(0, w0+w, b, w)
 				}
 			}
-			continue
-		}
-		var eg sync.WaitGroup
-		per := cn / nw
-		extra := cn % nw
-		lo := 0
-		for worker := 0; worker < nw; worker++ {
-			n := per
-			if worker < extra {
-				n++
-			}
-			eg.Add(1)
-			go func(worker, lo, hi int) {
-				defer eg.Done()
-				b.ComputeDistancesRange(p.Space, lo, hi)
-				for w := lo; w < hi; w++ {
-					for _, ev := range p.evals {
-						ev.World(worker, w0+w, b, w)
-					}
+		} else {
+			var eg sync.WaitGroup
+			per := cn / nw
+			extra := cn % nw
+			lo := 0
+			for worker := 0; worker < nw; worker++ {
+				n := per
+				if worker < extra {
+					n++
 				}
-			}(worker, lo, lo+n)
-			lo += n
+				eg.Add(1)
+				go func(worker, lo, hi int) {
+					defer eg.Done()
+					b.ComputeDistancesRange(p.Space, lo, hi)
+					for w := lo; w < hi; w++ {
+						for _, ev := range p.evals {
+							ev.World(worker, w0+w, b, w)
+						}
+					}
+				}(worker, lo, lo+n)
+				lo += n
+			}
+			eg.Wait()
 		}
-		eg.Wait()
+		if chunks++; adaptive && chunks%boundEvery == 0 {
+			if seen := w0 + cn; allDecided(p.evals, seen) {
+				return seen
+			}
+		}
 	}
+	return maxN
 }

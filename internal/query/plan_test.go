@@ -30,28 +30,28 @@ func TestExecuteValidation(t *testing.T) {
 		t.Fatalf("refine = %v", refine)
 	}
 
-	if err := eng.Execute(&Plan{Ts: 1, Te: 5, Samplers: smps}); err == nil ||
+	if _, err := eng.Execute(&Plan{Ts: 1, Te: 5, Samplers: smps}); err == nil ||
 		!strings.Contains(err.Error(), "zero Query") {
 		t.Errorf("zero query: err = %v", err)
 	}
-	if err := eng.Execute(&Plan{Query: q, Ts: 5, Te: 1, Samplers: smps}); err == nil ||
+	if _, err := eng.Execute(&Plan{Query: q, Ts: 5, Te: 1, Samplers: smps}); err == nil ||
 		!strings.Contains(err.Error(), "inverted interval") {
 		t.Errorf("inverted interval: err = %v", err)
 	}
 	bad := &Plan{Query: q, Ts: 1, Te: 5, Samplers: smps, RowRngs: make([]mcrand.RNG, 1)}
 	bad.Attach(NewCountEvaluator(1, true, rows))
-	if err := eng.Execute(bad); err == nil || !strings.Contains(err.Error(), "row generators") {
+	if _, err := eng.Execute(bad); err == nil || !strings.Contains(err.Error(), "row generators") {
 		t.Errorf("rng/sampler mismatch: err = %v", err)
 	}
 
 	// No evaluators, or no samplers: a no-op, not an error.
-	if err := eng.Execute(&Plan{Query: q, Ts: 1, Te: 5, Samplers: smps}); err != nil {
+	if _, err := eng.Execute(&Plan{Query: q, Ts: 1, Te: 5, Samplers: smps}); err != nil {
 		t.Errorf("evaluator-less plan: %v", err)
 	}
 	ev := NewCountEvaluator(1, true, nil)
 	empty := &Plan{Query: q, Ts: 1, Te: 5}
 	empty.Attach(ev)
-	if err := eng.Execute(empty); err != nil {
+	if _, err := eng.Execute(empty); err != nil {
 		t.Errorf("sampler-less plan: %v", err)
 	}
 	if got := ev.Counts(); len(got) != 0 {
@@ -75,7 +75,7 @@ func TestExecuteSharedEvaluators(t *testing.T) {
 		pl := eng.NewPlan(q, 1, 5, smps, 99)
 		pl.Attach(fa)
 		pl.Attach(ex)
-		if err := eng.Execute(pl); err != nil {
+		if _, err := eng.Execute(pl); err != nil {
 			t.Fatal(err)
 		}
 		return fa.Counts(), ex.Counts()
@@ -116,7 +116,7 @@ func TestExecutePerRowMatchesAnyGrouping(t *testing.T) {
 		ev := NewCountEvaluator(1, false, rows)
 		pl := &Plan{Query: q, Ts: 1, Te: 5, Samplers: smps, RowRngs: rngs, FillGroups: groups, Workers: workers}
 		pl.Attach(ev)
-		if err := eng.Execute(pl); err != nil {
+		if _, err := eng.Execute(pl); err != nil {
 			t.Fatal(err)
 		}
 		return ev.Counts()

@@ -93,7 +93,9 @@ type IntervalResult struct {
 type Stats struct {
 	Candidates    int           // |C(q)|
 	Influencers   int           // |I(q)|
-	Worlds        int           // sampled possible worlds
+	Worlds        int           // possible worlds actually drawn (samples_drawn)
+	ErrorBound    float64       // Hoeffding ε those worlds guarantee; 0 when exact
+	EarlyStopped  bool          // an adaptive plan decided before its budget cap
 	LatticeSets   int           // PCNN only: qualifying timestamp sets before maximality filtering
 	SamplerBuilds int           // samplers adapted by THIS query (0 on a warm cache)
 	AdaptTime     time.Duration // trajectory-sampler initialization (TS)
@@ -206,6 +208,22 @@ func (e *Engine) ExistsKNNSeed(q Query, ts, te, k int, tau float64, seed int64) 
 	return e.nnQuery(q, ts, te, k, tau, fixedSeed(seed), false)
 }
 
+// ForAllKNNConf is ForAllKNNSeed under an adaptive sample-budget
+// policy: sampling stops at the first deterministic chunk-round
+// boundary at which every candidate's estimate separates from tau by
+// more than the Hoeffding error, or escalates to conf's budget cap.
+// Stats reports the worlds actually drawn and the error bound they
+// guarantee. The zero Confidence draws the fixed budget exactly.
+func (e *Engine) ForAllKNNConf(q Query, ts, te, k int, tau float64, seed int64, conf Confidence) ([]Result, Stats, error) {
+	return e.nnQueryConf(q, ts, te, k, tau, fixedSeed(seed), true, conf)
+}
+
+// ExistsKNNConf is ExistsKNNSeed under an adaptive sample-budget
+// policy; see ForAllKNNConf.
+func (e *Engine) ExistsKNNConf(q Query, ts, te, k int, tau float64, seed int64, conf Confidence) ([]Result, Stats, error) {
+	return e.nnQueryConf(q, ts, te, k, tau, fixedSeed(seed), false, conf)
+}
+
 // ForAllNN is ForAllNNSeed with the legacy generator signature: the
 // base seed is one Int63 drawn from rng. The draw happens at the point
 // the historical implementation consumed it -- after the empty-target
@@ -241,6 +259,12 @@ func fixedSeed(seed int64) func() int64 { return func() int64 { return seed } }
 // wrappers' generator consumption identical to the historical
 // implementation.
 func (e *Engine) nnQuery(q Query, ts, te, k int, tau float64, seed func() int64, forall bool) ([]Result, Stats, error) {
+	return e.nnQueryConf(q, ts, te, k, tau, seed, forall, Confidence{})
+}
+
+// nnQueryConf is nnQuery with an adaptive sample-budget policy; the
+// zero Confidence draws the engine's full fixed budget.
+func (e *Engine) nnQueryConf(q Query, ts, te, k int, tau float64, seed func() int64, forall bool, conf Confidence) ([]Result, Stats, error) {
 	var st Stats
 	if q.Zero() {
 		return nil, st, errZeroQuery
@@ -285,18 +309,23 @@ func (e *Engine) nnQuery(q Query, ts, te, k int, tau float64, seed func() int64,
 		tgtLocal[ci] = localIdx[oi]
 	}
 	ev := NewCountEvaluator(k, forall, tgtLocal)
+	ev.SetBound(conf, tau)
 	plan := e.NewPlan(q, ts, te, samplers, seed())
+	plan.Confidence = conf
 	plan.Attach(ev)
-	if err := e.Execute(plan); err != nil {
+	es, err := e.Execute(plan)
+	if err != nil {
 		return nil, st, err
 	}
 	counts := ev.Counts()
-	st.Worlds = e.samples
+	st.Worlds = es.Worlds
+	st.ErrorBound = es.ErrorBound
+	st.EarlyStopped = es.EarlyStopped
 	st.RefineTime = time.Since(begin)
 
 	var out []Result
 	for ci, oi := range targets {
-		p := float64(counts[ci]) / float64(e.samples)
+		p := float64(counts[ci]) / float64(es.Worlds)
 		if p >= tau && p > 0 {
 			out = append(out, Result{Obj: oi, Prob: p})
 		}

@@ -5,16 +5,17 @@
 //
 // Endpoints:
 //
-//	GET  /healthz      liveness plus snapshot version, object count and
-//	                   cache counters
+//	GET  /healthz      liveness plus snapshot version, object count,
+//	                   cache counters and the supported confidence range
 //	POST /v1/forallnn  P∀NNQ  (ForAllKNN)
 //	POST /v1/existsnn  P∃NNQ  (ExistsKNN)
 //	POST /v1/pcnn      PCNNQ  (ContinuousKNN)
 //	POST /v1/batch     a slice of independent requests, answered by
 //	                   Processor.RunBatchStats on the server's worker
 //	                   pool; set "share_worlds" to coalesce compatible
-//	                   requests (same reference, window and k) into
-//	                   shared-world groups that sample once per group
+//	                   requests (same reference, window, k and
+//	                   confidence) into shared-world groups that sample
+//	                   once per group
 //	POST /v1/objects   live ingestion: register a new object
 //	POST /v1/observe   live ingestion: append observations to an object
 //
@@ -23,17 +24,35 @@
 // every query issued after the write's response sees it. Both ingest
 // endpoints return the published version.
 //
-// Every query request carries exactly one reference — "state", "x"/"y",
-// or "trajectory" — plus the interval, threshold and seed:
+// # Request schema
 //
-//	{"state": 17, "ts": 5, "te": 15, "tau": 0.3, "seed": 7}
+// The three query endpoints and every /v1/batch item share one request
+// shape, QuerySpec: a query reference, a window, and the knobs.
 //
-// Malformed requests return 400 with {"error": "..."}; internal failures
-// return 500. Writes the database itself rejects — duplicate or unknown
-// object IDs, observations the motion model cannot realize — return 409
-// and leave the served snapshot untouched. Responses repeat the query's
-// work statistics so callers can observe filter quality and cache warmth
-// per request.
+//	{"query": {"state": 17}, "window": {"ts": 5, "te": 15},
+//	 "tau": 0.3, "seed": 7,
+//	 "confidence": {"eps": 0.05, "delta": 0.05, "max_samples": 20000}}
+//
+// The reference is exactly one of "state", "point" or "trajectory";
+// "confidence" is optional and switches the query from the fixed sample
+// budget to adaptive early-stopping sampling. Legacy flat spellings
+// (top-level "state", "x"/"y", "trajectory", "ts", "te") keep decoding
+// as aliases of the nested fields.
+//
+// # Errors
+//
+// Every error response carries a structured envelope with a stable
+// machine-readable code:
+//
+//	{"error": {"code": "invalid_window", "message": "inverted interval [5, 1]", "field": "window"}}
+//
+// Malformed requests return 400; writes the database itself rejects —
+// duplicate or unknown object IDs, observations the motion model cannot
+// realize — return 409 (codes duplicate_object, unknown_object,
+// rejected_write) and leave the served snapshot untouched. Query
+// responses repeat the query's work statistics plus a "sampling" block
+// (samples_drawn, error_bound, early_stopped) so callers can see what
+// each answer cost and guarantees.
 package server
 
 import (
@@ -45,6 +64,32 @@ import (
 	"time"
 
 	"pnn"
+	"pnn/internal/query"
+)
+
+// APIVersion tags every query response; it advances only when the wire
+// schema changes incompatibly.
+const APIVersion = "v1.1"
+
+// Stable machine-readable error codes of the /v1 API. Clients dispatch
+// on these, never on message text.
+const (
+	CodeInvalidBody        = "invalid_body"
+	CodeMethodNotAllowed   = "method_not_allowed"
+	CodeUnknownSemantics   = "unknown_semantics"
+	CodeInvalidQuery       = "invalid_query"
+	CodeInvalidWindow      = "invalid_window"
+	CodeInvalidK           = "invalid_k"
+	CodeInvalidTau         = "invalid_tau"
+	CodeInvalidConfidence  = "invalid_confidence"
+	CodeInvalidObservation = "invalid_observation"
+	CodeEmptyBatch         = "empty_batch"
+	CodeBatchTooLarge      = "batch_too_large"
+	CodeIngestDisabled     = "ingest_disabled"
+	CodeDuplicateObject    = "duplicate_object"
+	CodeUnknownObject      = "unknown_object"
+	CodeRejectedWrite      = "rejected_write"
+	CodeInternal           = "internal"
 )
 
 // Config tunes a Server. The zero value is usable.
@@ -67,6 +112,10 @@ type Config struct {
 	// MaxObservations caps the observations one ingest call may carry;
 	// 0 means 4096.
 	MaxObservations int
+	// MaxSamplesCap caps the confidence.max_samples escalation budget a
+	// request may ask for; 0 means 10x the processor's fixed sample
+	// budget. /healthz advertises the effective cap.
+	MaxSamplesCap int
 }
 
 // Server answers PNN queries for one built database. It implements
@@ -87,6 +136,9 @@ func New(net *pnn.Network, proc *pnn.Processor, cfg Config) *Server {
 	}
 	if cfg.MaxObservations <= 0 {
 		cfg.MaxObservations = 4096
+	}
+	if cfg.MaxSamplesCap <= 0 {
+		cfg.MaxSamplesCap = 10 * proc.SampleBudget()
 	}
 	s := &Server{proc: proc, net: net, cfg: cfg, mux: http.NewServeMux(), start: time.Now()}
 	s.mux.HandleFunc("/healthz", s.handleHealth)
@@ -137,20 +189,53 @@ type Trajectory struct {
 	Points []Point `json:"points"`
 }
 
-// QueryRequest is the JSON body of the three single-query endpoints and
-// the per-item body of /v1/batch. Exactly one of State, X/Y, or
-// Trajectory must be set.
-type QueryRequest struct {
+// QueryRef is the query reference of a QuerySpec; exactly one field may
+// be set.
+type QueryRef struct {
+	State      *int        `json:"state,omitempty"`
+	Point      *Point      `json:"point,omitempty"`
+	Trajectory *Trajectory `json:"trajectory,omitempty"`
+}
+
+// Window is the closed query time interval [Ts, Te].
+type Window struct {
+	Ts int `json:"ts"`
+	Te int `json:"te"`
+}
+
+// ConfidenceJSON is the adaptive sample-budget policy of a QuerySpec:
+// sampling stops as soon as every estimate separates from tau by more
+// than the Hoeffding error (or the error reaches eps), escalating up to
+// max_samples worlds. Mirrors pnn.Confidence.
+type ConfidenceJSON struct {
+	Eps        float64 `json:"eps"`
+	Delta      float64 `json:"delta,omitempty"`       // 0 means the default (0.05)
+	MaxSamples int     `json:"max_samples,omitempty"` // 0 means the fixed budget
+}
+
+// QuerySpec is the one request schema of every query endpoint: the JSON
+// body of /v1/forallnn, /v1/existsnn and /v1/pcnn, and (tagged with a
+// semantics) each item of /v1/batch. The canonical shape nests the
+// reference under "query" and the interval under "window"; the legacy
+// flat spellings (top-level state/x/y/trajectory/ts/te) decode as
+// aliases and mean exactly the same request. When both spellings appear,
+// the canonical field wins.
+type QuerySpec struct {
+	Query      *QueryRef       `json:"query,omitempty"`
+	Window     *Window         `json:"window,omitempty"`
+	K          int             `json:"k,omitempty"` // 0 means 1
+	Tau        float64         `json:"tau"`
+	Seed       int64           `json:"seed,omitempty"`
+	Confidence *ConfidenceJSON `json:"confidence,omitempty"`
+
+	// Legacy aliases of the nested fields, kept so pre-v1.1 clients stay
+	// unbroken.
 	State      *int        `json:"state,omitempty"`
 	X          *float64    `json:"x,omitempty"`
 	Y          *float64    `json:"y,omitempty"`
 	Trajectory *Trajectory `json:"trajectory,omitempty"`
-
-	Ts   int     `json:"ts"`
-	Te   int     `json:"te"`
-	K    int     `json:"k,omitempty"` // 0 means 1
-	Tau  float64 `json:"tau"`
-	Seed int64   `json:"seed,omitempty"`
+	Ts         *int        `json:"ts,omitempty"`
+	Te         *int        `json:"te,omitempty"`
 }
 
 // ResultJSON is one probabilistic answer.
@@ -174,23 +259,35 @@ type StatsJSON struct {
 	SamplerBuilds int `json:"sampler_builds"`
 }
 
-// QueryResponse is the body of a successful single-query call. Results is
-// set for forallnn/existsnn, Intervals for pcnn.
+// SamplingJSON reports what one answer's Monte-Carlo estimate paid and
+// guarantees: the worlds actually drawn, the Hoeffding error bound they
+// buy, and whether an adaptive policy stopped before its budget cap.
+type SamplingJSON struct {
+	SamplesDrawn int     `json:"samples_drawn"`
+	ErrorBound   float64 `json:"error_bound"`
+	EarlyStopped bool    `json:"early_stopped"`
+}
+
+// QueryResponse is the body of a successful single-query call and the
+// per-item shape of a batch response. Results is set for
+// forallnn/existsnn, Intervals for pcnn.
 type QueryResponse struct {
-	Results   []ResultJSON   `json:"results,omitempty"`
-	Intervals []IntervalJSON `json:"intervals,omitempty"`
-	Stats     StatsJSON      `json:"stats"`
-	Error     string         `json:"error,omitempty"` // batch items only
+	APIVersion string         `json:"api_version"`
+	Results    []ResultJSON   `json:"results,omitempty"`
+	Intervals  []IntervalJSON `json:"intervals,omitempty"`
+	Stats      StatsJSON      `json:"stats"`
+	Sampling   SamplingJSON   `json:"sampling"`
+	Error      *ErrorBody     `json:"error,omitempty"` // batch items only
 }
 
 // BatchRequest is the body of /v1/batch.
 type BatchRequest struct {
 	Requests []BatchItem `json:"requests"`
 	// ShareWorlds coalesces compatible requests (same query reference
-	// over the window, same interval and k) into groups that sample
-	// one shared world set; omitted, the server default
-	// (Config.ShareBatch) applies. Under sharing, per-request seeds
-	// are ignored in favor of SharedSeed — see
+	// over the window, same interval, k and confidence policy) into
+	// groups that sample one shared world set; omitted, the server
+	// default (Config.ShareBatch) applies. Under sharing, per-request
+	// seeds are ignored in favor of SharedSeed — see
 	// pnn.BatchOptions.SharedSeed for the group-seed contract.
 	ShareWorlds *bool `json:"share_worlds,omitempty"`
 	SharedSeed  int64 `json:"shared_seed,omitempty"`
@@ -199,7 +296,7 @@ type BatchRequest struct {
 // BatchItem is one request of a batch, tagged with its semantics.
 type BatchItem struct {
 	Semantics string `json:"semantics"` // "forall" | "exists" | "cnn"
-	QueryRequest
+	QuerySpec
 }
 
 // BatchStatsJSON mirrors pnn.BatchStats: the scheduling-independent
@@ -214,27 +311,45 @@ type BatchStatsJSON struct {
 
 // BatchResponse aligns with BatchRequest.Requests by index.
 type BatchResponse struct {
+	APIVersion string          `json:"api_version"`
 	Responses  []QueryResponse `json:"responses"`
 	BatchStats BatchStatsJSON  `json:"batch_stats"`
 }
 
+// ConfidenceRangeJSON advertises, via /healthz, the adaptive-sampling
+// policy space this server accepts.
+type ConfidenceRangeJSON struct {
+	// EpsMin/EpsMax bound the accepted accuracy knob (exclusive).
+	EpsMin float64 `json:"eps_min"`
+	EpsMax float64 `json:"eps_max"`
+	// DefaultDelta is the confidence level assumed when delta is 0.
+	DefaultDelta float64 `json:"default_delta"`
+	// DefaultBudget is the fixed per-query world budget (and the
+	// adaptive cap when max_samples is 0).
+	DefaultBudget int `json:"default_budget"`
+	// MaxSamplesCap is the largest max_samples a request may ask for.
+	MaxSamplesCap int `json:"max_samples_cap"`
+}
+
 // HealthResponse is the body of /healthz.
 type HealthResponse struct {
-	Status        string  `json:"status"`
-	Version       int64   `json:"version"` // current composite snapshot version
-	Objects       int     `json:"objects"`
-	States        int     `json:"states"`
-	Shards        int     `json:"shards"`
-	ShardVersions []int64 `json:"shard_versions"` // per-shard snapshot versions, by shard
-	Ingest        bool    `json:"ingest"`         // write endpoints enabled
-	UptimeSeconds float64 `json:"uptime_seconds"`
-	CacheBuilds   int64   `json:"cache_builds"`
-	CacheHits     int64   `json:"cache_hits"`
+	Status        string              `json:"status"`
+	APIVersion    string              `json:"api_version"`
+	Version       int64               `json:"version"` // current composite snapshot version
+	Objects       int                 `json:"objects"`
+	States        int                 `json:"states"`
+	Shards        int                 `json:"shards"`
+	ShardVersions []int64             `json:"shard_versions"` // per-shard snapshot versions, by shard
+	Ingest        bool                `json:"ingest"`         // write endpoints enabled
+	Confidence    ConfidenceRangeJSON `json:"confidence"`
+	UptimeSeconds float64             `json:"uptime_seconds"`
+	CacheBuilds   int64               `json:"cache_builds"`
+	CacheHits     int64               `json:"cache_hits"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		httpError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "", "use GET")
 		return
 	}
 	cs := s.proc.CacheStats()
@@ -243,12 +358,20 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	version, objects, shardVersions := s.proc.SnapshotDetail()
 	writeJSON(w, http.StatusOK, HealthResponse{
 		Status:        "ok",
+		APIVersion:    APIVersion,
 		Version:       version,
 		Objects:       objects,
 		States:        s.net.NumStates(),
 		Shards:        s.proc.NumShards(),
 		ShardVersions: shardVersions,
 		Ingest:        s.cfg.Ingest,
+		Confidence: ConfidenceRangeJSON{
+			EpsMin:        0,
+			EpsMax:        1,
+			DefaultDelta:  query.DefaultDelta,
+			DefaultBudget: s.proc.SampleBudget(),
+			MaxSamplesCap: s.cfg.MaxSamplesCap,
+		},
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		CacheBuilds:   cs.Builds,
 		CacheHits:     cs.Hits,
@@ -285,7 +408,7 @@ func (s *Server) handleAddObject(w http.ResponseWriter, r *http.Request) {
 	}
 	ing, err := s.proc.AddObject(req.ID, obs)
 	if err != nil {
-		httpError(w, http.StatusConflict, err.Error())
+		writeErr(w, http.StatusConflict, writeCode(err), "id", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, IngestResponse{Version: ing.Version, Objects: ing.Objects})
@@ -298,10 +421,24 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	}
 	ing, err := s.proc.Observe(req.ID, obs...)
 	if err != nil {
-		httpError(w, http.StatusConflict, err.Error())
+		writeErr(w, http.StatusConflict, writeCode(err), "id", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, IngestResponse{Version: ing.Version, Objects: ing.Objects})
+}
+
+// writeCode classifies a write rejection into its stable error code.
+func writeCode(err error) string {
+	switch {
+	case errors.Is(err, pnn.ErrDuplicateID):
+		return CodeDuplicateObject
+	case errors.Is(err, pnn.ErrUnknownID):
+		return CodeUnknownObject
+	default:
+		// The motion model rejected the observations (contradiction,
+		// duplicate timestamp against the stored sequence, ...).
+		return CodeRejectedWrite
+	}
 }
 
 // decodeIngest decodes and validates a write request, answering 400 for
@@ -312,23 +449,25 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 func (s *Server) decodeIngest(w http.ResponseWriter, r *http.Request) (IngestRequest, []pnn.Observation, bool) {
 	var req IngestRequest
 	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "use POST")
+		httpError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "", "use POST")
 		return req, nil, false
 	}
 	if !s.cfg.Ingest {
-		httpError(w, http.StatusForbidden, "ingestion disabled (start the server with ingest enabled)")
+		httpError(w, http.StatusForbidden, CodeIngestDisabled, "",
+			"ingestion disabled (start the server with ingest enabled)")
 		return req, nil, false
 	}
 	if err := decodeBody(r, &req); err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
+		writeErr(w, http.StatusBadRequest, CodeInvalidBody, "", err)
 		return req, nil, false
 	}
 	if len(req.Observations) == 0 {
-		httpError(w, http.StatusBadRequest, "need at least one observation")
+		httpError(w, http.StatusBadRequest, CodeInvalidObservation, "observations",
+			"need at least one observation")
 		return req, nil, false
 	}
 	if len(req.Observations) > s.cfg.MaxObservations {
-		httpError(w, http.StatusBadRequest,
+		httpError(w, http.StatusBadRequest, CodeInvalidObservation, "observations",
 			fmt.Sprintf("%d observations exceed limit %d", len(req.Observations), s.cfg.MaxObservations))
 		return req, nil, false
 	}
@@ -336,12 +475,12 @@ func (s *Server) decodeIngest(w http.ResponseWriter, r *http.Request) (IngestReq
 	times := make(map[int]bool, len(req.Observations))
 	for i, ob := range req.Observations {
 		if ob.State < 0 || ob.State >= s.net.NumStates() {
-			httpError(w, http.StatusBadRequest, fmt.Sprintf(
+			httpError(w, http.StatusBadRequest, CodeInvalidObservation, "observations", fmt.Sprintf(
 				"observation %d: state %d out of range [0, %d)", i, ob.State, s.net.NumStates()))
 			return req, nil, false
 		}
 		if times[ob.T] {
-			httpError(w, http.StatusBadRequest, fmt.Sprintf(
+			httpError(w, http.StatusBadRequest, CodeInvalidObservation, "observations", fmt.Sprintf(
 				"observation %d: duplicate timestamp %d within the request", i, ob.T))
 			return req, nil, false
 		}
@@ -354,31 +493,26 @@ func (s *Server) decodeIngest(w http.ResponseWriter, r *http.Request) (IngestReq
 func (s *Server) queryHandler(sem pnn.Semantics) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
-			httpError(w, http.StatusMethodNotAllowed, "use POST")
+			httpError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "", "use POST")
 			return
 		}
-		var req QueryRequest
+		var req QuerySpec
 		if err := decodeBody(r, &req); err != nil {
-			httpError(w, http.StatusBadRequest, err.Error())
+			writeErr(w, http.StatusBadRequest, CodeInvalidBody, "", err)
 			return
 		}
-		pr, err := s.toRequest(sem, req)
-		if err != nil {
-			httpError(w, http.StatusBadRequest, err.Error())
+		pr, aerr := s.toRequest(sem, req)
+		if aerr != nil {
+			httpError(w, http.StatusBadRequest, aerr.code, aerr.field, aerr.msg)
 			return
 		}
-		resps, bst := s.proc.RunBatchStats([]pnn.Request{pr}, pnn.BatchOptions{Workers: 1})
-		resp := resps[0]
-		// Single-query responses keep per-request build accounting on
-		// the wire: with one request the batch-level sum is exactly
-		// this query's builds.
-		resp.Stats.SamplerBuilds = bst.SamplerBuilds
+		resp := s.proc.Run(pr)
 		if resp.Err != nil {
 			// toRequest already rejected every caller mistake the engine
 			// would complain about (inverted intervals, tau and k out of
 			// range), so an error here is the engine's own — e.g. model
 			// adaptation failing on an object.
-			httpError(w, http.StatusInternalServerError, resp.Err.Error())
+			writeErr(w, http.StatusInternalServerError, CodeInternal, "", resp.Err)
 			return
 		}
 		writeJSON(w, http.StatusOK, toJSON(resp))
@@ -387,28 +521,32 @@ func (s *Server) queryHandler(sem pnn.Semantics) http.HandlerFunc {
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "use POST")
+		httpError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "", "use POST")
 		return
 	}
 	var req BatchRequest
 	if err := decodeBody(r, &req); err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
+		writeErr(w, http.StatusBadRequest, CodeInvalidBody, "", err)
 		return
 	}
 	if len(req.Requests) == 0 {
-		httpError(w, http.StatusBadRequest, "empty batch")
+		httpError(w, http.StatusBadRequest, CodeEmptyBatch, "requests", "empty batch")
 		return
 	}
 	if len(req.Requests) > s.cfg.MaxBatch {
-		httpError(w, http.StatusBadRequest,
+		httpError(w, http.StatusBadRequest, CodeBatchTooLarge, "requests",
 			fmt.Sprintf("batch of %d exceeds limit %d", len(req.Requests), s.cfg.MaxBatch))
 		return
 	}
 	reqs := make([]pnn.Request, len(req.Requests))
 	for i, item := range req.Requests {
-		pr, err := s.toRequest(pnn.Semantics(item.Semantics), item.QueryRequest)
-		if err != nil {
-			httpError(w, http.StatusBadRequest, fmt.Sprintf("request %d: %v", i, err))
+		pr, aerr := s.toRequest(pnn.Semantics(item.Semantics), item.QuerySpec)
+		if aerr != nil {
+			field := fmt.Sprintf("requests[%d]", i)
+			if aerr.field != "" {
+				field += "." + aerr.field
+			}
+			httpError(w, http.StatusBadRequest, aerr.code, field, aerr.msg)
 			return
 		}
 		reqs[i] = pr
@@ -423,7 +561,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		SharedSeed:  req.SharedSeed,
 	})
 	out := BatchResponse{
-		Responses: make([]QueryResponse, len(responses)),
+		APIVersion: APIVersion,
+		Responses:  make([]QueryResponse, len(responses)),
 		BatchStats: BatchStatsJSON{
 			Requests:      bst.Requests,
 			SamplerBuilds: bst.SamplerBuilds,
@@ -437,83 +576,146 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-// toRequest validates one wire request and converts it to a batch Request.
-func (s *Server) toRequest(sem pnn.Semantics, req QueryRequest) (pnn.Request, error) {
+// apiError is a request-validation failure with its stable code and the
+// offending field path.
+type apiError struct {
+	code, field, msg string
+}
+
+func errf(code, field, format string, args ...interface{}) *apiError {
+	return &apiError{code: code, field: field, msg: fmt.Sprintf(format, args...)}
+}
+
+// toRequest validates one wire request and converts it to a batch
+// Request, resolving the legacy alias spellings against the canonical
+// nested fields (canonical wins where both are set).
+func (s *Server) toRequest(sem pnn.Semantics, req QuerySpec) (pnn.Request, *apiError) {
 	switch sem {
 	case pnn.ForAll, pnn.Exists, pnn.Continuous:
 	default:
-		return pnn.Request{}, fmt.Errorf("unknown semantics %q (want %q, %q or %q)",
-			sem, pnn.ForAll, pnn.Exists, pnn.Continuous)
+		return pnn.Request{}, errf(CodeUnknownSemantics, "semantics",
+			"unknown semantics %q (want %q, %q or %q)", sem, pnn.ForAll, pnn.Exists, pnn.Continuous)
+	}
+
+	// Fold the legacy flat reference into the canonical nested one.
+	ref := QueryRef{}
+	if req.Query != nil {
+		ref = *req.Query
+	}
+	if ref.State == nil && ref.Point == nil && ref.Trajectory == nil {
+		ref.State = req.State
+		ref.Trajectory = req.Trajectory
+		if req.X != nil || req.Y != nil {
+			if req.X == nil || req.Y == nil {
+				return pnn.Request{}, errf(CodeInvalidQuery, "query", "x and y must be given together")
+			}
+			ref.Point = &Point{X: *req.X, Y: *req.Y}
+		}
 	}
 	refs := 0
-	if req.State != nil {
+	if ref.State != nil {
 		refs++
 	}
-	if req.X != nil || req.Y != nil {
-		if req.X == nil || req.Y == nil {
-			return pnn.Request{}, errors.New("x and y must be given together")
-		}
+	if ref.Point != nil {
 		refs++
 	}
-	if req.Trajectory != nil {
+	if ref.Trajectory != nil {
 		refs++
 	}
 	if refs != 1 {
-		return pnn.Request{}, errors.New(`give exactly one query reference: "state", "x"/"y", or "trajectory"`)
+		return pnn.Request{}, errf(CodeInvalidQuery, "query",
+			`give exactly one query reference: "state", "point", or "trajectory"`)
 	}
 	var q pnn.Query
 	switch {
-	case req.State != nil:
-		if *req.State < 0 || *req.State >= s.net.NumStates() {
-			return pnn.Request{}, fmt.Errorf("state %d out of range [0, %d)", *req.State, s.net.NumStates())
+	case ref.State != nil:
+		if *ref.State < 0 || *ref.State >= s.net.NumStates() {
+			return pnn.Request{}, errf(CodeInvalidQuery, "query.state",
+				"state %d out of range [0, %d)", *ref.State, s.net.NumStates())
 		}
-		q = pnn.AtState(s.net, *req.State)
-	case req.X != nil:
-		q = pnn.AtPoint(pnn.Point{X: *req.X, Y: *req.Y})
+		q = pnn.AtState(s.net, *ref.State)
+	case ref.Point != nil:
+		q = pnn.AtPoint(pnn.Point{X: ref.Point.X, Y: ref.Point.Y})
 	default:
-		if len(req.Trajectory.Points) == 0 {
-			return pnn.Request{}, errors.New("trajectory needs at least one point")
+		if len(ref.Trajectory.Points) == 0 {
+			return pnn.Request{}, errf(CodeInvalidQuery, "query.trajectory", "trajectory needs at least one point")
 		}
-		pts := make([]pnn.Point, len(req.Trajectory.Points))
-		for i, p := range req.Trajectory.Points {
+		pts := make([]pnn.Point, len(ref.Trajectory.Points))
+		for i, p := range ref.Trajectory.Points {
 			pts[i] = pnn.Point{X: p.X, Y: p.Y}
 		}
-		q = pnn.Moving(req.Trajectory.Start, pts)
+		q = pnn.Moving(ref.Trajectory.Start, pts)
 	}
-	if req.Te < req.Ts {
-		return pnn.Request{}, fmt.Errorf("inverted interval [%d, %d]", req.Ts, req.Te)
+
+	// Fold the legacy flat interval into the canonical window.
+	win := Window{}
+	switch {
+	case req.Window != nil:
+		win = *req.Window
+	case req.Ts != nil || req.Te != nil:
+		if req.Ts != nil {
+			win.Ts = *req.Ts
+		}
+		if req.Te != nil {
+			win.Te = *req.Te
+		}
+	}
+	if win.Te < win.Ts {
+		return pnn.Request{}, errf(CodeInvalidWindow, "window", "inverted interval [%d, %d]", win.Ts, win.Te)
 	}
 	if req.K < 0 {
-		return pnn.Request{}, fmt.Errorf("k must be >= 1, got %d", req.K)
+		return pnn.Request{}, errf(CodeInvalidK, "k", "k must be >= 1, got %d", req.K)
 	}
 	if req.Tau < 0 || req.Tau > 1 {
-		return pnn.Request{}, fmt.Errorf("tau must be in [0, 1], got %v", req.Tau)
+		return pnn.Request{}, errf(CodeInvalidTau, "tau", "tau must be in [0, 1], got %v", req.Tau)
 	}
 	if sem == pnn.Continuous && req.Tau == 0 {
-		return pnn.Request{}, errors.New("pcnn requires tau > 0")
+		return pnn.Request{}, errf(CodeInvalidTau, "tau", "pcnn requires tau > 0")
+	}
+	var conf pnn.Confidence
+	if req.Confidence != nil {
+		conf = pnn.Confidence{
+			Eps:        req.Confidence.Eps,
+			Delta:      req.Confidence.Delta,
+			MaxSamples: req.Confidence.MaxSamples,
+		}
+		if err := conf.Validate(); err != nil {
+			return pnn.Request{}, errf(CodeInvalidConfidence, "confidence", "%v", err)
+		}
+		if conf.MaxSamples > s.cfg.MaxSamplesCap {
+			return pnn.Request{}, errf(CodeInvalidConfidence, "confidence.max_samples",
+				"max_samples %d exceeds the server cap %d", conf.MaxSamples, s.cfg.MaxSamplesCap)
+		}
 	}
 	return pnn.Request{
-		Semantics: sem,
-		Query:     q,
-		Ts:        req.Ts,
-		Te:        req.Te,
-		K:         req.K,
-		Tau:       req.Tau,
-		Seed:      req.Seed,
+		Semantics:  sem,
+		Query:      q,
+		Ts:         win.Ts,
+		Te:         win.Te,
+		K:          req.K,
+		Tau:        req.Tau,
+		Seed:       req.Seed,
+		Confidence: conf,
 	}, nil
 }
 
 func toJSON(resp pnn.Response) QueryResponse {
 	out := QueryResponse{
+		APIVersion: APIVersion,
 		Stats: StatsJSON{
 			Candidates:    resp.Stats.Candidates,
 			Influencers:   resp.Stats.Influencers,
 			Worlds:        resp.Stats.Worlds,
 			SamplerBuilds: resp.Stats.SamplerBuilds,
 		},
+		Sampling: SamplingJSON{
+			SamplesDrawn: resp.Stats.Worlds,
+			ErrorBound:   resp.Stats.ErrorBound,
+			EarlyStopped: resp.Stats.EarlyStopped,
+		},
 	}
 	if resp.Err != nil {
-		out.Error = resp.Err.Error()
+		out.Error = &ErrorBody{Code: CodeInternal, Message: resp.Err.Error()}
 		return out
 	}
 	for _, r := range resp.Results {
@@ -534,12 +736,26 @@ func decodeBody(r *http.Request, dst interface{}) error {
 	return nil
 }
 
-type errorJSON struct {
-	Error string `json:"error"`
+// ErrorBody is the payload of the structured error envelope: a stable
+// machine-readable code, a human-readable message, and (when the error
+// is attributable) the offending request field.
+type ErrorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	Field   string `json:"field,omitempty"`
 }
 
-func httpError(w http.ResponseWriter, code int, msg string) {
-	writeJSON(w, code, errorJSON{Error: msg})
+// ErrorEnvelope is the body of every error response.
+type ErrorEnvelope struct {
+	Error ErrorBody `json:"error"`
+}
+
+func httpError(w http.ResponseWriter, status int, code, field, msg string) {
+	writeJSON(w, status, ErrorEnvelope{Error: ErrorBody{Code: code, Message: msg, Field: field}})
+}
+
+func writeErr(w http.ResponseWriter, status int, code, field string, err error) {
+	httpError(w, status, code, field, err.Error())
 }
 
 func writeJSON(w http.ResponseWriter, code int, v interface{}) {

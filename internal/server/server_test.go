@@ -279,41 +279,67 @@ func TestBatchEndpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	compareResults(t, got.Responses[1].Results, wantEX)
-	if got.Responses[2].Error != "" {
-		t.Errorf("cnn item failed: %s", got.Responses[2].Error)
+	if got.Responses[2].Error != nil {
+		t.Errorf("cnn item failed: %+v", got.Responses[2].Error)
+	}
+	for i, r := range got.Responses {
+		if r.APIVersion != APIVersion {
+			t.Errorf("item %d api_version = %q, want %q", i, r.APIVersion, APIVersion)
+		}
+		if r.Sampling.SamplesDrawn != r.Stats.Worlds || r.Sampling.ErrorBound <= 0 {
+			t.Errorf("item %d sampling = %+v (stats %+v)", i, r.Sampling, r.Stats)
+		}
 	}
 }
 
+// TestValidation is the table-driven contract test of the error
+// envelope: every rejection carries {"error": {code, message, field}}
+// with the documented stable code, across every endpoint.
 func TestValidation(t *testing.T) {
 	_, _, ts := testServer(t)
 	cases := []struct {
 		name, path, body string
+		status           int
+		code             string
 	}{
-		{"no-reference", "/v1/forallnn", `{"ts": 1, "te": 5, "tau": 0.1}`},
-		{"two-references", "/v1/forallnn", `{"state": 3, "x": 0.5, "y": 0.5, "ts": 1, "te": 5, "tau": 0.1}`},
-		{"x-without-y", "/v1/forallnn", `{"x": 0.5, "ts": 1, "te": 5, "tau": 0.1}`},
-		{"state-out-of-range", "/v1/forallnn", `{"state": 9999, "ts": 1, "te": 5, "tau": 0.1}`},
-		{"inverted-interval", "/v1/forallnn", `{"state": 3, "ts": 5, "te": 1, "tau": 0.1}`},
-		{"tau-out-of-range", "/v1/forallnn", `{"state": 3, "ts": 1, "te": 5, "tau": 1.5}`},
-		{"negative-k", "/v1/forallnn", `{"state": 3, "ts": 1, "te": 5, "tau": 0.1, "k": -2}`},
-		{"pcnn-zero-tau", "/v1/pcnn", `{"state": 3, "ts": 1, "te": 5, "tau": 0}`},
-		{"empty-trajectory", "/v1/existsnn", `{"trajectory": {"start": 0, "points": []}, "ts": 1, "te": 5}`},
-		{"malformed-json", "/v1/forallnn", `{"state": `},
-		{"unknown-field", "/v1/forallnn", `{"state": 3, "ts": 1, "te": 5, "tau": 0.1, "bogus": true}`},
-		{"empty-batch", "/v1/batch", `{"requests": []}`},
-		{"batch-bad-semantics", "/v1/batch", `{"requests": [{"semantics": "sometimes", "state": 3, "ts": 1, "te": 5}]}`},
+		{"no-reference", "/v1/forallnn", `{"ts": 1, "te": 5, "tau": 0.1}`, 400, CodeInvalidQuery},
+		{"two-references", "/v1/forallnn", `{"state": 3, "x": 0.5, "y": 0.5, "ts": 1, "te": 5, "tau": 0.1}`, 400, CodeInvalidQuery},
+		{"x-without-y", "/v1/forallnn", `{"x": 0.5, "ts": 1, "te": 5, "tau": 0.1}`, 400, CodeInvalidQuery},
+		{"state-out-of-range", "/v1/forallnn", `{"state": 9999, "ts": 1, "te": 5, "tau": 0.1}`, 400, CodeInvalidQuery},
+		{"inverted-interval", "/v1/forallnn", `{"state": 3, "ts": 5, "te": 1, "tau": 0.1}`, 400, CodeInvalidWindow},
+		{"inverted-window-canonical", "/v1/forallnn", `{"query": {"state": 3}, "window": {"ts": 5, "te": 1}, "tau": 0.1}`, 400, CodeInvalidWindow},
+		{"tau-out-of-range", "/v1/forallnn", `{"state": 3, "ts": 1, "te": 5, "tau": 1.5}`, 400, CodeInvalidTau},
+		{"negative-k", "/v1/forallnn", `{"state": 3, "ts": 1, "te": 5, "tau": 0.1, "k": -2}`, 400, CodeInvalidK},
+		{"pcnn-zero-tau", "/v1/pcnn", `{"state": 3, "ts": 1, "te": 5, "tau": 0}`, 400, CodeInvalidTau},
+		{"empty-trajectory", "/v1/existsnn", `{"trajectory": {"start": 0, "points": []}, "ts": 1, "te": 5}`, 400, CodeInvalidQuery},
+		{"malformed-json", "/v1/forallnn", `{"state": `, 400, CodeInvalidBody},
+		{"unknown-field", "/v1/forallnn", `{"state": 3, "ts": 1, "te": 5, "tau": 0.1, "bogus": true}`, 400, CodeInvalidBody},
+		{"bad-confidence-eps", "/v1/forallnn", `{"state": 3, "ts": 1, "te": 5, "tau": 0.1, "confidence": {"eps": 1.5}}`, 400, CodeInvalidConfidence},
+		{"bad-confidence-delta", "/v1/forallnn", `{"state": 3, "ts": 1, "te": 5, "tau": 0.1, "confidence": {"eps": 0.05, "delta": 1}}`, 400, CodeInvalidConfidence},
+		{"confidence-over-cap", "/v1/forallnn", `{"state": 3, "ts": 1, "te": 5, "tau": 0.1, "confidence": {"eps": 0.05, "max_samples": 99999999}}`, 400, CodeInvalidConfidence},
+		{"empty-batch", "/v1/batch", `{"requests": []}`, 400, CodeEmptyBatch},
+		{"batch-bad-semantics", "/v1/batch", `{"requests": [{"semantics": "sometimes", "state": 3, "ts": 1, "te": 5}]}`, 400, CodeUnknownSemantics},
+		{"batch-bad-item", "/v1/batch", `{"requests": [{"semantics": "exists", "state": 3, "ts": 5, "te": 1}]}`, 400, CodeInvalidWindow},
+		{"ingest-empty-observations", "/v1/objects", `{"id": 300, "observations": []}`, 400, CodeInvalidObservation},
+		{"ingest-duplicate-id", "/v1/objects", `{"id": 100, "observations": [{"t": 0, "state": 1}]}`, 409, CodeDuplicateObject},
+		{"ingest-unknown-object", "/v1/observe", `{"id": 999, "observations": [{"t": 50, "state": 1}]}`, 409, CodeUnknownObject},
+		{"ingest-impossible-motion", "/v1/observe", `{"id": 100, "observations": [{"t": 100, "state": 0}, {"t": 101, "state": 63}]}`, 409, CodeRejectedWrite},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			code, raw := post(t, ts.URL+tc.path, tc.body)
-			if code != http.StatusBadRequest {
-				t.Fatalf("status = %d, want 400 (%s)", code, raw)
+			if code != tc.status {
+				t.Fatalf("status = %d, want %d (%s)", code, tc.status, raw)
 			}
-			var e struct {
-				Error string `json:"error"`
+			var e ErrorEnvelope
+			if err := json.Unmarshal(raw, &e); err != nil {
+				t.Fatalf("error envelope undecodable: %s", raw)
 			}
-			if err := json.Unmarshal(raw, &e); err != nil || e.Error == "" {
-				t.Errorf("error body missing: %s", raw)
+			if e.Error.Code != tc.code {
+				t.Errorf("error.code = %q, want %q (%s)", e.Error.Code, tc.code, raw)
+			}
+			if e.Error.Message == "" {
+				t.Errorf("error.message empty: %s", raw)
 			}
 		})
 	}
@@ -324,6 +350,128 @@ func TestValidation(t *testing.T) {
 		if resp.StatusCode != http.StatusMethodNotAllowed {
 			t.Errorf("GET /v1/forallnn = %d, want 405", resp.StatusCode)
 		}
+	}
+}
+
+// TestQuerySpecAliases pins that the canonical nested spelling and the
+// legacy flat spelling of the same request produce byte-identical
+// response bodies, for each endpoint and for batch items.
+func TestQuerySpecAliases(t *testing.T) {
+	net, _, ts := testServer(t)
+	center := net.NearestState(pnn.Point{X: 0.5, Y: 0.5})
+	pairs := []struct {
+		name, path, legacy, canonical string
+	}{
+		{
+			"state-forall", "/v1/forallnn",
+			fmt.Sprintf(`{"state": %d, "ts": 1, "te": 6, "tau": 0.05, "seed": 42}`, center),
+			fmt.Sprintf(`{"query": {"state": %d}, "window": {"ts": 1, "te": 6}, "tau": 0.05, "seed": 42}`, center),
+		},
+		{
+			"point-exists", "/v1/existsnn",
+			`{"x": 0.5, "y": 0.5, "ts": 1, "te": 5, "tau": 0.05, "seed": 7, "k": 2}`,
+			`{"query": {"point": {"x": 0.5, "y": 0.5}}, "window": {"ts": 1, "te": 5}, "tau": 0.05, "seed": 7, "k": 2}`,
+		},
+		{
+			"trajectory-pcnn", "/v1/pcnn",
+			`{"trajectory": {"start": 1, "points": [{"x": 0.4, "y": 0.5}, {"x": 0.5, "y": 0.5}]}, "ts": 1, "te": 4, "tau": 0.3, "seed": 3}`,
+			`{"query": {"trajectory": {"start": 1, "points": [{"x": 0.4, "y": 0.5}, {"x": 0.5, "y": 0.5}]}}, "window": {"ts": 1, "te": 4}, "tau": 0.3, "seed": 3}`,
+		},
+		{
+			"confidence-forall", "/v1/forallnn",
+			fmt.Sprintf(`{"state": %d, "ts": 1, "te": 6, "tau": 0.3, "seed": 42, "confidence": {"eps": 0.05}}`, center),
+			fmt.Sprintf(`{"query": {"state": %d}, "window": {"ts": 1, "te": 6}, "tau": 0.3, "seed": 42, "confidence": {"eps": 0.05}}`, center),
+		},
+	}
+	for _, tc := range pairs {
+		t.Run(tc.name, func(t *testing.T) {
+			post(t, ts.URL+tc.path, tc.legacy) // warm the sampler cache so stats match
+			lCode, lRaw := post(t, ts.URL+tc.path, tc.legacy)
+			cCode, cRaw := post(t, ts.URL+tc.path, tc.canonical)
+			if lCode != http.StatusOK || cCode != http.StatusOK {
+				t.Fatalf("legacy = %d (%s), canonical = %d (%s)", lCode, lRaw, cCode, cRaw)
+			}
+			if !bytes.Equal(lRaw, cRaw) {
+				t.Errorf("spellings diverge:\nlegacy:    %s\ncanonical: %s", lRaw, cRaw)
+			}
+		})
+	}
+	// Both spellings work identically inside batch items too.
+	batch := func(item string) []byte {
+		code, raw := post(t, ts.URL+"/v1/batch", `{"requests": [`+item+`]}`)
+		if code != http.StatusOK {
+			t.Fatalf("batch = %d: %s", code, raw)
+		}
+		return raw
+	}
+	batch(fmt.Sprintf(`{"semantics": "exists", "state": %d, "ts": 1, "te": 6, "tau": 0.05, "seed": 5}`, center))
+	legacy := batch(fmt.Sprintf(`{"semantics": "exists", "state": %d, "ts": 1, "te": 6, "tau": 0.05, "seed": 5}`, center))
+	canon := batch(fmt.Sprintf(`{"semantics": "exists", "query": {"state": %d}, "window": {"ts": 1, "te": 6}, "tau": 0.05, "seed": 5}`, center))
+	// batch_stats.adapt_ms is wall-clock; compare only the answers.
+	var lb, cb BatchResponse
+	if err := json.Unmarshal(legacy, &lb); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(canon, &cb); err != nil {
+		t.Fatal(err)
+	}
+	lr, _ := json.Marshal(lb.Responses)
+	cr, _ := json.Marshal(cb.Responses)
+	if !bytes.Equal(lr, cr) {
+		t.Errorf("batch spellings diverge:\nlegacy:    %s\ncanonical: %s", lr, cr)
+	}
+}
+
+// TestConfidenceEndToEnd drives an adaptive query over HTTP and checks
+// the sampling block reports an early stop within the advertised cap,
+// and that /healthz advertises the confidence range.
+func TestConfidenceEndToEnd(t *testing.T) {
+	net, proc, ts := testServer(t)
+	center := net.NearestState(pnn.Point{X: 0.5, Y: 0.5})
+
+	code, raw := post(t, ts.URL+"/v1/forallnn", fmt.Sprintf(
+		`{"state": %d, "ts": 1, "te": 6, "tau": 0.3, "seed": 42, "confidence": {"eps": 0.05, "max_samples": 2000}}`, center))
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, raw)
+	}
+	var got QueryResponse
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.APIVersion != APIVersion {
+		t.Errorf("api_version = %q, want %q", got.APIVersion, APIVersion)
+	}
+	if got.Sampling.SamplesDrawn <= 0 || got.Sampling.SamplesDrawn > 2000 {
+		t.Errorf("samples_drawn = %d, want in (0, 2000]", got.Sampling.SamplesDrawn)
+	}
+	if got.Sampling.ErrorBound <= 0 {
+		t.Errorf("error_bound = %v, want > 0", got.Sampling.ErrorBound)
+	}
+	if got.Sampling.SamplesDrawn != got.Stats.Worlds {
+		t.Errorf("samples_drawn %d != stats.worlds %d", got.Sampling.SamplesDrawn, got.Stats.Worlds)
+	}
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h HealthResponse
+	err = json.NewDecoder(resp.Body).Decode(&h)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.APIVersion != APIVersion {
+		t.Errorf("healthz api_version = %q, want %q", h.APIVersion, APIVersion)
+	}
+	if h.Confidence.DefaultBudget != proc.SampleBudget() {
+		t.Errorf("healthz default_budget = %d, want %d", h.Confidence.DefaultBudget, proc.SampleBudget())
+	}
+	if h.Confidence.MaxSamplesCap != 10*proc.SampleBudget() {
+		t.Errorf("healthz max_samples_cap = %d, want %d", h.Confidence.MaxSamplesCap, 10*proc.SampleBudget())
+	}
+	if h.Confidence.DefaultDelta != 0.05 || h.Confidence.EpsMin != 0 || h.Confidence.EpsMax != 1 {
+		t.Errorf("healthz confidence range = %+v", h.Confidence)
 	}
 }
 

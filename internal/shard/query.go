@@ -52,12 +52,14 @@ type exec struct {
 	ts, te  int
 	k       int
 	seed    int64
+	conf    query.Confidence
 	samples int
 	workers int
 
 	entries []entry
 	byShard [][]int // entry indices per shard
 	cands   []int   // entry indices that survived the ∀-filter
+	drawn   int     // worlds actually drawn by execute; probabilities normalize by this
 	stats   query.Stats
 }
 
@@ -70,19 +72,21 @@ type exec struct {
 // can neither win the NN predicate themselves nor flip it for anyone
 // else — they surface as zero-probability rows that the tau/p>0 filter
 // drops, keeping answers byte-identical across shard counts.
-func (s *Snap) scatter(q query.Query, ts, te, k int, seed int64) (*exec, error) {
+func (s *Snap) scatter(spec GroupSpec) (*exec, error) {
 	begin := time.Now()
 	x := &exec{
 		snap:    s,
-		q:       q,
-		ts:      ts,
-		te:      te,
-		k:       k,
-		seed:    seed,
+		q:       spec.Q,
+		ts:      spec.Ts,
+		te:      spec.Te,
+		k:       spec.K,
+		seed:    spec.Seed,
+		conf:    spec.Conf,
 		samples: s.Parts[0].Engine.SampleCount(),
 		workers: s.Parts[0].Engine.Parallelism(),
 		byShard: make([][]int, len(s.Parts)),
 	}
+	q, ts, te, k := x.q, x.ts, x.te, x.k
 	// The scatter phase already runs one goroutine per shard; giving the
 	// gather-phase world evaluation the same fan-out keeps the whole
 	// pipeline at one concurrency budget, so a sharded set speeds up
@@ -153,7 +157,6 @@ func (s *Snap) scatter(q query.Query, ts, te, k int, seed int64) (*exec, error) 
 	}
 	x.stats.Candidates = len(x.cands)
 	x.stats.Influencers = len(x.entries)
-	x.stats.Worlds = x.samples
 	x.stats.AdaptTime = time.Since(begin)
 	return x, nil
 }
@@ -178,13 +181,22 @@ func (x *exec) execute(evs ...query.Evaluator) error {
 		Samplers:   smps,
 		Samples:    x.samples,
 		Workers:    x.workers,
+		Confidence: x.conf,
 		RowRngs:    rngs,
 		FillGroups: x.byShard,
 	}
 	for _, ev := range evs {
 		pl.Attach(ev)
 	}
-	return x.snap.Parts[0].Engine.Execute(pl)
+	es, err := x.snap.Parts[0].Engine.Execute(pl)
+	if err != nil {
+		return err
+	}
+	x.drawn = es.Worlds
+	x.stats.Worlds = es.Worlds
+	x.stats.ErrorBound = es.ErrorBound
+	x.stats.EarlyStopped = es.EarlyStopped
+	return nil
 }
 
 // idOrder returns the given entry indices sorted by object ID — the
@@ -205,7 +217,7 @@ func (x *exec) countResults(targets, counts []int, tau float64) []Result {
 	}
 	var out []Result
 	for _, ei := range x.idOrder(targets) {
-		p := float64(counts[targetOf[ei]]) / float64(x.samples)
+		p := float64(counts[targetOf[ei]]) / float64(x.drawn)
 		if p >= tau && p > 0 {
 			out = append(out, Result{ID: x.entries[ei].id, Prob: p})
 		}
@@ -282,6 +294,20 @@ type GroupAnswer struct {
 	Err       error
 }
 
+// GroupSpec is the shared part of a coalesced world-sharing group: the
+// query reference, window, k, base seed, and the adaptive sample-budget
+// policy. Everything in the spec is part of the group's coalescing key
+// — two requests may share worlds only when their specs are identical,
+// because the drawn worlds (and, under a policy, the early-stop point)
+// are a pure function of the spec and the snapshot.
+type GroupSpec struct {
+	Q      query.Query
+	Ts, Te int
+	K      int
+	Seed   int64
+	Conf   query.Confidence
+}
+
 // RunShared answers every item of a shared-world group over ONE set of
 // sampled possible worlds: the snapshot is pruned once for the union of
 // the members' targets, samplers are adapted once, each world chunk is
@@ -290,20 +316,31 @@ type GroupAnswer struct {
 // pnn.Processor.RunBatch's world sharing; the single-query paths are
 // the one-member special case.
 //
-// Determinism: answers depend only on (snapshot, q, ts, te, k, seed,
-// the item's own Op and Tau) — adding or removing other members of the
-// group changes nothing, because the worlds are a function of the
-// influencer set and seed alone.
-func (s *Snap) RunShared(q query.Query, ts, te, k int, seed int64, items []GroupItem) ([]GroupAnswer, query.Stats, error) {
+// Determinism: answers depend only on (snapshot, spec, the item's own
+// Op and Tau) — adding or removing other members of the group changes
+// nothing, because the worlds are a function of the influencer set and
+// seed alone. Under an enabled spec.Conf the group additionally makes
+// ONE shared early-stop decision: sampling continues until every
+// member's predicate is decided (every Op's evaluator separates each
+// member tau from its estimates, see query.CountEvaluator.SetBound), so
+// a member may see more worlds inside a group than it would alone —
+// never fewer, and extra worlds only tighten its estimate. The stop
+// point is a deterministic function of (snapshot, spec, the set of
+// member Ops and Taus).
+func (s *Snap) RunShared(spec GroupSpec, items []GroupItem) ([]GroupAnswer, query.Stats, error) {
 	for _, it := range items {
 		if it.Op == OpCNN && it.Tau <= 0 {
 			return nil, query.Stats{}, fmt.Errorf("shard: PCNN requires tau > 0, got %v", it.Tau)
 		}
 	}
-	x, err := s.scatter(q, ts, te, k, seed)
+	if err := spec.Conf.Validate(); err != nil {
+		return nil, query.Stats{}, err
+	}
+	x, err := s.scatter(spec)
 	if err != nil {
 		return nil, query.Stats{}, err
 	}
+	ts, te, k := spec.Ts, spec.Te, spec.K
 	answers := make([]GroupAnswer, len(items))
 	if len(x.entries) == 0 {
 		return answers, x.stats, nil
@@ -312,10 +349,22 @@ func (s *Snap) RunShared(q query.Query, ts, te, k int, seed int64, items []Group
 
 	// Attach at most one evaluator per predicate shape — members with
 	// the same Op share counts/masks and differ only in their tau
-	// filter.
+	// filter. Under a confidence policy each evaluator's bound must
+	// separate EVERY member tau of its Op, so the taus are collected
+	// per shape and armed together; the group stops only when all
+	// evaluators (hence all members) are decided.
 	allRows := make([]int, len(x.entries))
 	for i := range allRows {
 		allRows[i] = i
+	}
+	var faTaus, exTaus []float64
+	for _, it := range items {
+		switch it.Op {
+		case OpForAll:
+			faTaus = append(faTaus, it.Tau)
+		case OpExists:
+			exTaus = append(exTaus, it.Tau)
+		}
 	}
 	var faEv, exEv *query.CountEvaluator
 	var maskEv *query.MaskEvaluator
@@ -323,20 +372,28 @@ func (s *Snap) RunShared(q query.Query, ts, te, k int, seed int64, items []Group
 	for _, it := range items {
 		switch it.Op {
 		case OpForAll:
-			// For ∀ semantics only the merged candidates can answer; an
-			// empty candidate set needs no sampling for this member.
-			if faEv == nil && len(x.cands) > 0 {
+			// For ∀ semantics only the merged candidates can answer; with
+			// a fixed budget an empty candidate set needs no sampling for
+			// this member. Under a confidence policy the evaluator is
+			// attached even then: per-shard pruning supersets mean another
+			// layout may carry extra (always-zero) candidate rows, and
+			// only the always-attached evaluator's virtual-zero-row rule
+			// keeps the group's stop decision identical across layouts.
+			if faEv == nil && (len(x.cands) > 0 || spec.Conf.Enabled()) {
 				faEv = query.NewCountEvaluator(k, true, x.cands)
+				faEv.SetBound(spec.Conf, faTaus...)
 				evs = append(evs, faEv)
 			}
 		case OpExists:
 			if exEv == nil {
 				exEv = query.NewCountEvaluator(k, false, allRows)
+				exEv.SetBound(spec.Conf, exTaus...)
 				evs = append(evs, exEv)
 			}
 		case OpCNN:
 			if maskEv == nil {
-				maskEv = query.NewMaskEvaluator(k, len(x.entries), te-ts+1, x.samples)
+				maskEv = query.NewMaskEvaluator(k, len(x.entries), te-ts+1, spec.Conf.Budget(x.samples))
+				maskEv.SetBound(spec.Conf)
 				evs = append(evs, maskEv)
 			}
 		}
@@ -375,7 +432,9 @@ func (s *Snap) RunShared(q query.Query, ts, te, k int, seed int64, items []Group
 			m, hit := minedByTau[it.Tau]
 			if !hit {
 				var lattice int
-				m.ivs, lattice, m.err = x.mineIntervals(maskEv.Masks(), it.Tau)
+				// Only the worlds actually drawn were written; mining the
+				// sliced prefix normalizes frequencies by drawn worlds.
+				m.ivs, lattice, m.err = x.mineIntervals(maskEv.Masks()[:x.drawn], it.Tau)
 				x.stats.LatticeSets += lattice
 				minedByTau[it.Tau] = m
 			}
@@ -406,21 +465,32 @@ func (s *Snap) RunShared(q query.Query, ts, te, k int, seed int64, items []Group
 // neighbors of q at every t in the interval is at least tau, sorted by
 // object ID.
 func (s *Snap) ForAllKNN(q query.Query, ts, te, k int, tau float64, seed int64) ([]Result, query.Stats, error) {
-	return s.nnQuery(q, ts, te, k, tau, seed, true)
+	return s.nnQuery(GroupSpec{Q: q, Ts: ts, Te: te, K: k, Seed: seed}, tau, true)
 }
 
 // ExistsKNN answers P∃kNNQ(q, D, [ts..te], tau) over the composite
 // snapshot.
 func (s *Snap) ExistsKNN(q query.Query, ts, te, k int, tau float64, seed int64) ([]Result, query.Stats, error) {
-	return s.nnQuery(q, ts, te, k, tau, seed, false)
+	return s.nnQuery(GroupSpec{Q: q, Ts: ts, Te: te, K: k, Seed: seed}, tau, false)
 }
 
-func (s *Snap) nnQuery(q query.Query, ts, te, k int, tau float64, seed int64, forall bool) ([]Result, query.Stats, error) {
+// ForAllKNNSpec is ForAllKNN taking the full spec, including the
+// adaptive sample-budget policy.
+func (s *Snap) ForAllKNNSpec(spec GroupSpec, tau float64) ([]Result, query.Stats, error) {
+	return s.nnQuery(spec, tau, true)
+}
+
+// ExistsKNNSpec is ExistsKNN taking the full spec.
+func (s *Snap) ExistsKNNSpec(spec GroupSpec, tau float64) ([]Result, query.Stats, error) {
+	return s.nnQuery(spec, tau, false)
+}
+
+func (s *Snap) nnQuery(spec GroupSpec, tau float64, forall bool) ([]Result, query.Stats, error) {
 	op := OpExists
 	if forall {
 		op = OpForAll
 	}
-	ans, st, err := s.RunShared(q, ts, te, k, seed, []GroupItem{{Op: op, Tau: tau}})
+	ans, st, err := s.RunShared(spec, []GroupItem{{Op: op, Tau: tau}})
 	if err != nil {
 		return nil, st, err
 	}
@@ -431,7 +501,13 @@ func (s *Snap) nnQuery(q query.Query, ts, te, k int, tau float64, seed int64, fo
 // per object the maximal timestamp sets on which it stays among the k
 // likely nearest, sorted by (object ID, times).
 func (s *Snap) CNNK(q query.Query, ts, te, k int, tau float64, seed int64) ([]IntervalResult, query.Stats, error) {
-	ans, st, err := s.RunShared(q, ts, te, k, seed, []GroupItem{{Op: OpCNN, Tau: tau}})
+	return s.CNNKSpec(GroupSpec{Q: q, Ts: ts, Te: te, K: k, Seed: seed}, tau)
+}
+
+// CNNKSpec is CNNK taking the full spec, including the adaptive
+// sample-budget policy.
+func (s *Snap) CNNKSpec(spec GroupSpec, tau float64) ([]IntervalResult, query.Stats, error) {
+	ans, st, err := s.RunShared(spec, []GroupItem{{Op: OpCNN, Tau: tau}})
 	if err != nil {
 		return nil, st, err
 	}

@@ -17,6 +17,7 @@
 package store
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -25,6 +26,18 @@ import (
 	"pnn/internal/space"
 	"pnn/internal/uncertain"
 	"pnn/internal/ustree"
+)
+
+// Sentinel write-path errors, exposed so API layers can map rejection
+// classes to stable machine-readable codes with errors.Is instead of
+// matching message strings.
+var (
+	// ErrDuplicateID rejects an AddObject (or build) whose object ID is
+	// already indexed.
+	ErrDuplicateID = errors.New("duplicate object id")
+	// ErrUnknownID rejects an Observe for an object ID the snapshot does
+	// not index.
+	ErrUnknownID = errors.New("unknown object id")
 )
 
 // Snapshot is one immutable version of the database. All fields are
@@ -88,7 +101,7 @@ func (s *Store) init(tree *ustree.Tree, samples int) error {
 	s.byID = make(map[int]int, tree.Len())
 	for i, o := range tree.Objects() {
 		if _, dup := s.byID[o.ID]; dup {
-			return fmt.Errorf("store: duplicate object id %d", o.ID)
+			return fmt.Errorf("store: %w %d", ErrDuplicateID, o.ID)
 		}
 		ids[i] = o.ID
 		s.byID[o.ID] = i
@@ -127,7 +140,7 @@ func (s *Store) AddObject(o *uncertain.Object) (*Snapshot, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, dup := s.byID[o.ID]; dup {
-		return nil, fmt.Errorf("store: duplicate object id %d", o.ID)
+		return nil, fmt.Errorf("store: %w %d", ErrDuplicateID, o.ID)
 	}
 	cur := s.cur.Load()
 	tree := cur.Engine.Tree().Clone()
@@ -161,7 +174,7 @@ func (s *Store) Observe(id int, obs []uncertain.Observation) (*Snapshot, error) 
 	defer s.mu.Unlock()
 	oi, ok := s.byID[id]
 	if !ok {
-		return nil, fmt.Errorf("store: unknown object id %d", id)
+		return nil, fmt.Errorf("store: %w %d", ErrUnknownID, id)
 	}
 	cur := s.cur.Load()
 	old := cur.Engine.Tree().Objects()[oi]

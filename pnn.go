@@ -46,7 +46,18 @@ import (
 	"pnn/internal/query"
 	"pnn/internal/shard"
 	"pnn/internal/space"
+	"pnn/internal/store"
 	"pnn/internal/uncertain"
+)
+
+// Write-rejection sentinels, re-exported from the store so API layers
+// can classify ingest failures with errors.Is instead of matching
+// message strings.
+var (
+	// ErrDuplicateID rejects an AddObject whose ID is already indexed.
+	ErrDuplicateID = store.ErrDuplicateID
+	// ErrUnknownID rejects an Observe for an unindexed object ID.
+	ErrUnknownID = store.ErrUnknownID
 )
 
 // Point is a location in the plane.
@@ -354,6 +365,17 @@ func Moving(start int, pts []Point) Query {
 	return query.TrajectoryQuery(start, conv)
 }
 
+// Confidence is the adaptive sample-budget policy of a query: instead
+// of drawing the processor's fixed number of possible worlds, sampling
+// stops as soon as every estimate separates from the threshold tau by
+// more than the Hoeffding error bound (or the bound itself reaches
+// Eps), escalating up to MaxSamples worlds while the answer is
+// undecided. The stop point is deterministic — a pure function of
+// (snapshot, seed, policy), never of worker count or scheduling. The
+// zero value disables the policy and keeps the fixed budget. See
+// query.Confidence for field semantics.
+type Confidence = query.Confidence
+
 // Result is one probabilistic query answer.
 type Result struct {
 	ObjectID int
@@ -371,10 +393,12 @@ type IntervalResult struct {
 
 // Stats summarizes the work done by one query.
 type Stats struct {
-	Candidates    int // objects surviving the ∀ filter
-	Influencers   int // objects that may be NN at some time
-	Worlds        int // sampled possible worlds
-	SamplerBuilds int // models adapted by this query; 0 once the cache is warm
+	Candidates    int     // objects surviving the ∀ filter
+	Influencers   int     // objects that may be NN at some time
+	Worlds        int     // possible worlds actually drawn (samples_drawn)
+	ErrorBound    float64 // Hoeffding ε those worlds guarantee; 0 when exact
+	EarlyStopped  bool    // an adaptive query decided before its budget cap
+	SamplerBuilds int     // models adapted by this query; 0 once the cache is warm
 }
 
 // CacheStats reports the processor's cumulative sampler-cache traffic:
@@ -422,18 +446,40 @@ func (p *Processor) ContinuousKNN(q Query, ts, te, k int, tau float64, seed int6
 	return snapContinuousKNN(p.set.Snapshot(), q, ts, te, k, tau, seed)
 }
 
+// Run answers one Request — any semantics, with the full knob set
+// including the adaptive Confidence policy — against the current
+// snapshot. It is the single-query form of RunBatch: the same
+// validation, the same determinism contract (the answer depends only on
+// the snapshot and the request's own fields), with Response.Stats
+// reporting the worlds actually drawn and the error bound they
+// guarantee. Unlike the batch path, SamplerBuilds is reported on the
+// response itself.
+func (p *Processor) Run(req Request) Response {
+	resp, raw := runOne(p.set.Snapshot(), req)
+	resp.Stats.SamplerBuilds = raw.SamplerBuilds
+	return resp
+}
+
+// SampleBudget returns the fixed per-query sample budget the processor
+// was built with — the world count every query draws unless a
+// Confidence policy stops it earlier or escalates past it via
+// MaxSamples.
+func (p *Processor) SampleBudget() int {
+	return p.set.Snapshot().Parts[0].Engine.SampleCount()
+}
+
 func snapForAllKNN(snap *shard.Snap, q Query, ts, te, k int, tau float64, seed int64) ([]Result, Stats, error) {
-	res, st, err := rawForAllKNN(snap, q, ts, te, k, tau, seed)
+	res, st, err := rawForAllKNN(snap, shard.GroupSpec{Q: q, Ts: ts, Te: te, K: k, Seed: seed}, tau)
 	return res, convStats(st), err
 }
 
 func snapExistsKNN(snap *shard.Snap, q Query, ts, te, k int, tau float64, seed int64) ([]Result, Stats, error) {
-	res, st, err := rawExistsKNN(snap, q, ts, te, k, tau, seed)
+	res, st, err := rawExistsKNN(snap, shard.GroupSpec{Q: q, Ts: ts, Te: te, K: k, Seed: seed}, tau)
 	return res, convStats(st), err
 }
 
 func snapContinuousKNN(snap *shard.Snap, q Query, ts, te, k int, tau float64, seed int64) ([]IntervalResult, Stats, error) {
-	res, st, err := rawContinuousKNN(snap, q, ts, te, k, tau, seed)
+	res, st, err := rawContinuousKNN(snap, shard.GroupSpec{Q: q, Ts: ts, Te: te, K: k, Seed: seed}, tau)
 	return res, convStats(st), err
 }
 
@@ -450,6 +496,8 @@ func convStats(st query.Stats) Stats {
 		Candidates:    st.Candidates,
 		Influencers:   st.Influencers,
 		Worlds:        st.Worlds,
+		ErrorBound:    st.ErrorBound,
+		EarlyStopped:  st.EarlyStopped,
 		SamplerBuilds: st.SamplerBuilds,
 	}
 }
