@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math/rand"
 	"testing"
+	"time"
 
 	"pnn/internal/datagen"
 	"pnn/internal/exp"
@@ -384,4 +385,65 @@ func BenchmarkAblationWindowSampling(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkSubscriptionFanout measures the write path under a large
+// standing-query registry: 1000 subscriptions spread over the space,
+// one object moving through it. Each op is one Observe plus the full
+// drain of the re-evaluations it triggers, so ns/op is the end-to-end
+// per-update cost and touched/op shows how selective the inverted
+// influence index is (full fan-out would be 1000 evaluations per op).
+func BenchmarkSubscriptionFanout(b *testing.B) {
+	net, db, err := SyntheticDataset(2500, 8, 600, 100, 100, 5, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	proc, err := db.Build(150)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := proc.PrepareAll(); err != nil {
+		b.Fatal(err)
+	}
+	const nSubs = 1000
+	for i := 0; i < nSubs; i++ {
+		req := Request{
+			Semantics: Exists, Query: AtState(net, RandomQueryState(net, int64(i))),
+			Ts: 40, Te: 47, Tau: 0.3, Seed: int64(i),
+		}
+		if _, err := proc.Subscribe(req, Delivery{QueueCap: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if !proc.WaitSubscriptionsIdle(120 * time.Second) {
+		b.Fatal("initial evaluations did not quiesce")
+	}
+	// The moving object walks the subscription query states, parking at
+	// each for one tic — every op lands inside some influence regions.
+	const moverID = 900001
+	if _, err := proc.AddObject(moverID, []Observation{{T: 40, State: RandomQueryState(net, 0)}}); err != nil {
+		b.Fatal(err)
+	}
+	if !proc.WaitSubscriptionsIdle(120 * time.Second) {
+		b.Fatal("mover registration did not quiesce")
+	}
+	base := proc.SubscriptionStats()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Staying put is always chain-consistent; the influence sweep
+		// still runs against every registered subscription.
+		if _, err := proc.Observe(moverID, Observation{T: 41 + i, State: RandomQueryState(net, 0)}); err != nil {
+			b.Fatal(err)
+		}
+		if !proc.WaitSubscriptionsIdle(120 * time.Second) {
+			b.Fatal("re-evaluations did not quiesce")
+		}
+	}
+	b.StopTimer()
+	st := proc.SubscriptionStats()
+	ops := float64(b.N)
+	b.ReportMetric(float64(st.Evaluations-base.Evaluations)/ops, "touched/op")
+	b.ReportMetric(nSubs, "subs")
+	proc.CloseSubscriptions()
 }

@@ -9,12 +9,18 @@
 //	pnnquery -dataset taxi -objects 500 -semantics cnn -tau 0.5 -ts 120 -te 130
 //	pnnquery -semantics exists -k 2
 //	pnnquery -semantics forall -tau 0.3 -eps 0.05 -max-samples 100000
+//
+// With -follow the query becomes a standing subscription: after the
+// initial answer, pnnquery ingests a few synthetic objects into the
+// query's window and prints every incremental re-evaluation event the
+// subscription delivers, ending with the terminal bye.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"pnn"
 )
@@ -37,6 +43,7 @@ func main() {
 		eps       = flag.Float64("eps", 0, "adaptive sampling: stop once the Hoeffding error separates every estimate from τ, or reaches eps (0: fixed budget)")
 		delta     = flag.Float64("delta", 0, "adaptive sampling: failure probability δ (0: default 0.05)")
 		maxSamp   = flag.Int("max-samples", 0, "adaptive sampling: escalation cap on sampled worlds (0: -samples)")
+		follow    = flag.Int("follow", 0, "register the query as a standing subscription and ingest this many objects into its window, printing each re-evaluation event")
 	)
 	flag.Parse()
 
@@ -88,11 +95,66 @@ func main() {
 	if err := conf.Validate(); err != nil {
 		fatal(err)
 	}
-	resp := proc.Run(pnn.Request{
+	req := pnn.Request{
 		Semantics: sem, Query: q, Ts: *ts, Te: *te, K: *k, Tau: *tau, Seed: *seed,
 		Confidence: conf,
-	})
+	}
+	if *follow > 0 {
+		followQuery(proc, req, conf, qs, *follow)
+		return
+	}
+	resp := proc.Run(req)
 	fatal(resp.Err)
+	printAnswer(resp, sem, conf)
+}
+
+// followQuery registers req as a standing subscription, then ingests
+// writes objects parked at the query state inside the window — each one
+// lands inside the subscription's influence region and triggers an
+// incremental re-evaluation, printed as it is delivered.
+func followQuery(proc *pnn.Processor, req pnn.Request, conf pnn.Confidence, qs, writes int) {
+	s, err := proc.Subscribe(req, pnn.Delivery{QueueCap: writes + 2})
+	fatal(err)
+	printEvent := func() {
+		e, ok := <-s.Events()
+		if !ok {
+			fatal(fmt.Errorf("subscription channel closed unexpectedly"))
+		}
+		if e.Bye {
+			fmt.Printf("event %d: bye\n", e.Seq)
+			return
+		}
+		fmt.Printf("event %d  snapshot version %d", e.Seq, e.Version)
+		if e.Dropped > 0 {
+			fmt.Printf("  (%d dropped)", e.Dropped)
+		}
+		fmt.Println()
+		resp := e.Payload.(pnn.Response)
+		fatal(resp.Err)
+		printAnswer(resp, req.Semantics, conf)
+		fmt.Println()
+	}
+	printEvent() // the initial evaluation
+	mid := (req.Ts + req.Te) / 2
+	for i := 0; i < writes; i++ {
+		id := 1_000_000 + i
+		_, err := proc.AddObject(id, []pnn.Observation{{T: mid, State: qs}})
+		fatal(err)
+		fmt.Printf("ingested object %d at state %d, t=%d\n", id, qs, mid)
+		if !proc.WaitSubscriptionsIdle(time.Minute) {
+			fatal(fmt.Errorf("subscription did not re-evaluate within a minute"))
+		}
+		printEvent()
+	}
+	proc.Unsubscribe(s.ID())
+	for e := range s.Events() {
+		if e.Bye {
+			fmt.Printf("event %d: bye\n", e.Seq)
+		}
+	}
+}
+
+func printAnswer(resp pnn.Response, sem pnn.Semantics, conf pnn.Confidence) {
 	stats := resp.Stats
 	fmt.Printf("filter: %d candidates, %d influencers; %d worlds sampled\n",
 		stats.Candidates, stats.Influencers, stats.Worlds)

@@ -18,6 +18,9 @@
 //	    localhost:8080/v1/objects
 //	curl -d '{"id": 1001, "observations": [{"t": 510, "state": 23}]}' \
 //	    localhost:8080/v1/observe
+//	curl -N -d '{"semantics": "exists", "query": {"state": 17},
+//	             "window": {"ts": 500, "te": 509}, "tau": 0.1}' \
+//	    localhost:8080/v1/subscribe
 //
 // SIGINT/SIGTERM drain in-flight requests before exiting.
 package main
@@ -58,6 +61,7 @@ func main() {
 		ingest   = flag.Bool("ingest", true, "enable live ingestion (/v1/objects, /v1/observe)")
 		share    = flag.Bool("share-batch", false, "coalesce compatible /v1/batch requests into shared-world groups by default (per-request share_worlds overrides)")
 		capSamp  = flag.Int("max-samples-cap", 0, "largest confidence.max_samples a request may ask for (0: 10x -samples)")
+		maxSubs  = flag.Int("max-subs", 0, "most concurrently registered standing queries (/v1/subscribe; 0: 10000)")
 		lenient  = flag.Bool("lenient", false, "drop objects with contradicting observations instead of failing")
 		grace    = flag.Duration("grace", 10*time.Second, "shutdown drain timeout")
 		pprofOn  = flag.String("pprof", "", "also serve net/http/pprof on this address (e.g. localhost:6060); off when empty")
@@ -141,7 +145,8 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	srv := server.New(net, proc, server.Config{
-		BatchWorkers: *workers, Ingest: *ingest, ShareBatch: *share, MaxSamplesCap: *capSamp,
+		BatchWorkers: *workers, Ingest: *ingest, ShareBatch: *share,
+		MaxSamplesCap: *capSamp, MaxSubscriptions: *maxSubs,
 	})
 	log.Printf("serving on %s", *addr)
 	if err := srv.Run(ctx, *addr, *grace); err != nil {

@@ -2,6 +2,7 @@ package query
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -226,6 +227,14 @@ feed:
 // lifetime checks only.
 func (e *Engine) timePrune(ts, te int) ustree.Pruning {
 	var pr ustree.Pruning
+	if te >= ts {
+		// No distance filtering happened, so the influence region is
+		// unbounded: every alive object may matter.
+		pr.PruneDist = make([]float64, te-ts+1)
+		for i := range pr.PruneDist {
+			pr.PruneDist[i] = math.Inf(1)
+		}
+	}
 	for oi, o := range e.tree.Objects() {
 		if o.First().T <= te && o.Last().T >= ts {
 			pr.Influencers = append(pr.Influencers, oi)

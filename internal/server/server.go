@@ -18,6 +18,14 @@
 //	                   once per group
 //	POST /v1/objects   live ingestion: register a new object
 //	POST /v1/observe   live ingestion: append observations to an object
+//	POST /v1/subscribe register a standing query; "sse" transport streams
+//	                   versioned answer events on the same connection,
+//	                   "poll" returns a subscription id for long-polling
+//	GET  /v1/subscriptions            list registered standing queries
+//	GET  /v1/subscriptions/{id}/events long-poll a poll-transport
+//	                   subscription's queued events
+//	DELETE /v1/subscriptions/{id}     cancel a standing query (its stream
+//	                   receives a terminal bye event)
 //
 // Ingestion is snapshot-versioned (RCU): a write never disturbs
 // in-flight queries — they finish on the version they started on — and
@@ -37,7 +45,11 @@
 // "confidence" is optional and switches the query from the fixed sample
 // budget to adaptive early-stopping sampling. Legacy flat spellings
 // (top-level "state", "x"/"y", "trajectory", "ts", "te") keep decoding
-// as aliases of the nested fields.
+// as aliases of the nested fields on the one-shot endpoints, but they
+// are deprecated: every response that served an alias carries a
+// "Deprecation: true" header and a "warnings" array naming the fields.
+// /v1/subscribe accepts only the canonical nested spelling and rejects
+// aliases outright with code "use_query_spec".
 //
 // # Errors
 //
@@ -60,6 +72,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"net"
 	"net/http"
 	"time"
 
@@ -89,6 +102,10 @@ const (
 	CodeDuplicateObject    = "duplicate_object"
 	CodeUnknownObject      = "unknown_object"
 	CodeRejectedWrite      = "rejected_write"
+	CodeUseQuerySpec       = "use_query_spec"
+	CodeInvalidDelivery    = "invalid_delivery"
+	CodeUnknownSub         = "unknown_subscription"
+	CodeSubLimit           = "subscription_limit"
 	CodeInternal           = "internal"
 )
 
@@ -116,6 +133,9 @@ type Config struct {
 	// request may ask for; 0 means 10x the processor's fixed sample
 	// budget. /healthz advertises the effective cap.
 	MaxSamplesCap int
+	// MaxSubscriptions caps the number of concurrently registered
+	// standing queries; 0 means 10000. /healthz advertises the cap.
+	MaxSubscriptions int
 }
 
 // Server answers PNN queries for one built database. It implements
@@ -140,6 +160,9 @@ func New(net *pnn.Network, proc *pnn.Processor, cfg Config) *Server {
 	if cfg.MaxSamplesCap <= 0 {
 		cfg.MaxSamplesCap = 10 * proc.SampleBudget()
 	}
+	if cfg.MaxSubscriptions <= 0 {
+		cfg.MaxSubscriptions = 10000
+	}
 	s := &Server{proc: proc, net: net, cfg: cfg, mux: http.NewServeMux(), start: time.Now()}
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/v1/forallnn", s.queryHandler(pnn.ForAll))
@@ -148,6 +171,10 @@ func New(net *pnn.Network, proc *pnn.Processor, cfg Config) *Server {
 	s.mux.HandleFunc("/v1/batch", s.handleBatch)
 	s.mux.HandleFunc("/v1/objects", s.handleAddObject)
 	s.mux.HandleFunc("/v1/observe", s.handleObserve)
+	s.mux.HandleFunc("/v1/subscribe", s.handleSubscribe)
+	s.mux.HandleFunc("/v1/subscriptions", s.handleSubscriptions)
+	s.mux.HandleFunc("/v1/subscriptions/{id}", s.handleSubscription)
+	s.mux.HandleFunc("/v1/subscriptions/{id}/events", s.handleSubEvents)
 	return s
 }
 
@@ -157,14 +184,28 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // requests for up to grace before forcing connections closed. It returns
 // nil on a clean shutdown.
 func (s *Server) Run(ctx context.Context, addr string, grace time.Duration) error {
-	hs := &http.Server{Addr: addr, Handler: s}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.serve(ctx, ln, grace)
+}
+
+// serve runs the accept loop on ln until ctx is cancelled. Shutdown
+// closes the subscription registry first: every active SSE stream
+// receives its terminal bye frame and returns, so the graceful
+// http.Server.Shutdown drain below isn't held open (or force-killed
+// mid-frame) by standing streams.
+func (s *Server) serve(ctx context.Context, ln net.Listener, grace time.Duration) error {
+	hs := &http.Server{Handler: s}
 	errc := make(chan error, 1)
-	go func() { errc <- hs.ListenAndServe() }()
+	go func() { errc <- hs.Serve(ln) }()
 	select {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
 	}
+	s.proc.CloseSubscriptions()
 	shCtx, cancel := context.WithTimeout(context.Background(), grace)
 	defer cancel()
 	if err := hs.Shutdown(shCtx); err != nil {
@@ -277,7 +318,11 @@ type QueryResponse struct {
 	Intervals  []IntervalJSON `json:"intervals,omitempty"`
 	Stats      StatsJSON      `json:"stats"`
 	Sampling   SamplingJSON   `json:"sampling"`
-	Error      *ErrorBody     `json:"error,omitempty"` // batch items only
+	// Warnings flags deprecated request constructs the server still
+	// honored — today, the legacy flat alias fields. Responses carrying
+	// warnings also set the "Deprecation: true" header.
+	Warnings []string   `json:"warnings,omitempty"`
+	Error    *ErrorBody `json:"error,omitempty"` // batch items only
 }
 
 // BatchRequest is the body of /v1/batch.
@@ -331,6 +376,16 @@ type ConfidenceRangeJSON struct {
 	MaxSamplesCap int `json:"max_samples_cap"`
 }
 
+// SubCapsJSON advertises, via /healthz, the standing-query capability:
+// whether /v1/subscribe is served, how many subscriptions are live, the
+// registration cap, and the delivery transports the server speaks.
+type SubCapsJSON struct {
+	Enabled          bool     `json:"enabled"`
+	Active           int      `json:"active"`
+	MaxSubscriptions int      `json:"max_subscriptions"`
+	Transports       []string `json:"transports"`
+}
+
 // HealthResponse is the body of /healthz.
 type HealthResponse struct {
 	Status        string              `json:"status"`
@@ -342,6 +397,7 @@ type HealthResponse struct {
 	ShardVersions []int64             `json:"shard_versions"` // per-shard snapshot versions, by shard
 	Ingest        bool                `json:"ingest"`         // write endpoints enabled
 	Confidence    ConfidenceRangeJSON `json:"confidence"`
+	Subscriptions SubCapsJSON         `json:"subscriptions"`
 	UptimeSeconds float64             `json:"uptime_seconds"`
 	CacheBuilds   int64               `json:"cache_builds"`
 	CacheHits     int64               `json:"cache_hits"`
@@ -371,6 +427,12 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 			DefaultDelta:  query.DefaultDelta,
 			DefaultBudget: s.proc.SampleBudget(),
 			MaxSamplesCap: s.cfg.MaxSamplesCap,
+		},
+		Subscriptions: SubCapsJSON{
+			Enabled:          true,
+			Active:           s.proc.NumSubscriptions(),
+			MaxSubscriptions: s.cfg.MaxSubscriptions,
+			Transports:       []string{TransportSSE, TransportPoll},
 		},
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		CacheBuilds:   cs.Builds,
@@ -501,7 +563,7 @@ func (s *Server) queryHandler(sem pnn.Semantics) http.HandlerFunc {
 			writeErr(w, http.StatusBadRequest, CodeInvalidBody, "", err)
 			return
 		}
-		pr, aerr := s.toRequest(sem, req)
+		pr, warnings, aerr := s.toRequest(sem, req)
 		if aerr != nil {
 			httpError(w, http.StatusBadRequest, aerr.code, aerr.field, aerr.msg)
 			return
@@ -515,7 +577,12 @@ func (s *Server) queryHandler(sem pnn.Semantics) http.HandlerFunc {
 			writeErr(w, http.StatusInternalServerError, CodeInternal, "", resp.Err)
 			return
 		}
-		writeJSON(w, http.StatusOK, toJSON(resp))
+		out := toJSON(resp)
+		out.Warnings = warnings
+		if len(warnings) > 0 {
+			w.Header().Set("Deprecation", "true")
+		}
+		writeJSON(w, http.StatusOK, out)
 	}
 }
 
@@ -539,8 +606,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	reqs := make([]pnn.Request, len(req.Requests))
+	warnings := make([][]string, len(req.Requests))
+	deprecated := false
 	for i, item := range req.Requests {
-		pr, aerr := s.toRequest(pnn.Semantics(item.Semantics), item.QuerySpec)
+		pr, warns, aerr := s.toRequest(pnn.Semantics(item.Semantics), item.QuerySpec)
 		if aerr != nil {
 			field := fmt.Sprintf("requests[%d]", i)
 			if aerr.field != "" {
@@ -550,6 +619,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		reqs[i] = pr
+		warnings[i] = warns
+		deprecated = deprecated || len(warns) > 0
 	}
 	share := s.cfg.ShareBatch
 	if req.ShareWorlds != nil {
@@ -572,6 +643,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	for i, resp := range responses {
 		out.Responses[i] = toJSON(resp)
+		out.Responses[i].Warnings = warnings[i]
+	}
+	if deprecated {
+		w.Header().Set("Deprecation", "true")
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -586,14 +661,35 @@ func errf(code, field, format string, args ...interface{}) *apiError {
 	return &apiError{code: code, field: field, msg: fmt.Sprintf(format, args...)}
 }
 
+// legacyAliases names the deprecated flat alias fields a QuerySpec set,
+// each paired with its canonical replacement — the source of both the
+// one-shot deprecation warnings and the /v1/subscribe rejection.
+func legacyAliases(req QuerySpec) []string {
+	var used []string
+	add := func(set bool, alias, canonical string) {
+		if set {
+			used = append(used, fmt.Sprintf("%q is a deprecated alias; use %q", alias, canonical))
+		}
+	}
+	add(req.State != nil, "state", "query.state")
+	add(req.X != nil, "x", "query.point.x")
+	add(req.Y != nil, "y", "query.point.y")
+	add(req.Trajectory != nil, "trajectory", "query.trajectory")
+	add(req.Ts != nil, "ts", "window.ts")
+	add(req.Te != nil, "te", "window.te")
+	return used
+}
+
 // toRequest validates one wire request and converts it to a batch
 // Request, resolving the legacy alias spellings against the canonical
-// nested fields (canonical wins where both are set).
-func (s *Server) toRequest(sem pnn.Semantics, req QuerySpec) (pnn.Request, *apiError) {
+// nested fields (canonical wins where both are set). The returned
+// warnings name every deprecated alias the request used.
+func (s *Server) toRequest(sem pnn.Semantics, req QuerySpec) (pnn.Request, []string, *apiError) {
+	warnings := legacyAliases(req)
 	switch sem {
 	case pnn.ForAll, pnn.Exists, pnn.Continuous:
 	default:
-		return pnn.Request{}, errf(CodeUnknownSemantics, "semantics",
+		return pnn.Request{}, nil, errf(CodeUnknownSemantics, "semantics",
 			"unknown semantics %q (want %q, %q or %q)", sem, pnn.ForAll, pnn.Exists, pnn.Continuous)
 	}
 
@@ -607,7 +703,7 @@ func (s *Server) toRequest(sem pnn.Semantics, req QuerySpec) (pnn.Request, *apiE
 		ref.Trajectory = req.Trajectory
 		if req.X != nil || req.Y != nil {
 			if req.X == nil || req.Y == nil {
-				return pnn.Request{}, errf(CodeInvalidQuery, "query", "x and y must be given together")
+				return pnn.Request{}, nil, errf(CodeInvalidQuery, "query", "x and y must be given together")
 			}
 			ref.Point = &Point{X: *req.X, Y: *req.Y}
 		}
@@ -623,14 +719,14 @@ func (s *Server) toRequest(sem pnn.Semantics, req QuerySpec) (pnn.Request, *apiE
 		refs++
 	}
 	if refs != 1 {
-		return pnn.Request{}, errf(CodeInvalidQuery, "query",
+		return pnn.Request{}, nil, errf(CodeInvalidQuery, "query",
 			`give exactly one query reference: "state", "point", or "trajectory"`)
 	}
 	var q pnn.Query
 	switch {
 	case ref.State != nil:
 		if *ref.State < 0 || *ref.State >= s.net.NumStates() {
-			return pnn.Request{}, errf(CodeInvalidQuery, "query.state",
+			return pnn.Request{}, nil, errf(CodeInvalidQuery, "query.state",
 				"state %d out of range [0, %d)", *ref.State, s.net.NumStates())
 		}
 		q = pnn.AtState(s.net, *ref.State)
@@ -638,7 +734,7 @@ func (s *Server) toRequest(sem pnn.Semantics, req QuerySpec) (pnn.Request, *apiE
 		q = pnn.AtPoint(pnn.Point{X: ref.Point.X, Y: ref.Point.Y})
 	default:
 		if len(ref.Trajectory.Points) == 0 {
-			return pnn.Request{}, errf(CodeInvalidQuery, "query.trajectory", "trajectory needs at least one point")
+			return pnn.Request{}, nil, errf(CodeInvalidQuery, "query.trajectory", "trajectory needs at least one point")
 		}
 		pts := make([]pnn.Point, len(ref.Trajectory.Points))
 		for i, p := range ref.Trajectory.Points {
@@ -661,16 +757,16 @@ func (s *Server) toRequest(sem pnn.Semantics, req QuerySpec) (pnn.Request, *apiE
 		}
 	}
 	if win.Te < win.Ts {
-		return pnn.Request{}, errf(CodeInvalidWindow, "window", "inverted interval [%d, %d]", win.Ts, win.Te)
+		return pnn.Request{}, nil, errf(CodeInvalidWindow, "window", "inverted interval [%d, %d]", win.Ts, win.Te)
 	}
 	if req.K < 0 {
-		return pnn.Request{}, errf(CodeInvalidK, "k", "k must be >= 1, got %d", req.K)
+		return pnn.Request{}, nil, errf(CodeInvalidK, "k", "k must be >= 1, got %d", req.K)
 	}
 	if req.Tau < 0 || req.Tau > 1 {
-		return pnn.Request{}, errf(CodeInvalidTau, "tau", "tau must be in [0, 1], got %v", req.Tau)
+		return pnn.Request{}, nil, errf(CodeInvalidTau, "tau", "tau must be in [0, 1], got %v", req.Tau)
 	}
 	if sem == pnn.Continuous && req.Tau == 0 {
-		return pnn.Request{}, errf(CodeInvalidTau, "tau", "pcnn requires tau > 0")
+		return pnn.Request{}, nil, errf(CodeInvalidTau, "tau", "pcnn requires tau > 0")
 	}
 	var conf pnn.Confidence
 	if req.Confidence != nil {
@@ -680,10 +776,10 @@ func (s *Server) toRequest(sem pnn.Semantics, req QuerySpec) (pnn.Request, *apiE
 			MaxSamples: req.Confidence.MaxSamples,
 		}
 		if err := conf.Validate(); err != nil {
-			return pnn.Request{}, errf(CodeInvalidConfidence, "confidence", "%v", err)
+			return pnn.Request{}, nil, errf(CodeInvalidConfidence, "confidence", "%v", err)
 		}
 		if conf.MaxSamples > s.cfg.MaxSamplesCap {
-			return pnn.Request{}, errf(CodeInvalidConfidence, "confidence.max_samples",
+			return pnn.Request{}, nil, errf(CodeInvalidConfidence, "confidence.max_samples",
 				"max_samples %d exceeds the server cap %d", conf.MaxSamples, s.cfg.MaxSamplesCap)
 		}
 	}
@@ -696,7 +792,7 @@ func (s *Server) toRequest(sem pnn.Semantics, req QuerySpec) (pnn.Request, *apiE
 		Tau:        req.Tau,
 		Seed:       req.Seed,
 		Confidence: conf,
-	}, nil
+	}, warnings, nil
 }
 
 func toJSON(resp pnn.Response) QueryResponse {

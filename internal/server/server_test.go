@@ -391,8 +391,27 @@ func TestQuerySpecAliases(t *testing.T) {
 			if lCode != http.StatusOK || cCode != http.StatusOK {
 				t.Fatalf("legacy = %d (%s), canonical = %d (%s)", lCode, lRaw, cCode, cRaw)
 			}
-			if !bytes.Equal(lRaw, cRaw) {
-				t.Errorf("spellings diverge:\nlegacy:    %s\ncanonical: %s", lRaw, cRaw)
+			// The answers must be identical; the legacy spelling
+			// additionally carries deprecation warnings, which are not
+			// part of the answer.
+			var lqr, cqr QueryResponse
+			if err := json.Unmarshal(lRaw, &lqr); err != nil {
+				t.Fatal(err)
+			}
+			if err := json.Unmarshal(cRaw, &cqr); err != nil {
+				t.Fatal(err)
+			}
+			if len(lqr.Warnings) == 0 {
+				t.Error("legacy spelling answered without deprecation warnings")
+			}
+			if len(cqr.Warnings) != 0 {
+				t.Errorf("canonical spelling warned: %v", cqr.Warnings)
+			}
+			lqr.Warnings, cqr.Warnings = nil, nil
+			lb, _ := json.Marshal(lqr)
+			cb, _ := json.Marshal(cqr)
+			if !bytes.Equal(lb, cb) {
+				t.Errorf("spellings diverge:\nlegacy:    %s\ncanonical: %s", lb, cb)
 			}
 		})
 	}
@@ -414,6 +433,12 @@ func TestQuerySpecAliases(t *testing.T) {
 	}
 	if err := json.Unmarshal(canon, &cb); err != nil {
 		t.Fatal(err)
+	}
+	if len(lb.Responses) == 0 || len(lb.Responses[0].Warnings) == 0 {
+		t.Error("legacy batch item answered without deprecation warnings")
+	}
+	for i := range lb.Responses {
+		lb.Responses[i].Warnings = nil
 	}
 	lr, _ := json.Marshal(lb.Responses)
 	cr, _ := json.Marshal(cb.Responses)

@@ -2,6 +2,7 @@ package shard
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"time"
@@ -56,11 +57,25 @@ type exec struct {
 	samples int
 	workers int
 
-	entries []entry
-	byShard [][]int // entry indices per shard
-	cands   []int   // entry indices that survived the ∀-filter
-	drawn   int     // worlds actually drawn by execute; probabilities normalize by this
-	stats   query.Stats
+	entries   []entry
+	byShard   [][]int   // entry indices per shard
+	cands     []int     // entry indices that survived the ∀-filter
+	pruneDist []float64 // per-timestep influence threshold, loosest over shards
+	drawn     int       // worlds actually drawn by execute; probabilities normalize by this
+	stats     query.Stats
+}
+
+// Influence summarizes the influence region of one evaluated spec: the
+// influencer object IDs (ascending) and the per-timestep pruning
+// threshold, taken as the elementwise loosest (largest) over shards so
+// it bounds every shard's own threshold. An object that stays strictly
+// outside PruneDist at every window time where it is alive cannot be
+// among the k nearest at any time and therefore cannot change the
+// spec's answer — the contract behind write-path subscription
+// invalidation.
+type Influence struct {
+	IDs       []int
+	PruneDist []float64
 }
 
 // scatter runs the filter step and sampler adaptation on every shard in
@@ -97,6 +112,7 @@ func (s *Snap) scatter(spec GroupSpec) (*exec, error) {
 	type shardPlan struct {
 		influencers []int
 		candidates  []int
+		prune       []float64
 		samplers    []*inference.Sampler
 		built       int
 		err         error
@@ -115,6 +131,15 @@ func (s *Snap) scatter(spec GroupSpec) (*exec, error) {
 			}
 			pl.influencers = pr.Influencers
 			pl.candidates = pr.Candidates
+			pl.prune = pr.PruneDist
+			if len(pl.prune) != te-ts+1 {
+				// Unknown thresholds are no constraint at all: +Inf keeps
+				// the merged region conservative.
+				pl.prune = make([]float64, te-ts+1)
+				for i := range pl.prune {
+					pl.prune[i] = math.Inf(1)
+				}
+			}
 			pl.samplers = make([]*inference.Sampler, len(pr.Influencers))
 			for i, oi := range pr.Influencers {
 				smp, built, err := eng.SamplerCached(oi)
@@ -154,6 +179,17 @@ func (s *Snap) scatter(spec GroupSpec) (*exec, error) {
 			}
 		}
 		x.stats.SamplerBuilds += pl.built
+		// Per-shard thresholds are computed over fewer objects and are
+		// therefore only looser; the elementwise max bounds them all.
+		if x.pruneDist == nil {
+			x.pruneDist = append([]float64(nil), pl.prune...)
+		} else {
+			for i := range x.pruneDist {
+				if i < len(pl.prune) && pl.prune[i] > x.pruneDist[i] {
+					x.pruneDist[i] = pl.prune[i]
+				}
+			}
+		}
 	}
 	x.stats.Candidates = len(x.cands)
 	x.stats.Influencers = len(x.entries)
@@ -328,22 +364,37 @@ type GroupSpec struct {
 // point is a deterministic function of (snapshot, spec, the set of
 // member Ops and Taus).
 func (s *Snap) RunShared(spec GroupSpec, items []GroupItem) ([]GroupAnswer, query.Stats, error) {
+	answers, st, _, err := s.RunSharedInfluence(spec, items)
+	return answers, st, err
+}
+
+// RunSharedInfluence is RunShared, additionally reporting the influence
+// region of the spec at this snapshot: which objects were sampled and
+// how close an object must come to the query to matter. Standing
+// subscriptions store it to decide, on each write, whether the updated
+// object can possibly change their answer.
+func (s *Snap) RunSharedInfluence(spec GroupSpec, items []GroupItem) ([]GroupAnswer, query.Stats, Influence, error) {
 	for _, it := range items {
 		if it.Op == OpCNN && it.Tau <= 0 {
-			return nil, query.Stats{}, fmt.Errorf("shard: PCNN requires tau > 0, got %v", it.Tau)
+			return nil, query.Stats{}, Influence{}, fmt.Errorf("shard: PCNN requires tau > 0, got %v", it.Tau)
 		}
 	}
 	if err := spec.Conf.Validate(); err != nil {
-		return nil, query.Stats{}, err
+		return nil, query.Stats{}, Influence{}, err
 	}
 	x, err := s.scatter(spec)
 	if err != nil {
-		return nil, query.Stats{}, err
+		return nil, query.Stats{}, Influence{}, err
 	}
+	inf := Influence{PruneDist: x.pruneDist}
+	for _, e := range x.entries {
+		inf.IDs = append(inf.IDs, e.id)
+	}
+	sort.Ints(inf.IDs)
 	ts, te, k := spec.Ts, spec.Te, spec.K
 	answers := make([]GroupAnswer, len(items))
 	if len(x.entries) == 0 {
-		return answers, x.stats, nil
+		return answers, x.stats, inf, nil
 	}
 	begin := time.Now()
 
@@ -400,7 +451,7 @@ func (s *Snap) RunShared(spec GroupSpec, items []GroupItem) ([]GroupAnswer, quer
 	}
 	if len(evs) > 0 {
 		if err := x.execute(evs...); err != nil {
-			return nil, x.stats, err
+			return nil, x.stats, inf, err
 		}
 	}
 
@@ -457,7 +508,7 @@ func (s *Snap) RunShared(spec GroupSpec, items []GroupItem) ([]GroupAnswer, quer
 		}
 	}
 	x.stats.RefineTime = time.Since(begin)
-	return answers, x.stats, nil
+	return answers, x.stats, inf, nil
 }
 
 // ForAllKNN answers P∀kNNQ(q, D, [ts..te], tau) over the composite

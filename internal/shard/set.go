@@ -56,6 +56,9 @@ type Snap struct {
 	// Parts holds one snapshot per shard, indexed by shard number. The
 	// slice and its entries are read-only.
 	Parts []*store.Snapshot
+	// ChangedID tags the composite version with the object ID whose write
+	// produced it (-1 for the initial build); see store.Snapshot.ChangedID.
+	ChangedID int
 	// shards is the routing fan-out the set was built with.
 	shards int
 }
@@ -90,6 +93,28 @@ func (s *Snap) Locate(id int) (shard, oi int, ok bool) {
 		}
 	}
 	return 0, 0, false
+}
+
+// Toucher resolves object id against this snapshot once and returns a
+// predicate testing whether the object may enter the influence region
+// of a window query (see Influence). It is the per-shard lookup on the
+// write path of standing subscriptions: the returned closure captures
+// the owning shard's tree and engine index, so testing one object
+// against many subscriptions costs one rectangle sweep per window, no
+// map lookups. Unknown IDs yield an always-true predicate — claiming
+// influence is always safe.
+func (s *Snap) Toucher(id int) func(q query.Query, ts, te int, bound []float64) bool {
+	si, oi, ok := s.Locate(id)
+	if !ok {
+		return func(query.Query, int, int, []float64) bool { return true }
+	}
+	tree := s.Parts[si].Engine.Tree()
+	return func(q query.Query, ts, te int, bound []float64) bool {
+		if q.Zero() || te < ts {
+			return true
+		}
+		return tree.MayInfluence(oi, q.At, ts, te, bound)
+	}
 }
 
 // Set is a sharded store: S partitions, each an independent store.Store
@@ -152,7 +177,7 @@ func build(sp *space.Space, objs []*uncertain.Object, samples, shards int, lenie
 		origin[si] = append(origin[si], i)
 	}
 	s := &Set{shards: make([]*store.Store, shards)}
-	snap := &Snap{Version: 1, Parts: make([]*store.Snapshot, shards), shards: shards}
+	snap := &Snap{Version: 1, Parts: make([]*store.Snapshot, shards), ChangedID: -1, shards: shards}
 	var skipped []int
 	for si := range s.shards {
 		var st *store.Store
@@ -244,9 +269,10 @@ func (s *Set) Observe(id int, obs []uncertain.Observation) (*Snap, error) {
 func (s *Set) publish(si int, part *store.Snapshot) *Snap {
 	cur := s.cur.Load()
 	next := &Snap{
-		Version: cur.Version + 1,
-		Parts:   append([]*store.Snapshot(nil), cur.Parts...),
-		shards:  cur.shards,
+		Version:   cur.Version + 1,
+		Parts:     append([]*store.Snapshot(nil), cur.Parts...),
+		ChangedID: part.ChangedID,
+		shards:    cur.shards,
 	}
 	next.Parts[si] = part
 	s.cur.Store(next)

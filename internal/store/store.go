@@ -52,6 +52,14 @@ type Snapshot struct {
 	Engine *query.Engine
 	// IDs maps the engine's object index to the caller-chosen object ID.
 	IDs []int
+	// ChangedID tags the version with the write that produced it: the ID
+	// of the single object whose state differs from the predecessor
+	// snapshot (writes are one-object by construction). It is -1 for the
+	// initial build, where every object is new. Change consumers —
+	// standing-query invalidation above all — read it off the published
+	// snapshot instead of threading the ID through a side channel, so the
+	// notification can never disagree with the version it describes.
+	ChangedID int
 }
 
 // Store is the single writer of a serving system. It is safe for
@@ -107,7 +115,7 @@ func (s *Store) init(tree *ustree.Tree, samples int) error {
 		s.byID[o.ID] = i
 	}
 	tree.Freeze()
-	s.cur.Store(&Snapshot{Version: 1, Engine: query.NewEngine(tree, samples), IDs: ids})
+	s.cur.Store(&Snapshot{Version: 1, Engine: query.NewEngine(tree, samples), IDs: ids, ChangedID: -1})
 	return nil
 }
 
@@ -150,9 +158,10 @@ func (s *Store) AddObject(o *uncertain.Object) (*Snapshot, error) {
 	}
 	tree.Freeze()
 	next := &Snapshot{
-		Version: cur.Version + 1,
-		Engine:  query.NewEngineFrom(cur.Engine, tree, nil),
-		IDs:     append(append(make([]int, 0, len(cur.IDs)+1), cur.IDs...), o.ID),
+		Version:   cur.Version + 1,
+		Engine:    query.NewEngineFrom(cur.Engine, tree, nil),
+		IDs:       append(append(make([]int, 0, len(cur.IDs)+1), cur.IDs...), o.ID),
+		ChangedID: o.ID,
 	}
 	s.byID[o.ID] = oi
 	s.cur.Store(next)
@@ -193,9 +202,10 @@ func (s *Store) Observe(id int, obs []uncertain.Observation) (*Snapshot, error) 
 	}
 	tree.Freeze()
 	next := &Snapshot{
-		Version: cur.Version + 1,
-		Engine:  query.NewEngineFrom(cur.Engine, tree, []int{oi}),
-		IDs:     cur.IDs,
+		Version:   cur.Version + 1,
+		Engine:    query.NewEngineFrom(cur.Engine, tree, []int{oi}),
+		IDs:       cur.IDs,
+		ChangedID: id,
 	}
 	s.cur.Store(next)
 	return next, nil

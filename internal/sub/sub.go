@@ -1,0 +1,662 @@
+// Package sub keeps standing queries alive over a live PNN database:
+// a registry of subscriptions, each a re-runnable evaluation closure
+// plus delivery state, re-evaluated incrementally as writes arrive.
+//
+// The core idea is inverting the UST-tree filter step. Every
+// evaluation reports its influence region — the influencer object IDs
+// it sampled and the per-timestep pruning thresholds (see
+// shard.Influence). The registry maintains the inverse map
+// object → subscriptions, so a write to object o re-runs only
+//
+//   - subscriptions whose last influencer set contains o (index hit), and
+//   - subscriptions whose influence region o's NEW state touches
+//     (a rectangle sweep against the stored thresholds).
+//
+// Everything else provably keeps its answer: an object strictly
+// outside the thresholds at every window time cannot be among the k
+// nearest at any time, and because per-row sampling is keyed by
+// (seed, object ID), the unchanged influencer rows re-draw identical
+// worlds. Per-update work is proportional to affected subscriptions,
+// not registered subscriptions.
+//
+// The package is payload-agnostic — evaluation closures, result
+// payloads, and regions are opaque — so it sits below the pnn facade
+// without an import cycle.
+package sub
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Delivery configures how a subscription's events reach its consumer.
+type Delivery struct {
+	// Transport is bookkeeping for the API layer ("sse" or "poll"); the
+	// registry treats both identically.
+	Transport string
+	// MinInterval rate-limits emission: after an event is emitted,
+	// further answers are coalesced (latest wins) until the interval
+	// elapses. Zero emits every answer.
+	MinInterval time.Duration
+	// OnChangeOnly suppresses events whose answer fingerprint equals the
+	// previously accepted one. The initial answer always emits.
+	OnChangeOnly bool
+	// QueueCap bounds the event queue (default 16, minimum 1). When the
+	// consumer lags, the oldest queued event is dropped — never the
+	// writer blocked — and the drop is surfaced on the next event's
+	// Dropped counter.
+	QueueCap int
+}
+
+const defaultQueueCap = 16
+
+// Event is one delivered subscription result.
+type Event struct {
+	// SubID identifies the subscription.
+	SubID int64
+	// Seq increases by one per emitted event of the subscription,
+	// starting at 1 for the initial answer.
+	Seq int64
+	// Version is the snapshot version the payload was evaluated at.
+	// Versions are strictly monotone per subscription.
+	Version int64
+	// Dropped is the cumulative number of events lost to queue overflow
+	// so far, so consumers can detect gaps without blocking writers.
+	Dropped int64
+	// Bye marks the terminal event: the subscription is closed and the
+	// channel will be closed right after. Payload is nil.
+	Bye bool
+	// Payload is the evaluation result, opaque to this package.
+	Payload any
+}
+
+// Eval is the result of one evaluation of a standing query.
+type Eval struct {
+	// Version is the snapshot version evaluated.
+	Version int64
+	// Influencers are the object IDs whose possible worlds the answer
+	// sampled; the registry inverts them into the object→subs index.
+	Influencers []int
+	// Region describes the query's influence region for the write-path
+	// touch test, opaque to this package. A nil Region keeps the
+	// previous one (and a subscription that never reported one is
+	// conservatively affected by every write).
+	Region any
+	// Payload is the answer to deliver.
+	Payload any
+	// Fingerprint condenses the answer for OnChangeOnly comparison.
+	Fingerprint uint64
+}
+
+// EvalFunc re-evaluates a standing query against the current snapshot.
+// It must be safe for concurrent use with other subscriptions' funcs.
+type EvalFunc func() Eval
+
+// TouchFunc tests whether a just-written object may intersect a
+// subscription's influence region. It is resolved once per write (not
+// per subscription) by the registry's caller.
+type TouchFunc func(region any) bool
+
+// Stats are cumulative registry counters. Evaluations is the
+// selective-invalidation scoreboard: with N standing subscriptions and
+// W writes, full re-evaluation would cost N·W; the registry pays
+// Affected instead.
+type Stats struct {
+	Active      int   // currently registered subscriptions
+	Notifies    int64 // writes seen
+	TouchTests  int64 // region tests run (index misses only)
+	Affected    int64 // subscription re-evaluations scheduled by writes
+	Evaluations int64 // evaluation closures actually run (incl. initial)
+	Emitted     int64 // events handed to consumers (excl. bye)
+	Dropped     int64 // events lost to queue overflow
+	Skipped     int64 // answers suppressed by OnChangeOnly
+}
+
+// Info is a point-in-time description of one subscription.
+type Info struct {
+	ID          int64
+	Delivery    Delivery
+	Meta        any
+	Seq         int64
+	LastVersion int64
+	Dropped     int64
+	Influencers int
+}
+
+// Subscription is one standing query. Consumers read Events; the
+// registry owns everything else.
+type Subscription struct {
+	id   int64
+	d    Delivery
+	meta any
+	eval EvalFunc
+	reg  *Registry
+
+	events chan Event
+
+	// Emission state, guarded by emu (never held while evaluating).
+	emu      sync.Mutex
+	seq      int64
+	lastVer  int64
+	lastFP   uint64
+	emitted  bool
+	dropped  int64
+	closed   bool
+	lastEmit time.Time
+	pending  *Event
+	timer    *time.Timer
+
+	// Scheduling state, guarded by the registry mutex.
+	region      any
+	influencers map[int]struct{}
+	dirty       bool
+	queued      bool
+	running     bool
+	removed     bool
+}
+
+// ID returns the registry-assigned subscription ID.
+func (s *Subscription) ID() int64 { return s.id }
+
+// Events returns the subscription's event stream. The channel is
+// closed after the terminal Bye event.
+func (s *Subscription) Events() <-chan Event { return s.events }
+
+// Meta returns the opaque value attached at Subscribe time.
+func (s *Subscription) Meta() any { return s.meta }
+
+// Info returns a point-in-time description of the subscription.
+func (s *Subscription) Info() Info {
+	s.reg.mu.Lock()
+	nInf := len(s.influencers)
+	s.reg.mu.Unlock()
+	s.emu.Lock()
+	defer s.emu.Unlock()
+	return Info{
+		ID:          s.id,
+		Delivery:    s.d,
+		Meta:        s.meta,
+		Seq:         s.seq,
+		LastVersion: s.lastVer,
+		Dropped:     s.dropped,
+		Influencers: nInf,
+	}
+}
+
+// Registry owns every standing subscription: the inverted
+// object→subscriptions index consulted on each write, a FIFO of dirty
+// subscriptions, and the worker pool that re-evaluates them. Writers
+// only classify and enqueue — evaluation is asynchronous, so the
+// ingest path never waits for sampling.
+type Registry struct {
+	workers int
+
+	mu     sync.Mutex
+	cond   *sync.Cond // queue non-empty or closing
+	subs   map[int64]*Subscription
+	index  map[int]map[int64]struct{} // object ID -> subscription IDs
+	queue  []int64
+	nextID int64
+	closed bool
+	wg     sync.WaitGroup
+
+	notifies    atomic.Int64
+	touchTests  atomic.Int64
+	affected    atomic.Int64
+	evaluations atomic.Int64
+	emitted     atomic.Int64
+	droppedN    atomic.Int64
+	skipped     atomic.Int64
+}
+
+// NewRegistry returns an empty registry whose evaluations run on
+// `workers` goroutines (minimum 1).
+func NewRegistry(workers int) *Registry {
+	if workers < 1 {
+		workers = 1
+	}
+	r := &Registry{
+		workers: workers,
+		subs:    make(map[int64]*Subscription),
+		index:   make(map[int]map[int64]struct{}),
+	}
+	r.cond = sync.NewCond(&r.mu)
+	for i := 0; i < workers; i++ {
+		r.wg.Add(1)
+		go r.worker()
+	}
+	return r
+}
+
+// Subscribe registers a standing query and synchronously runs its
+// initial evaluation, so the first event (seq 1) is queued before
+// Subscribe returns and no write published afterwards can be missed:
+// the subscription enters the registry before it evaluates, and a
+// concurrent NotifyWrite either marks it dirty (re-evaluated right
+// after) or is already visible in the snapshot the evaluation reads.
+// meta is returned verbatim by Info for API-layer listings.
+func (r *Registry) Subscribe(eval EvalFunc, d Delivery, meta any) *Subscription {
+	if d.QueueCap <= 0 {
+		d.QueueCap = defaultQueueCap
+	}
+	if d.MinInterval < 0 {
+		d.MinInterval = 0
+	}
+	s := &Subscription{
+		d:    d,
+		meta: meta,
+		eval: eval,
+		// The terminal bye always fits: eviction keeps one slot usable.
+		events: make(chan Event, d.QueueCap),
+	}
+	s.reg = r
+	r.mu.Lock()
+	r.nextID++
+	s.id = r.nextID
+	if r.closed {
+		r.mu.Unlock()
+		s.close()
+		return s
+	}
+	r.subs[s.id] = s
+	// The initial evaluation holds the single-flight slot like any
+	// worker run: a concurrent write marks the subscription dirty and
+	// finish() re-queues it, instead of racing a second evaluation.
+	s.running = true
+	r.mu.Unlock()
+	r.runEval(s)
+	r.finish(s)
+	return s
+}
+
+// Unsubscribe removes a subscription: its consumer receives a terminal
+// Bye event and the channel closes. It reports whether the ID was
+// registered.
+func (r *Registry) Unsubscribe(id int64) bool {
+	r.mu.Lock()
+	s := r.subs[id]
+	if s != nil {
+		r.drop(s)
+	}
+	r.mu.Unlock()
+	if s == nil {
+		return false
+	}
+	s.close()
+	return true
+}
+
+// drop unlinks s from the maps; callers hold r.mu.
+func (r *Registry) drop(s *Subscription) {
+	delete(r.subs, s.id)
+	for oid := range s.influencers {
+		if set := r.index[oid]; set != nil {
+			delete(set, s.id)
+			if len(set) == 0 {
+				delete(r.index, oid)
+			}
+		}
+	}
+	s.influencers = nil
+	s.removed = true
+}
+
+// Get returns the subscription with the given ID, if registered.
+func (r *Registry) Get(id int64) (*Subscription, bool) {
+	r.mu.Lock()
+	s, ok := r.subs[id]
+	r.mu.Unlock()
+	return s, ok
+}
+
+// List describes every registered subscription, ascending by ID.
+func (r *Registry) List() []Info {
+	r.mu.Lock()
+	subs := make([]*Subscription, 0, len(r.subs))
+	for _, s := range r.subs {
+		subs = append(subs, s)
+	}
+	r.mu.Unlock()
+	for i := 1; i < len(subs); i++ {
+		for j := i; j > 0 && subs[j].id < subs[j-1].id; j-- {
+			subs[j], subs[j-1] = subs[j-1], subs[j]
+		}
+	}
+	out := make([]Info, len(subs))
+	for i, s := range subs {
+		out[i] = s.Info()
+	}
+	return out
+}
+
+// Len returns the number of registered subscriptions.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.subs)
+}
+
+// Stats returns cumulative counters.
+func (r *Registry) Stats() Stats {
+	r.mu.Lock()
+	active := len(r.subs)
+	r.mu.Unlock()
+	return Stats{
+		Active:      active,
+		Notifies:    r.notifies.Load(),
+		TouchTests:  r.touchTests.Load(),
+		Affected:    r.affected.Load(),
+		Evaluations: r.evaluations.Load(),
+		Emitted:     r.emitted.Load(),
+		Dropped:     r.droppedN.Load(),
+		Skipped:     r.skipped.Load(),
+	}
+}
+
+// NotifyWrite classifies a published write: subscriptions indexed on
+// the object are affected outright; the rest run the touch test
+// against their stored region. Affected subscriptions are marked dirty
+// and enqueued for asynchronous re-evaluation — this call never
+// samples and never blocks on consumers, keeping the ingest path fast.
+// touch is resolved once per write by the caller (it captures the
+// written object against the just-published snapshot).
+func (r *Registry) NotifyWrite(objID int, touch TouchFunc) {
+	r.notifies.Add(1)
+	r.mu.Lock()
+	if r.closed || len(r.subs) == 0 {
+		r.mu.Unlock()
+		return
+	}
+	hit := r.index[objID]
+	var affected []*Subscription
+	type probe struct {
+		s      *Subscription
+		region any
+	}
+	var probes []probe
+	for id, s := range r.subs {
+		if _, ok := hit[id]; ok {
+			affected = append(affected, s)
+			continue
+		}
+		if s.region == nil {
+			// No influence region reported yet (initial evaluation still
+			// in flight, or the query errored): conservatively affected.
+			affected = append(affected, s)
+			continue
+		}
+		probes = append(probes, probe{s, s.region})
+	}
+	r.mu.Unlock()
+
+	// Touch tests run outside the lock: they sweep rectangles over the
+	// query window and must not stall Subscribe/Unsubscribe. The region
+	// value was captured under the lock; regions are immutable once
+	// reported, so testing a stale one is only conservative.
+	for _, p := range probes {
+		r.touchTests.Add(1)
+		if touch(p.region) {
+			affected = append(affected, p.s)
+		}
+	}
+	if len(affected) == 0 {
+		return
+	}
+
+	r.mu.Lock()
+	for _, s := range affected {
+		if s.removed || s.dirty {
+			continue
+		}
+		r.affected.Add(1)
+		s.dirty = true
+		if !s.queued && !s.running {
+			s.queued = true
+			r.queue = append(r.queue, s.id)
+			r.cond.Signal()
+		}
+	}
+	r.mu.Unlock()
+}
+
+// WaitIdle blocks until no evaluation is queued or running, or the
+// timeout elapses; it reports whether quiescence was reached. Pending
+// MinInterval coalescing timers do not count — only evaluation work.
+func (r *Registry) WaitIdle(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		r.mu.Lock()
+		idle := len(r.queue) == 0 && !r.anyBusy()
+		r.mu.Unlock()
+		if idle {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// anyBusy reports whether any subscription is mid-evaluation or dirty;
+// callers hold r.mu.
+func (r *Registry) anyBusy() bool {
+	for _, s := range r.subs {
+		if s.running || s.dirty || s.queued {
+			return true
+		}
+	}
+	return false
+}
+
+// Close shuts the registry down: workers stop, every subscription
+// receives a terminal Bye event, and all event channels close. Safe to
+// call more than once.
+func (r *Registry) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	subs := make([]*Subscription, 0, len(r.subs))
+	for _, s := range r.subs {
+		subs = append(subs, s)
+	}
+	for _, s := range subs {
+		r.drop(s)
+	}
+	r.queue = nil
+	r.cond.Broadcast()
+	r.mu.Unlock()
+	r.wg.Wait()
+	for _, s := range subs {
+		s.close()
+	}
+}
+
+// worker drains the dirty queue, one evaluation at a time.
+func (r *Registry) worker() {
+	defer r.wg.Done()
+	for {
+		r.mu.Lock()
+		for len(r.queue) == 0 && !r.closed {
+			r.cond.Wait()
+		}
+		if r.closed {
+			r.mu.Unlock()
+			return
+		}
+		id := r.queue[0]
+		r.queue = r.queue[1:]
+		s := r.subs[id]
+		if s == nil {
+			r.mu.Unlock()
+			continue
+		}
+		s.queued = false
+		s.running = true
+		s.dirty = false
+		r.mu.Unlock()
+		r.runEval(s)
+		r.finish(s)
+	}
+}
+
+// finish clears s's running flag and re-queues it when writes landed
+// mid-evaluation, so the single-flight rule (at most one evaluation of
+// a subscription at a time) never loses the freshest snapshot.
+func (r *Registry) finish(s *Subscription) {
+	r.mu.Lock()
+	s.running = false
+	if s.dirty && !s.removed && !r.closed && !s.queued {
+		s.queued = true
+		r.queue = append(r.queue, s.id)
+		r.cond.Signal()
+	}
+	r.mu.Unlock()
+}
+
+// runEval runs the evaluation closure (outside all locks), refreshes
+// the inverted index from the reported influencers, and hands the
+// answer to delivery.
+func (r *Registry) runEval(s *Subscription) {
+	r.evaluations.Add(1)
+	ev := s.eval()
+	r.mu.Lock()
+	if !s.removed {
+		next := make(map[int]struct{}, len(ev.Influencers))
+		for _, oid := range ev.Influencers {
+			next[oid] = struct{}{}
+		}
+		for oid := range s.influencers {
+			if _, keep := next[oid]; keep {
+				continue
+			}
+			if set := r.index[oid]; set != nil {
+				delete(set, s.id)
+				if len(set) == 0 {
+					delete(r.index, oid)
+				}
+			}
+		}
+		for oid := range next {
+			set := r.index[oid]
+			if set == nil {
+				set = make(map[int64]struct{})
+				r.index[oid] = set
+			}
+			set[s.id] = struct{}{}
+		}
+		s.influencers = next
+		if ev.Region != nil {
+			s.region = ev.Region
+		}
+	}
+	r.mu.Unlock()
+	s.deliver(ev)
+}
+
+// deliver applies the delivery policy to a fresh answer: version
+// de-duplication, OnChangeOnly suppression, MinInterval coalescing,
+// then emission into the bounded queue.
+func (s *Subscription) deliver(ev Eval) {
+	s.emu.Lock()
+	defer s.emu.Unlock()
+	if s.closed {
+		return
+	}
+	// Monotone versions per subscription: a re-evaluation of a version
+	// already delivered (or superseded) is byte-identical by the
+	// determinism contract and carries no information.
+	if s.emitted && ev.Version <= s.lastVer {
+		return
+	}
+	s.lastVer = ev.Version
+	if s.d.OnChangeOnly && s.emitted && ev.Fingerprint == s.lastFP {
+		s.reg.skipped.Add(1)
+		return
+	}
+	s.lastFP = ev.Fingerprint
+	e := Event{SubID: s.id, Version: ev.Version, Payload: ev.Payload}
+	now := time.Now()
+	if s.d.MinInterval > 0 && s.emitted && now.Sub(s.lastEmit) < s.d.MinInterval {
+		// Coalesce: keep only the latest answer, emit when the interval
+		// reopens.
+		s.pending = &e
+		if s.timer == nil {
+			s.timer = time.AfterFunc(s.d.MinInterval-now.Sub(s.lastEmit), s.flushPending)
+		}
+		return
+	}
+	s.emit(e, now)
+}
+
+// flushPending emits the coalesced answer once the MinInterval window
+// reopens.
+func (s *Subscription) flushPending() {
+	s.emu.Lock()
+	defer s.emu.Unlock()
+	s.timer = nil
+	if s.closed || s.pending == nil {
+		return
+	}
+	e := *s.pending
+	s.pending = nil
+	s.emit(e, time.Now())
+}
+
+// emit queues one event, evicting the oldest queued event when the
+// consumer lags (the write path never blocks); callers hold s.emu.
+func (s *Subscription) emit(e Event, now time.Time) {
+	s.seq++
+	e.Seq = s.seq
+	for {
+		e.Dropped = s.dropped
+		select {
+		case s.events <- e:
+			if !e.Bye {
+				s.emitted = true
+				s.lastEmit = now
+				s.reg.emitted.Add(1)
+			}
+			return
+		default:
+		}
+		// Queue full: evict the oldest (producers are serialized by emu,
+		// so the next round's send succeeds) and count the loss —
+		// Seq/Dropped on later events expose the gap to the consumer.
+		select {
+		case old := <-s.events:
+			if !old.Bye {
+				s.dropped++
+				s.reg.droppedN.Add(1)
+			}
+		default:
+		}
+	}
+}
+
+// close emits the terminal Bye and closes the channel. Any coalesced
+// pending answer is flushed first so the consumer never loses the
+// final state.
+func (s *Subscription) close() {
+	s.emu.Lock()
+	defer s.emu.Unlock()
+	if s.closed {
+		return
+	}
+	if s.timer != nil {
+		s.timer.Stop()
+		s.timer = nil
+	}
+	if s.pending != nil {
+		e := *s.pending
+		s.pending = nil
+		s.emit(e, time.Now())
+	}
+	s.emit(Event{SubID: s.id, Version: s.lastVer, Bye: true}, time.Time{})
+	s.closed = true
+	close(s.events)
+}

@@ -1,0 +1,310 @@
+package sub
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeEval builds an EvalFunc over a mutable "database": version and
+// answer are read atomically, influencers/region are fixed per call.
+type fakeDB struct {
+	version atomic.Int64
+	answer  atomic.Int64
+}
+
+func (db *fakeDB) eval(influencers []int, region any) EvalFunc {
+	return func() Eval {
+		a := db.answer.Load()
+		return Eval{
+			Version:     db.version.Load(),
+			Influencers: influencers,
+			Region:      region,
+			Payload:     a,
+			Fingerprint: uint64(a),
+		}
+	}
+}
+
+func collect(t *testing.T, s *Subscription, n int) []Event {
+	t.Helper()
+	var out []Event
+	for len(out) < n {
+		select {
+		case e, ok := <-s.Events():
+			if !ok {
+				t.Fatalf("channel closed after %d events, want %d", len(out), n)
+			}
+			out = append(out, e)
+		case <-time.After(2 * time.Second):
+			t.Fatalf("timed out after %d events, want %d", len(out), n)
+		}
+	}
+	return out
+}
+
+func TestSubscribeInitialEventAndIndex(t *testing.T) {
+	db := &fakeDB{}
+	db.version.Store(1)
+	r := NewRegistry(2)
+	defer r.Close()
+
+	s := r.Subscribe(db.eval([]int{7, 9}, "region"), Delivery{}, "meta")
+	ev := collect(t, s, 1)[0]
+	if ev.Seq != 1 || ev.Version != 1 || ev.Bye {
+		t.Fatalf("initial event = %+v, want seq 1 version 1", ev)
+	}
+	if got := s.Info(); got.Influencers != 2 || got.Meta != "meta" {
+		t.Fatalf("Info = %+v, want 2 influencers, meta kept", got)
+	}
+
+	// A write to an indexed object re-evaluates without a touch test; a
+	// write to anything else consults the region.
+	db.version.Store(2)
+	r.NotifyWrite(7, func(any) bool { t.Fatal("indexed object must not touch-test"); return false })
+	if !r.WaitIdle(2 * time.Second) {
+		t.Fatal("registry did not quiesce")
+	}
+	ev = collect(t, s, 1)[0]
+	if ev.Seq != 2 || ev.Version != 2 {
+		t.Fatalf("re-evaluation event = %+v, want seq 2 version 2", ev)
+	}
+
+	db.version.Store(3)
+	tested := false
+	r.NotifyWrite(100, func(region any) bool {
+		tested = true
+		if region != "region" {
+			t.Errorf("touch saw region %v", region)
+		}
+		return false
+	})
+	if !r.WaitIdle(2 * time.Second) {
+		t.Fatal("registry did not quiesce")
+	}
+	if !tested {
+		t.Fatal("unindexed write skipped the touch test")
+	}
+	select {
+	case e := <-s.Events():
+		t.Fatalf("untouched subscription received %+v", e)
+	default:
+	}
+	st := r.Stats()
+	if st.Evaluations != 2 || st.TouchTests != 1 {
+		t.Fatalf("stats = %+v, want 2 evaluations, 1 touch test", st)
+	}
+}
+
+func TestNotifySkipsUntouchedSubscriptions(t *testing.T) {
+	db := &fakeDB{}
+	db.version.Store(1)
+	r := NewRegistry(2)
+	defer r.Close()
+
+	near := r.Subscribe(db.eval([]int{1}, "near"), Delivery{}, nil)
+	far := r.Subscribe(db.eval([]int{2}, "far"), Delivery{}, nil)
+	collect(t, near, 1)
+	collect(t, far, 1)
+
+	db.version.Store(2)
+	r.NotifyWrite(50, func(region any) bool { return region == "near" })
+	if !r.WaitIdle(2 * time.Second) {
+		t.Fatal("registry did not quiesce")
+	}
+	if ev := collect(t, near, 1)[0]; ev.Version != 2 {
+		t.Fatalf("near got %+v, want version 2", ev)
+	}
+	select {
+	case e := <-far.Events():
+		t.Fatalf("far subscription received %+v", e)
+	default:
+	}
+	if st := r.Stats(); st.Affected != 1 {
+		t.Fatalf("Affected = %d, want 1", st.Affected)
+	}
+}
+
+func TestOnChangeOnlySuppressesEqualAnswers(t *testing.T) {
+	db := &fakeDB{}
+	db.version.Store(1)
+	db.answer.Store(42)
+	r := NewRegistry(1)
+	defer r.Close()
+
+	s := r.Subscribe(db.eval([]int{1}, "r"), Delivery{OnChangeOnly: true}, nil)
+	collect(t, s, 1)
+
+	// Same answer at a newer version: suppressed.
+	db.version.Store(2)
+	r.NotifyWrite(1, nil)
+	r.WaitIdle(2 * time.Second)
+	select {
+	case e := <-s.Events():
+		t.Fatalf("unchanged answer emitted %+v", e)
+	default:
+	}
+	// Changed answer: emitted.
+	db.version.Store(3)
+	db.answer.Store(43)
+	r.NotifyWrite(1, nil)
+	r.WaitIdle(2 * time.Second)
+	if ev := collect(t, s, 1)[0]; ev.Version != 3 || ev.Payload != int64(43) {
+		t.Fatalf("changed answer event = %+v", ev)
+	}
+	if st := r.Stats(); st.Skipped != 1 {
+		t.Fatalf("Skipped = %d, want 1", st.Skipped)
+	}
+}
+
+func TestMinIntervalCoalescesToLatest(t *testing.T) {
+	db := &fakeDB{}
+	db.version.Store(1)
+	db.answer.Store(1)
+	r := NewRegistry(1)
+	defer r.Close()
+
+	s := r.Subscribe(db.eval([]int{1}, "r"), Delivery{MinInterval: 50 * time.Millisecond}, nil)
+	collect(t, s, 1) // opens the interval window
+
+	// Two rapid updates inside the interval: only the latest survives.
+	for v := int64(2); v <= 3; v++ {
+		db.version.Store(v)
+		db.answer.Store(v * 10)
+		r.NotifyWrite(1, nil)
+		r.WaitIdle(2 * time.Second)
+	}
+	ev := collect(t, s, 1)[0]
+	if ev.Version != 3 || ev.Payload != int64(30) {
+		t.Fatalf("coalesced event = %+v, want the latest (version 3)", ev)
+	}
+	select {
+	case e := <-s.Events():
+		t.Fatalf("intermediate update leaked: %+v", e)
+	case <-time.After(80 * time.Millisecond):
+	}
+}
+
+func TestQueueOverflowDropsOldestNotWriter(t *testing.T) {
+	db := &fakeDB{}
+	db.version.Store(1)
+	r := NewRegistry(1)
+	defer r.Close()
+
+	s := r.Subscribe(db.eval([]int{1}, "r"), Delivery{QueueCap: 2}, nil)
+	// Nobody reads: pile up 5 answers into a 2-slot queue.
+	for v := int64(2); v <= 6; v++ {
+		db.version.Store(v)
+		r.NotifyWrite(1, nil)
+		if !r.WaitIdle(2 * time.Second) {
+			t.Fatal("registry did not quiesce — the writer path blocked on a full queue")
+		}
+	}
+	evs := collect(t, s, 2)
+	last := evs[1]
+	if last.Version != 6 {
+		t.Fatalf("newest queued event has version %d, want 6", last.Version)
+	}
+	if last.Dropped != 4 {
+		t.Fatalf("Dropped = %d, want 4 (6 emitted into 2 slots)", last.Dropped)
+	}
+	if st := r.Stats(); st.Dropped != 4 {
+		t.Fatalf("registry Dropped = %d, want 4", st.Dropped)
+	}
+}
+
+func TestUnsubscribeAndCloseSendBye(t *testing.T) {
+	db := &fakeDB{}
+	db.version.Store(1)
+	r := NewRegistry(1)
+
+	a := r.Subscribe(db.eval([]int{1}, "r"), Delivery{}, nil)
+	b := r.Subscribe(db.eval([]int{2}, "r"), Delivery{}, nil)
+	collect(t, a, 1)
+	collect(t, b, 1)
+
+	if !r.Unsubscribe(a.ID()) {
+		t.Fatal("Unsubscribe(a) = false")
+	}
+	if r.Unsubscribe(a.ID()) {
+		t.Fatal("second Unsubscribe(a) = true")
+	}
+	ev := collect(t, a, 1)[0]
+	if !ev.Bye || ev.Seq != 2 {
+		t.Fatalf("after Unsubscribe got %+v, want bye seq 2", ev)
+	}
+	if _, ok := <-a.Events(); ok {
+		t.Fatal("channel still open after bye")
+	}
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", r.Len())
+	}
+
+	r.Close()
+	ev = collect(t, b, 1)[0]
+	if !ev.Bye {
+		t.Fatalf("after Close got %+v, want bye", ev)
+	}
+	if _, ok := <-b.Events(); ok {
+		t.Fatal("channel still open after registry close")
+	}
+	// Idempotent.
+	r.Close()
+}
+
+func TestVersionsMonotoneUnderConcurrentWrites(t *testing.T) {
+	db := &fakeDB{}
+	db.version.Store(1)
+	r := NewRegistry(4)
+	defer r.Close()
+
+	const subs = 8
+	var wg sync.WaitGroup
+	for i := 0; i < subs; i++ {
+		s := r.Subscribe(db.eval([]int{i}, "r"), Delivery{QueueCap: 4}, nil)
+		wg.Add(1)
+		go func(s *Subscription) {
+			defer wg.Done()
+			lastSeq, lastVer := int64(0), int64(0)
+			for e := range s.Events() {
+				if e.Seq <= lastSeq {
+					t.Errorf("sub %d: seq %d after %d", s.ID(), e.Seq, lastSeq)
+				}
+				lastSeq = e.Seq
+				if e.Bye {
+					continue
+				}
+				if e.Version <= lastVer {
+					t.Errorf("sub %d: version %d after %d", s.ID(), e.Version, lastVer)
+				}
+				lastVer = e.Version
+			}
+		}(s)
+	}
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				db.version.Add(1)
+				r.NotifyWrite(i%subs, func(any) bool { return i%3 == 0 })
+			}
+		}()
+	}
+	// Writers finish, evaluations drain, subscriptions close, readers
+	// see bye + closed channels.
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	time.Sleep(50 * time.Millisecond)
+	r.WaitIdle(5 * time.Second)
+	r.Close()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("consumers did not drain after Close")
+	}
+}

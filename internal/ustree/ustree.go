@@ -308,6 +308,32 @@ func (t *Tree) RectAt(oi, tt int) (geo.Rect, bool) {
 	return ga.rects[tt-ga.t0], true
 }
 
+// MayInfluence reports whether object oi can come within bound[t-ts] of
+// q(t) at some t ∈ [ts, te] where it is alive — i.e. whether it may enter
+// the influence region described by a Pruning computed over the same
+// window. bound must have length te-ts+1; shorter bounds treat missing
+// entries as +Inf (conservatively touching). It is the write-path touch
+// test for standing queries: a false return proves the object cannot be
+// the NN at any window time and therefore cannot change the answer.
+func (t *Tree) MayInfluence(oi int, q func(int) geo.Point, ts, te int, bound []float64) bool {
+	if oi < 0 || oi >= len(t.objs) {
+		return false
+	}
+	for tt := ts; tt <= te; tt++ {
+		r, alive := t.RectAt(oi, tt)
+		if !alive {
+			continue
+		}
+		if tt-ts >= len(bound) {
+			return true
+		}
+		if r.MinDist(q(tt)) <= bound[tt-ts] {
+			return true
+		}
+	}
+	return false
+}
+
 func (t *Tree) gapOf(oi, gap int) *gapApprox {
 	// Gaps of one object are stored consecutively in insertion order; a
 	// linear probe over the object's own gaps via the gap index keeps this
@@ -345,6 +371,13 @@ type Pruning struct {
 	// one t ∈ T. It is a superset of Candidates restricted to the alive
 	// requirement per timestep; for P∃NN queries it is the refinement set.
 	Influencers []int
+	// PruneDist[t-ts] is the pruning threshold at time t: the k-th smallest
+	// dmax over alive objects (+Inf when fewer than k are alive). An object
+	// is an influencer iff its dmin reaches PruneDist at some window time,
+	// so the thresholds describe the query's influence region: an updated
+	// object whose rectangles stay strictly outside them at every t cannot
+	// change the answer.
+	PruneDist []float64
 }
 
 // Prune runs the UST-tree filter step for a query position function q
@@ -426,7 +459,7 @@ func (t *Tree) PruneK(q func(int) geo.Point, ts, te, k int) Pruning {
 		}
 	}
 
-	var out Pruning
+	out := Pruning{PruneDist: pruneDist}
 	for oi, w := range windows {
 		everNN := false
 		alwaysNN := true

@@ -47,6 +47,7 @@ import (
 	"pnn/internal/shard"
 	"pnn/internal/space"
 	"pnn/internal/store"
+	"pnn/internal/sub"
 	"pnn/internal/uncertain"
 )
 
@@ -222,7 +223,7 @@ func (db *DB) BuildSharded(samples, shards int) (*Processor, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Processor{net: db.net, set: set}, nil
+	return newProcessor(db.net, set), nil
 }
 
 // BuildLenient is Build for noisy data: objects whose observations
@@ -244,7 +245,7 @@ func (db *DB) BuildLenientSharded(samples, shards int) (*Processor, []int, error
 	for _, i := range skippedIdx {
 		skippedIDs = append(skippedIDs, db.ids[i])
 	}
-	return &Processor{net: db.net, set: set}, skippedIDs, nil
+	return newProcessor(db.net, set), skippedIDs, nil
 }
 
 // Processor answers probabilistic NN queries and ingests live updates.
@@ -255,8 +256,9 @@ func (db *DB) BuildLenientSharded(samples, shards int) (*Processor, []int, error
 // answers from a consistent version — either entirely before or
 // entirely after the update.
 type Processor struct {
-	net *Network
-	set *shard.Set
+	net  *Network
+	set  *shard.Set
+	subs *sub.Registry // standing queries; see subscribe.go
 }
 
 // SetParallelism spreads the gather-phase world evaluation of ForAllNN /
@@ -307,6 +309,7 @@ func (p *Processor) AddObject(id int, obs []Observation) (Ingest, error) {
 	if err != nil {
 		return Ingest{}, err
 	}
+	p.notifySubscriptions(snap)
 	return Ingest{Version: snap.Version, Objects: snap.NumObjects()}, nil
 }
 
@@ -326,6 +329,7 @@ func (p *Processor) Observe(id int, obs ...Observation) (Ingest, error) {
 	if err != nil {
 		return Ingest{}, err
 	}
+	p.notifySubscriptions(snap)
 	return Ingest{Version: snap.Version, Objects: snap.NumObjects()}, nil
 }
 

@@ -1,0 +1,216 @@
+package pnn
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"runtime"
+	"time"
+
+	"pnn/internal/shard"
+	"pnn/internal/sub"
+)
+
+// Delivery configures how a subscription's events reach its consumer;
+// see sub.Delivery for field semantics.
+type Delivery = sub.Delivery
+
+// SubEvent is one delivered subscription result. Payload, when the
+// event is not a terminal Bye, is a Response evaluated at
+// SubEvent.Version.
+type SubEvent = sub.Event
+
+// Subscription is one standing query; consume results from Events().
+type Subscription = sub.Subscription
+
+// SubscriptionInfo describes one registered subscription;
+// Meta is the Request it was registered with.
+type SubscriptionInfo = sub.Info
+
+// SubscriptionStats are the registry's cumulative counters — most
+// importantly Evaluations vs Notifies, the measure of how selective
+// write-path invalidation is.
+type SubscriptionStats = sub.Stats
+
+// influenceRegion is a standing query's stored influence region: the
+// query positions over the window plus the per-timestep pruning
+// thresholds of its last evaluation. An updated object whose
+// rectangles stay strictly outside bound[t-ts] at every window time
+// cannot be among the k nearest at any t — and because it then cannot
+// displace the threshold-defining objects either, the stored
+// thresholds remain valid until the next evaluation refreshes them.
+type influenceRegion struct {
+	q      Query
+	ts, te int
+	bound  []float64
+}
+
+// Subscribe registers req as a standing query: it is evaluated once
+// immediately (the first event on the returned subscription's channel,
+// seq 1) and re-evaluated after every AddObject/Observe whose object
+// touches the query's influence region. Every event carries a full
+// Response plus the snapshot version it answers for, and the
+// determinism contract of one-shot queries extends to standing ones: a
+// delivered event at version V is byte-identical to Run(req) against
+// the version-V snapshot.
+//
+// Evaluations run asynchronously on the registry's worker pool — the
+// ingest path never samples — and per-subscription event queues are
+// bounded (see Delivery.QueueCap): slow consumers lose oldest events,
+// tracked by SubEvent.Dropped, and never block writers. The consumer
+// must drain Events() until the terminal Bye event (sent by
+// Unsubscribe and CloseSubscriptions), after which the channel closes.
+func (p *Processor) Subscribe(req Request, d Delivery) (*Subscription, error) {
+	if _, _, err := normalizeRequest(req); err != nil {
+		return nil, err
+	}
+	return p.subs.Subscribe(func() sub.Eval { return p.evalStanding(req) }, d, req), nil
+}
+
+// Unsubscribe removes a standing query; its consumer receives a
+// terminal Bye event and the channel closes. It reports whether the ID
+// was registered.
+func (p *Processor) Unsubscribe(id int64) bool { return p.subs.Unsubscribe(id) }
+
+// Subscription returns the standing query with the given ID, if
+// registered.
+func (p *Processor) Subscription(id int64) (*Subscription, bool) { return p.subs.Get(id) }
+
+// Subscriptions describes every registered standing query, ascending
+// by ID.
+func (p *Processor) Subscriptions() []SubscriptionInfo { return p.subs.List() }
+
+// NumSubscriptions returns the number of registered standing queries.
+func (p *Processor) NumSubscriptions() int { return p.subs.Len() }
+
+// SubscriptionStats returns the registry's cumulative counters.
+func (p *Processor) SubscriptionStats() SubscriptionStats { return p.subs.Stats() }
+
+// WaitSubscriptionsIdle blocks until every pending re-evaluation has
+// drained (or the timeout elapses), reporting whether quiescence was
+// reached. After a successful wait, every subscription has evaluated
+// the newest snapshot its latest relevant write published.
+func (p *Processor) WaitSubscriptionsIdle(timeout time.Duration) bool {
+	return p.subs.WaitIdle(timeout)
+}
+
+// CloseSubscriptions shuts the subscription subsystem down: every
+// standing query receives a terminal Bye event and its channel closes.
+// The processor keeps answering one-shot queries; new Subscribe calls
+// return dead subscriptions. Safe to call more than once.
+func (p *Processor) CloseSubscriptions() { p.subs.Close() }
+
+// newProcessor wires a processor around a built shard set, including
+// the standing-query registry (its workers are idle until the first
+// Subscribe).
+func newProcessor(net *Network, set *shard.Set) *Processor {
+	return &Processor{net: net, set: set, subs: sub.NewRegistry(runtime.GOMAXPROCS(0))}
+}
+
+// evalStanding runs one standing-query evaluation against the current
+// snapshot. It answers through the exact same path as Run — same spec,
+// same single-item group — so the bytes match a fresh one-shot query
+// at the same version and seed; it additionally exports the influence
+// region for the write-path touch test.
+func (p *Processor) evalStanding(req Request) sub.Eval {
+	snap := p.set.Snapshot()
+	resp, inf := runStanding(snap, req)
+	ev := sub.Eval{
+		Version:     snap.Version,
+		Payload:     resp,
+		Fingerprint: fingerprintResponse(resp),
+	}
+	if resp.Err == nil {
+		ev.Influencers = inf.IDs
+		ev.Region = &influenceRegion{q: req.Query, ts: req.Ts, te: req.Te, bound: inf.PruneDist}
+	}
+	return ev
+}
+
+// runStanding is runOne, additionally reporting the influence region.
+// The answer goes through the identical RunShared group the one-shot
+// path uses, preserving byte-identical results per (snapshot, seed).
+func runStanding(snap *shard.Snap, req Request) (resp Response, inf shard.Influence) {
+	defer func() {
+		if r := recover(); r != nil {
+			resp = Response{Err: fmt.Errorf("pnn: standing query panicked: %v", r)}
+			inf = shard.Influence{}
+		}
+	}()
+	k, op, err := normalizeRequest(req)
+	if err != nil {
+		return Response{Err: err}, shard.Influence{}
+	}
+	spec := shard.GroupSpec{
+		Q: req.Query, Ts: req.Ts, Te: req.Te, K: k, Seed: req.Seed, Conf: req.Confidence,
+	}
+	answers, raw, inf, err := snap.RunSharedInfluence(spec, []shard.GroupItem{{Op: op, Tau: req.Tau}})
+	if err != nil {
+		return Response{Err: err}, inf
+	}
+	a := answers[0]
+	resp.Err = a.Err
+	if a.Err == nil {
+		switch op {
+		case shard.OpCNN:
+			ivs := make([]IntervalResult, len(a.Intervals))
+			for i, r := range a.Intervals {
+				ivs[i] = IntervalResult{ObjectID: r.ID, Times: r.Times, Prob: r.Prob}
+			}
+			resp.Intervals = ivs
+		default:
+			resp.Results = convertResults(a.Results)
+		}
+	}
+	resp.Stats = convStats(raw)
+	return resp, inf
+}
+
+// notifySubscriptions classifies one published write for the standing
+// queries: the touch predicate resolves the written object against the
+// snapshot that write produced (never a later one), so the test runs
+// on exactly the rectangles the published version serves.
+func (p *Processor) notifySubscriptions(snap *shard.Snap) {
+	id := snap.ChangedID
+	toucher := snap.Toucher(id)
+	p.subs.NotifyWrite(id, func(region any) bool {
+		r, ok := region.(*influenceRegion)
+		if !ok {
+			return true
+		}
+		return toucher(r.q, r.ts, r.te, r.bound)
+	})
+}
+
+// fingerprintResponse condenses a Response's answer — results,
+// intervals, error text — for Delivery.OnChangeOnly comparison.
+// Sampling statistics are deliberately excluded: an answer is
+// "unchanged" when the reported objects and probabilities are, even if
+// an adaptive policy reached its verdict a round earlier.
+func fingerprintResponse(resp Response) uint64 {
+	h := fnv.New64a()
+	var tmp [8]byte
+	put := func(u uint64) {
+		binary.LittleEndian.PutUint64(tmp[:], u)
+		h.Write(tmp[:])
+	}
+	put(uint64(len(resp.Results)))
+	for _, r := range resp.Results {
+		put(uint64(r.ObjectID))
+		put(math.Float64bits(r.Prob))
+	}
+	put(uint64(len(resp.Intervals)))
+	for _, iv := range resp.Intervals {
+		put(uint64(iv.ObjectID))
+		put(uint64(len(iv.Times)))
+		for _, t := range iv.Times {
+			put(uint64(t))
+		}
+		put(math.Float64bits(iv.Prob))
+	}
+	if resp.Err != nil {
+		h.Write([]byte(resp.Err.Error()))
+	}
+	return h.Sum64()
+}

@@ -1,0 +1,332 @@
+package pnn
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+// drainLatest empties a subscription's queue and returns the newest
+// non-bye event, failing the test when none is queued.
+func drainLatest(t *testing.T, s *Subscription) SubEvent {
+	t.Helper()
+	var last *SubEvent
+	for {
+		select {
+		case e, ok := <-s.Events():
+			if !ok {
+				t.Fatal("subscription channel closed while draining")
+			}
+			if !e.Bye {
+				last = &e
+				continue
+			}
+			t.Fatal("unexpected bye while draining")
+		default:
+		}
+		break
+	}
+	if last == nil {
+		t.Fatal("no event queued")
+	}
+	return *last
+}
+
+// TestSubscriptionMatchesOneShot is the subscription determinism
+// contract end-to-end: every delivered event at version V is
+// byte-identical — answers AND samples_drawn — to a fresh one-shot
+// query with the subscription's request at the version-V snapshot,
+// whatever the shard and worker counts. Re-evaluation shares the
+// one-shot execution path (same spec, same single-item group, per-row
+// seeding by object ID), so no scheduling detail may leak into a
+// standing answer.
+func TestSubscriptionMatchesOneShot(t *testing.T) {
+	net, db, err := SyntheticDataset(500, 8, 60, 80, 100, 5, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := RandomQueryState(net, 3)
+	q := AtState(net, qs)
+	conf := Confidence{Eps: 0.02, MaxSamples: 8000}
+	cases := []Request{
+		{Semantics: ForAll, Query: q, Ts: 40, Te: 47, Tau: 0.3, Seed: 99},
+		{Semantics: Exists, Query: q, Ts: 40, Te: 47, K: 2, Tau: 0.3, Seed: 99, Confidence: conf},
+		{Semantics: Continuous, Query: q, Ts: 40, Te: 44, Tau: 0.3, Seed: 99},
+	}
+	nextID := 10000
+	for _, shards := range []int{1, 2, 4} {
+		for _, workers := range []int{1, 4} {
+			proc, err := db.BuildSharded(2000, shards)
+			if err != nil {
+				t.Fatal(err)
+			}
+			proc.SetParallelism(workers)
+			subs := make([]*Subscription, len(cases))
+			for i, req := range cases {
+				if subs[i], err = proc.Subscribe(req, Delivery{QueueCap: 64}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			check := func(stage string) {
+				t.Helper()
+				for i, s := range subs {
+					e := drainLatest(t, s)
+					if e.Version != proc.Version() {
+						t.Fatalf("shards=%d workers=%d %s case %d: event version %d, snapshot %d",
+							shards, workers, stage, i, e.Version, proc.Version())
+					}
+					got := e.Payload.(Response)
+					if got.Err != nil {
+						t.Fatalf("%s case %d: %v", stage, i, got.Err)
+					}
+					want := proc.Run(cases[i])
+					if want.Err != nil {
+						t.Fatalf("%s case %d one-shot: %v", stage, i, want.Err)
+					}
+					gb, _ := json.Marshal(struct {
+						R []Result
+						I []IntervalResult
+					}{got.Results, got.Intervals})
+					wb, _ := json.Marshal(struct {
+						R []Result
+						I []IntervalResult
+					}{want.Results, want.Intervals})
+					if string(gb) != string(wb) {
+						t.Errorf("shards=%d workers=%d %s case %d answers diverged:\nevent    %s\none-shot %s",
+							shards, workers, stage, i, gb, wb)
+					}
+					if got.Stats.Worlds != want.Stats.Worlds ||
+						got.Stats.ErrorBound != want.Stats.ErrorBound ||
+						got.Stats.EarlyStopped != want.Stats.EarlyStopped {
+						t.Errorf("shards=%d workers=%d %s case %d sampling diverged: event %+v, one-shot %+v",
+							shards, workers, stage, i, got.Stats, want.Stats)
+					}
+				}
+			}
+			check("initial")
+
+			// A new object parked at the query state mid-window: inside
+			// every influence region, so all three subscriptions re-run.
+			id := nextID
+			nextID++
+			if _, err := proc.AddObject(id, []Observation{{T: 42, State: qs}}); err != nil {
+				t.Fatal(err)
+			}
+			if !proc.WaitSubscriptionsIdle(10 * time.Second) {
+				t.Fatal("subscriptions did not quiesce after AddObject")
+			}
+			check("after-add")
+
+			// Extend the object's lifetime (it stays put — always
+			// chain-consistent); again inside every region.
+			if _, err := proc.Observe(id, Observation{T: 43, State: qs}); err != nil {
+				t.Fatal(err)
+			}
+			if !proc.WaitSubscriptionsIdle(10 * time.Second) {
+				t.Fatal("subscriptions did not quiesce after Observe")
+			}
+			check("after-observe")
+
+			proc.CloseSubscriptions()
+			for _, s := range subs {
+				e, ok := <-s.Events()
+				if !ok || !e.Bye {
+					t.Fatalf("want terminal bye, got %+v (ok=%v)", e, ok)
+				}
+				if _, ok := <-s.Events(); ok {
+					t.Fatal("channel open after bye")
+				}
+			}
+		}
+	}
+}
+
+// TestSubscriptionInvalidRequestRejected pins Subscribe to the same
+// validation as one-shot queries: bad requests fail at registration,
+// never at delivery time.
+func TestSubscriptionInvalidRequestRejected(t *testing.T) {
+	_, db, err := SyntheticDataset(200, 8, 20, 40, 60, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc, err := db.Build(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := proc.Subscribe(Request{Semantics: "nope"}, Delivery{}); err == nil {
+		t.Error("unknown semantics accepted")
+	}
+	if _, err := proc.Subscribe(Request{Semantics: Continuous, Tau: 0}, Delivery{}); err == nil {
+		t.Error("PCNN with tau=0 accepted")
+	}
+}
+
+// TestSubscriptionIngestHammer is the -race stress: writers ingest
+// while consumers stream, asserting per-subscription event versions
+// and sequence numbers stay strictly monotone, drops are surfaced
+// rather than blocking writers, and shutdown delivers bye everywhere.
+func TestSubscriptionIngestHammer(t *testing.T) {
+	net, db, err := SyntheticDataset(400, 8, 40, 60, 80, 5, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc, err := db.BuildSharded(300, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nSubs = 12
+	subs := make([]*Subscription, nSubs)
+	for i := range subs {
+		req := Request{
+			Semantics: Exists, Query: AtState(net, RandomQueryState(net, int64(i))),
+			Ts: 30, Te: 37, Tau: 0.2, Seed: int64(100 + i),
+		}
+		if subs[i], err = proc.Subscribe(req, Delivery{QueueCap: 4}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for _, s := range subs {
+		wg.Add(1)
+		go func(s *Subscription) {
+			defer wg.Done()
+			lastSeq, lastVer := int64(0), int64(0)
+			sawBye := false
+			for e := range s.Events() {
+				if e.Seq <= lastSeq {
+					t.Errorf("sub %d: seq %d after %d", s.ID(), e.Seq, lastSeq)
+				}
+				lastSeq = e.Seq
+				if e.Bye {
+					sawBye = true
+					continue
+				}
+				if e.Version <= lastVer {
+					t.Errorf("sub %d: version %d after %d", s.ID(), e.Version, lastVer)
+				}
+				lastVer = e.Version
+			}
+			if !sawBye {
+				t.Errorf("sub %d: channel closed without bye", s.ID())
+			}
+		}(s)
+	}
+
+	const writers, writesEach = 3, 15
+	var ww sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		ww.Add(1)
+		go func(w int) {
+			defer ww.Done()
+			base := 5000 + w*1000
+			for i := 0; i < writesEach; i++ {
+				id := base + i
+				st := RandomQueryState(net, int64(w*writesEach+i))
+				if _, err := proc.AddObject(id, []Observation{{T: 32, State: st}}); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+				if _, err := proc.Observe(id, Observation{T: 33, State: st}); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	ww.Wait()
+	if !proc.WaitSubscriptionsIdle(30 * time.Second) {
+		t.Fatal("subscriptions did not quiesce after the write storm")
+	}
+	proc.CloseSubscriptions()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("consumers did not drain after CloseSubscriptions")
+	}
+	st := proc.SubscriptionStats()
+	if st.Notifies != writers*writesEach*2 {
+		t.Errorf("Notifies = %d, want %d", st.Notifies, writers*writesEach*2)
+	}
+	if st.Emitted == 0 {
+		t.Error("no events emitted; the hammer tested nothing")
+	}
+}
+
+// TestSubscriptionSelectiveInvalidation is the acceptance criterion of
+// the inverted-index design: with many standing queries spread over
+// the space, one write re-evaluates only the subscriptions whose
+// influence region the written object touches — a small fraction of
+// the registry — while full fan-out would re-run all of them.
+func TestSubscriptionSelectiveInvalidation(t *testing.T) {
+	nSubs := 1000
+	if testing.Short() {
+		nSubs = 250
+	}
+	net, db, err := SyntheticDataset(2500, 8, 600, 100, 100, 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc, err := db.Build(150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm every model up front so the registration sweep below pays
+	// only for pruning and sampling.
+	if err := proc.PrepareAll(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < nSubs; i++ {
+		req := Request{
+			Semantics: Exists, Query: AtState(net, RandomQueryState(net, int64(i))),
+			Ts: 40, Te: 47, Tau: 0.3, Seed: int64(i),
+		}
+		if _, err := proc.Subscribe(req, Delivery{QueueCap: 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !proc.WaitSubscriptionsIdle(60 * time.Second) {
+		t.Fatal("initial evaluations did not quiesce")
+	}
+	base := proc.SubscriptionStats()
+	if base.Evaluations < int64(nSubs) {
+		t.Fatalf("initial Evaluations = %d, want >= %d", base.Evaluations, nSubs)
+	}
+
+	// The write lands exactly on subscription #5's query state, so at
+	// least that one subscription must be touched — the lower bound
+	// below is structural, not statistical.
+	wst := RandomQueryState(net, 5)
+	if _, err := proc.AddObject(777777, []Observation{{T: 44, State: wst}}); err != nil {
+		t.Fatal(err)
+	}
+	if !proc.WaitSubscriptionsIdle(60 * time.Second) {
+		t.Fatal("post-AddObject evaluations did not quiesce")
+	}
+	afterAdd := proc.SubscriptionStats()
+
+	if _, err := proc.Observe(777777, Observation{T: 45, State: wst}); err != nil {
+		t.Fatal(err)
+	}
+	if !proc.WaitSubscriptionsIdle(60 * time.Second) {
+		t.Fatal("post-Observe evaluations did not quiesce")
+	}
+	afterObs := proc.SubscriptionStats()
+
+	addTouched := afterAdd.Evaluations - base.Evaluations
+	obsTouched := afterObs.Evaluations - afterAdd.Evaluations
+	t.Logf("registered %d subscriptions; AddObject touched %d, Observe touched %d",
+		nSubs, addTouched, obsTouched)
+	for name, touched := range map[string]int64{"AddObject": addTouched, "Observe": obsTouched} {
+		if touched == 0 {
+			t.Errorf("%s re-evaluated nothing — the write was invisible, the test is vacuous", name)
+		}
+		if touched > int64(nSubs)/5 {
+			t.Errorf("%s re-evaluated %d of %d subscriptions; invalidation is not selective", name, touched, nSubs)
+		}
+	}
+	proc.CloseSubscriptions()
+}
