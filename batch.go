@@ -63,7 +63,12 @@ type Response struct {
 	Results   []Result
 	Intervals []IntervalResult
 	Stats     Stats
-	Err       error
+	// Version identifies the snapshot the response answered from — the
+	// per-shard version vector plus the composite maximum (see
+	// VersionInfo). Every response path sets it, including failed ones:
+	// an error is still an answer about a particular snapshot.
+	Version VersionInfo
+	Err     error
 }
 
 // BatchStats is the scheduling-independent work accounting of one
@@ -211,7 +216,7 @@ func (p *Processor) runShared(snap *shard.Snap, reqs []Request, sharedSeed int64
 	for i, req := range reqs {
 		k, op, err := normalizeRequest(req)
 		if err != nil {
-			out[i] = Response{Err: err}
+			out[i] = Response{Version: versionOf(snap), Err: err}
 			continue
 		}
 		key := groupKey(req.Query, req.Ts, req.Te, k, req.Confidence)
@@ -241,7 +246,7 @@ func (p *Processor) runShared(snap *shard.Snap, reqs []Request, sharedSeed int64
 		mu.Unlock()
 		for j, ri := range g.reqIdx {
 			if err != nil {
-				out[ri] = Response{Err: err}
+				out[ri] = Response{Version: versionOf(snap), Err: err}
 				continue
 			}
 			out[ri] = answers[j]
@@ -266,9 +271,10 @@ func sharedGroup(snap *shard.Snap, g *batchGroup) (resps []Response, st query.St
 	}
 	stats := convStats(st)
 	stats.SamplerBuilds = 0 // batch-level accounting; see BatchStats
+	vi := versionOf(snap)
 	resps = make([]Response, len(answers))
 	for i, a := range answers {
-		resps[i] = Response{Stats: stats, Err: a.Err}
+		resps[i] = Response{Stats: stats, Version: vi, Err: a.Err}
 		if a.Err != nil {
 			continue
 		}
@@ -384,12 +390,12 @@ func runOne(snap *shard.Snap, req Request) (resp Response, raw query.Stats) {
 	// the whole process).
 	defer func() {
 		if r := recover(); r != nil {
-			resp = Response{Err: fmt.Errorf("pnn: batch request panicked: %v", r)}
+			resp = Response{Version: versionOf(snap), Err: fmt.Errorf("pnn: batch request panicked: %v", r)}
 		}
 	}()
 	k, op, err := normalizeRequest(req)
 	if err != nil {
-		return Response{Err: err}, raw
+		return Response{Version: versionOf(snap), Err: err}, raw
 	}
 	spec := shard.GroupSpec{
 		Q: req.Query, Ts: req.Ts, Te: req.Te, K: k, Seed: req.Seed, Conf: req.Confidence,
@@ -404,6 +410,7 @@ func runOne(snap *shard.Snap, req Request) (resp Response, raw query.Stats) {
 	}
 	resp.Stats = convStats(raw)
 	resp.Stats.SamplerBuilds = 0 // batch-level accounting; see BatchStats
+	resp.Version = versionOf(snap)
 	return resp, raw
 }
 

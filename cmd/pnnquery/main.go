@@ -14,15 +14,29 @@
 // initial answer, pnnquery ingests a few synthetic objects into the
 // query's window and prints every incremental re-evaluation event the
 // subscription delivers, ending with the terminal bye.
+//
+// With -server the query is POSTed to a running pnnserve (standalone or
+// cluster router) instead of building a local database:
+//
+//	pnnquery -server http://localhost:8080 -state 17 -semantics forall -tau 0.3 -ts 500
+//
+// Structured error envelopes are rendered as "code: message", and
+// transient 503 answers (a cluster gather that could not complete, code
+// "peer_unavailable") are retried with exponential backoff.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"time"
 
 	"pnn"
+	"pnn/internal/server"
 )
 
 func main() {
@@ -44,8 +58,23 @@ func main() {
 		delta     = flag.Float64("delta", 0, "adaptive sampling: failure probability δ (0: default 0.05)")
 		maxSamp   = flag.Int("max-samples", 0, "adaptive sampling: escalation cap on sampled worlds (0: -samples)")
 		follow    = flag.Int("follow", 0, "register the query as a standing subscription and ingest this many objects into its window, printing each re-evaluation event")
+		srvURL    = flag.String("server", "", "query a running pnnserve at this base URL instead of building a local database (requires -state and -ts)")
+		state     = flag.Int("state", -1, "query reference state (-1: derived from the seed; required with -server)")
+		retries   = flag.Int("retries", 4, "server mode: attempts for transient 503 (peer_unavailable) answers, with exponential backoff")
 	)
 	flag.Parse()
+
+	if *srvURL != "" {
+		if *state < 0 || *ts < 0 {
+			fmt.Fprintln(os.Stderr, "pnnquery: -server mode needs explicit -state and -ts (no local network to derive them from)")
+			os.Exit(2)
+		}
+		if *te < 0 {
+			*te = *ts + 9
+		}
+		runServer(*srvURL, *semantics, *state, *ts, *te, *k, *tau, *seed, *eps, *delta, *maxSamp, *retries)
+		return
+	}
 
 	var (
 		net *pnn.Network
@@ -66,9 +95,12 @@ func main() {
 	proc, err := db.Build(*samples)
 	fatal(err)
 
-	// Query: a uniformly random state, interval defaulting to the middle
-	// of the horizon.
-	qs := int(uint64(*seed*2654435761) % uint64(net.NumStates()))
+	// Query: an explicit or uniformly random state, interval defaulting
+	// to the middle of the horizon.
+	qs := *state
+	if qs < 0 || qs >= net.NumStates() {
+		qs = int(uint64(*seed*2654435761) % uint64(net.NumStates()))
+	}
 	if *ts < 0 {
 		*ts = *horizon / 2
 	}
@@ -182,6 +214,123 @@ func printAnswer(resp pnn.Response, sem pnn.Semantics, conf pnn.Confidence) {
 		for _, r := range resp.Results {
 			fmt.Printf("  object %6d  p=%.4f\n", r.ObjectID, r.Prob)
 		}
+	}
+}
+
+// runServer answers the query through a running pnnserve's /v1 API.
+// Error envelopes are rendered by code and message — never as raw JSON
+// — and transient 503s (a cluster gather that could not complete
+// consistently) are retried with exponential backoff.
+func runServer(base, semantics string, state, ts, te, k int, tau float64, seed int64, eps, delta float64, maxSamp, retries int) {
+	var endpoint string
+	switch semantics {
+	case "forall":
+		endpoint = "/v1/forallnn"
+	case "exists":
+		endpoint = "/v1/existsnn"
+	case "cnn":
+		endpoint = "/v1/pcnn"
+	default:
+		fmt.Fprintf(os.Stderr, "pnnquery: unknown semantics %q\n", semantics)
+		os.Exit(2)
+	}
+	spec := server.QuerySpec{
+		Query:  &server.QueryRef{State: &state},
+		Window: &server.Window{Ts: ts, Te: te},
+		K:      k, Tau: tau, Seed: seed,
+	}
+	conf := pnn.Confidence{Eps: eps, Delta: delta, MaxSamples: maxSamp}
+	if conf.Enabled() {
+		spec.Confidence = &server.ConfidenceJSON{Eps: eps, Delta: delta, MaxSamples: maxSamp}
+	}
+	body, err := json.Marshal(spec)
+	fatal(err)
+
+	backoff := 250 * time.Millisecond
+	if retries < 1 {
+		retries = 1
+	}
+	for attempt := 1; ; attempt++ {
+		status, raw, err := postJSON(base+endpoint, body)
+		fatal(err)
+		if status == http.StatusOK {
+			var resp server.QueryResponse
+			fatal(json.Unmarshal(raw, &resp))
+			fmt.Printf("server %s  T=[%d,%d]  state %d  τ=%.2f\n", base, ts, te, state, tau)
+			fmt.Printf("snapshot version %d  vector %v\n\n", resp.Version.Max, resp.Version.Vector)
+			printServerAnswer(resp, semantics, conf)
+			return
+		}
+		code, msg := decodeEnvelope(raw)
+		if status == http.StatusServiceUnavailable && attempt < retries {
+			fmt.Fprintf(os.Stderr, "pnnquery: %s: %s — retrying in %v (%d/%d)\n",
+				code, msg, backoff, attempt, retries)
+			time.Sleep(backoff)
+			backoff *= 2
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "pnnquery: server rejected the query (HTTP %d)\n  %s: %s\n", status, code, msg)
+		os.Exit(1)
+	}
+}
+
+// postJSON POSTs body and returns the status and raw answer bytes.
+func postJSON(url string, body []byte) (int, []byte, error) {
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, raw, nil
+}
+
+// decodeEnvelope extracts the structured error envelope's stable code
+// and message, falling back to a generic rendering for non-envelope
+// bodies rather than dumping raw JSON at the user.
+func decodeEnvelope(raw []byte) (code, msg string) {
+	var env server.ErrorEnvelope
+	if err := json.Unmarshal(raw, &env); err == nil && env.Error.Code != "" {
+		msg = env.Error.Message
+		if env.Error.Field != "" {
+			msg += fmt.Sprintf(" (field %s)", env.Error.Field)
+		}
+		return env.Error.Code, msg
+	}
+	return "unknown_error", fmt.Sprintf("unrecognized error body (%d bytes)", len(raw))
+}
+
+// printServerAnswer renders a wire response in the same shape as the
+// local printAnswer.
+func printServerAnswer(resp server.QueryResponse, semantics string, conf pnn.Confidence) {
+	fmt.Printf("filter: %d candidates, %d influencers; %d worlds sampled\n",
+		resp.Stats.Candidates, resp.Stats.Influencers, resp.Sampling.SamplesDrawn)
+	if conf.Enabled() {
+		stopped := "budget exhausted"
+		if resp.Sampling.EarlyStopped {
+			stopped = "stopped early"
+		}
+		fmt.Printf("±%.4f Hoeffding bound at δ=%.3g (%s)\n\n", resp.Sampling.ErrorBound, conf.EffDelta(), stopped)
+	} else {
+		fmt.Printf("±%.3f at 95%% confidence (Hoeffding)\n\n", pnn.SampleBound(resp.Sampling.SamplesDrawn, 0.05))
+	}
+	if semantics == "cnn" {
+		if len(resp.Intervals) == 0 {
+			fmt.Println("no (object, timestamp set) meets the threshold")
+		}
+		for _, r := range resp.Intervals {
+			fmt.Printf("  object %6d  tics %v  p=%.4f\n", r.ObjectID, r.Times, r.Prob)
+		}
+		return
+	}
+	if len(resp.Results) == 0 {
+		fmt.Println("no object meets the threshold")
+	}
+	for _, r := range resp.Results {
+		fmt.Printf("  object %6d  p=%.4f\n", r.ObjectID, r.Prob)
 	}
 }
 

@@ -22,6 +22,23 @@
 //	             "window": {"ts": 500, "te": 509}, "tau": 0.1}' \
 //	    localhost:8080/v1/subscribe
 //
+// # Cluster mode
+//
+// The same binary runs a multi-node deployment: shard peers each own a
+// consistent-hash slice of the objects and serve an /internal RPC
+// surface, and a router scatters query work to all peers, gathering
+// merged answers byte-identical to a single-process server over the
+// same objects at the same snapshot versions and seed.
+//
+//	pnnserve -role peer -peer-name a -peers a=http://h1:9001,b=http://h2:9002 -addr :9001 ...
+//	pnnserve -role peer -peer-name b -peers a=http://h1:9001,b=http://h2:9002 -addr :9002 ...
+//	pnnserve -role router -peers a=http://h1:9001,b=http://h2:9002 -addr :8080 ...
+//
+// Every node of one cluster must load the same dataset (peers retain
+// only the objects they own before indexing) and the router's -peers
+// list must be identical across restarts: it fixes both the ring and
+// the order of the version vector responses carry.
+//
 // SIGINT/SIGTERM drain in-flight requests before exiting.
 package main
 
@@ -35,10 +52,13 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
 	"pnn"
+	"pnn/internal/cluster"
+	"pnn/internal/ring"
 	"pnn/internal/server"
 )
 
@@ -65,6 +85,16 @@ func main() {
 		lenient  = flag.Bool("lenient", false, "drop objects with contradicting observations instead of failing")
 		grace    = flag.Duration("grace", 10*time.Second, "shutdown drain timeout")
 		pprofOn  = flag.String("pprof", "", "also serve net/http/pprof on this address (e.g. localhost:6060); off when empty")
+
+		role     = flag.String("role", "standalone", "node role: standalone | router (scatter-gather coordinator over -peers) | peer (shard node serving the /internal RPC surface)")
+		peers    = flag.String("peers", "", "comma-separated name=url shard peers in version-vector order (router: the gather fan-out; peer: the full ring, for ownership filtering)")
+		peerName = flag.String("peer-name", "", "role=peer: this node's name on the consistent-hash ring (must appear in -peers)")
+		vnodes   = flag.Int("vnodes", 0, "virtual nodes per peer on the consistent-hash ring (0: 64)")
+		peerTO   = flag.Duration("peer-timeout", 10*time.Second, "router: per-attempt RPC budget against each peer")
+		hedge    = flag.Duration("hedge", 0, "router: straggler delay before the one hedged retry (0: peer-timeout/4)")
+		probeIv  = flag.Duration("probe-interval", 2*time.Second, "router: peer health probe period")
+		bootTO   = flag.Duration("bootstrap-timeout", time.Minute, "router: how long to wait for all peers at startup")
+		aliases  = flag.Bool("legacy-aliases", false, "re-enable the deprecated flat QuerySpec alias fields (decoded with warnings) instead of rejecting them with code use_query_spec")
 	)
 	flag.Parse()
 
@@ -108,6 +138,73 @@ func main() {
 	}
 	fatal(err)
 
+	if *workers < 1 {
+		*workers = 1
+	}
+	if *qpar < 1 {
+		*qpar = runtime.GOMAXPROCS(0) / *workers
+		if *qpar < 1 {
+			*qpar = 1
+		}
+	}
+	scfg := server.Config{
+		BatchWorkers: *workers, Ingest: *ingest, ShareBatch: *share,
+		MaxSamplesCap: *capSamp, MaxSubscriptions: *maxSubs,
+		LegacyAliases: *aliases, Role: *role,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *role == server.RoleRouter {
+		// The router indexes nothing: it owns the ring, scatters query
+		// work to the peers and gathers merged, replay-exact answers.
+		peerList, perr := parsePeers(*peers)
+		fatal(perr)
+		coord, cerr := cluster.NewCoordinator(net, cluster.Config{
+			Peers: peerList, VirtualNodes: *vnodes,
+			Timeout: *peerTO, HedgeDelay: *hedge, ProbeInterval: *probeIv,
+			Workers: *qpar,
+		})
+		fatal(cerr)
+		bctx, bcancel := context.WithTimeout(ctx, *bootTO)
+		berr := coord.Bootstrap(bctx)
+		bcancel()
+		fatal(berr)
+		version, objects, vec := coord.SnapshotDetail()
+		log.Printf("routing over %d peers (%d shards, %d objects, version %d, sample budget %d)",
+			len(peerList), len(vec), objects, version, coord.SampleBudget())
+		srv := server.New(net, coord, scfg)
+		log.Printf("serving on %s", *addr)
+		if err := srv.Run(ctx, *addr, *grace); err != nil {
+			fatal(err)
+		}
+		log.Printf("shut down cleanly")
+		return
+	}
+
+	if *role == server.RolePeer {
+		// A peer loads the shared dataset but retains only the slice of
+		// objects it owns on the ring before paying to index them.
+		peerList, perr := parsePeers(*peers)
+		fatal(perr)
+		names := make([]string, len(peerList))
+		found := false
+		for i, p := range peerList {
+			names[i] = p.Name
+			found = found || p.Name == *peerName
+		}
+		if !found {
+			fatal(fmt.Errorf("role=peer needs -peer-name naming one of -peers, got %q", *peerName))
+		}
+		rg, rerr := ring.New(names, *vnodes)
+		fatal(rerr)
+		before := db.Len()
+		db.Retain(func(id int) bool { return rg.OwnerID(id) == *peerName })
+		log.Printf("peer %s owns %d of %d objects", *peerName, db.Len(), before)
+	} else if *role != server.RoleStandalone && *role != "" {
+		fatal(fmt.Errorf("unknown role %q (want standalone, router or peer)", *role))
+	}
+
 	begin := time.Now()
 	if *shards < 1 {
 		*shards = 1
@@ -123,15 +220,6 @@ func main() {
 		proc, err = db.BuildSharded(*samples, *shards)
 	}
 	fatal(err)
-	if *workers < 1 {
-		*workers = 1
-	}
-	if *qpar < 1 {
-		*qpar = runtime.GOMAXPROCS(0) / *workers
-		if *qpar < 1 {
-			*qpar = 1
-		}
-	}
 	proc.SetParallelism(*qpar)
 	log.Printf("indexed %d objects over %d states in %v (%d shards, batch workers %d, per-query parallelism %d)",
 		proc.NumObjects(), net.NumStates(), time.Since(begin), proc.NumShards(), *workers, *qpar)
@@ -142,17 +230,36 @@ func main() {
 		log.Printf("adapted %d models in %v", proc.NumObjects(), time.Since(begin))
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-	srv := server.New(net, proc, server.Config{
-		BatchWorkers: *workers, Ingest: *ingest, ShareBatch: *share,
-		MaxSamplesCap: *capSamp, MaxSubscriptions: *maxSubs,
-	})
+	srv := server.New(net, proc, scfg)
 	log.Printf("serving on %s", *addr)
 	if err := srv.Run(ctx, *addr, *grace); err != nil {
 		fatal(err)
 	}
 	log.Printf("shut down cleanly")
+}
+
+// parsePeers decodes the -peers flag: comma-separated name=url pairs,
+// kept in the given order (it is the version-vector order).
+func parsePeers(s string) ([]cluster.Peer, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("cluster roles need -peers (name=url,name=url,...)")
+	}
+	var out []cluster.Peer
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, url, ok := strings.Cut(part, "=")
+		if !ok || name == "" || url == "" {
+			return nil, fmt.Errorf("bad -peers entry %q (want name=url)", part)
+		}
+		out = append(out, cluster.Peer{Name: name, URL: url})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cluster roles need at least one -peers entry")
+	}
+	return out, nil
 }
 
 func fatal(err error) {

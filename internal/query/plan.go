@@ -283,6 +283,18 @@ type Plan struct {
 	// across the whole run. len(RowRngs) must equal len(Samplers).
 	RowRngs []mcrand.RNG
 
+	// Replay selects the replay draw policy (the cross-process gather
+	// path): instead of sampling, row i's state column for world w is
+	// copied from Replay[i][w*nT:(w+1)*nT] (nT = Te-Ts+1, -1 marking
+	// dead timesteps). Every Replay[i] must hold at least
+	// Confidence.Budget(Samples) worlds. Because a row's pre-drawn
+	// columns are exactly what its private generator would have produced
+	// in world order, a replayed plan evaluates the same worlds — and
+	// under a confidence policy reaches the same deterministic stop
+	// point — as the per-row plan that drew them. Samplers and RowRngs
+	// must be nil when Replay is set.
+	Replay [][]int32
+
 	// FillGroups optionally partitions rows for the parallel fill phase
 	// of the per-row policy (the sharded executor groups rows by owning
 	// shard). Each group is filled sequentially by one goroutine; the
@@ -345,6 +357,23 @@ func (e *Engine) Execute(p *Plan) (ExecStats, error) {
 	return execute(p)
 }
 
+// ExecutePlan runs a fully specified plan without an engine: Space,
+// Samples and Workers must all be set by the caller. It is the entry
+// point of deployments that evaluate worlds away from any index — the
+// cluster coordinator replays peer-drawn state columns (Plan.Replay)
+// through it, so gathered answers run the very same executor, chunking
+// and early-stop cadence as local queries.
+func ExecutePlan(p *Plan) (ExecStats, error) { return execute(p) }
+
+// rows returns the number of influencer rows of the plan under either
+// draw policy.
+func (p *Plan) rows() int {
+	if p.Replay != nil {
+		return len(p.Replay)
+	}
+	return len(p.Samplers)
+}
+
 func execute(p *Plan) (ExecStats, error) {
 	if p.Query.Zero() {
 		return ExecStats{}, errZeroQuery
@@ -361,13 +390,26 @@ func execute(p *Plan) (ExecStats, error) {
 	if p.RowRngs != nil && len(p.RowRngs) != len(p.Samplers) {
 		return ExecStats{}, fmt.Errorf("query: plan has %d row generators for %d rows", len(p.RowRngs), len(p.Samplers))
 	}
+	if p.Replay != nil {
+		if p.Samplers != nil || p.RowRngs != nil {
+			return ExecStats{}, fmt.Errorf("query: plan mixes replay columns with samplers")
+		}
+		nT := p.Te - p.Ts + 1
+		need := p.Confidence.Budget(p.Samples) * nT
+		for i, col := range p.Replay {
+			if len(col) < need {
+				return ExecStats{}, fmt.Errorf("query: replay row %d holds %d worlds, plan needs %d",
+					i, len(col)/nT, need/nT)
+			}
+		}
+	}
 	if err := p.Confidence.Validate(); err != nil {
 		return ExecStats{}, err
 	}
 	if p.Workers < 1 {
 		p.Workers = 1
 	}
-	if len(p.Samplers) == 0 || len(p.evals) == 0 {
+	if p.rows() == 0 || len(p.evals) == 0 {
 		for _, ev := range p.evals {
 			ev.Bind(1)
 		}
@@ -379,7 +421,7 @@ func execute(p *Plan) (ExecStats, error) {
 	maxN := p.Confidence.Budget(p.Samples)
 	var drawn int
 	switch {
-	case p.RowRngs != nil:
+	case p.RowRngs != nil || p.Replay != nil:
 		drawn = executePerRow(p, maxN, adaptive)
 	case adaptive:
 		drawn = executeBudgetSplitAdaptive(p, maxN)
@@ -546,9 +588,11 @@ func budgetChunk(p *Plan, worker, start, worlds int, rng *mcrand.RNG) {
 // is identical for any worker count, shard count, or FillGroups
 // partition. Returns the worlds drawn.
 func executePerRow(p *Plan, maxN int, adaptive bool) int {
+	nRows := p.rows()
+	nT := p.Te - p.Ts + 1
 	groups := p.FillGroups
 	if groups == nil {
-		all := make([]int, len(p.Samplers))
+		all := make([]int, nRows)
 		for i := range all {
 			all[i] = i
 		}
@@ -565,7 +609,7 @@ func executePerRow(p *Plan, maxN int, adaptive bool) int {
 		if left := maxN - w0; left < cn {
 			cn = left
 		}
-		b.Reset(len(p.Samplers), cn, p.Ts, p.Te)
+		b.Reset(nRows, cn, p.Ts, p.Te)
 		b.PrepareQuery(p.Query.At)
 		var wg sync.WaitGroup
 		for _, rows := range groups {
@@ -576,6 +620,16 @@ func executePerRow(p *Plan, maxN int, adaptive bool) int {
 			go func(rows []int) {
 				defer wg.Done()
 				for _, li := range rows {
+					if p.Replay != nil {
+						// Replayed rows copy the pre-drawn columns at the
+						// same global world indices the per-row policy
+						// would have filled them at.
+						col := p.Replay[li]
+						for w := 0; w < cn; w++ {
+							copy(b.States(li, w), col[(w0+w)*nT:(w0+w+1)*nT])
+						}
+						continue
+					}
 					s := p.Samplers[li]
 					rng := &p.RowRngs[li]
 					for w := 0; w < cn; w++ {

@@ -1,0 +1,150 @@
+// Package ring implements the consistent-hash object routing of cluster
+// mode: a fixed circle of 64-bit positions onto which every peer
+// projects a set of virtual nodes, with each object ID owned by the
+// peer whose virtual node follows the object's hash clockwise.
+//
+// Two properties make it the routing layer of a multi-node deployment:
+//
+//   - Determinism across processes and restarts: positions derive only
+//     from peer names (FNV-1a + the splitmix64 finalizer), never from
+//     process state, map iteration order, or the order the peer list
+//     was supplied in. A router restarted with the same peer set routes
+//     every object to the same peer.
+//   - Bounded movement: adding or removing one peer reassigns only the
+//     keys on the arcs its virtual nodes claim or release — about 1/P
+//     of the keyspace — while every other key keeps its owner. Contrast
+//     with modular hashing, where changing P moves almost every key.
+//
+// The ring deliberately knows nothing about transport or health: it is
+// a pure (peer set → key → owner) function, so the coordinator can keep
+// routing decisions stable while peers flap in and out of health.
+package ring
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"pnn/internal/mcrand"
+)
+
+// DefaultVirtualNodes is the per-peer virtual node count used when the
+// caller passes vnodes < 1. 64 keeps the expected per-peer load within
+// a few percent of uniform for small clusters without bloating the
+// point table.
+const DefaultVirtualNodes = 64
+
+// point is one virtual node: a position on the 2^64 circle and the
+// index (into Ring.peers) of the peer that owns the arc ending at it.
+type point struct {
+	pos   uint64
+	owner int
+}
+
+// Ring is an immutable consistent-hash ring over a set of named peers.
+// Build one with New; all methods are safe for concurrent use.
+type Ring struct {
+	peers  []string // sorted, unique
+	points []point  // sorted by (pos, owner)
+}
+
+// New builds a ring over the given peer names with vnodes virtual nodes
+// per peer (vnodes < 1 uses DefaultVirtualNodes). The peer list order
+// does not matter — names are sorted internally so equal peer sets
+// always produce equal rings. Empty lists and duplicate names are
+// rejected.
+func New(peers []string, vnodes int) (*Ring, error) {
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("ring: no peers")
+	}
+	if vnodes < 1 {
+		vnodes = DefaultVirtualNodes
+	}
+	sorted := append([]string(nil), peers...)
+	sort.Strings(sorted)
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] == sorted[i-1] {
+			return nil, fmt.Errorf("ring: duplicate peer %q", sorted[i])
+		}
+	}
+	r := &Ring{peers: sorted, points: make([]point, 0, len(sorted)*vnodes)}
+	for pi, name := range sorted {
+		base := nameHash(name)
+		for v := 0; v < vnodes; v++ {
+			// Mixing the replica index through splitmix64 scatters one
+			// peer's virtual nodes over the whole circle; deriving from
+			// (name, replica) alone keeps positions process-independent.
+			pos := mcrand.Mix64(base + uint64(v)*0x9e3779b97f4a7c15)
+			r.points = append(r.points, point{pos: pos, owner: pi})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].pos != r.points[b].pos {
+			return r.points[a].pos < r.points[b].pos
+		}
+		// Position collisions are astronomically unlikely; break the tie
+		// by owner index so the ring stays a deterministic function of
+		// the peer set even then.
+		return r.points[a].owner < r.points[b].owner
+	})
+	return r, nil
+}
+
+// nameHash is the base position of a peer's virtual node sequence:
+// FNV-1a over the name, finalized by splitmix64 so short names spread.
+func nameHash(name string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return mcrand.Mix64(h.Sum64())
+}
+
+// Peers returns the peer names, sorted. The slice is shared; callers
+// must not modify it.
+func (r *Ring) Peers() []string { return r.peers }
+
+// NumVirtual returns the total virtual node count.
+func (r *Ring) NumVirtual() int { return len(r.points) }
+
+// Owner returns the peer owning the raw 64-bit key: the owner of the
+// first virtual node at or after the key, wrapping at the top of the
+// circle.
+func (r *Ring) Owner(key uint64) string {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].pos >= key })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.peers[r.points[i].owner]
+}
+
+// OwnerID returns the peer owning an object ID. IDs hash through the
+// same splitmix64 finalizer the shard router uses, so consecutive IDs
+// scatter uniformly.
+func (r *Ring) OwnerID(id int) string { return r.Owner(mcrand.Mix64(uint64(id))) }
+
+// Range is one ownership arc: the half-open key interval (Start, End]
+// on the circle, where End is a virtual node position and Start the
+// position of the preceding virtual node. Wrapped marks the arc that
+// crosses the top of the circle (Start > End).
+type Range struct {
+	Start   uint64 `json:"start"`
+	End     uint64 `json:"end"`
+	Wrapped bool   `json:"wrapped,omitempty"`
+}
+
+// Ranges returns the ownership arcs of one peer, ascending by End. The
+// union of all peers' ranges tiles the circle exactly.
+func (r *Ring) Ranges(peer string) []Range {
+	pi := sort.SearchStrings(r.peers, peer)
+	if pi == len(r.peers) || r.peers[pi] != peer {
+		return nil
+	}
+	var out []Range
+	for i, pt := range r.points {
+		if pt.owner != pi {
+			continue
+		}
+		prev := r.points[(i+len(r.points)-1)%len(r.points)].pos
+		out = append(out, Range{Start: prev, End: pt.pos, Wrapped: prev > pt.pos})
+	}
+	return out
+}

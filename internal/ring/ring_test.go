@@ -1,0 +1,144 @@
+package ring
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNewRejectsBadPeerSets(t *testing.T) {
+	if _, err := New(nil, 8); err == nil {
+		t.Fatal("empty peer set accepted")
+	}
+	if _, err := New([]string{"a", "b", "a"}, 8); err == nil {
+		t.Fatal("duplicate peer accepted")
+	}
+}
+
+// Routing must be a pure function of the peer SET: independent of list
+// order and identical across ring rebuilds — the property that lets a
+// restarted router keep serving the same object placement.
+func TestDeterministicAcrossRestartsAndOrder(t *testing.T) {
+	a, err := New([]string{"peer-0", "peer-1", "peer-2"}, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New([]string{"peer-2", "peer-0", "peer-1"}, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 20000; i++ {
+		id := int(rng.Int63n(1 << 40))
+		if got, want := b.OwnerID(id), a.OwnerID(id); got != want {
+			t.Fatalf("id %d: owner %q after rebuild, %q before", id, got, want)
+		}
+	}
+}
+
+// Adding a peer may move keys only onto the new peer; removing one may
+// move keys only off it. Every other (key, owner) pair must survive —
+// the bounded-movement property that distinguishes consistent hashing
+// from modular hashing.
+func TestBoundedMovementOnAddRemove(t *testing.T) {
+	base, err := New([]string{"peer-0", "peer-1", "peer-2"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown, err := New([]string{"peer-0", "peer-1", "peer-2", "peer-3"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shrunk, err := New([]string{"peer-0", "peer-1"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50000
+	moved := 0
+	for id := 0; id < n; id++ {
+		before, after := base.OwnerID(id), grown.OwnerID(id)
+		if before != after {
+			moved++
+			if after != "peer-3" {
+				t.Fatalf("id %d moved %q -> %q on add; only moves onto the new peer are allowed", id, before, after)
+			}
+		}
+		if sAfter := shrunk.OwnerID(id); before != sAfter && before != "peer-2" {
+			t.Fatalf("id %d moved %q -> %q on remove; only peer-2's keys may move", id, before, sAfter)
+		}
+	}
+	// Expected movement onto the new peer is ~1/4 of keys; allow a wide
+	// band so vnode placement variance never flakes the test.
+	if frac := float64(moved) / n; frac > 0.45 {
+		t.Fatalf("add moved %.1f%% of keys; consistent hashing should move ~25%%", 100*frac)
+	}
+	if moved == 0 {
+		t.Fatal("adding a peer moved no keys at all")
+	}
+}
+
+// The per-peer load should be within a reasonable factor of uniform.
+func TestRoughBalance(t *testing.T) {
+	peers := []string{"a", "b", "c", "d"}
+	r, err := New(peers, 0) // default vnodes
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumVirtual() != len(peers)*DefaultVirtualNodes {
+		t.Fatalf("NumVirtual = %d, want %d", r.NumVirtual(), len(peers)*DefaultVirtualNodes)
+	}
+	counts := map[string]int{}
+	const n = 40000
+	for id := 0; id < n; id++ {
+		counts[r.OwnerID(id)]++
+	}
+	for _, p := range peers {
+		frac := float64(counts[p]) / n
+		if frac < 0.10 || frac > 0.45 {
+			t.Fatalf("peer %q owns %.1f%% of keys; want roughly balanced around 25%%", p, 100*frac)
+		}
+	}
+}
+
+// Ranges must tile the circle: every key's owner by Owner() matches the
+// peer whose range contains it, and the arcs of all peers are disjoint.
+func TestRangesTileCircle(t *testing.T) {
+	r, err := New([]string{"x", "y", "z"}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	contains := func(rg Range, key uint64) bool {
+		if rg.Wrapped {
+			return key > rg.Start || key <= rg.End
+		}
+		return key > rg.Start && key <= rg.End
+	}
+	if r.Ranges("nope") != nil {
+		t.Fatal("unknown peer returned ranges")
+	}
+	total := 0
+	for _, p := range r.Peers() {
+		total += len(r.Ranges(p))
+	}
+	if total != r.NumVirtual() {
+		t.Fatalf("ranges across peers = %d arcs, want one per virtual node (%d)", total, r.NumVirtual())
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		key := rng.Uint64()
+		owner := r.Owner(key)
+		holders := 0
+		for _, p := range r.Peers() {
+			for _, rg := range r.Ranges(p) {
+				if contains(rg, key) {
+					holders++
+					if p != owner {
+						t.Fatalf("key %x inside a range of %q but owned by %q", key, p, owner)
+					}
+				}
+			}
+		}
+		if holders != 1 {
+			t.Fatalf("key %x contained in %d ranges, want exactly 1", key, holders)
+		}
+	}
+}

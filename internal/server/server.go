@@ -77,6 +77,7 @@ import (
 	"time"
 
 	"pnn"
+	"pnn/internal/cluster"
 	"pnn/internal/query"
 )
 
@@ -106,7 +107,17 @@ const (
 	CodeInvalidDelivery    = "invalid_delivery"
 	CodeUnknownSub         = "unknown_subscription"
 	CodeSubLimit           = "subscription_limit"
+	CodePeerUnavailable    = "peer_unavailable"
 	CodeInternal           = "internal"
+)
+
+// Node roles of Config.Role. A peer additionally serves the /internal
+// RPC surface a router scatters to; the role is advertised by /healthz
+// and /v1/cluster either way.
+const (
+	RoleStandalone = "standalone"
+	RoleRouter     = "router"
+	RolePeer       = "peer"
 )
 
 // Config tunes a Server. The zero value is usable.
@@ -136,21 +147,60 @@ type Config struct {
 	// MaxSubscriptions caps the number of concurrently registered
 	// standing queries; 0 means 10000. /healthz advertises the cap.
 	MaxSubscriptions int
+	// LegacyAliases re-enables the pre-v1.1 flat QuerySpec alias fields
+	// (top-level state/x/y/trajectory/ts/te) on the one-shot and batch
+	// endpoints, decoding them with deprecation warnings as before. By
+	// default requests using them are rejected with code
+	// "use_query_spec", matching what /v1/subscribe has always done.
+	LegacyAliases bool
+	// Role names this node's place in a cluster: RoleStandalone (or
+	// empty), RoleRouter, or RolePeer. RolePeer additionally registers
+	// the /internal RPC surface — only meaningful when the backend is a
+	// local *pnn.Processor.
+	Role string
+}
+
+// Backend is the query/ingest surface the server fronts: either a local
+// *pnn.Processor (standalone and peer roles) or a cluster.Coordinator
+// scatter-gathering over remote peers (router role). Both satisfy it
+// structurally; the HTTP layer never cares which answers.
+type Backend interface {
+	Run(req pnn.Request) pnn.Response
+	RunBatchStats(reqs []pnn.Request, opts pnn.BatchOptions) ([]pnn.Response, pnn.BatchStats)
+	AddObject(id int, obs []pnn.Observation) (pnn.Ingest, error)
+	Observe(id int, obs ...pnn.Observation) (pnn.Ingest, error)
+	Subscribe(req pnn.Request, d pnn.Delivery) (*pnn.Subscription, error)
+	Unsubscribe(id int64) bool
+	Subscription(id int64) (*pnn.Subscription, bool)
+	Subscriptions() []pnn.SubscriptionInfo
+	NumSubscriptions() int
+	CloseSubscriptions()
+	SnapshotDetail() (version int64, objects int, shardVersions []int64)
+	NumShards() int
+	SampleBudget() int
+	CacheStats() pnn.CacheStats
+}
+
+// clusterBackend is the optional extension a router backend implements.
+type clusterBackend interface {
+	ClusterStatus() cluster.Status
+	HealthyPeers() int
 }
 
 // Server answers PNN queries for one built database. It implements
 // http.Handler and is safe for concurrent use (the underlying Processor
 // is).
 type Server struct {
-	proc  *pnn.Processor
+	proc  Backend
 	net   *pnn.Network
 	cfg   Config
 	mux   *http.ServeMux
 	start time.Time
 }
 
-// New wraps a built processor and its network in an HTTP server.
-func New(net *pnn.Network, proc *pnn.Processor, cfg Config) *Server {
+// New wraps a backend — a built processor, or a cluster coordinator —
+// and its network in an HTTP server.
+func New(net *pnn.Network, proc Backend, cfg Config) *Server {
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = 1024
 	}
@@ -175,6 +225,12 @@ func New(net *pnn.Network, proc *pnn.Processor, cfg Config) *Server {
 	s.mux.HandleFunc("/v1/subscriptions", s.handleSubscriptions)
 	s.mux.HandleFunc("/v1/subscriptions/{id}", s.handleSubscription)
 	s.mux.HandleFunc("/v1/subscriptions/{id}/events", s.handleSubEvents)
+	s.mux.HandleFunc("/v1/cluster", s.handleCluster)
+	if cfg.Role == RolePeer {
+		if local, ok := proc.(*pnn.Processor); ok {
+			s.registerInternal(local)
+		}
+	}
 	return s
 }
 
@@ -309,6 +365,18 @@ type SamplingJSON struct {
 	EarlyStopped bool    `json:"early_stopped"`
 }
 
+// VersionJSON identifies the snapshot state an answer was computed
+// from: the per-shard version vector (in cluster mode, the peers'
+// vectors concatenated in configured peer order) and the composite
+// maximum, which is layout-independent — 1 at build plus one per
+// accepted write, whatever the shard or peer count. Two responses with
+// the same vector answered from exactly the same database state; a
+// gather is never served across mixed versions (see "peer_unavailable").
+type VersionJSON struct {
+	Vector []int64 `json:"vector"`
+	Max    int64   `json:"max"`
+}
+
 // QueryResponse is the body of a successful single-query call and the
 // per-item shape of a batch response. Results is set for
 // forallnn/existsnn, Intervals for pcnn.
@@ -318,6 +386,7 @@ type QueryResponse struct {
 	Intervals  []IntervalJSON `json:"intervals,omitempty"`
 	Stats      StatsJSON      `json:"stats"`
 	Sampling   SamplingJSON   `json:"sampling"`
+	Version    VersionJSON    `json:"version"`
 	// Warnings flags deprecated request constructs the server still
 	// honored — today, the legacy flat alias fields. Responses carrying
 	// warnings also set the "Deprecation: true" header.
@@ -359,6 +428,12 @@ type BatchResponse struct {
 	APIVersion string          `json:"api_version"`
 	Responses  []QueryResponse `json:"responses"`
 	BatchStats BatchStatsJSON  `json:"batch_stats"`
+	// Version is the snapshot the batch answered from: a single process
+	// pins one snapshot for the whole batch, and a router reconciles its
+	// gathers to one vector (items that could not be reconciled carry a
+	// "peer_unavailable" error instead of an answer). It equals the
+	// newest per-item version block.
+	Version VersionJSON `json:"version"`
 }
 
 // ConfidenceRangeJSON advertises, via /healthz, the adaptive-sampling
@@ -386,6 +461,16 @@ type SubCapsJSON struct {
 	Transports       []string `json:"transports"`
 }
 
+// ClusterHealthJSON advertises, via /healthz, this node's cluster
+// capability: its role and, on a router, the peer fan-out and how many
+// peers answered their last health probe.
+type ClusterHealthJSON struct {
+	Enabled      bool   `json:"enabled"`
+	Role         string `json:"role"`
+	Peers        int    `json:"peers,omitempty"`
+	HealthyPeers int    `json:"healthy_peers,omitempty"`
+}
+
 // HealthResponse is the body of /healthz.
 type HealthResponse struct {
 	Status        string              `json:"status"`
@@ -398,6 +483,7 @@ type HealthResponse struct {
 	Ingest        bool                `json:"ingest"`         // write endpoints enabled
 	Confidence    ConfidenceRangeJSON `json:"confidence"`
 	Subscriptions SubCapsJSON         `json:"subscriptions"`
+	Cluster       ClusterHealthJSON   `json:"cluster"`
 	UptimeSeconds float64             `json:"uptime_seconds"`
 	CacheBuilds   int64               `json:"cache_builds"`
 	CacheHits     int64               `json:"cache_hits"`
@@ -434,6 +520,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 			MaxSubscriptions: s.cfg.MaxSubscriptions,
 			Transports:       []string{TransportSSE, TransportPoll},
 		},
+		Cluster:       s.clusterHealth(),
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		CacheBuilds:   cs.Builds,
 		CacheHits:     cs.Hits,
@@ -572,9 +659,11 @@ func (s *Server) queryHandler(sem pnn.Semantics) http.HandlerFunc {
 		if resp.Err != nil {
 			// toRequest already rejected every caller mistake the engine
 			// would complain about (inverted intervals, tau and k out of
-			// range), so an error here is the engine's own — e.g. model
-			// adaptation failing on an object.
-			writeErr(w, http.StatusInternalServerError, CodeInternal, "", resp.Err)
+			// range), so an error here is either a gather that could not
+			// complete consistently (503, retryable) or the engine's own —
+			// e.g. model adaptation failing on an object.
+			status, code := respErrStatus(resp.Err)
+			writeErr(w, status, code, "", resp.Err)
 			return
 		}
 		out := toJSON(resp)
@@ -644,6 +733,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	for i, resp := range responses {
 		out.Responses[i] = toJSON(resp)
 		out.Responses[i].Warnings = warnings[i]
+		if resp.Version.Max >= out.Version.Max {
+			out.Version = VersionJSON{Vector: resp.Version.Vector, Max: resp.Version.Max}
+		}
 	}
 	if deprecated {
 		w.Header().Set("Deprecation", "true")
@@ -686,6 +778,14 @@ func legacyAliases(req QuerySpec) []string {
 // warnings name every deprecated alias the request used.
 func (s *Server) toRequest(sem pnn.Semantics, req QuerySpec) (pnn.Request, []string, *apiError) {
 	warnings := legacyAliases(req)
+	if len(warnings) > 0 && !s.cfg.LegacyAliases {
+		// Sunset: the flat alias spellings are rejected everywhere now,
+		// exactly like /v1/subscribe always has; the opt-in flag restores
+		// the old decode-with-warning behavior for stragglers.
+		return pnn.Request{}, nil, errf(CodeUseQuerySpec, "",
+			"legacy flat query fields are no longer accepted (%s); use the nested query/window spelling, "+
+				"or start the server with -legacy-aliases during migration", warnings[0])
+	}
 	switch sem {
 	case pnn.ForAll, pnn.Exists, pnn.Continuous:
 	default:
@@ -795,6 +895,17 @@ func (s *Server) toRequest(sem pnn.Semantics, req QuerySpec) (pnn.Request, []str
 	}, warnings, nil
 }
 
+// respErrStatus classifies a backend response error into its HTTP
+// status and stable code: an inconsistent or failed cluster gather is
+// 503 peer_unavailable (the request is safe to retry — no partial
+// answer was served), anything else is the engine's own failure.
+func respErrStatus(err error) (int, string) {
+	if errors.Is(err, cluster.ErrPeerUnavailable) {
+		return http.StatusServiceUnavailable, CodePeerUnavailable
+	}
+	return http.StatusInternalServerError, CodeInternal
+}
+
 func toJSON(resp pnn.Response) QueryResponse {
 	out := QueryResponse{
 		APIVersion: APIVersion,
@@ -809,9 +920,11 @@ func toJSON(resp pnn.Response) QueryResponse {
 			ErrorBound:   resp.Stats.ErrorBound,
 			EarlyStopped: resp.Stats.EarlyStopped,
 		},
+		Version: VersionJSON{Vector: resp.Version.Vector, Max: resp.Version.Max},
 	}
 	if resp.Err != nil {
-		out.Error = &ErrorBody{Code: CodeInternal, Message: resp.Err.Error()}
+		_, code := respErrStatus(resp.Err)
+		out.Error = &ErrorBody{Code: code, Message: resp.Err.Error()}
 		return out
 	}
 	for _, r := range resp.Results {

@@ -15,7 +15,11 @@ import (
 	"pnn"
 )
 
-// testServer builds a small grid database and an httptest server over it.
+// testServer builds a small grid database and an httptest server over
+// it. Legacy QuerySpec aliases are enabled, as on a server started with
+// -legacy-aliases: most tests here predate the sunset and pin the
+// migration behavior (flat spellings answer, with deprecation
+// signals). TestAliasSunset covers the default-configuration rejection.
 func testServer(t *testing.T) (*pnn.Network, *pnn.Processor, *httptest.Server) {
 	t.Helper()
 	net, err := pnn.NewGridNetwork(8, 8)
@@ -39,7 +43,7 @@ func testServer(t *testing.T) (*pnn.Network, *pnn.Processor, *httptest.Server) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(New(net, proc, Config{BatchWorkers: 2, Ingest: true}))
+	ts := httptest.NewServer(New(net, proc, Config{BatchWorkers: 2, Ingest: true, LegacyAliases: true}))
 	t.Cleanup(ts.Close)
 	return net, proc, ts
 }
@@ -517,9 +521,9 @@ func TestBatchLimit(t *testing.T) {
 	ts := httptest.NewServer(New(net, proc, Config{MaxBatch: 2}))
 	defer ts.Close()
 	code, _ := post(t, ts.URL+"/v1/batch", `{"requests": [
-		{"semantics": "exists", "state": 1, "ts": 0, "te": 2},
-		{"semantics": "exists", "state": 1, "ts": 0, "te": 2},
-		{"semantics": "exists", "state": 1, "ts": 0, "te": 2}
+		{"semantics": "exists", "query": {"state": 1}, "window": {"ts": 0, "te": 2}},
+		{"semantics": "exists", "query": {"state": 1}, "window": {"ts": 0, "te": 2}},
+		{"semantics": "exists", "query": {"state": 1}, "window": {"ts": 0, "te": 2}}
 	]}`)
 	if code != http.StatusBadRequest {
 		t.Errorf("oversized batch = %d, want 400", code)
@@ -670,8 +674,74 @@ func TestIngestDisabled(t *testing.T) {
 	if code != http.StatusForbidden {
 		t.Errorf("/v1/observe on read-only server = %d, want 403", code)
 	}
-	if code, _ := post(t, ro.URL+"/v1/existsnn", `{"state": 1, "ts": 0, "te": 2, "tau": 0.01, "seed": 1}`); code != http.StatusOK {
+	if code, _ := post(t, ro.URL+"/v1/existsnn", `{"query": {"state": 1}, "window": {"ts": 0, "te": 2}, "tau": 0.01, "seed": 1}`); code != http.StatusOK {
 		t.Errorf("query on read-only server = %d, want 200", code)
+	}
+}
+
+// TestAliasSunset pins the default behavior after the alias sunset: a
+// server started WITHOUT -legacy-aliases refuses the flat QuerySpec
+// spellings outright — 400 with the stable code use_query_spec, on
+// one-shot endpoints and inside batch items alike — while the
+// canonical nested spelling keeps working, without warnings.
+func TestAliasSunset(t *testing.T) {
+	net, proc, _ := testServer(t)
+	ts := httptest.NewServer(New(net, proc, Config{})) // default: aliases off
+	defer ts.Close()
+	center := net.NearestState(pnn.Point{X: 0.5, Y: 0.5})
+
+	flat := []struct{ name, path, body string }{
+		{"state", "/v1/forallnn", fmt.Sprintf(`{"state": %d, "ts": 1, "te": 6, "tau": 0.05, "seed": 42}`, center)},
+		{"point", "/v1/existsnn", `{"x": 0.5, "y": 0.5, "ts": 1, "te": 5, "tau": 0.05}`},
+		{"trajectory", "/v1/pcnn", `{"trajectory": {"start": 1, "points": [{"x": 0.4, "y": 0.5}, {"x": 0.5, "y": 0.5}]}, "ts": 1, "te": 4, "tau": 0.3}`},
+		{"window-only", "/v1/forallnn", fmt.Sprintf(`{"query": {"state": %d}, "ts": 1, "te": 6, "tau": 0.05}`, center)},
+	}
+	for _, tc := range flat {
+		t.Run(tc.name, func(t *testing.T) {
+			code, raw := post(t, ts.URL+tc.path, tc.body)
+			if code != http.StatusBadRequest {
+				t.Fatalf("flat spelling = %d, want 400 (%s)", code, raw)
+			}
+			var e ErrorEnvelope
+			if err := json.Unmarshal(raw, &e); err != nil {
+				t.Fatalf("error envelope undecodable: %s", raw)
+			}
+			if e.Error.Code != CodeUseQuerySpec {
+				t.Errorf("error.code = %q, want %q (%s)", e.Error.Code, CodeUseQuerySpec, raw)
+			}
+			if !strings.Contains(e.Error.Message, "-legacy-aliases") {
+				t.Errorf("rejection does not point at the migration flag: %s", raw)
+			}
+		})
+	}
+
+	// The same flat spelling inside a batch item is rejected with the
+	// same code, as the per-item error of a 400 batch.
+	code, raw := post(t, ts.URL+"/v1/batch", fmt.Sprintf(
+		`{"requests": [{"semantics": "exists", "state": %d, "ts": 1, "te": 6, "tau": 0.05}]}`, center))
+	if code != http.StatusBadRequest {
+		t.Fatalf("flat batch item = %d, want 400 (%s)", code, raw)
+	}
+	var env ErrorEnvelope
+	if err := json.Unmarshal(raw, &env); err != nil {
+		t.Fatalf("batch error envelope undecodable: %s", raw)
+	}
+	if env.Error.Code != CodeUseQuerySpec {
+		t.Errorf("batch error.code = %q, want %q (%s)", env.Error.Code, CodeUseQuerySpec, raw)
+	}
+
+	// Canonical spellings are untouched, and answer without warnings.
+	code, raw = post(t, ts.URL+"/v1/forallnn", fmt.Sprintf(
+		`{"query": {"state": %d}, "window": {"ts": 1, "te": 6}, "tau": 0.05, "seed": 42}`, center))
+	if code != http.StatusOK {
+		t.Fatalf("canonical spelling = %d, want 200 (%s)", code, raw)
+	}
+	var qr QueryResponse
+	if err := json.Unmarshal(raw, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if len(qr.Warnings) != 0 {
+		t.Errorf("canonical spelling warned: %v", qr.Warnings)
 	}
 }
 

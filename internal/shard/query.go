@@ -3,12 +3,10 @@ package shard
 import (
 	"fmt"
 	"math"
-	"sort"
 	"sync"
 	"time"
 
 	"pnn/internal/inference"
-	"pnn/internal/mcrand"
 	"pnn/internal/query"
 )
 
@@ -44,16 +42,11 @@ type entry struct {
 	smp   *inference.Sampler
 }
 
-// exec is the gathered plan of one scatter-gather query: the merged
+// exec is the scatter output of one scatter-gather query: the merged
 // influencer entries (grouped by shard for the sampling phase) plus the
-// merged candidate rows.
+// merged candidate rows. Evaluation happens in Gather, which consumes
+// this through a GatherInput.
 type exec struct {
-	snap    *Snap
-	q       query.Query
-	ts, te  int
-	k       int
-	seed    int64
-	conf    query.Confidence
 	samples int
 	workers int
 
@@ -61,7 +54,6 @@ type exec struct {
 	byShard   [][]int   // entry indices per shard
 	cands     []int     // entry indices that survived the ∀-filter
 	pruneDist []float64 // per-timestep influence threshold, loosest over shards
-	drawn     int       // worlds actually drawn by execute; probabilities normalize by this
 	stats     query.Stats
 }
 
@@ -90,18 +82,11 @@ type Influence struct {
 func (s *Snap) scatter(spec GroupSpec) (*exec, error) {
 	begin := time.Now()
 	x := &exec{
-		snap:    s,
-		q:       spec.Q,
-		ts:      spec.Ts,
-		te:      spec.Te,
-		k:       spec.K,
-		seed:    spec.Seed,
-		conf:    spec.Conf,
 		samples: s.Parts[0].Engine.SampleCount(),
 		workers: s.Parts[0].Engine.Parallelism(),
 		byShard: make([][]int, len(s.Parts)),
 	}
-	q, ts, te, k := x.q, x.ts, x.te, x.k
+	q, ts, te, k := spec.Q, spec.Ts, spec.Te, spec.K
 	// The scatter phase already runs one goroutine per shard; giving the
 	// gather-phase world evaluation the same fan-out keeps the whole
 	// pipeline at one concurrency budget, so a sharded set speeds up
@@ -197,105 +182,6 @@ func (s *Snap) scatter(spec GroupSpec) (*exec, error) {
 	return x, nil
 }
 
-// execute builds the per-row plan of this query — every entry sampling
-// from its private (request seed, object ID) generator, fill
-// parallelism grouped by owning shard — attaches the given evaluators
-// and runs it on the shared query executor. It replaces the package's
-// former private chunk loop: sharded queries and single-engine queries
-// now draw their worlds through one and the same Engine.Execute.
-func (x *exec) execute(evs ...query.Evaluator) error {
-	smps := make([]*inference.Sampler, len(x.entries))
-	rngs := make([]mcrand.RNG, len(x.entries))
-	for i := range x.entries {
-		smps[i] = x.entries[i].smp
-		rngs[i] = mcrand.New(mcrand.SubSeed(x.seed, x.entries[i].id))
-	}
-	pl := &query.Plan{
-		Query:      x.q,
-		Ts:         x.ts,
-		Te:         x.te,
-		Samplers:   smps,
-		Samples:    x.samples,
-		Workers:    x.workers,
-		Confidence: x.conf,
-		RowRngs:    rngs,
-		FillGroups: x.byShard,
-	}
-	for _, ev := range evs {
-		pl.Attach(ev)
-	}
-	es, err := x.snap.Parts[0].Engine.Execute(pl)
-	if err != nil {
-		return err
-	}
-	x.drawn = es.Worlds
-	x.stats.Worlds = es.Worlds
-	x.stats.ErrorBound = es.ErrorBound
-	x.stats.EarlyStopped = es.EarlyStopped
-	return nil
-}
-
-// idOrder returns the given entry indices sorted by object ID — the
-// only report order that is stable under re-partitioning.
-func (x *exec) idOrder(entries []int) []int {
-	order := append([]int(nil), entries...)
-	sort.Slice(order, func(a, b int) bool { return x.entries[order[a]].id < x.entries[order[b]].id })
-	return order
-}
-
-// countResults converts per-target world counts into the tau-filtered,
-// ID-ordered result set. targets[i] is the entry index counted in
-// counts[i].
-func (x *exec) countResults(targets, counts []int, tau float64) []Result {
-	targetOf := make(map[int]int, len(targets)) // entry index -> target row
-	for ci, ei := range targets {
-		targetOf[ei] = ci
-	}
-	var out []Result
-	for _, ei := range x.idOrder(targets) {
-		p := float64(counts[targetOf[ei]]) / float64(x.drawn)
-		if p >= tau && p > 0 {
-			out = append(out, Result{ID: x.entries[ei].id, Prob: p})
-		}
-	}
-	return out
-}
-
-// mineIntervals runs the Apriori lattice walk over the accumulated
-// per-world masks for every entry, in ID order, returning the maximal
-// qualifying timestamp sets at threshold tau plus the number of
-// qualifying lattice sets examined.
-func (x *exec) mineIntervals(masks [][]bool, tau float64) ([]IntervalResult, int, error) {
-	nT := x.te - x.ts + 1
-	all := make([]int, len(x.entries))
-	for i := range all {
-		all[i] = i
-	}
-	lattice := 0
-	var out []IntervalResult
-	for _, ei := range x.idOrder(all) {
-		sets, qualifying, err := query.MineTimeSets(masks, ei, nT, tau)
-		if err != nil {
-			return nil, lattice, err
-		}
-		lattice += qualifying
-		for _, ts2 := range sets {
-			times := make([]int, len(ts2.Offsets))
-			for i, off := range ts2.Offsets {
-				times[i] = x.ts + off
-			}
-			out = append(out, IntervalResult{ID: x.entries[ei].id, Times: times, Prob: ts2.Prob})
-		}
-	}
-	sort.Slice(out, func(a, b int) bool {
-		if out[a].ID != out[b].ID {
-			return out[a].ID < out[b].ID
-		}
-		return lessIntSlice(out[a].Times, out[b].Times)
-	})
-	return out, lattice, nil
-}
-
 // GroupOp selects the predicate of one member of a shared-world group.
 type GroupOp int
 
@@ -374,6 +260,8 @@ func (s *Snap) RunShared(spec GroupSpec, items []GroupItem) ([]GroupAnswer, quer
 // subscriptions store it to decide, on each write, whether the updated
 // object can possibly change their answer.
 func (s *Snap) RunSharedInfluence(spec GroupSpec, items []GroupItem) ([]GroupAnswer, query.Stats, Influence, error) {
+	// Validate before paying for the scatter (Gather re-checks, so the
+	// remote path rejects the same specs).
 	for _, it := range items {
 		if it.Op == OpCNN && it.Tau <= 0 {
 			return nil, query.Stats{}, Influence{}, fmt.Errorf("shard: PCNN requires tau > 0, got %v", it.Tau)
@@ -386,129 +274,20 @@ func (s *Snap) RunSharedInfluence(spec GroupSpec, items []GroupItem) ([]GroupAns
 	if err != nil {
 		return nil, query.Stats{}, Influence{}, err
 	}
-	inf := Influence{PruneDist: x.pruneDist}
-	for _, e := range x.entries {
-		inf.IDs = append(inf.IDs, e.id)
+	rows := make([]GatherRow, len(x.entries))
+	for i, e := range x.entries {
+		rows[i] = GatherRow{ID: e.id, Smp: e.smp}
 	}
-	sort.Ints(inf.IDs)
-	ts, te, k := spec.Ts, spec.Te, spec.K
-	answers := make([]GroupAnswer, len(items))
-	if len(x.entries) == 0 {
-		return answers, x.stats, inf, nil
-	}
-	begin := time.Now()
-
-	// Attach at most one evaluator per predicate shape — members with
-	// the same Op share counts/masks and differ only in their tau
-	// filter. Under a confidence policy each evaluator's bound must
-	// separate EVERY member tau of its Op, so the taus are collected
-	// per shape and armed together; the group stops only when all
-	// evaluators (hence all members) are decided.
-	allRows := make([]int, len(x.entries))
-	for i := range allRows {
-		allRows[i] = i
-	}
-	var faTaus, exTaus []float64
-	for _, it := range items {
-		switch it.Op {
-		case OpForAll:
-			faTaus = append(faTaus, it.Tau)
-		case OpExists:
-			exTaus = append(exTaus, it.Tau)
-		}
-	}
-	var faEv, exEv *query.CountEvaluator
-	var maskEv *query.MaskEvaluator
-	var evs []query.Evaluator
-	for _, it := range items {
-		switch it.Op {
-		case OpForAll:
-			// For ∀ semantics only the merged candidates can answer; with
-			// a fixed budget an empty candidate set needs no sampling for
-			// this member. Under a confidence policy the evaluator is
-			// attached even then: per-shard pruning supersets mean another
-			// layout may carry extra (always-zero) candidate rows, and
-			// only the always-attached evaluator's virtual-zero-row rule
-			// keeps the group's stop decision identical across layouts.
-			if faEv == nil && (len(x.cands) > 0 || spec.Conf.Enabled()) {
-				faEv = query.NewCountEvaluator(k, true, x.cands)
-				faEv.SetBound(spec.Conf, faTaus...)
-				evs = append(evs, faEv)
-			}
-		case OpExists:
-			if exEv == nil {
-				exEv = query.NewCountEvaluator(k, false, allRows)
-				exEv.SetBound(spec.Conf, exTaus...)
-				evs = append(evs, exEv)
-			}
-		case OpCNN:
-			if maskEv == nil {
-				maskEv = query.NewMaskEvaluator(k, len(x.entries), te-ts+1, spec.Conf.Budget(x.samples))
-				maskEv.SetBound(spec.Conf)
-				evs = append(evs, maskEv)
-			}
-		}
-	}
-	if len(evs) > 0 {
-		if err := x.execute(evs...); err != nil {
-			return nil, x.stats, inf, err
-		}
-	}
-
-	var faCounts, exCounts []int
-	if faEv != nil {
-		faCounts = faEv.Counts()
-	}
-	if exEv != nil {
-		exCounts = exEv.Counts()
-	}
-	// The lattice walk is the dominant refine cost at low tau, so mined
-	// results are memoized per distinct tau: duplicate PCNN members
-	// (standing subscriptions) pay for one walk, and LatticeSets counts
-	// each walk once.
-	type mined struct {
-		ivs []IntervalResult
-		err error
-	}
-	minedByTau := make(map[float64]mined)
-	for i, it := range items {
-		switch it.Op {
-		case OpForAll:
-			if faEv != nil {
-				answers[i].Results = x.countResults(x.cands, faCounts, it.Tau)
-			}
-		case OpExists:
-			answers[i].Results = x.countResults(allRows, exCounts, it.Tau)
-		case OpCNN:
-			m, hit := minedByTau[it.Tau]
-			if !hit {
-				var lattice int
-				// Only the worlds actually drawn were written; mining the
-				// sliced prefix normalizes frequencies by drawn worlds.
-				m.ivs, lattice, m.err = x.mineIntervals(maskEv.Masks()[:x.drawn], it.Tau)
-				x.stats.LatticeSets += lattice
-				minedByTau[it.Tau] = m
-			}
-			answers[i].Err = m.err
-			if m.err != nil {
-				continue
-			}
-			if !hit {
-				answers[i].Intervals = m.ivs
-				continue
-			}
-			// Memo hits get their own deep copy: two answers must never
-			// share Times backing arrays, or a caller editing one
-			// response in place would corrupt its twin.
-			cp := make([]IntervalResult, len(m.ivs))
-			for j, iv := range m.ivs {
-				cp[j] = IntervalResult{ID: iv.ID, Times: append([]int(nil), iv.Times...), Prob: iv.Prob}
-			}
-			answers[i].Intervals = cp
-		}
-	}
-	x.stats.RefineTime = time.Since(begin)
-	return answers, x.stats, inf, nil
+	return Gather(spec, items, GatherInput{
+		Engine:     s.Parts[0].Engine,
+		Samples:    x.samples,
+		Workers:    x.workers,
+		Rows:       rows,
+		FillGroups: x.byShard,
+		Cands:      x.cands,
+		PruneDist:  x.pruneDist,
+		Stats:      x.stats,
+	})
 }
 
 // ForAllKNN answers P∀kNNQ(q, D, [ts..te], tau) over the composite

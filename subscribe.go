@@ -134,20 +134,20 @@ func (p *Processor) evalStanding(req Request) sub.Eval {
 func runStanding(snap *shard.Snap, req Request) (resp Response, inf shard.Influence) {
 	defer func() {
 		if r := recover(); r != nil {
-			resp = Response{Err: fmt.Errorf("pnn: standing query panicked: %v", r)}
+			resp = Response{Version: versionOf(snap), Err: fmt.Errorf("pnn: standing query panicked: %v", r)}
 			inf = shard.Influence{}
 		}
 	}()
 	k, op, err := normalizeRequest(req)
 	if err != nil {
-		return Response{Err: err}, shard.Influence{}
+		return Response{Version: versionOf(snap), Err: err}, shard.Influence{}
 	}
 	spec := shard.GroupSpec{
 		Q: req.Query, Ts: req.Ts, Te: req.Te, K: k, Seed: req.Seed, Conf: req.Confidence,
 	}
 	answers, raw, inf, err := snap.RunSharedInfluence(spec, []shard.GroupItem{{Op: op, Tau: req.Tau}})
 	if err != nil {
-		return Response{Err: err}, inf
+		return Response{Version: versionOf(snap), Err: err}, inf
 	}
 	a := answers[0]
 	resp.Err = a.Err
@@ -164,6 +164,7 @@ func runStanding(snap *shard.Snap, req Request) (resp Response, inf shard.Influe
 		}
 	}
 	resp.Stats = convStats(raw)
+	resp.Version = versionOf(snap)
 	return resp, inf
 }
 
