@@ -10,6 +10,7 @@ package pnn
 import (
 	"fmt"
 	"math/rand"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -20,6 +21,7 @@ import (
 	"pnn/internal/query"
 	"pnn/internal/space"
 	"pnn/internal/sparse"
+	"pnn/internal/store"
 	"pnn/internal/uncertain"
 	"pnn/internal/ustree"
 )
@@ -446,4 +448,69 @@ func BenchmarkSubscriptionFanout(b *testing.B) {
 	b.ReportMetric(float64(st.Evaluations-base.Evaluations)/ops, "touched/op")
 	b.ReportMetric(nSubs, "subs")
 	proc.CloseSubscriptions()
+}
+
+// BenchmarkWALAppend measures the write-path durability tax without the
+// disk: one framed, checksummed WAL record per op (a 3-observation
+// observe, the common live-ingest shape), fsync off so the cost is the
+// encoding and buffered write alone. With -fsync the same path adds one
+// fdatasync per acknowledged write, which is device-bound and therefore
+// not pinned by this benchmark.
+func BenchmarkWALAppend(b *testing.B) {
+	w, err := store.OpenWAL(filepath.Join(b.TempDir(), "wal-0000000000000001.log"), 1, 0, 1, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	obs := []uncertain.Observation{{T: 10, State: 17}, {T: 20, State: 23}, {T: 30, State: 23}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var bytes int64
+	for i := 0; i < b.N; i++ {
+		n, err := w.Append(store.WALRecord{Version: int64(i) + 2, Op: store.OpObserve, ID: 42, Obs: obs})
+		if err != nil {
+			b.Fatal(err)
+		}
+		bytes += int64(n)
+	}
+	b.SetBytes(bytes / int64(b.N))
+}
+
+// BenchmarkRecovery measures a warm restart: rebuild the exact
+// versioned two-shard snapshot from a boot spill plus a 100-record WAL
+// tail (spill cadence off, so every live write replays). One op is a
+// full BuildShardedDurable + Close cycle over the same directory.
+func BenchmarkRecovery(b *testing.B) {
+	net, db, err := SyntheticDataset(400, 8, 40, 60, 120, 10, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = net
+	dir := b.TempDir()
+	proc, _, err := db.BuildShardedDurable(200, 2, Durability{Dir: dir})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := proc.AddObject(9000+i, []Observation{{T: i % 100, State: (i * 13) % 400}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := proc.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, rec, err := db.BuildShardedDurable(200, 2, Durability{Dir: dir})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rec.Recovered || rec.ReplayedRecords != 100 {
+			b.Fatalf("recovery = %+v, want 100 replayed records", rec)
+		}
+		if err := p.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

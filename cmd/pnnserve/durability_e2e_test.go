@@ -1,0 +1,222 @@
+// Cross-process durability conformance: boots a real durable pnnserve,
+// feeds it acknowledged writes, SIGKILLs it mid-ingest, restarts it on
+// the same -data-dir and checks (a) every acknowledged write survived,
+// and (b) the recovered process answers /v1 queries byte-identically —
+// stats, sampling block and version vector included — to a volatile
+// reference server fed the same write prefix. The in-process
+// equivalents live in internal/shard and internal/store; this tier
+// exercises the real binary, real fsyncs and real process death, so it
+// is opt-in:
+//
+//	PNN_DURABILITY_E2E=1 go test -race -run TestDurabilityKillRecover ./cmd/pnnserve/
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// scriptWrite is one deterministic ingest call: an add (/v1/objects) or
+// an observe (/v1/observe) with a pre-rendered body. The sequence is a
+// pure function of its length, so any prefix can be replayed against a
+// fresh server to reproduce the exact database state.
+type scriptWrite struct {
+	path string
+	body string
+}
+
+// writeScript builds n deterministic writes against the synthetic
+// dataset's 400-state network. Adds register single-observation objects
+// (always consistent); observes extend an earlier object at its own
+// state (the a-priori chain self-loops, so idling is always legal).
+func writeScript(n int) []scriptWrite {
+	type obj struct{ id, t, state int }
+	var added []obj
+	out := make([]scriptWrite, 0, n)
+	for i := 0; i < n; i++ {
+		if i%3 == 2 && len(added) > 0 {
+			o := &added[i%len(added)]
+			o.t += 1 + i%5
+			out = append(out, scriptWrite{
+				path: "/v1/observe",
+				body: fmt.Sprintf(`{"id": %d, "observations": [{"t": %d, "state": %d}]}`, o.id, o.t, o.state),
+			})
+			continue
+		}
+		o := obj{id: 9000 + len(added), t: (i * 7) % 100, state: (i * 13) % 400}
+		added = append(added, o)
+		out = append(out, scriptWrite{
+			path: "/v1/objects",
+			body: fmt.Sprintf(`{"id": %d, "observations": [{"t": %d, "state": %d}]}`, o.id, o.t, o.state),
+		})
+	}
+	return out
+}
+
+func TestDurabilityKillRecover(t *testing.T) {
+	if os.Getenv("PNN_DURABILITY_E2E") == "" {
+		t.Skip("set PNN_DURABILITY_E2E=1 to run the cross-process durability tier")
+	}
+
+	bin := filepath.Join(t.TempDir(), "pnnserve")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building pnnserve: %v\n%s", err, out)
+	}
+
+	ports := freePorts(t, 3)
+	durAddr := fmt.Sprintf("127.0.0.1:%d", ports[0])
+	durAddr2 := fmt.Sprintf("127.0.0.1:%d", ports[1])
+	refAddr := fmt.Sprintf("127.0.0.1:%d", ports[2])
+	dataDir := filepath.Join(t.TempDir(), "state")
+
+	// Every incarnation regenerates the same deterministic dataset; the
+	// durable ones additionally journal to (and recover from) dataDir.
+	dataset := []string{
+		"-dataset", "synthetic", "-states", "400", "-objects", "40",
+		"-lifetime", "60", "-horizon", "120", "-obs", "10",
+		"-seed", "1", "-samples", "200", "-shards", "2",
+	}
+	start := func(name string, args ...string) *exec.Cmd {
+		t.Helper()
+		cmd := exec.Command(bin, append(args, dataset...)...)
+		var logs bytes.Buffer
+		cmd.Stdout, cmd.Stderr = &logs, &logs
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("starting %s: %v", name, err)
+		}
+		t.Cleanup(func() {
+			if cmd.Process != nil {
+				cmd.Process.Kill()
+				cmd.Wait()
+			}
+			if t.Failed() {
+				t.Logf("%s logs:\n%s", name, logs.String())
+			}
+		})
+		return cmd
+	}
+
+	durable := start("durable", "-addr", durAddr,
+		"-data-dir", dataDir, "-spill-interval", "300ms")
+	waitHealthy(t, "http://"+durAddr)
+
+	// Phase 1: acknowledged writes. Every one of these must survive the
+	// kill — each was fsynced to the WAL before its 200 went out.
+	const acked = 30
+	const inflight = 400
+	// One spare entry beyond the stream: the post-recovery write below
+	// needs a next script element even if every in-flight write landed.
+	script := writeScript(acked + inflight + 1)
+	for i := 0; i < acked; i++ {
+		if code, raw := postBody(t, "http://"+durAddr+script[i].path, script[i].body); code != http.StatusOK {
+			t.Fatalf("write %d = %d (%s)", i, code, raw)
+		}
+	}
+
+	// Phase 2: keep writing sequentially from another goroutine and
+	// SIGKILL mid-stream. The writer checks nothing — post-kill sends
+	// fail with connection errors by design. Because the stream is
+	// sequential (write i+1 starts only after i was acknowledged), the
+	// set that survives is always a prefix of the script, possibly plus
+	// one torn record recovery truncates.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		client := &http.Client{Timeout: 2 * time.Second}
+		for i := acked; i < acked+inflight; i++ {
+			resp, err := client.Post("http://"+durAddr+script[i].path,
+				"application/json", bytes.NewReader([]byte(script[i].body)))
+			if err != nil {
+				return
+			}
+			resp.Body.Close()
+		}
+	}()
+	time.Sleep(50 * time.Millisecond)
+	if err := durable.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	durable.Wait()
+	<-done
+
+	// Phase 3: restart on the same directory. Recovery runs before the
+	// listener opens, so /healthz going live means the state is back.
+	start("recovered", "-addr", durAddr2, "-data-dir", dataDir, "-spill-interval", "300ms")
+	waitHealthy(t, "http://"+durAddr2)
+
+	var health struct {
+		Version    int64 `json:"version"`
+		Durability struct {
+			Enabled       bool    `json:"enabled"`
+			Mode          string  `json:"mode"`
+			SpillVersions []int64 `json:"spill_versions"`
+		} `json:"durability"`
+	}
+	getInto(t, "http://"+durAddr2+"/healthz", &health)
+	if !health.Durability.Enabled || health.Durability.Mode != "wal+fsync" {
+		t.Fatalf("recovered durability block = %+v", health.Durability)
+	}
+	if len(health.Durability.SpillVersions) != 2 {
+		t.Fatalf("spill_versions = %v, want one per shard", health.Durability.SpillVersions)
+	}
+	// Composite version = 1 + accepted writes, independent of layout.
+	persisted := int(health.Version - 1)
+	if persisted < acked {
+		t.Fatalf("recovered version %d: only %d writes survived, %d were acknowledged",
+			health.Version, persisted, acked)
+	}
+	if persisted > acked+inflight {
+		t.Fatalf("recovered version %d implies %d writes, script had %d",
+			health.Version, persisted, acked+inflight)
+	}
+
+	// Phase 4: a never-persisted reference server replays the surviving
+	// prefix of the same script.
+	start("reference", "-addr", refAddr)
+	waitHealthy(t, "http://"+refAddr)
+	for i := 0; i < persisted; i++ {
+		if code, raw := postBody(t, "http://"+refAddr+script[i].path, script[i].body); code != http.StatusOK {
+			t.Fatalf("reference replay %d = %d (%s)", i, code, raw)
+		}
+	}
+
+	// Phase 5: byte-identical answers — raw response bodies, no
+	// normalization. Stats, sampling block and version vector included.
+	queries := []struct{ path, body string }{
+		{"/v1/forallnn", `{"query": {"state": 17}, "window": {"ts": 20, "te": 29}, "tau": 0.1, "seed": 7}`},
+		{"/v1/existsnn", `{"query": {"state": 17}, "window": {"ts": 20, "te": 29}, "tau": 0.1, "seed": 7, "k": 2}`},
+		{"/v1/forallnn", `{"query": {"state": 17}, "window": {"ts": 20, "te": 29}, "tau": 0.3, "seed": 7, "confidence": {"eps": 0.1}}`},
+		{"/v1/pcnn", `{"query": {"state": 17}, "window": {"ts": 20, "te": 29}, "tau": 0.2, "seed": 11}`},
+	}
+	compare := func(stage string) {
+		t.Helper()
+		for _, q := range queries {
+			rCode, rRaw := postBody(t, "http://"+durAddr2+q.path, q.body)
+			vCode, vRaw := postBody(t, "http://"+refAddr+q.path, q.body)
+			if rCode != http.StatusOK || vCode != http.StatusOK {
+				t.Fatalf("%s %s: recovered = %d (%s), reference = %d (%s)",
+					stage, q.path, rCode, rRaw, vCode, vRaw)
+			}
+			if !bytes.Equal(rRaw, vRaw) {
+				t.Errorf("%s %s diverges:\nrecovered: %s\nreference: %s", stage, q.path, rRaw, vRaw)
+			}
+		}
+	}
+	compare("post-recovery")
+
+	// The recovered process keeps journaling: one more identical write to
+	// both servers must leave them byte-identical again.
+	next := script[persisted]
+	for _, base := range []string{durAddr2, refAddr} {
+		if code, raw := postBody(t, "http://"+base+next.path, next.body); code != http.StatusOK {
+			t.Fatalf("post-recovery write on %s = %d (%s)", base, code, raw)
+		}
+	}
+	compare("post-recovery-write")
+}

@@ -22,6 +22,19 @@
 //	             "window": {"ts": 500, "te": 509}, "tau": 0.1}' \
 //	    localhost:8080/v1/subscribe
 //
+// # Durability
+//
+// With -data-dir the node journals every acknowledged write to a
+// per-shard write-ahead log and periodically spills columnar snapshots;
+// on restart it rebuilds the exact pre-crash snapshot — version vector
+// included — from the newest spill plus the WAL tail, before it starts
+// listening. -fsync=false trades crash durability for write throughput;
+// -spill-interval bounds how much WAL a restart must replay.
+//
+//	pnnserve -data taxi.pnn -data-dir /var/lib/pnn -addr :8080
+//
+// The router is stateless and refuses -data-dir.
+//
 // # Cluster mode
 //
 // The same binary runs a multi-node deployment: shard peers each own a
@@ -83,6 +96,9 @@ func main() {
 		capSamp  = flag.Int("max-samples-cap", 0, "largest confidence.max_samples a request may ask for (0: 10x -samples)")
 		maxSubs  = flag.Int("max-subs", 0, "most concurrently registered standing queries (/v1/subscribe; 0: 10000)")
 		lenient  = flag.Bool("lenient", false, "drop objects with contradicting observations instead of failing")
+		dataDir  = flag.String("data-dir", "", "durable state directory: write-ahead log + snapshot spills, recovered on restart (empty: volatile, in-memory only)")
+		fsync    = flag.Bool("fsync", true, "with -data-dir: fsync the WAL on every acknowledged write (false trades crash durability for throughput)")
+		spillIv  = flag.Duration("spill-interval", time.Minute, "with -data-dir: period between snapshot spills that bound WAL replay length (0: spill only at startup)")
 		grace    = flag.Duration("grace", 10*time.Second, "shutdown drain timeout")
 		pprofOn  = flag.String("pprof", "", "also serve net/http/pprof on this address (e.g. localhost:6060); off when empty")
 
@@ -158,6 +174,9 @@ func main() {
 	if *role == server.RoleRouter {
 		// The router indexes nothing: it owns the ring, scatters query
 		// work to the peers and gathers merged, replay-exact answers.
+		if *dataDir != "" {
+			fatal(fmt.Errorf("role=router is stateless: -data-dir belongs on the peers, not the router"))
+		}
 		peerList, perr := parsePeers(*peers)
 		fatal(perr)
 		coord, cerr := cluster.NewCoordinator(net, cluster.Config{
@@ -209,17 +228,43 @@ func main() {
 	if *shards < 1 {
 		*shards = 1
 	}
-	var proc *pnn.Processor
-	if *lenient {
-		var skipped []int
-		proc, skipped, err = db.BuildLenientSharded(*samples, *shards)
-		if err == nil && len(skipped) > 0 {
-			log.Printf("dropped %d objects with contradicting observations", len(skipped))
+	var (
+		proc    *pnn.Processor
+		skipped []int
+		rec     *pnn.RecoveryInfo
+	)
+	if *dataDir != "" {
+		// Durable build: recovery (spill load + WAL replay) happens here,
+		// before the listener opens — a peer never announces healthy with
+		// state it has not finished recovering.
+		dur := pnn.Durability{Dir: *dataDir, Fsync: *fsync, SpillInterval: *spillIv}
+		if *lenient {
+			proc, skipped, rec, err = db.BuildLenientShardedDurable(*samples, *shards, dur)
+		} else {
+			proc, rec, err = db.BuildShardedDurable(*samples, *shards, dur)
 		}
+	} else if *lenient {
+		proc, skipped, err = db.BuildLenientSharded(*samples, *shards)
 	} else {
 		proc, err = db.BuildSharded(*samples, *shards)
 	}
 	fatal(err)
+	if len(skipped) > 0 {
+		log.Printf("dropped %d objects with contradicting observations", len(skipped))
+	}
+	if rec != nil {
+		if rec.Recovered {
+			log.Printf("recovered %s to version %d: %d spill(s), %d WAL record(s) replayed, %d torn byte(s) truncated, %d corrupt spill fallback(s)",
+				*dataDir, rec.Version, len(rec.SpillVersions), rec.ReplayedRecords, rec.TornBytes, rec.SpillFallbacks)
+		} else {
+			log.Printf("initialized durable state in %s (mode %s)", *dataDir, proc.DurabilityStatus().Mode())
+		}
+		defer func() {
+			if cerr := proc.Close(); cerr != nil {
+				log.Printf("closing durable state: %v", cerr)
+			}
+		}()
+	}
 	proc.SetParallelism(*qpar)
 	log.Printf("indexed %d objects over %d states in %v (%d shards, batch workers %d, per-query parallelism %d)",
 		proc.NumObjects(), net.NumStates(), time.Since(begin), proc.NumShards(), *workers, *qpar)

@@ -1,0 +1,170 @@
+// Durable mode for the facade: BuildShardedDurable roots the shard
+// set's write-ahead log and snapshot spills in a data directory, so a
+// restarted process recovers the exact versioned snapshot — composite
+// version vector included — the crashed one last acknowledged, and
+// answers queries byte-identically at the same seed. See
+// internal/shard/durable.go for the on-disk contract.
+package pnn
+
+import (
+	"fmt"
+	"time"
+
+	"pnn/internal/shard"
+	"pnn/internal/uncertain"
+)
+
+// Durability configures a durable build. The zero value is invalid: a
+// data directory is required.
+type Durability struct {
+	// Dir is the data directory (created if missing). A fresh directory
+	// seeds from the DB; a populated one recovers the persisted state
+	// and ignores the seed objects — the log, not the generator, is the
+	// source of truth after the first boot.
+	Dir string
+	// Fsync makes every write fsync its WAL record before being
+	// acknowledged: durable across machine crashes and power loss, at
+	// the price of one disk flush per write. Without it the OS page
+	// cache absorbs appends — process crashes still lose nothing,
+	// power loss may drop the last few acknowledged writes.
+	Fsync bool
+	// SpillInterval is how often a background loop snapshots dirty
+	// shards so WAL replay (and so restart time) stays bounded. Zero
+	// disables periodic spills; the WAL alone still recovers everything.
+	SpillInterval time.Duration
+}
+
+// RecoveryInfo reports what a durable build found on disk.
+type RecoveryInfo struct {
+	// Recovered is false when the data directory was fresh and the
+	// store was seeded from the DB.
+	Recovered bool
+	// Version is the composite snapshot version after recovery.
+	Version int64
+	// SpillVersions is the per-shard spill version recovery started
+	// from.
+	SpillVersions []int64
+	// ReplayedRecords counts WAL records applied over the spills.
+	ReplayedRecords int
+	// TornSegments/TornBytes count truncated crash-damaged WAL tails
+	// (writes that were never acknowledged).
+	TornSegments int
+	TornBytes    int64
+	// SpillFallbacks counts corrupt spills skipped for an older one.
+	SpillFallbacks int
+}
+
+// DurabilityStatus is the operator-facing durability health block.
+type DurabilityStatus struct {
+	Enabled bool
+	Fsync   bool
+	// SpillVersions is the newest on-disk spill per shard.
+	SpillVersions []int64
+	// WALBytesSinceSpill is how much log a restart right now would
+	// replay, summed over shards.
+	WALBytesSinceSpill int64
+	ReplayedRecords    int
+	TornBytes          int64
+}
+
+// Mode renders the status as the compact string /healthz and
+// /v1/cluster report: "volatile", "wal", or "wal+fsync".
+func (st DurabilityStatus) Mode() string {
+	switch {
+	case !st.Enabled:
+		return "volatile"
+	case st.Fsync:
+		return "wal+fsync"
+	default:
+		return "wal"
+	}
+}
+
+// BuildShardedDurable is BuildSharded rooted in a data directory: every
+// accepted write is logged before it is acknowledged, and periodic
+// spills bound replay time. On a fresh directory it indexes the DB's
+// objects; on a populated one it recovers the persisted snapshot chain
+// instead. Close the returned processor to stop the spill loop and
+// flush the logs.
+func (db *DB) BuildShardedDurable(samples, shards int, d Durability) (*Processor, *RecoveryInfo, error) {
+	set, _, rec, err := shard.Open(db.net.sp, db.objs, samples, shards, false, db.durOpts(d))
+	if err != nil {
+		return nil, nil, err
+	}
+	return newProcessor(db.net, set), facadeRecovery(rec), nil
+}
+
+// BuildLenientShardedDurable is BuildShardedDurable with BuildLenient's
+// tolerance for contradicting seed objects. The returned skipped IDs
+// are only meaningful on a fresh data directory (recovery never reads
+// the seed).
+func (db *DB) BuildLenientShardedDurable(samples, shards int, d Durability) (*Processor, []int, *RecoveryInfo, error) {
+	set, skippedIdx, rec, err := shard.Open(db.net.sp, db.objs, samples, shards, true, db.durOpts(d))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var skippedIDs []int
+	for _, i := range skippedIdx {
+		skippedIDs = append(skippedIDs, db.ids[i])
+	}
+	return newProcessor(db.net, set), skippedIDs, facadeRecovery(rec), nil
+}
+
+// durOpts lowers the facade options to the shard layer, closing over
+// the network's motion model so spilled and logged observation lists
+// rebuild into the exact objects the original writes produced
+// (uncertain.NewObject sorts and validates identically both times).
+func (db *DB) durOpts(d Durability) shard.Durability {
+	return shard.Durability{
+		Dir:           d.Dir,
+		Fsync:         d.Fsync,
+		SpillInterval: d.SpillInterval,
+		Rebuild: func(id int, obs []uncertain.Observation) (*uncertain.Object, error) {
+			return uncertain.NewObject(id, obs, db.net.chain)
+		},
+	}
+}
+
+func facadeRecovery(rec *shard.RecoveryInfo) *RecoveryInfo {
+	if rec == nil {
+		return nil
+	}
+	return &RecoveryInfo{
+		Recovered:       rec.Recovered,
+		Version:         rec.Version,
+		SpillVersions:   rec.SpillVersions,
+		ReplayedRecords: rec.ReplayedRecords,
+		TornSegments:    rec.TornSegments,
+		TornBytes:       rec.TornBytes,
+		SpillFallbacks:  rec.SpillFallbacks,
+	}
+}
+
+// DurabilityStatus reports the current durability health block;
+// Enabled is false for a volatile processor.
+func (p *Processor) DurabilityStatus() DurabilityStatus {
+	st := p.set.DurabilityStatus()
+	return DurabilityStatus{
+		Enabled:            st.Enabled,
+		Fsync:              st.Fsync,
+		SpillVersions:      st.SpillVersions,
+		WALBytesSinceSpill: st.WALBytesSinceSpill,
+		ReplayedRecords:    st.ReplayedRecords,
+		TornBytes:          st.TornBytes,
+	}
+}
+
+// SpillNow forces an immediate snapshot spill (and WAL rotation) of
+// every shard with pending log bytes. It errors on a volatile
+// processor.
+func (p *Processor) SpillNow() error { return p.set.SpillNow() }
+
+// Close stops the background spill loop and flushes and closes the WAL
+// segments. Idempotent; closing a volatile processor is a no-op.
+// Further writes on a closed durable processor are refused.
+func (p *Processor) Close() error {
+	if err := p.set.Close(); err != nil {
+		return fmt.Errorf("pnn: closing durable store: %w", err)
+	}
+	return nil
+}

@@ -715,15 +715,19 @@ func (c *Coordinator) CacheStats() pnn.CacheStats {
 
 // PeerStatus is one peer's row in the /v1/cluster answer.
 type PeerStatus struct {
-	Name        string       `json:"name"`
-	URL         string       `json:"url"`
-	Role        string       `json:"role"`
-	Healthy     bool         `json:"healthy"`
-	LastError   string       `json:"last_error,omitempty"`
-	ProbeAgeMS  int64        `json:"probe_age_ms"`
-	Version     int64        `json:"version"`
-	Versions    []int64      `json:"versions"`
-	Objects     int          `json:"objects"`
+	Name       string  `json:"name"`
+	URL        string  `json:"url"`
+	Role       string  `json:"role"`
+	Healthy    bool    `json:"healthy"`
+	LastError  string  `json:"last_error,omitempty"`
+	ProbeAgeMS int64   `json:"probe_age_ms"`
+	Version    int64   `json:"version"`
+	Versions   []int64 `json:"versions"`
+	Objects    int     `json:"objects"`
+	// Durability is the peer's persistence mode from its last health
+	// probe ("volatile", "wal", "wal+fsync"; empty before the first
+	// answer), so a volatile node in a durable cluster is visible.
+	Durability  string       `json:"durability,omitempty"`
 	OwnedRanges []ring.Range `json:"owned_ranges"`
 }
 
@@ -735,6 +739,10 @@ type Status struct {
 	Peers        []PeerStatus `json:"peers"`
 	Vector       []int64      `json:"version_vector"`
 	Version      int64        `json:"version_max"`
+	// Durability is this node's own persistence mode; a router is
+	// "stateless" (it indexes nothing), standalone nodes and peers
+	// report volatile/wal/wal+fsync.
+	Durability string `json:"durability,omitempty"`
 }
 
 // ClusterStatus reports the topology: peers in version-vector order,
@@ -745,6 +753,7 @@ func (c *Coordinator) ClusterStatus() Status {
 		Role:         "router",
 		VirtualNodes: c.ring.NumVirtual() / len(c.order),
 		SampleBudget: c.samples,
+		Durability:   "stateless", // the router indexes nothing to persist
 	}
 	for _, p := range c.cfg.Peers {
 		healthy, lastErr, lastProbe, h := c.clients[p.Name].status()
@@ -752,6 +761,7 @@ func (c *Coordinator) ClusterStatus() Status {
 			Name: p.Name, URL: p.URL, Role: "peer",
 			Healthy: healthy, LastError: lastErr,
 			Version: h.Version, Versions: h.Versions, Objects: h.Objects,
+			Durability:  h.Durability,
 			OwnedRanges: c.ring.Ranges(p.Name),
 		}
 		if !lastProbe.IsZero() {

@@ -133,6 +133,10 @@ type HealthInfo struct {
 	Samples     int     `json:"samples"`
 	CacheBuilds int64   `json:"cache_builds"`
 	CacheHits   int64   `json:"cache_hits"`
+	// Durability is the peer's persistence mode ("volatile", "wal",
+	// "wal+fsync"), surfaced per peer on /v1/cluster so an operator can
+	// spot a node accidentally running volatile in a durable cluster.
+	Durability string `json:"durability"`
 }
 
 // ErrorJSON is the error envelope of every /internal RPC, mirroring

@@ -47,6 +47,7 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 		SampleBudget: s.proc.SampleBudget(),
 		Vector:       vec,
 		Version:      version,
+		Durability:   s.durabilityHealth().Mode,
 	})
 }
 
@@ -176,6 +177,7 @@ func (s *Server) handleInternalHealth(local *pnn.Processor) http.HandlerFunc {
 			Samples:     local.SampleBudget(),
 			CacheBuilds: cs.Builds,
 			CacheHits:   cs.Hits,
+			Durability:  local.DurabilityStatus().Mode(),
 		})
 	}
 }

@@ -1,0 +1,150 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"pnn"
+	"pnn/internal/cluster"
+)
+
+func durableProc(t *testing.T, dir string) (*pnn.Network, *pnn.Processor) {
+	t.Helper()
+	net, err := pnn.NewGridNetwork(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := pnn.NewDB(net)
+	for id := 0; id < 4; id++ {
+		st := (id * 11) % net.NumStates()
+		if err := db.Add(id, []pnn.Observation{{T: 0, State: st}, {T: 8, State: st}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	proc, rec, err := db.BuildShardedDurable(200, 2, pnn.Durability{Dir: dir, Fsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { proc.Close() })
+	if rec == nil {
+		t.Fatal("durable build returned nil RecoveryInfo")
+	}
+	return net, proc
+}
+
+func getHealth(t *testing.T, url string) HealthResponse {
+	t.Helper()
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// TestHealthzDurabilityBlock: a durable backend advertises mode, spill
+// versions and pending WAL bytes on /healthz; a volatile one reports
+// mode "volatile", disabled.
+func TestHealthzDurabilityBlock(t *testing.T) {
+	net, proc := durableProc(t, t.TempDir())
+	ts := httptest.NewServer(New(net, proc, Config{Ingest: true}))
+	defer ts.Close()
+
+	h := getHealth(t, ts.URL)
+	if !h.Durability.Enabled || h.Durability.Mode != "wal+fsync" {
+		t.Fatalf("durable healthz block = %+v", h.Durability)
+	}
+	if len(h.Durability.SpillVersions) != 2 {
+		t.Fatalf("spill_versions = %v, want one per shard", h.Durability.SpillVersions)
+	}
+	if h.Durability.WALBytesSinceSpill != 0 {
+		t.Fatalf("fresh wal_bytes_since_spill = %d", h.Durability.WALBytesSinceSpill)
+	}
+	if _, err := proc.AddObject(500, []pnn.Observation{{T: 0, State: 5}, {T: 8, State: 5}}); err != nil {
+		t.Fatal(err)
+	}
+	if h = getHealth(t, ts.URL); h.Durability.WALBytesSinceSpill == 0 {
+		t.Fatal("write did not surface in wal_bytes_since_spill")
+	}
+
+	// Volatile comparison point.
+	vnet, vproc, vts := testServer(t)
+	_ = vnet
+	_ = vproc
+	if h = getHealth(t, vts.URL); h.Durability.Enabled || h.Durability.Mode != "volatile" {
+		t.Fatalf("volatile healthz block = %+v", h.Durability)
+	}
+}
+
+// TestClusterDurabilityMode: /v1/cluster reports the node's own mode on
+// a standalone node, and the router's view carries each peer's mode
+// from its health probe (the satellite "spot the volatile peer" fix).
+func TestClusterDurabilityMode(t *testing.T) {
+	net, proc := durableProc(t, t.TempDir())
+	ts := httptest.NewServer(New(net, proc, Config{Ingest: true}))
+	defer ts.Close()
+	var st cluster.Status
+	resp, err := http.Get(ts.URL + "/v1/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Durability != "wal+fsync" {
+		t.Fatalf("standalone /v1/cluster durability = %q, want wal+fsync", st.Durability)
+	}
+
+	// One durable peer, one volatile peer, behind a router.
+	durNet, durProc := durableProc(t, t.TempDir())
+	durPeer := httptest.NewServer(New(durNet, durProc, Config{Role: RolePeer}))
+	defer durPeer.Close()
+	volDB := pnn.NewDB(durNet)
+	if err := volDB.Add(1, []pnn.Observation{{T: 0, State: 3}, {T: 8, State: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	volProc, err := volDB.Build(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	volPeer := httptest.NewServer(New(durNet, volProc, Config{Role: RolePeer}))
+	defer volPeer.Close()
+
+	coord, err := cluster.NewCoordinator(durNet, cluster.Config{
+		Peers: []cluster.Peer{
+			{Name: "a", URL: durPeer.URL},
+			{Name: "b", URL: volPeer.URL},
+		},
+		Timeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := coord.Bootstrap(ctx); err != nil {
+		t.Fatal(err)
+	}
+	defer coord.CloseSubscriptions()
+
+	cst := coord.ClusterStatus()
+	if cst.Durability != "stateless" {
+		t.Fatalf("router durability = %q, want stateless", cst.Durability)
+	}
+	modes := map[string]string{}
+	for _, p := range cst.Peers {
+		modes[p.Name] = p.Durability
+	}
+	if modes["a"] != "wal+fsync" || modes["b"] != "volatile" {
+		t.Fatalf("per-peer durability = %v, want a=wal+fsync b=volatile", modes)
+	}
+}

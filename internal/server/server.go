@@ -187,6 +187,13 @@ type clusterBackend interface {
 	HealthyPeers() int
 }
 
+// durableBackend is the optional extension a durably-built local
+// processor implements; routers and volatile processors report the
+// zero (disabled) status.
+type durableBackend interface {
+	DurabilityStatus() pnn.DurabilityStatus
+}
+
 // Server answers PNN queries for one built database. It implements
 // http.Handler and is safe for concurrent use (the underlying Processor
 // is).
@@ -471,6 +478,37 @@ type ClusterHealthJSON struct {
 	HealthyPeers int    `json:"healthy_peers,omitempty"`
 }
 
+// DurabilityJSON advertises, via /healthz, whether (and how) this
+// node's writes survive a restart: the mode ("volatile", "wal",
+// "wal+fsync"), the newest spill version per shard, and how many log
+// bytes a restart right now would replay.
+type DurabilityJSON struct {
+	Enabled            bool    `json:"enabled"`
+	Mode               string  `json:"mode"`
+	SpillVersions      []int64 `json:"spill_versions,omitempty"`
+	WALBytesSinceSpill int64   `json:"wal_bytes_since_spill,omitempty"`
+	ReplayedRecords    int     `json:"replayed_records,omitempty"`
+	TornBytes          int64   `json:"torn_bytes,omitempty"`
+}
+
+// durabilityHealth builds the /healthz durability block from the
+// backend, when it is a durably-built processor.
+func (s *Server) durabilityHealth() DurabilityJSON {
+	db, ok := s.proc.(durableBackend)
+	if !ok {
+		return DurabilityJSON{Mode: "volatile"}
+	}
+	st := db.DurabilityStatus()
+	return DurabilityJSON{
+		Enabled:            st.Enabled,
+		Mode:               st.Mode(),
+		SpillVersions:      st.SpillVersions,
+		WALBytesSinceSpill: st.WALBytesSinceSpill,
+		ReplayedRecords:    st.ReplayedRecords,
+		TornBytes:          st.TornBytes,
+	}
+}
+
 // HealthResponse is the body of /healthz.
 type HealthResponse struct {
 	Status        string              `json:"status"`
@@ -484,6 +522,7 @@ type HealthResponse struct {
 	Confidence    ConfidenceRangeJSON `json:"confidence"`
 	Subscriptions SubCapsJSON         `json:"subscriptions"`
 	Cluster       ClusterHealthJSON   `json:"cluster"`
+	Durability    DurabilityJSON      `json:"durability"`
 	UptimeSeconds float64             `json:"uptime_seconds"`
 	CacheBuilds   int64               `json:"cache_builds"`
 	CacheHits     int64               `json:"cache_hits"`
@@ -521,6 +560,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 			Transports:       []string{TransportSSE, TransportPoll},
 		},
 		Cluster:       s.clusterHealth(),
+		Durability:    s.durabilityHealth(),
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		CacheBuilds:   cs.Builds,
 		CacheHits:     cs.Hits,

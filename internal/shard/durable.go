@@ -1,0 +1,549 @@
+// Durable mode for the shard set: one WAL + spill stream per shard
+// under a data directory, so a warm start rebuilds the exact composite
+// snapshot — per-shard version chain included — that the crashed
+// process last acknowledged.
+//
+// Layout:
+//
+//	<dir>/meta.json                  topology guard (shards/samples/states)
+//	<dir>/shard-0042/wal-<base>.log  segments, ascending base version
+//	<dir>/shard-0042/spill-<v>.snap  columnar snapshots, newest wins
+//
+// Write path ordering: the shard store applies (and so validates) the
+// write first, the WAL records it, and only then is the composite
+// version published to readers. A crash between apply and append loses
+// at most that one write — which was never acknowledged — and a WAL
+// append failure poisons the set (writes fail fast) rather than letting
+// the log silently fall behind the store.
+//
+// Recovery per shard: load the newest spill that passes its checksum
+// (falling back to older ones), rebuild the store at the spilled
+// version, then replay WAL segments in base order. Records at or below
+// the spill version are already folded in and skipped; past it, versions
+// must advance by exactly one — a gap or a record the store rejects
+// (duplicate add, unknown observe) means log and spill disagree and
+// recovery fails loudly with the record's offset and object ID. Only the
+// tail of the final segment may be torn; it is truncated and counted.
+// The composite version is then 1 + Σ(shardVersion−1): exactly the
+// total number of acknowledged writes plus the initial build.
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pnn/internal/space"
+	"pnn/internal/store"
+	"pnn/internal/uncertain"
+)
+
+// Durability configures a durable shard set.
+type Durability struct {
+	// Dir is the data directory; one subdirectory per shard.
+	Dir string
+	// Fsync makes every WAL append fsync before the write is
+	// acknowledged (survives machine crashes). Without it the OS flushes
+	// at its leisure: process crashes are still fully recoverable, power
+	// loss may drop the last few acknowledged writes.
+	Fsync bool
+	// SpillInterval is the cadence of the background spill loop that
+	// snapshots dirty shards and prunes replayed WAL segments. Zero
+	// disables the loop (WAL-only; recovery replays from the boot spill).
+	SpillInterval time.Duration
+	// Rebuild turns a spilled or logged (id, observations) pair back
+	// into an object. The shard layer is chain-agnostic, so the caller
+	// supplies the motion model here (the facade closes over its markov
+	// chain).
+	Rebuild func(id int, obs []uncertain.Observation) (*uncertain.Object, error)
+}
+
+// RecoveryInfo reports what Open found on disk.
+type RecoveryInfo struct {
+	// Recovered is false for a fresh data directory.
+	Recovered bool
+	// Version is the composite version after recovery.
+	Version int64
+	// SpillVersions holds the per-shard spill version recovery started
+	// from, indexed by shard.
+	SpillVersions []int64
+	// ReplayedRecords counts WAL records applied on top of the spills.
+	ReplayedRecords int
+	// TornSegments and TornBytes count crash-damaged WAL tails that
+	// were truncated away (never acknowledged writes).
+	TornSegments int
+	TornBytes    int64
+	// SpillFallbacks counts corrupt spills that were skipped in favor of
+	// an older one.
+	SpillFallbacks int
+}
+
+// DurabilityStatus is the operator-facing health block.
+type DurabilityStatus struct {
+	Enabled bool
+	Dir     string
+	Fsync   bool
+	// SpillVersions is the newest on-disk spill per shard.
+	SpillVersions []int64
+	// WALBytesSinceSpill sums, over shards, the log bytes a restart
+	// would replay — the recovery-time budget the spill loop bounds.
+	WALBytesSinceSpill int64
+	ReplayedRecords    int
+	TornBytes          int64
+}
+
+type shardDur struct {
+	dir       string
+	wal       *store.WAL
+	lastSpill atomic.Int64
+	walBytes  atomic.Int64
+}
+
+type durState struct {
+	opts   Durability
+	shards []*shardDur
+	rec    RecoveryInfo
+
+	err  error // sticky append failure; guarded by Set.mu
+	stop chan struct{}
+	done chan struct{}
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+type durMeta struct {
+	Format  int `json:"format"`
+	Shards  int `json:"shards"`
+	Samples int `json:"samples"`
+	States  int `json:"states"`
+}
+
+// Open builds (or recovers) a durable shard set rooted at d.Dir. A
+// fresh directory seeds from objs exactly like New/NewLenient and
+// writes each shard's boot spill; a populated one ignores objs and
+// recovers the persisted state instead — the persisted writes, not the
+// seed, are the source of truth. The returned skipped positions are
+// only meaningful on a fresh lenient boot.
+func Open(sp *space.Space, objs []*uncertain.Object, samples, shards int, lenient bool, d Durability) (*Set, []int, *RecoveryInfo, error) {
+	if d.Dir == "" {
+		return nil, nil, nil, fmt.Errorf("shard: durable Open needs a data directory")
+	}
+	if d.Rebuild == nil {
+		return nil, nil, nil, fmt.Errorf("shard: durable Open needs a Rebuild function")
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	if err := os.MkdirAll(d.Dir, 0o755); err != nil {
+		return nil, nil, nil, err
+	}
+	if err := checkMeta(d.Dir, durMeta{Format: 1, Shards: shards, Samples: samples, States: sp.Len()}); err != nil {
+		return nil, nil, nil, err
+	}
+
+	parts, origin, err := partition(objs, shards)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
+	s := &Set{shards: make([]*store.Store, shards)}
+	dur := &durState{
+		opts:   d,
+		shards: make([]*shardDur, shards),
+		rec:    RecoveryInfo{SpillVersions: make([]int64, shards)},
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	snap := &Snap{Version: 1, Parts: make([]*store.Snapshot, shards), ChangedID: -1, shards: shards}
+	var skipped []int
+	for si := range s.shards {
+		sdir := filepath.Join(d.Dir, fmt.Sprintf("shard-%04d", si))
+		if err := os.MkdirAll(sdir, 0o755); err != nil {
+			dur.closeWALs()
+			return nil, nil, nil, err
+		}
+		spills, err := store.ListSpills(sdir)
+		if err != nil {
+			dur.closeWALs()
+			return nil, nil, nil, err
+		}
+		sd := &shardDur{dir: sdir}
+		var st *store.Store
+		if len(spills) == 0 {
+			// Fresh shard: index the seed slice and persist the boot
+			// spill before any write can be acknowledged.
+			if lenient {
+				var skippedLocal []int
+				st, skippedLocal, err = store.NewLenient(sp, parts[si], samples)
+				for _, li := range skippedLocal {
+					skipped = append(skipped, origin[si][li])
+				}
+			} else {
+				st, err = store.New(sp, parts[si], samples)
+			}
+			if err != nil {
+				dur.closeWALs()
+				return nil, nil, nil, err
+			}
+			if _, err := store.WriteSpill(sdir, shards, si, st.Snapshot()); err != nil {
+				dur.closeWALs()
+				return nil, nil, nil, fmt.Errorf("shard %d: boot spill: %w", si, err)
+			}
+			sd.lastSpill.Store(1)
+			dur.rec.SpillVersions[si] = 1
+		} else {
+			st, err = recoverShard(sp, sdir, si, shards, samples, d, dur, sd)
+			if err != nil {
+				dur.closeWALs()
+				return nil, nil, nil, err
+			}
+			dur.rec.Recovered = true
+		}
+		wal, err := store.OpenWAL(store.WALSegmentPath(sdir, st.Version()), shards, si, st.Version(), d.Fsync)
+		if err != nil {
+			dur.closeWALs()
+			return nil, nil, nil, err
+		}
+		sd.wal = wal
+		sd.walBytes.Store(pendingWALBytes(sdir, sd.lastSpill.Load()))
+		dur.shards[si] = sd
+		s.shards[si] = st
+		snap.Parts[si] = st.Snapshot()
+	}
+	// The composite version counts acknowledged writes across shards:
+	// each shard contributed (version − 1) writes on top of its build.
+	for _, p := range snap.Parts {
+		snap.Version += p.Version - 1
+	}
+	dur.rec.Version = snap.Version
+	s.cur.Store(snap)
+	s.dur = dur
+
+	if d.SpillInterval > 0 {
+		go s.spillLoop(d.SpillInterval)
+	} else {
+		close(dur.done)
+	}
+	sort.Ints(skipped)
+	return s, skipped, &dur.rec, nil
+}
+
+// recoverShard rebuilds one shard store from its newest readable spill
+// plus the WAL tail.
+func recoverShard(sp *space.Space, sdir string, si, shards, samples int, d Durability, dur *durState, sd *shardDur) (*store.Store, error) {
+	spills, err := store.ListSpills(sdir)
+	if err != nil {
+		return nil, err
+	}
+	var data *store.SpillData
+	var spillErr error
+	for i := len(spills) - 1; i >= 0; i-- {
+		data, spillErr = store.ReadSpill(spills[i].Path)
+		if spillErr == nil {
+			break
+		}
+		dur.rec.SpillFallbacks++
+	}
+	if data == nil {
+		return nil, fmt.Errorf("shard %d: no readable spill in %s (last error: %w)", si, sdir, spillErr)
+	}
+	if data.Shards != shards || data.ShardIndex != si {
+		return nil, fmt.Errorf("shard %d: spill belongs to shard %d/%d, want %d/%d",
+			si, data.ShardIndex, data.Shards, si, shards)
+	}
+	objs := make([]*uncertain.Object, len(data.IDs))
+	for i, id := range data.IDs {
+		o, err := d.Rebuild(id, data.Obs[i])
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: rebuilding object %d from spill: %w", si, id, err)
+		}
+		objs[i] = o
+	}
+	st, err := store.NewAt(sp, objs, samples, data.Version)
+	if err != nil {
+		return nil, fmt.Errorf("shard %d: rebuilding store at version %d: %w", si, data.Version, err)
+	}
+	sd.lastSpill.Store(data.Version)
+	dur.rec.SpillVersions[si] = data.Version
+
+	segs, err := store.ListWALSegments(sdir)
+	if err != nil {
+		return nil, err
+	}
+	for k, seg := range segs {
+		last := k == len(segs)-1
+		info, err := store.ReplayWAL(seg.Path, last, func(off int64, rec store.WALRecord) error {
+			v := st.Version()
+			if rec.Version <= v {
+				return nil // already folded into the spill
+			}
+			if rec.Version != v+1 {
+				return fmt.Errorf("version gap: record %d after store version %d", rec.Version, v)
+			}
+			switch rec.Op {
+			case store.OpAdd:
+				o, err := d.Rebuild(rec.ID, rec.Obs)
+				if err != nil {
+					return err
+				}
+				_, err = st.AddObject(o)
+				return err
+			case store.OpObserve:
+				_, err := st.Observe(rec.ID, rec.Obs)
+				return err
+			default:
+				return fmt.Errorf("unknown op %d", rec.Op)
+			}
+		})
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", si, err)
+		}
+		dur.rec.ReplayedRecords += info.Records
+		if info.TornBytes > 0 {
+			if !last {
+				return nil, fmt.Errorf("shard %d: wal %s: %d torn bytes mid-stream (only the final segment may have a torn tail)",
+					si, seg.Path, info.TornBytes)
+			}
+			dur.rec.TornSegments++
+			dur.rec.TornBytes += info.TornBytes
+		}
+	}
+	return st, nil
+}
+
+// pendingWALBytes sums segment sizes not yet covered by the newest
+// spill: a status metric for "how much would a restart replay".
+func pendingWALBytes(sdir string, lastSpill int64) int64 {
+	segs, err := store.ListWALSegments(sdir)
+	if err != nil {
+		return 0
+	}
+	var n int64
+	for i, seg := range segs {
+		covered := i+1 < len(segs) && segs[i+1].Base <= lastSpill
+		if !covered && seg.Base >= lastSpill {
+			if st, err := os.Stat(seg.Path); err == nil && st.Size() > store.WALHeaderSize {
+				n += st.Size() - store.WALHeaderSize
+			}
+		}
+	}
+	return n
+}
+
+func checkMeta(dir string, want durMeta) error {
+	path := filepath.Join(dir, "meta.json")
+	buf, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		out, merr := json.Marshal(want)
+		if merr != nil {
+			return merr
+		}
+		tmp := path + ".tmp"
+		if err := os.WriteFile(tmp, append(out, '\n'), 0o644); err != nil {
+			return err
+		}
+		return os.Rename(tmp, path)
+	}
+	if err != nil {
+		return err
+	}
+	var got durMeta
+	if err := json.Unmarshal(buf, &got); err != nil {
+		return fmt.Errorf("shard: corrupt %s: %w", path, err)
+	}
+	if got != want {
+		return fmt.Errorf("shard: data directory was written with shards=%d samples=%d states=%d (format %d); refusing to open with shards=%d samples=%d states=%d — recovered answers would not be byte-identical",
+			got.Shards, got.Samples, got.States, got.Format, want.Shards, want.Samples, want.States)
+	}
+	return nil
+}
+
+// logWrite appends the already-applied write to the owning shard's WAL.
+// Callers hold s.mu. An append failure is sticky: the store is now
+// ahead of the log, so further writes are refused rather than widening
+// the divergence.
+func (s *Set) logWrite(si int, rec store.WALRecord) error {
+	sd := s.dur.shards[si]
+	n, err := sd.wal.Append(rec)
+	if err != nil {
+		s.dur.err = fmt.Errorf("shard %d: wal append: %w", si, err)
+		return fmt.Errorf("shard: durability failure, write applied but not logged (restart to recover a consistent state): %w", err)
+	}
+	sd.walBytes.Add(int64(n))
+	return nil
+}
+
+// spillLoop periodically spills dirty shards so WAL replay stays
+// bounded. It runs until Close.
+func (s *Set) spillLoop(interval time.Duration) {
+	defer close(s.dur.done)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.dur.stop:
+			return
+		case <-t.C:
+			s.SpillNow() // an error leaves the WAL authoritative; retried next tick
+		}
+	}
+}
+
+// SpillNow snapshots every shard with log bytes pending, writes its
+// spill, rotates its WAL segment, and prunes segments and spills the
+// new spill supersedes. It is safe to call concurrently with writes and
+// is also the spill loop's body.
+func (s *Set) SpillNow() error {
+	if s.dur == nil {
+		return fmt.Errorf("shard: SpillNow on a volatile set")
+	}
+	var first error
+	for si := range s.dur.shards {
+		if s.dur.shards[si].walBytes.Load() == 0 {
+			continue
+		}
+		if err := s.spillShard(si); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func (s *Set) spillShard(si int) error {
+	sd := s.dur.shards[si]
+
+	// Rotate under the write lock: the new segment's base is exactly the
+	// version the spill will capture, so no record lands in between.
+	s.mu.Lock()
+	snap := s.shards[si].Snapshot()
+	if snap.Version == sd.lastSpill.Load() {
+		s.mu.Unlock()
+		return nil
+	}
+	oldWAL := sd.wal
+	rotated := oldWAL.Path() != store.WALSegmentPath(sd.dir, snap.Version)
+	if rotated {
+		next, err := store.OpenWAL(store.WALSegmentPath(sd.dir, snap.Version), len(s.shards), si, snap.Version, s.dur.opts.Fsync)
+		if err != nil {
+			s.mu.Unlock()
+			return fmt.Errorf("shard %d: rotating wal: %w", si, err)
+		}
+		sd.wal = next
+	}
+	bytesAtRotate := sd.walBytes.Load()
+	s.mu.Unlock()
+	if rotated {
+		oldWAL.Close()
+	}
+
+	// The expensive part runs outside the lock; writers append to the
+	// fresh segment meanwhile.
+	if _, err := store.WriteSpill(sd.dir, len(s.shards), si, snap); err != nil {
+		return fmt.Errorf("shard %d: spill at version %d: %w", si, snap.Version, err)
+	}
+	sd.lastSpill.Store(snap.Version)
+	sd.walBytes.Add(-bytesAtRotate)
+	s.pruneShardFiles(sd)
+	return nil
+}
+
+// pruneShardFiles keeps the newest two spills (the freshly written one
+// plus one fallback) and deletes WAL segments every kept spill already
+// covers — a segment is covered when its successor's base does not
+// exceed the oldest kept spill, so all its records are at or below it.
+// Best-effort: a failed delete costs disk, not correctness.
+func (s *Set) pruneShardFiles(sd *shardDur) {
+	spills, err := store.ListSpills(sd.dir)
+	if err != nil || len(spills) == 0 {
+		return
+	}
+	keepFrom := len(spills) - 2
+	if keepFrom < 0 {
+		keepFrom = 0
+	}
+	for _, sp := range spills[:keepFrom] {
+		os.Remove(sp.Path)
+	}
+	cover := spills[keepFrom].Version
+	segs, err := store.ListWALSegments(sd.dir)
+	if err != nil {
+		return
+	}
+	for i := 0; i+1 < len(segs); i++ {
+		if segs[i+1].Base <= cover {
+			os.Remove(segs[i].Path)
+		}
+	}
+}
+
+// DurabilityStatus reports the durable-mode health block; Enabled is
+// false for a volatile set.
+func (s *Set) DurabilityStatus() DurabilityStatus {
+	if s.dur == nil {
+		return DurabilityStatus{}
+	}
+	st := DurabilityStatus{
+		Enabled:         true,
+		Dir:             s.dur.opts.Dir,
+		Fsync:           s.dur.opts.Fsync,
+		SpillVersions:   make([]int64, len(s.dur.shards)),
+		ReplayedRecords: s.dur.rec.ReplayedRecords,
+		TornBytes:       s.dur.rec.TornBytes,
+	}
+	for i, sd := range s.dur.shards {
+		st.SpillVersions[i] = sd.lastSpill.Load()
+		st.WALBytesSinceSpill += sd.walBytes.Load()
+	}
+	return st
+}
+
+// Recovery returns what Open found on disk, or nil for a volatile set.
+func (s *Set) Recovery() *RecoveryInfo {
+	if s.dur == nil {
+		return nil
+	}
+	rec := s.dur.rec
+	return &rec
+}
+
+// Close stops the spill loop and closes the WAL segments, flushing
+// them. Idempotent; a volatile set closes trivially.
+func (s *Set) Close() error {
+	if s.dur == nil {
+		return nil
+	}
+	s.dur.closeOnce.Do(func() {
+		close(s.dur.stop)
+		<-s.dur.done
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		for _, sd := range s.dur.shards {
+			if sd == nil || sd.wal == nil {
+				continue
+			}
+			if err := sd.wal.Close(); err != nil && s.dur.closeErr == nil {
+				s.dur.closeErr = err
+			}
+			sd.wal = nil
+		}
+		if s.dur.err == nil {
+			s.dur.err = fmt.Errorf("shard: set is closed")
+		}
+	})
+	return s.dur.closeErr
+}
+
+// closeWALs releases any segments opened before a failed Open.
+func (d *durState) closeWALs() {
+	for _, sd := range d.shards {
+		if sd != nil && sd.wal != nil {
+			sd.wal.Close()
+		}
+	}
+}

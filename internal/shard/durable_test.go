@@ -1,0 +1,603 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"pnn/internal/markov"
+	"pnn/internal/query"
+	"pnn/internal/space"
+	"pnn/internal/store"
+	"pnn/internal/uncertain"
+)
+
+// durWorld returns the shared fixture for durable tests plus a Rebuild
+// closure over the grid chain (the role the facade plays in production).
+func durWorld(t testing.TB) (*space.Space, markov.Chain, Durability) {
+	t.Helper()
+	sp, c := gridWorld(t, 10, 10)
+	d := Durability{
+		Fsync: false, // tests survive process crashes, not power loss
+		Rebuild: func(id int, obs []uncertain.Observation) (*uncertain.Object, error) {
+			return uncertain.NewObject(id, obs, c)
+		},
+	}
+	return sp, c, d
+}
+
+// writeScript is a deterministic, always-consistent ingest sequence:
+// adds park a new object on a state, observes keep an existing object
+// on its state (the grid chain self-loops, so staying put is always
+// realizable).
+type writeScript struct {
+	c     markov.Chain
+	rng   *rand.Rand
+	ids   []int
+	lastT map[int]int
+	state map[int]int
+	next  int
+}
+
+func newWriteScript(c markov.Chain, seed int64) *writeScript {
+	return &writeScript{c: c, rng: rand.New(rand.NewSource(seed)), lastT: map[int]int{}, state: map[int]int{}, next: 1000}
+}
+
+// step applies one random write to every set in targets, which must all
+// accept it identically.
+func (w *writeScript) step(t *testing.T, states int, targets ...*Set) {
+	t.Helper()
+	if len(w.ids) == 0 || w.rng.Intn(3) == 0 {
+		id := w.next
+		w.next++
+		st := (id * 7) % states
+		obs := []uncertain.Observation{{T: 0, State: st}, {T: 8, State: st}}
+		w.ids = append(w.ids, id)
+		w.lastT[id] = 8
+		w.state[id] = st
+		for _, s := range targets {
+			o, err := uncertain.NewObject(id, obs, w.c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.AddObject(o); err != nil {
+				t.Fatalf("AddObject(%d): %v", id, err)
+			}
+		}
+	} else {
+		id := w.ids[w.rng.Intn(len(w.ids))]
+		w.lastT[id] += 1 + w.rng.Intn(3)
+		obs := []uncertain.Observation{{T: w.lastT[id], State: w.state[id]}}
+		for _, s := range targets {
+			if _, err := s.Observe(id, append([]uncertain.Observation(nil), obs...)); err != nil {
+				t.Fatalf("Observe(%d): %v", id, err)
+			}
+		}
+	}
+}
+
+// answers runs a small query battery against snap; byte-identity of the
+// full (results, stats) pairs — adaptive sampling stop points included —
+// is the recovery contract.
+func answers(t *testing.T, sp *space.Space, snap *Snap) []any {
+	t.Helper()
+	var out []any
+	for _, probe := range []struct {
+		state, ts, te, k int
+		tau              float64
+		seed             int64
+	}{
+		{7, 0, 8, 1, 0.1, 7},
+		{42, 2, 9, 2, 0.05, 11},
+		{63, 0, 10, 1, 0.3, 5},
+	} {
+		q := query.StateQuery(sp.Point(probe.state))
+		fres, fst, err := snap.ForAllKNN(q, probe.ts, probe.te, probe.k, probe.tau, probe.seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eres, est, err := snap.ExistsKNN(q, probe.ts, probe.te, probe.k, probe.tau, probe.seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Wall-clock fields are the only nondeterministic part of Stats.
+		fst.AdaptTime, fst.RefineTime = 0, 0
+		est.AdaptTime, est.RefineTime = 0, 0
+		out = append(out, fres, fst, eres, est)
+	}
+	out = append(out, snap.Version, snap.ShardVersions(), snap.NumObjects())
+	return out
+}
+
+// TestDurableRecoveryEquivalence is the satellite property test: for a
+// random ingest sequence with spills at arbitrary points, a recovered
+// set answers byte-identically — versions, results, stats, adaptive
+// stop points — to a never-restarted volatile set that saw the same
+// writes, across shard counts.
+func TestDurableRecoveryEquivalence(t *testing.T) {
+	for _, shards := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			sp, c, d := durWorld(t)
+			d.Dir = t.TempDir()
+			seeds := parked(t, c, 6, sp.Len())
+
+			durable, _, rec, err := Open(sp, seeds, 60, shards, false, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rec.Recovered {
+				t.Fatal("fresh directory reported Recovered")
+			}
+			volatileSet, err := New(sp, seeds, 60, shards)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			script := newWriteScript(c, int64(101+shards))
+			for i := 0; i < 40; i++ {
+				script.step(t, sp.Len(), durable, volatileSet)
+				if i%11 == 10 {
+					if err := durable.SpillNow(); err != nil {
+						t.Fatalf("SpillNow: %v", err)
+					}
+				}
+			}
+			if err := durable.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			recovered, _, rec2, err := Open(sp, nil, 60, shards, false, d)
+			if err != nil {
+				t.Fatalf("recovery: %v", err)
+			}
+			defer recovered.Close()
+			if !rec2.Recovered {
+				t.Fatal("populated directory did not report Recovered")
+			}
+			want := answers(t, sp, volatileSet.Snapshot())
+			got := answers(t, sp, recovered.Snapshot())
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("recovered answers diverge from never-restarted set:\n got %v\nwant %v", got, want)
+			}
+
+			// Writes keep flowing after recovery, staying equivalent.
+			for i := 0; i < 8; i++ {
+				script.step(t, sp.Len(), recovered, volatileSet)
+			}
+			if !reflect.DeepEqual(answers(t, sp, recovered.Snapshot()), answers(t, sp, volatileSet.Snapshot())) {
+				t.Fatal("post-recovery writes diverge")
+			}
+		})
+	}
+}
+
+// TestDurableSpillLoopUnderWrites exercises the background spill loop
+// racing live ingest (run under -race in CI), then recovers.
+func TestDurableSpillLoopUnderWrites(t *testing.T) {
+	sp, c, d := durWorld(t)
+	d.Dir = t.TempDir()
+	d.SpillInterval = time.Millisecond
+	durable, _, _, err := Open(sp, parked(t, c, 4, sp.Len()), 40, 2, false, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	volatileSet, err := New(sp, parked(t, c, 4, sp.Len()), 40, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	script := newWriteScript(c, 7)
+	for i := 0; i < 60; i++ {
+		script.step(t, sp.Len(), durable, volatileSet)
+		if i%8 == 0 {
+			time.Sleep(2 * time.Millisecond) // let the loop overlap writes
+		}
+	}
+	if err := durable.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recovered, _, _, err := Open(sp, nil, 40, 2, false, d)
+	if err != nil {
+		t.Fatalf("recovery after spill loop: %v", err)
+	}
+	defer recovered.Close()
+	if !reflect.DeepEqual(answers(t, sp, recovered.Snapshot()), answers(t, sp, volatileSet.Snapshot())) {
+		t.Fatal("recovered set diverges after background spills")
+	}
+}
+
+// TestDurableTornTail is the crash-mid-append fault injection: garbage
+// and a half-written frame at the log tail are truncated and counted,
+// and everything before them recovers.
+func TestDurableTornTail(t *testing.T) {
+	sp, c, d := durWorld(t)
+	d.Dir = t.TempDir()
+	durable, _, _, err := Open(sp, parked(t, c, 3, sp.Len()), 40, 1, false, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	volatileSet, err := New(sp, parked(t, c, 3, sp.Len()), 40, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	script := newWriteScript(c, 21)
+	for i := 0; i < 10; i++ {
+		script.step(t, sp.Len(), durable, volatileSet)
+	}
+	wantVersion := durable.Version()
+	if err := durable.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a crash mid-append: random trailing bytes that never
+	// formed an intact frame.
+	segs, err := store.ListWALSegments(filepath.Join(d.Dir, "shard-0000"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no wal segments: %v", err)
+	}
+	active := segs[len(segs)-1].Path
+	f, err := os.OpenFile(active, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xde, 0xad, 0xbe, 0xef, 0x01, 0x02, 0x03}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	recovered, _, rec, err := Open(sp, nil, 40, 1, false, d)
+	if err != nil {
+		t.Fatalf("recovery with torn tail: %v", err)
+	}
+	if rec.TornSegments != 1 || rec.TornBytes != 7 {
+		t.Fatalf("torn accounting = %d segments / %d bytes, want 1 / 7", rec.TornSegments, rec.TornBytes)
+	}
+	if recovered.Version() != wantVersion {
+		t.Fatalf("recovered version %d, want %d", recovered.Version(), wantVersion)
+	}
+	if !reflect.DeepEqual(answers(t, sp, recovered.Snapshot()), answers(t, sp, volatileSet.Snapshot())) {
+		t.Fatal("torn-tail recovery diverges")
+	}
+	recovered.Close()
+
+	// Now cut the last intact record in half: that acknowledged-but-lost
+	// write disappears, and recovery lands exactly one version earlier.
+	// First drop the empty active segment the intermediate recovery
+	// created, restoring the pre-crash directory shape (a torn tail is
+	// only tolerated in the final segment — mid-stream it means lost
+	// acknowledged writes and recovery refuses, by design).
+	segs, err = store.ListWALSegments(filepath.Join(d.Dir, "shard-0000"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seg := range segs {
+		if seg.Path != active {
+			if err := os.Remove(seg.Path); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	st, err := os.Stat(active)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(active, st.Size()-9); err != nil {
+		t.Fatal(err)
+	}
+	recovered2, _, rec2, err := Open(sp, nil, 40, 1, false, d)
+	if err != nil {
+		t.Fatalf("recovery with half record: %v", err)
+	}
+	defer recovered2.Close()
+	if rec2.TornBytes == 0 {
+		t.Fatal("half-written record not counted as torn")
+	}
+	if recovered2.Version() != wantVersion-1 {
+		t.Fatalf("recovered version %d, want %d", recovered2.Version(), wantVersion-1)
+	}
+}
+
+// appendRawRecord writes a crafted WAL record into a shard's active
+// segment, bypassing the store — the tool for forging log/spill
+// disagreements.
+func appendRawRecord(t *testing.T, dir string, shards, si int, rec store.WALRecord) {
+	t.Helper()
+	sdir := filepath.Join(dir, fmt.Sprintf("shard-%04d", si))
+	segs, err := store.ListWALSegments(sdir)
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no wal segments in %s: %v", sdir, err)
+	}
+	active := segs[len(segs)-1]
+	w, err := store.OpenWAL(active.Path, shards, si, active.Base, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append(rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReplayDuplicateAddFailsRecovery: a log record that re-adds an
+// existing ID means log and spill disagree; recovery must fail loudly
+// with the sentinel, the offset and the object ID — never skip it.
+func TestReplayDuplicateAddFailsRecovery(t *testing.T) {
+	sp, c, d := durWorld(t)
+	d.Dir = t.TempDir()
+	durable, _, _, err := Open(sp, parked(t, c, 3, sp.Len()), 40, 1, false, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := durable.Snapshot().ShardVersions()[0]
+	if err := durable.Close(); err != nil {
+		t.Fatal(err)
+	}
+	appendRawRecord(t, d.Dir, 1, 0, store.WALRecord{
+		Version: v + 1, Op: store.OpAdd, ID: 0, // object 0 exists in the boot spill
+		Obs: []uncertain.Observation{{T: 0, State: 0}, {T: 8, State: 0}},
+	})
+	_, _, _, err = Open(sp, nil, 40, 1, false, d)
+	if err == nil {
+		t.Fatal("recovery accepted a duplicate-add record")
+	}
+	if !errors.Is(err, store.ErrDuplicateID) {
+		t.Fatalf("error does not wrap ErrDuplicateID: %v", err)
+	}
+	if !strings.Contains(err.Error(), "offset") || !strings.Contains(err.Error(), "object 0") {
+		t.Fatalf("error lacks offset/object context: %v", err)
+	}
+}
+
+// TestReplayUnknownObserveFailsRecovery is the twin for Observe on an
+// ID the spill does not know.
+func TestReplayUnknownObserveFailsRecovery(t *testing.T) {
+	sp, c, d := durWorld(t)
+	d.Dir = t.TempDir()
+	durable, _, _, err := Open(sp, parked(t, c, 3, sp.Len()), 40, 1, false, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := durable.Snapshot().ShardVersions()[0]
+	if err := durable.Close(); err != nil {
+		t.Fatal(err)
+	}
+	appendRawRecord(t, d.Dir, 1, 0, store.WALRecord{
+		Version: v + 1, Op: store.OpObserve, ID: 9999,
+		Obs: []uncertain.Observation{{T: 9, State: 0}},
+	})
+	_, _, _, err = Open(sp, nil, 40, 1, false, d)
+	if err == nil {
+		t.Fatal("recovery accepted an unknown-observe record")
+	}
+	if !errors.Is(err, store.ErrUnknownID) {
+		t.Fatalf("error does not wrap ErrUnknownID: %v", err)
+	}
+	if !strings.Contains(err.Error(), "offset") || !strings.Contains(err.Error(), "object 9999") {
+		t.Fatalf("error lacks offset/object context: %v", err)
+	}
+}
+
+// TestCorruptSpillFallsBack: when the newest spill is damaged, recovery
+// falls back to the previous one and replays a longer WAL tail, landing
+// on the same state.
+func TestCorruptSpillFallsBack(t *testing.T) {
+	sp, c, d := durWorld(t)
+	d.Dir = t.TempDir()
+	durable, _, _, err := Open(sp, parked(t, c, 3, sp.Len()), 40, 1, false, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	volatileSet, err := New(sp, parked(t, c, 3, sp.Len()), 40, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	script := newWriteScript(c, 33)
+	for i := 0; i < 6; i++ {
+		script.step(t, sp.Len(), durable, volatileSet)
+	}
+	if err := durable.SpillNow(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		script.step(t, sp.Len(), durable, volatileSet)
+	}
+	if err := durable.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sdir := filepath.Join(d.Dir, "shard-0000")
+	spills, err := store.ListSpills(sdir)
+	if err != nil || len(spills) < 2 {
+		t.Fatalf("want >= 2 spills, got %v (%v)", spills, err)
+	}
+	newest := spills[len(spills)-1].Path
+	buf, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[len(buf)/2] ^= 0xff
+	if err := os.WriteFile(newest, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	recovered, _, rec, err := Open(sp, nil, 40, 1, false, d)
+	if err != nil {
+		t.Fatalf("recovery with corrupt newest spill: %v", err)
+	}
+	defer recovered.Close()
+	if rec.SpillFallbacks != 1 {
+		t.Fatalf("SpillFallbacks = %d, want 1", rec.SpillFallbacks)
+	}
+	if !reflect.DeepEqual(answers(t, sp, recovered.Snapshot()), answers(t, sp, volatileSet.Snapshot())) {
+		t.Fatal("fallback recovery diverges")
+	}
+}
+
+// TestDurableCrashPoints walks the spill lifecycle's crash windows: a
+// leftover .tmp from a crashed spill is ignored, and a completed spill
+// with the old segments still present (crash before prune) recovers
+// cleanly.
+func TestDurableCrashPoints(t *testing.T) {
+	sp, c, d := durWorld(t)
+	d.Dir = t.TempDir()
+	durable, _, _, err := Open(sp, parked(t, c, 3, sp.Len()), 40, 1, false, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	volatileSet, err := New(sp, parked(t, c, 3, sp.Len()), 40, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	script := newWriteScript(c, 55)
+	for i := 0; i < 5; i++ {
+		script.step(t, sp.Len(), durable, volatileSet)
+	}
+	if err := durable.SpillNow(); err != nil { // old segment survives prune? prune removes it; re-create below
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		script.step(t, sp.Len(), durable, volatileSet)
+	}
+	if err := durable.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sdir := filepath.Join(d.Dir, "shard-0000")
+	// Crash mid-spill: a half-written temp file under the next version's
+	// name must be ignored.
+	if err := os.WriteFile(filepath.Join(sdir, "spill-00000000000000ff.snap.tmp"), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Crash between spill and prune: duplicate coverage is harmless.
+	spills, err := store.ListSpills(sdir)
+	if err != nil || len(spills) == 0 {
+		t.Fatal(err)
+	}
+
+	recovered, _, _, err := Open(sp, nil, 40, 1, false, d)
+	if err != nil {
+		t.Fatalf("recovery with crash artifacts: %v", err)
+	}
+	defer recovered.Close()
+	if !reflect.DeepEqual(answers(t, sp, recovered.Snapshot()), answers(t, sp, volatileSet.Snapshot())) {
+		t.Fatal("crash-point recovery diverges")
+	}
+}
+
+// TestDurablePruneKeepsTwoSpills: repeated spills retain at most the
+// newest two spills and drop fully covered segments.
+func TestDurablePruneKeepsTwoSpills(t *testing.T) {
+	sp, c, d := durWorld(t)
+	d.Dir = t.TempDir()
+	durable, _, _, err := Open(sp, parked(t, c, 3, sp.Len()), 40, 1, false, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	script := newWriteScript(c, 77)
+	for round := 0; round < 4; round++ {
+		for i := 0; i < 4; i++ {
+			script.step(t, sp.Len(), durable)
+		}
+		if err := durable.SpillNow(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := durable.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sdir := filepath.Join(d.Dir, "shard-0000")
+	spills, err := store.ListSpills(sdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spills) > 2 {
+		t.Fatalf("prune left %d spills, want <= 2", len(spills))
+	}
+	segs, err := store.ListWALSegments(sdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cover := spills[0].Version
+	for i := 0; i+1 < len(segs); i++ {
+		if segs[i+1].Base <= cover {
+			t.Fatalf("segment %s is fully covered by spill %d but survived prune", segs[i].Path, cover)
+		}
+	}
+	// And the pruned directory still recovers.
+	recovered, _, _, err := Open(sp, nil, 40, 1, false, d)
+	if err != nil {
+		t.Fatalf("recovery after prune: %v", err)
+	}
+	recovered.Close()
+}
+
+// TestDurableStatusAndMetaGuard covers the operator surface: status
+// fields move with writes and spills, volatile sets report disabled,
+// and a topology change on an existing directory is refused.
+func TestDurableStatusAndMetaGuard(t *testing.T) {
+	sp, c, d := durWorld(t)
+	d.Dir = t.TempDir()
+	durable, _, _, err := Open(sp, parked(t, c, 4, sp.Len()), 40, 2, false, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := durable.DurabilityStatus()
+	if !st.Enabled || st.Fsync || len(st.SpillVersions) != 2 {
+		t.Fatalf("fresh status = %+v", st)
+	}
+	if st.WALBytesSinceSpill != 0 {
+		t.Fatalf("fresh WALBytesSinceSpill = %d, want 0", st.WALBytesSinceSpill)
+	}
+	script := newWriteScript(c, 9)
+	for i := 0; i < 6; i++ {
+		script.step(t, sp.Len(), durable)
+	}
+	if st = durable.DurabilityStatus(); st.WALBytesSinceSpill == 0 {
+		t.Fatal("writes did not grow WALBytesSinceSpill")
+	}
+	if err := durable.SpillNow(); err != nil {
+		t.Fatal(err)
+	}
+	if st = durable.DurabilityStatus(); st.WALBytesSinceSpill != 0 {
+		t.Fatalf("post-spill WALBytesSinceSpill = %d, want 0", st.WALBytesSinceSpill)
+	}
+	if err := durable.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := durable.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+
+	// Volatile sets: disabled status, SpillNow refused, Close trivial.
+	vol, err := New(sp, parked(t, c, 2, sp.Len()), 40, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vst := vol.DurabilityStatus(); vst.Enabled {
+		t.Fatal("volatile set reports durability enabled")
+	}
+	if err := vol.SpillNow(); err == nil {
+		t.Fatal("SpillNow on a volatile set did not error")
+	}
+	if err := vol.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if vol.Recovery() != nil {
+		t.Fatal("volatile set has RecoveryInfo")
+	}
+
+	// Reopening with a different topology must refuse.
+	if _, _, _, err := Open(sp, nil, 40, 4, false, d); err == nil {
+		t.Fatal("meta guard accepted a shard-count change")
+	}
+	if _, _, _, err := Open(sp, nil, 80, 2, false, d); err == nil {
+		t.Fatal("meta guard accepted a samples change")
+	}
+}

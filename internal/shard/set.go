@@ -126,6 +126,10 @@ type Set struct {
 
 	mu  sync.Mutex // serializes writers; never held by readers
 	cur atomic.Pointer[Snap]
+
+	// dur is the write-ahead-log + spill state of a durable set (see
+	// durable.go); nil for a volatile one.
+	dur *durState
 }
 
 // shardOf routes an object ID to its shard. The hash must be stable
@@ -157,15 +161,12 @@ func NewLenient(sp *space.Space, objs []*uncertain.Object, samples, shards int) 
 	return build(sp, objs, samples, shards, true)
 }
 
-func build(sp *space.Space, objs []*uncertain.Object, samples, shards int, lenient bool) (*Set, []int, error) {
-	if shards < 1 {
-		shards = 1
-	}
-	// Partition preserving input order within each shard, remembering the
-	// original positions so lenient skips can be reported against the
-	// caller's slice.
-	parts := make([][]*uncertain.Object, shards)
-	origin := make([][]int, shards)
+// partition splits objs across shards by ID hash, preserving input
+// order within each shard and remembering the original positions so
+// lenient skips can be reported against the caller's slice.
+func partition(objs []*uncertain.Object, shards int) (parts [][]*uncertain.Object, origin [][]int, err error) {
+	parts = make([][]*uncertain.Object, shards)
+	origin = make([][]int, shards)
 	seen := make(map[int]bool, len(objs))
 	for i, o := range objs {
 		if seen[o.ID] {
@@ -175,6 +176,17 @@ func build(sp *space.Space, objs []*uncertain.Object, samples, shards int, lenie
 		si := shardOf(o.ID, shards)
 		parts[si] = append(parts[si], o)
 		origin[si] = append(origin[si], i)
+	}
+	return parts, origin, nil
+}
+
+func build(sp *space.Space, objs []*uncertain.Object, samples, shards int, lenient bool) (*Set, []int, error) {
+	if shards < 1 {
+		shards = 1
+	}
+	parts, origin, err := partition(objs, shards)
+	if err != nil {
+		return nil, nil, err
 	}
 	s := &Set{shards: make([]*store.Store, shards)}
 	snap := &Snap{Version: 1, Parts: make([]*store.Snapshot, shards), ChangedID: -1, shards: shards}
@@ -241,10 +253,22 @@ func (s *Set) SetParallelism(workers int) {
 func (s *Set) AddObject(o *uncertain.Object) (*Snap, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.dur != nil && s.dur.err != nil {
+		return nil, s.dur.err
+	}
 	si := shardOf(o.ID, len(s.shards))
 	part, err := s.shards[si].AddObject(o)
 	if err != nil {
 		return nil, err
+	}
+	if s.dur != nil {
+		// Log after the store validated and applied the write, before the
+		// composite version is published: every WAL record is replayable
+		// and every acknowledged write is logged.
+		rec := store.WALRecord{Version: part.Version, Op: store.OpAdd, ID: o.ID, Obs: o.Obs}
+		if err := s.logWrite(si, rec); err != nil {
+			return nil, err
+		}
 	}
 	return s.publish(si, part), nil
 }
@@ -256,10 +280,21 @@ func (s *Set) AddObject(o *uncertain.Object) (*Snap, error) {
 func (s *Set) Observe(id int, obs []uncertain.Observation) (*Snap, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.dur != nil && s.dur.err != nil {
+		return nil, s.dur.err
+	}
 	si := shardOf(id, len(s.shards))
 	part, err := s.shards[si].Observe(id, obs)
 	if err != nil {
 		return nil, err
+	}
+	if s.dur != nil {
+		// The record carries only the delta: replay re-issues the exact
+		// Observe call, and the merge happens in the store again.
+		rec := store.WALRecord{Version: part.Version, Op: store.OpObserve, ID: id, Obs: obs}
+		if err := s.logWrite(si, rec); err != nil {
+			return nil, err
+		}
 	}
 	return s.publish(si, part), nil
 }

@@ -1,0 +1,257 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"pnn/internal/uncertain"
+)
+
+func walRecords(n int) []WALRecord {
+	recs := make([]WALRecord, n)
+	for i := range recs {
+		op := OpAdd
+		if i%2 == 1 {
+			op = OpObserve
+		}
+		recs[i] = WALRecord{
+			Version: int64(2 + i),
+			Op:      op,
+			ID:      100 + i,
+			Obs: []uncertain.Observation{
+				{T: i * 8, State: 30 + i},
+				{T: i*8 + 4, State: 31 + i},
+			},
+		}
+	}
+	return recs
+}
+
+func appendAll(t *testing.T, path string, recs []WALRecord) (frames []int) {
+	t.Helper()
+	w, err := OpenWAL(path, 4, 2, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
+		n, err := w.Append(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames = append(frames, n)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return frames
+}
+
+func replayAll(t *testing.T, path string, truncate bool) ([]WALRecord, WALInfo) {
+	t.Helper()
+	var got []WALRecord
+	info, err := ReplayWAL(path, truncate, func(off int64, rec WALRecord) error {
+		got = append(got, rec)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got, info
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	path := WALSegmentPath(t.TempDir(), 1)
+	recs := walRecords(5)
+	appendAll(t, path, recs)
+
+	got, info := replayAll(t, path, false)
+	if !reflect.DeepEqual(got, recs) {
+		t.Fatalf("replay mismatch:\n got %+v\nwant %+v", got, recs)
+	}
+	if info.Shards != 4 || info.ShardIndex != 2 || info.Base != 1 {
+		t.Fatalf("header round-trip = %+v", info)
+	}
+	if info.Records != 5 || info.TornBytes != 0 {
+		t.Fatalf("info = %+v, want 5 clean records", info)
+	}
+
+	// Reopening with a mismatched topology must refuse.
+	if _, err := OpenWAL(path, 2, 2, 1, false); err == nil {
+		t.Fatal("OpenWAL accepted a segment from a different shard count")
+	}
+}
+
+// TestWALTornTail is the crash-mid-append case: the final frame is cut
+// short, replay keeps everything before it, counts the torn bytes,
+// truncates them away, and the segment accepts appends again.
+func TestWALTornTail(t *testing.T) {
+	path := WALSegmentPath(t.TempDir(), 1)
+	recs := walRecords(3)
+	frames := appendAll(t, path, recs)
+
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := int64(frames[2]/2 + 1)
+	if err := os.Truncate(path, st.Size()-int64(frames[2])+cut); err != nil {
+		t.Fatal(err)
+	}
+
+	got, info := replayAll(t, path, true)
+	if len(got) != 2 || !reflect.DeepEqual(got, recs[:2]) {
+		t.Fatalf("torn replay returned %d records, want the 2 intact ones", len(got))
+	}
+	if info.TornBytes != cut {
+		t.Fatalf("TornBytes = %d, want %d", info.TornBytes, cut)
+	}
+	after, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size() != st.Size()-int64(frames[2]) {
+		t.Fatalf("truncate left %d bytes, want %d", after.Size(), st.Size()-int64(frames[2]))
+	}
+
+	// The segment is writable again and the new record replays.
+	w, err := OpenWAL(path, 4, 2, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append(recs[2]); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	got, info = replayAll(t, path, false)
+	if !reflect.DeepEqual(got, recs) || info.TornBytes != 0 {
+		t.Fatalf("post-repair replay = %d records, torn %d", len(got), info.TornBytes)
+	}
+}
+
+// TestWALFlippedByte covers bit rot: a corrupted checksum stops the
+// replay at the damaged record, keeping everything before it.
+func TestWALFlippedByte(t *testing.T) {
+	path := WALSegmentPath(t.TempDir(), 1)
+	recs := walRecords(3)
+	frames := appendAll(t, path, recs)
+
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte in the last record.
+	buf[len(buf)-frames[2]/2] ^= 0xff
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	got, info := replayAll(t, path, false)
+	if len(got) != 2 || info.TornBytes != int64(frames[2]) {
+		t.Fatalf("flipped-byte replay: %d records, torn %d; want 2 records, torn %d",
+			len(got), info.TornBytes, frames[2])
+	}
+
+	// Corruption in the first record drops the whole segment's records.
+	buf[walHeaderSize+walFrameSize+3] ^= 0xff
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, info = replayAll(t, path, false)
+	if len(got) != 0 || info.TornBytes == 0 {
+		t.Fatalf("head corruption replay: %d records, torn %d; want 0 records", len(got), info.TornBytes)
+	}
+}
+
+func TestSpillRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	sp, c, s := lineStore(t, 200)
+	_ = sp
+	if _, err := s.Observe(2, []uncertain.Observation{{T: 16, State: 56}}); err != nil {
+		t.Fatal(err)
+	}
+	snap := s.Snapshot()
+	path, err := WriteSpill(dir, 2, 1, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd, err := ReadSpill(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sd.Shards != 2 || sd.ShardIndex != 1 || sd.Version != snap.Version {
+		t.Fatalf("spill header = %+v", sd)
+	}
+	if !reflect.DeepEqual(sd.IDs, snap.IDs) {
+		t.Fatalf("spill IDs = %v, want %v", sd.IDs, snap.IDs)
+	}
+	objs := snap.Engine.Tree().Objects()
+	for i, o := range objs {
+		if !reflect.DeepEqual(sd.Obs[i], o.Obs) {
+			t.Fatalf("object %d obs = %v, want %v", sd.IDs[i], sd.Obs[i], o.Obs)
+		}
+	}
+
+	// The rebuilt store answers from the spilled version.
+	rebuilt := make([]*uncertain.Object, len(sd.IDs))
+	for i := range sd.IDs {
+		rebuilt[i] = mkObj(t, sd.IDs[i], c, sd.Obs[i]...)
+	}
+	s2, err := NewAt(s.sp, rebuilt, 200, sd.Version)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.Version(); got != snap.Version {
+		t.Fatalf("recovered version = %d, want %d", got, snap.Version)
+	}
+
+	// No stray temp file remains.
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp spill left behind: %v", err)
+	}
+
+	refs, err := ListSpills(dir)
+	if err != nil || len(refs) != 1 || refs[0].Version != snap.Version {
+		t.Fatalf("ListSpills = %v, %v", refs, err)
+	}
+}
+
+func TestSpillRejectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	_, _, s := lineStore(t, 100)
+	path, err := WriteSpill(dir, 1, 0, s.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, flip := range []int{9, len(buf) / 2, len(buf) - 2} {
+		bad := append([]byte(nil), buf...)
+		bad[flip] ^= 0x01
+		badPath := filepath.Join(dir, "bad.snap")
+		if err := os.WriteFile(badPath, bad, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadSpill(badPath); err == nil {
+			t.Fatalf("ReadSpill accepted a spill with byte %d flipped", flip)
+		}
+	}
+	// Truncation is rejected too.
+	if err := os.WriteFile(filepath.Join(dir, "short.snap"), buf[:len(buf)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSpill(filepath.Join(dir, "short.snap")); err == nil {
+		t.Fatal("ReadSpill accepted a truncated spill")
+	}
+}
+
+func TestNewAtRejectsBadVersion(t *testing.T) {
+	sp, c, _ := lineStore(t, 100)
+	objs := []*uncertain.Object{mkObj(t, 1, c, uncertain.Observation{T: 0, State: 3})}
+	if _, err := NewAt(sp, objs, 100, 0); err == nil {
+		t.Fatal("NewAt accepted version 0")
+	}
+}

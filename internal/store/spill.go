@@ -1,0 +1,208 @@
+// Periodic snapshot spills bound WAL replay time: a spill captures one
+// shard's complete object set at a version, so recovery loads the newest
+// valid spill and replays only the records past it. The codec is the
+// flat columnar layout the zero-alloc kernel (nn.WorldBatch) and the
+// scatter wire format already use — parallel arrays joined by an offset
+// column — rather than a per-object record encoding: one read fills four
+// contiguous columns, and the whole payload is covered by a single
+// trailing CRC so a torn or bit-rotted spill is rejected as a unit and
+// recovery falls back to the previous one.
+//
+// File layout (all integers little-endian):
+//
+//	magic "PNNSPIL1" | u32 format | u32 shards | u32 shardIndex
+//	u64 version | u32 nObjects | u32 totalObs
+//	ids       nObjects x i64
+//	obsOff    (nObjects+1) x u32   // object i owns obs [obsOff[i], obsOff[i+1])
+//	obsT      totalObs x i64
+//	obsState  totalObs x i32
+//	crc32c over everything above
+//
+// Spills are written to a temp file, fsynced, and renamed into place, so
+// a crash mid-spill leaves only an ignored *.tmp and never a half spill
+// under the real name.
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"pnn/internal/uncertain"
+)
+
+const (
+	spillMagic  = "PNNSPIL1"
+	spillFormat = 1
+)
+
+// SpillData is a decoded spill: the complete object set of one shard at
+// one version, in engine-index order (which store.NewAt reproduces
+// exactly — see the rebuild-determinism note there).
+type SpillData struct {
+	Shards     int
+	ShardIndex int
+	Version    int64
+	IDs        []int
+	Obs        [][]uncertain.Observation
+}
+
+// SpillPath names the spill for a given version inside dir.
+func SpillPath(dir string, version int64) string {
+	return filepath.Join(dir, fmt.Sprintf("spill-%016x.snap", version))
+}
+
+// WriteSpill encodes snap's full object set and atomically installs it
+// as dir's spill for snap.Version. It returns the final path.
+func WriteSpill(dir string, shards, shardIndex int, snap *Snapshot) (string, error) {
+	objs := snap.Engine.Tree().Objects()
+	totalObs := 0
+	for _, o := range objs {
+		totalObs += len(o.Obs)
+	}
+	buf := make([]byte, 0, 40+len(objs)*12+totalObs*12)
+	buf = append(buf, spillMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, spillFormat)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(shards))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(shardIndex))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(snap.Version))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(objs)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(totalObs))
+	for _, o := range objs {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(o.ID))
+	}
+	off := uint32(0)
+	for _, o := range objs {
+		buf = binary.LittleEndian.AppendUint32(buf, off)
+		off += uint32(len(o.Obs))
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, off)
+	for _, o := range objs {
+		for _, ob := range o.Obs {
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(ob.T))
+		}
+	}
+	for _, o := range objs {
+		for _, ob := range o.Obs {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(int32(ob.State)))
+		}
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, crcTable))
+
+	final := SpillPath(dir, snap.Version)
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return "", err
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return "", err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return "", err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return "", err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return "", err
+	}
+	syncDir(dir)
+	return final, nil
+}
+
+// ReadSpill decodes and checksum-verifies the spill at path. Any
+// structural or CRC failure is an error — the caller falls back to an
+// older spill rather than trusting a damaged one.
+func ReadSpill(path string) (*SpillData, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	const fixed = 8 + 4 + 4 + 4 + 8 + 4 + 4
+	if len(buf) < fixed+4 {
+		return nil, fmt.Errorf("spill %s: too short (%d bytes)", path, len(buf))
+	}
+	body, sum := buf[:len(buf)-4], binary.LittleEndian.Uint32(buf[len(buf)-4:])
+	if crc32.Checksum(body, crcTable) != sum {
+		return nil, fmt.Errorf("spill %s: checksum mismatch", path)
+	}
+	if string(body[:8]) != spillMagic {
+		return nil, fmt.Errorf("spill %s: bad magic %q", path, body[:8])
+	}
+	if f := binary.LittleEndian.Uint32(body[8:12]); f != spillFormat {
+		return nil, fmt.Errorf("spill %s: unsupported format %d", path, f)
+	}
+	sd := &SpillData{
+		Shards:     int(binary.LittleEndian.Uint32(body[12:16])),
+		ShardIndex: int(binary.LittleEndian.Uint32(body[16:20])),
+		Version:    int64(binary.LittleEndian.Uint64(body[20:28])),
+	}
+	n := int(binary.LittleEndian.Uint32(body[28:32]))
+	totalObs := int(binary.LittleEndian.Uint32(body[32:36]))
+	want := fixed + n*8 + (n+1)*4 + totalObs*12
+	if len(body) != want {
+		return nil, fmt.Errorf("spill %s: size %d does not match %d objects / %d observations", path, len(body), n, totalObs)
+	}
+	idsAt := fixed
+	offAt := idsAt + n*8
+	tAt := offAt + (n+1)*4
+	stateAt := tAt + totalObs*8
+	offs := make([]int, n+1)
+	for i := range offs {
+		offs[i] = int(binary.LittleEndian.Uint32(body[offAt+i*4:]))
+	}
+	if offs[0] != 0 || offs[n] != totalObs || !sort.IntsAreSorted(offs) {
+		return nil, fmt.Errorf("spill %s: corrupt observation offsets", path)
+	}
+	sd.IDs = make([]int, n)
+	sd.Obs = make([][]uncertain.Observation, n)
+	flat := make([]uncertain.Observation, totalObs)
+	for i := range flat {
+		flat[i] = uncertain.Observation{
+			T:     int(int64(binary.LittleEndian.Uint64(body[tAt+i*8:]))),
+			State: int(int32(binary.LittleEndian.Uint32(body[stateAt+i*4:]))),
+		}
+	}
+	for i := 0; i < n; i++ {
+		sd.IDs[i] = int(int64(binary.LittleEndian.Uint64(body[idsAt+i*8:])))
+		sd.Obs[i] = flat[offs[i]:offs[i+1]:offs[i+1]]
+	}
+	return sd, nil
+}
+
+// SpillRef names one spill found on disk.
+type SpillRef struct {
+	Version int64
+	Path    string
+}
+
+// ListSpills returns dir's spills ascending by version. *.tmp leftovers
+// from a crashed spill are ignored (and never match the name pattern).
+func ListSpills(dir string) ([]SpillRef, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var out []SpillRef
+	for _, e := range ents {
+		if v, ok := parseVersionName(e.Name(), "spill-", ".snap"); ok {
+			out = append(out, SpillRef{Version: v, Path: filepath.Join(dir, e.Name())})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Version < out[j].Version })
+	return out, nil
+}

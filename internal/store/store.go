@@ -104,7 +104,33 @@ func NewLenient(sp *space.Space, objs []*uncertain.Object, samples int) (*Store,
 	return s, skipped, nil
 }
 
+// NewAt is New with an explicit starting version: recovery rebuilds a
+// store from a spilled object set and needs the snapshot chain to resume
+// at the version the spill captured, not restart at 1. This is exact,
+// not approximate: Build, Insert and WithUpdatedObject all register gaps
+// in the same (object, gap)-ascending order, so bulk-rebuilding the
+// final object set yields byte-for-byte the index (and pruning behavior)
+// the original incremental write history produced.
+func NewAt(sp *space.Space, objs []*uncertain.Object, samples int, version int64) (*Store, error) {
+	if version < 1 {
+		return nil, fmt.Errorf("store: NewAt version %d < 1", version)
+	}
+	s := &Store{sp: sp, reach: uncertain.NewReach()}
+	tree, err := ustree.Build(sp, objs, s.reach)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.initAt(tree, samples, version); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
 func (s *Store) init(tree *ustree.Tree, samples int) error {
+	return s.initAt(tree, samples, 1)
+}
+
+func (s *Store) initAt(tree *ustree.Tree, samples int, version int64) error {
 	ids := make([]int, tree.Len())
 	s.byID = make(map[int]int, tree.Len())
 	for i, o := range tree.Objects() {
@@ -115,7 +141,7 @@ func (s *Store) init(tree *ustree.Tree, samples int) error {
 		s.byID[o.ID] = i
 	}
 	tree.Freeze()
-	s.cur.Store(&Snapshot{Version: 1, Engine: query.NewEngine(tree, samples), IDs: ids, ChangedID: -1})
+	s.cur.Store(&Snapshot{Version: version, Engine: query.NewEngine(tree, samples), IDs: ids, ChangedID: -1})
 	return nil
 }
 

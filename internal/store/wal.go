@@ -1,0 +1,360 @@
+// Write-ahead log for the store's two write operations. Durability rests
+// on a simple contract: every acknowledged AddObject/Observe is appended
+// to an on-disk segment before the composite version is published, so a
+// warm start can rebuild the exact snapshot chain by replaying records
+// over the newest spill (see spill.go). Records are length-prefixed and
+// CRC-checksummed; a torn tail — the half-written frame a crash leaves
+// behind — is detected, counted, and truncated away rather than refusing
+// to start, while a checksum failure *before* intact records is the
+// recovery layer's cue to fall back to an older segment or fail loudly.
+//
+// Segment layout (all integers little-endian):
+//
+//	header:  magic "PNNWAL01" | u32 shards | u32 shardIndex | u64 base
+//	record:  u32 payloadLen | u32 crc32c(payload) | payload
+//	payload: u64 version | u8 op | u64 objectID | u32 nObs | nObs x (i64 t, i32 state)
+//
+// `base` is the store version the segment starts after: every record in
+// the segment has Version > base, ascending by exactly one. Segments are
+// named wal-%016x.log by their base so a directory listing yields replay
+// order.
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"pnn/internal/uncertain"
+)
+
+// WAL op codes. The zero value is invalid on purpose: a zeroed torn
+// frame can never decode into a valid record.
+const (
+	OpAdd     byte = 1 // payload observations are the new object's full history
+	OpObserve byte = 2 // payload observations are the appended delta only
+)
+
+// WALHeaderSize is the fixed segment header length; bytes past it are
+// record frames (useful to size "how much would a restart replay").
+const WALHeaderSize = 8 + 4 + 4 + 8
+
+const (
+	walMagic      = "PNNWAL01"
+	walHeaderSize = WALHeaderSize
+	walFrameSize  = 4 + 4 // payloadLen + crc32c
+	// maxWALPayload bounds a single record so a corrupt length prefix
+	// cannot drive a multi-gigabyte allocation; anything larger is torn.
+	maxWALPayload = 1 << 26
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// WALRecord is one logged write. For OpAdd, Obs is the object's complete
+// (sorted) observation history; for OpObserve it is exactly the delta
+// passed to Observe, so replay re-issues the original call.
+type WALRecord struct {
+	// Version is the per-shard store version the write published.
+	Version int64
+	Op      byte
+	ID      int
+	Obs     []uncertain.Observation
+}
+
+// WAL is an append-only segment writer. Not safe for concurrent use; the
+// shard set serializes writers.
+type WAL struct {
+	f     *os.File
+	path  string
+	fsync bool
+	buf   []byte
+}
+
+// WALSegmentPath names the segment for a given base version inside dir.
+func WALSegmentPath(dir string, base int64) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%016x.log", base))
+}
+
+// OpenWAL opens (or creates) the segment at path for appending. A new or
+// empty file gets the header; an existing one must carry a matching
+// header — a mismatch means the directory belongs to a different
+// topology and is a hard error.
+func OpenWAL(path string, shards, shardIndex int, base int64, fsync bool) (*WAL, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size() == 0 {
+		hdr := make([]byte, 0, walHeaderSize)
+		hdr = append(hdr, walMagic...)
+		hdr = binary.LittleEndian.AppendUint32(hdr, uint32(shards))
+		hdr = binary.LittleEndian.AppendUint32(hdr, uint32(shardIndex))
+		hdr = binary.LittleEndian.AppendUint64(hdr, uint64(base))
+		if _, err := f.Write(hdr); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, err
+		}
+		syncDir(filepath.Dir(path))
+	} else {
+		gotShards, gotIndex, gotBase, err := readWALHeader(f)
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal %s: %w", path, err)
+		}
+		if gotShards != shards || gotIndex != shardIndex || gotBase != base {
+			f.Close()
+			return nil, fmt.Errorf("wal %s: header (shards %d, shard %d, base %d) does not match (shards %d, shard %d, base %d)",
+				path, gotShards, gotIndex, gotBase, shards, shardIndex, base)
+		}
+		if _, err := f.Seek(0, io.SeekEnd); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return &WAL{f: f, path: path, fsync: fsync}, nil
+}
+
+// Path returns the segment file path.
+func (w *WAL) Path() string { return w.path }
+
+// Append writes one record frame (and fsyncs it when the WAL was opened
+// with fsync). It returns the number of bytes appended.
+func (w *WAL) Append(rec WALRecord) (int, error) {
+	payload := appendWALPayload(w.buf[:0], rec)
+	w.buf = payload // keep the grown buffer for the next record
+	frame := make([]byte, 0, walFrameSize+len(payload))
+	frame = binary.LittleEndian.AppendUint32(frame, uint32(len(payload)))
+	frame = binary.LittleEndian.AppendUint32(frame, crc32.Checksum(payload, crcTable))
+	frame = append(frame, payload...)
+	if _, err := w.f.Write(frame); err != nil {
+		return 0, err
+	}
+	if w.fsync {
+		if err := w.f.Sync(); err != nil {
+			return 0, err
+		}
+	}
+	return len(frame), nil
+}
+
+// Sync flushes the segment to stable storage regardless of the fsync
+// policy (used at clean shutdown).
+func (w *WAL) Sync() error { return w.f.Sync() }
+
+// Close flushes and closes the segment.
+func (w *WAL) Close() error {
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+func appendWALPayload(buf []byte, rec WALRecord) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(rec.Version))
+	buf = append(buf, rec.Op)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(rec.ID))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(rec.Obs)))
+	for _, o := range rec.Obs {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(o.T))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(int32(o.State)))
+	}
+	return buf
+}
+
+func decodeWALPayload(p []byte) (WALRecord, error) {
+	const fixed = 8 + 1 + 8 + 4
+	if len(p) < fixed {
+		return WALRecord{}, fmt.Errorf("payload too short (%d bytes)", len(p))
+	}
+	rec := WALRecord{
+		Version: int64(binary.LittleEndian.Uint64(p[0:8])),
+		Op:      p[8],
+		ID:      int(int64(binary.LittleEndian.Uint64(p[9:17]))),
+	}
+	n := int(binary.LittleEndian.Uint32(p[17:21]))
+	if len(p) != fixed+n*12 {
+		return WALRecord{}, fmt.Errorf("payload length %d does not match %d observations", len(p), n)
+	}
+	rec.Obs = make([]uncertain.Observation, n)
+	for i := 0; i < n; i++ {
+		off := fixed + i*12
+		rec.Obs[i] = uncertain.Observation{
+			T:     int(int64(binary.LittleEndian.Uint64(p[off : off+8]))),
+			State: int(int32(binary.LittleEndian.Uint32(p[off+8 : off+12]))),
+		}
+	}
+	return rec, nil
+}
+
+func readWALHeader(r io.Reader) (shards, shardIndex int, base int64, err error) {
+	hdr := make([]byte, walHeaderSize)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return 0, 0, 0, fmt.Errorf("short header: %w", err)
+	}
+	if string(hdr[:8]) != walMagic {
+		return 0, 0, 0, fmt.Errorf("bad magic %q", hdr[:8])
+	}
+	shards = int(binary.LittleEndian.Uint32(hdr[8:12]))
+	shardIndex = int(binary.LittleEndian.Uint32(hdr[12:16]))
+	base = int64(binary.LittleEndian.Uint64(hdr[16:24]))
+	return shards, shardIndex, base, nil
+}
+
+// WALInfo summarizes one segment replay.
+type WALInfo struct {
+	Shards     int
+	ShardIndex int
+	// Base is the store version the segment starts after.
+	Base int64
+	// Records counts the intact records handed to apply.
+	Records int
+	// TornBytes counts trailing bytes dropped because they did not form
+	// an intact record (crash mid-append). Zero for a clean segment.
+	TornBytes int64
+}
+
+// ReplayWAL reads the segment at path, calling apply for every intact
+// record in order. The first short or checksum-failing frame ends the
+// replay: its bytes (and everything after) are counted as torn, and when
+// truncate is true the file is truncated back to the last intact record
+// so the segment can be appended to again. An apply error aborts the
+// replay with a contextual error naming the record's file offset and
+// object ID — a record that cannot be re-applied means the log and the
+// spill disagree, which must never be papered over.
+func ReplayWAL(path string, truncate bool, apply func(offset int64, rec WALRecord) error) (WALInfo, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return WALInfo{}, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return WALInfo{}, err
+	}
+	shards, shardIndex, base, err := readWALHeader(f)
+	if err != nil {
+		return WALInfo{}, fmt.Errorf("wal %s: %w", path, err)
+	}
+	info := WALInfo{Shards: shards, ShardIndex: shardIndex, Base: base}
+	size := st.Size()
+	off := int64(walHeaderSize)
+	frame := make([]byte, walFrameSize)
+	var payload []byte
+	for off < size {
+		if size-off < walFrameSize {
+			break // torn: not even a frame header
+		}
+		if _, err := f.ReadAt(frame, off); err != nil {
+			return info, err
+		}
+		n := int64(binary.LittleEndian.Uint32(frame[0:4]))
+		sum := binary.LittleEndian.Uint32(frame[4:8])
+		if n > maxWALPayload || size-off-walFrameSize < n {
+			break // torn: impossible or short payload
+		}
+		if int64(cap(payload)) < n {
+			payload = make([]byte, n)
+		}
+		payload = payload[:n]
+		if _, err := f.ReadAt(payload, off+walFrameSize); err != nil {
+			return info, err
+		}
+		if crc32.Checksum(payload, crcTable) != sum {
+			break // torn: bit rot or a partially flushed frame
+		}
+		rec, err := decodeWALPayload(payload)
+		if err != nil {
+			break // framed but undecodable: treat as torn, same as a bad sum
+		}
+		if err := apply(off, rec); err != nil {
+			return info, fmt.Errorf("wal %s: record at offset %d (version %d, object %d): %w",
+				path, off, rec.Version, rec.ID, err)
+		}
+		info.Records++
+		off += walFrameSize + n
+	}
+	if off < size {
+		info.TornBytes = size - off
+		if truncate {
+			if err := f.Truncate(off); err != nil {
+				return info, fmt.Errorf("wal %s: truncating torn tail: %w", path, err)
+			}
+			if err := f.Sync(); err != nil {
+				return info, err
+			}
+		}
+	}
+	return info, nil
+}
+
+// WALRef names one segment found on disk.
+type WALRef struct {
+	Base int64
+	Path string
+}
+
+// ListWALSegments returns dir's WAL segments ascending by base version —
+// the replay order.
+func ListWALSegments(dir string) ([]WALRef, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var out []WALRef
+	for _, e := range ents {
+		if base, ok := parseVersionName(e.Name(), "wal-", ".log"); ok {
+			out = append(out, WALRef{Base: base, Path: filepath.Join(dir, e.Name())})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Base < out[j].Base })
+	return out, nil
+}
+
+// parseVersionName extracts the 16-hex-digit version from a
+// prefix-version-suffix file name, rejecting anything else.
+func parseVersionName(name, prefix, suffix string) (int64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	hex := name[len(prefix) : len(name)-len(suffix)]
+	if len(hex) != 16 {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(hex, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return int64(v), true
+}
+
+// syncDir fsyncs a directory so a just-created or just-renamed entry
+// survives a machine crash. Failures are ignored: some filesystems
+// reject directory fsync, and the data fsync already happened.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}
