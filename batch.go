@@ -49,6 +49,15 @@ type Request struct {
 	// may see more worlds than it would alone, never fewer. The zero
 	// value keeps the fixed budget.
 	Confidence Confidence
+	// MinWorlds floors an adaptive query's early stop: it cannot decide
+	// before this many worlds (rounded up to the executor's fixed
+	// decision cadence). The floor is part of the determinism contract —
+	// the answer is a pure function of (snapshot, seed, policy, floor) —
+	// and joins the world-sharing group key. Standing queries set it
+	// automatically to reuse their group's previously proven budget;
+	// Response.Stats.WorldFloor reports the floor in effect. Ignored
+	// when Confidence is disabled.
+	MinWorlds int
 }
 
 // Response is the answer to one batch Request, in the same position.
@@ -197,13 +206,14 @@ func runPool(n, workers int, fn func(i int)) {
 // positions over the window, interval, k) coincide, answered over one
 // sampled world set.
 type batchGroup struct {
-	q      Query
-	ts, te int
-	k      int
-	seed   int64
-	conf   Confidence
-	items  []shard.GroupItem
-	reqIdx []int
+	q         Query
+	ts, te    int
+	k         int
+	seed      int64
+	conf      Confidence
+	minWorlds int
+	items     []shard.GroupItem
+	reqIdx    []int
 }
 
 // runShared partitions the valid requests into shared-world groups and
@@ -219,15 +229,16 @@ func (p *Processor) runShared(snap *shard.Snap, reqs []Request, sharedSeed int64
 			out[i] = Response{Version: versionOf(snap), Err: err}
 			continue
 		}
-		key := groupKey(req.Query, req.Ts, req.Te, k, req.Confidence)
+		key := groupKey(req.Query, req.Ts, req.Te, k, req.Confidence, req.MinWorlds)
 		g := groups[key]
 		if g == nil {
 			h := fnv.New64a()
 			h.Write([]byte(key))
 			g = &batchGroup{
 				q: req.Query, ts: req.Ts, te: req.Te, k: k,
-				seed: mcrand.SubSeed64(sharedSeed, h.Sum64()),
-				conf: req.Confidence,
+				seed:      mcrand.SubSeed64(sharedSeed, h.Sum64()),
+				conf:      req.Confidence,
+				minWorlds: req.MinWorlds,
 			}
 			groups[key] = g
 			order = append(order, g)
@@ -264,7 +275,7 @@ func sharedGroup(snap *shard.Snap, g *batchGroup) (resps []Response, st query.St
 		}
 	}()
 	answers, st, err := snap.RunShared(shard.GroupSpec{
-		Q: g.q, Ts: g.ts, Te: g.te, K: g.k, Seed: g.seed, Conf: g.conf,
+		Q: g.q, Ts: g.ts, Te: g.te, K: g.k, Seed: g.seed, Conf: g.conf, MinWorlds: g.minWorlds,
 	}, g.items)
 	if err != nil {
 		return nil, st, err
@@ -328,18 +339,21 @@ func normalizeRequest(req Request) (k int, op shard.GroupOp, err error) {
 	if err := req.Confidence.Validate(); err != nil {
 		return 0, 0, err
 	}
+	if req.MinWorlds < 0 {
+		return 0, 0, fmt.Errorf("pnn: batch request needs MinWorlds >= 0, got %d", req.MinWorlds)
+	}
 	return k, op, nil
 }
 
 // groupKey fingerprints what the sampled worlds of a request depend on:
-// the interval, k, the confidence policy (an adaptive group's stop
-// point is a function of the policy, so requests with different
-// policies must not share worlds) and the query's position at every
-// timestep of the window. Two requests with equal keys can share one
-// world set; the key's hash also fixes the group's seed under the
-// sharing contract.
-func groupKey(q Query, ts, te, k int, conf Confidence) string {
-	buf := make([]byte, 0, 48+16*(te-ts+1))
+// the interval, k, the confidence policy and its MinWorlds floor (an
+// adaptive group's stop point is a function of policy and floor, so
+// requests differing in either must not share worlds) and the query's
+// position at every timestep of the window. Two requests with equal
+// keys can share one world set; the key's hash also fixes the group's
+// seed under the sharing contract.
+func groupKey(q Query, ts, te, k int, conf Confidence, minWorlds int) string {
+	buf := make([]byte, 0, 56+16*(te-ts+1))
 	var tmp [8]byte
 	put := func(u uint64) {
 		binary.LittleEndian.PutUint64(tmp[:], u)
@@ -351,6 +365,7 @@ func groupKey(q Query, ts, te, k int, conf Confidence) string {
 	put(math.Float64bits(conf.Eps))
 	put(math.Float64bits(conf.Delta))
 	put(uint64(conf.MaxSamples))
+	put(uint64(minWorlds))
 	for t := ts; t <= te; t++ {
 		pt := q.At(t)
 		put(math.Float64bits(pt.X))
@@ -399,6 +414,7 @@ func runOne(snap *shard.Snap, req Request) (resp Response, raw query.Stats) {
 	}
 	spec := shard.GroupSpec{
 		Q: req.Query, Ts: req.Ts, Te: req.Te, K: k, Seed: req.Seed, Conf: req.Confidence,
+		MinWorlds: req.MinWorlds,
 	}
 	switch op {
 	case shard.OpForAll:
@@ -410,6 +426,9 @@ func runOne(snap *shard.Snap, req Request) (resp Response, raw query.Stats) {
 	}
 	resp.Stats = convStats(raw)
 	resp.Stats.SamplerBuilds = 0 // batch-level accounting; see BatchStats
+	if req.Confidence.Enabled() {
+		resp.Stats.WorldFloor = req.MinWorlds
+	}
 	resp.Version = versionOf(snap)
 	return resp, raw
 }

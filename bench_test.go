@@ -390,12 +390,48 @@ func BenchmarkAblationWindowSampling(b *testing.B) {
 }
 
 // BenchmarkSubscriptionFanout measures the write path under a large
-// standing-query registry: 1000 subscriptions spread over the space,
-// one object moving through it. Each op is one Observe plus the full
-// drain of the re-evaluations it triggers, so ns/op is the end-to-end
-// per-update cost and touched/op shows how selective the inverted
-// influence index is (full fan-out would be 1000 evaluations per op).
+// standing-query registry: 1000 subscriptions, one object moving
+// through the space. Each op is one Observe plus the full drain of the
+// re-evaluations it triggers, so ns/op is the end-to-end per-update
+// cost, evals/write counts evaluation passes (the fanout scoreboard —
+// full per-sub fan-out would be 1000 per op) and ms/write restates
+// ns/op in milliseconds for the benchdiff gate. Three populations:
+//
+//   - spread: 1000 distinct query shapes — every touched subscription
+//     pays its own pass, grouping cannot help.
+//   - mix: the same 1000 subscriptions folded onto 10 shapes (100
+//     members each, differing only in tau) with grouping on — each
+//     touched shape pays ONE shared-world pass.
+//   - mix-ungrouped: the mix population with grouping disabled — the
+//     per-sub baseline the mix savings are measured against.
 func BenchmarkSubscriptionFanout(b *testing.B) {
+	const nShapes = 10
+	b.Run("spread", func(b *testing.B) {
+		fanoutBench(b, true, func(net *Network, i int) Request {
+			return Request{
+				Semantics: Exists, Query: AtState(net, RandomQueryState(net, int64(i))),
+				Ts: 40, Te: 47, Tau: 0.3, Seed: int64(i),
+			}
+		})
+	})
+	mixReq := func(net *Network, i int) Request {
+		shape := i % nShapes
+		return Request{
+			Semantics: Exists, Query: AtState(net, RandomQueryState(net, int64(shape))),
+			Ts: 40, Te: 47, Tau: 0.1 + float64(i/nShapes)*0.008, Seed: int64(shape),
+		}
+	}
+	b.Run("mix", func(b *testing.B) { fanoutBench(b, true, mixReq) })
+	b.Run("mix-ungrouped", func(b *testing.B) { fanoutBench(b, false, mixReq) })
+}
+
+// fanoutBench is the shared harness of BenchmarkSubscriptionFanout:
+// build, subscribe 1000 standing queries from reqAt, then measure
+// Observe + drain per op. The sweep interval is zero so ms/write
+// measures evaluation cost, not the configurable batching delay —
+// grouping still applies because each write dirties all its touched
+// subscriptions before the immediate sweep drains them.
+func fanoutBench(b *testing.B, grouping bool, reqAt func(net *Network, i int) Request) {
 	net, db, err := SyntheticDataset(2500, 8, 600, 100, 100, 5, 7)
 	if err != nil {
 		b.Fatal(err)
@@ -407,21 +443,19 @@ func BenchmarkSubscriptionFanout(b *testing.B) {
 	if err := proc.PrepareAll(); err != nil {
 		b.Fatal(err)
 	}
+	proc.SetSweepInterval(0)
+	proc.SetSubscriptionGrouping(grouping)
 	const nSubs = 1000
 	for i := 0; i < nSubs; i++ {
-		req := Request{
-			Semantics: Exists, Query: AtState(net, RandomQueryState(net, int64(i))),
-			Ts: 40, Te: 47, Tau: 0.3, Seed: int64(i),
-		}
-		if _, err := proc.Subscribe(req, Delivery{QueueCap: 2}); err != nil {
+		if _, err := proc.Subscribe(reqAt(net, i), Delivery{QueueCap: 2}); err != nil {
 			b.Fatal(err)
 		}
 	}
 	if !proc.WaitSubscriptionsIdle(120 * time.Second) {
 		b.Fatal("initial evaluations did not quiesce")
 	}
-	// The moving object walks the subscription query states, parking at
-	// each for one tic — every op lands inside some influence regions.
+	// The moving object parks at the first query state — every op lands
+	// inside some influence regions.
 	const moverID = 900001
 	if _, err := proc.AddObject(moverID, []Observation{{T: 40, State: RandomQueryState(net, 0)}}); err != nil {
 		b.Fatal(err)
@@ -445,7 +479,8 @@ func BenchmarkSubscriptionFanout(b *testing.B) {
 	b.StopTimer()
 	st := proc.SubscriptionStats()
 	ops := float64(b.N)
-	b.ReportMetric(float64(st.Evaluations-base.Evaluations)/ops, "touched/op")
+	b.ReportMetric(float64(st.Evaluations-base.Evaluations)/ops, "evals/write")
+	b.ReportMetric(b.Elapsed().Seconds()*1000/ops, "ms/write")
 	b.ReportMetric(nSubs, "subs")
 	proc.CloseSubscriptions()
 }

@@ -40,6 +40,7 @@ func NormalizeRequest(req Request) (shard.GroupSpec, shard.GroupItem, error) {
 	}
 	spec := shard.GroupSpec{
 		Q: req.Query, Ts: req.Ts, Te: req.Te, K: k, Seed: req.Seed, Conf: req.Confidence,
+		MinWorlds: req.MinWorlds,
 	}
 	return spec, shard.GroupItem{Op: op, Tau: req.Tau}, nil
 }
@@ -53,7 +54,7 @@ func ShareGroup(sharedSeed int64, req Request) (key string, seed int64, err erro
 	if err != nil {
 		return "", 0, err
 	}
-	key = groupKey(req.Query, req.Ts, req.Te, k, req.Confidence)
+	key = groupKey(req.Query, req.Ts, req.Te, k, req.Confidence, req.MinWorlds)
 	h := fnv.New64a()
 	h.Write([]byte(key))
 	return key, mcrand.SubSeed64(sharedSeed, h.Sum64()), nil
@@ -93,6 +94,17 @@ func (p *Processor) ShardSet() *shard.Set { return p.set }
 // coordinator-side gather needs to compute distances without building
 // an index of its own.
 func (n *Network) Space() *space.Space { return n.sp }
+
+// StandingKey exposes the compatibility-group key of a standing
+// request (see Subscribe): requests with equal keys may be re-evaluated
+// as one shared-world group with byte-identical per-member answers. A
+// cluster coordinator uses it so its standing queries group exactly
+// like a single process would. Invalid requests key to "".
+func StandingKey(req Request) string { return standingKey(req) }
+
+// DefaultSubscriptionSweepInterval re-exports the facade's default
+// sweep-scheduler delay for the coordinator's configuration surface.
+const DefaultSubscriptionSweepInterval = DefaultSweepInterval
 
 // FingerprintResponse condenses a Response's answer — results,
 // intervals, error text, excluding sampling statistics — for

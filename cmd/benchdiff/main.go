@@ -50,6 +50,10 @@ type Result struct {
 	NsPerOp     float64  `json:"ns_per_op"`
 	BytesPerOp  float64  `json:"bytes_per_op,omitempty"`
 	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	// Extra holds custom b.ReportMetric units (benchjson's "extra"
+	// block): evals/write and ms/write from the subscription fanout
+	// benchmark. Units present in both summaries are gated like ns/op.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // File mirrors cmd/benchjson's summary schema.
@@ -67,6 +71,14 @@ func (f *File) shape() string {
 	return fmt.Sprintf("%s/%s procs=%d shards=%d %s", f.GoOS, f.GoArch, f.GoMaxProcs, f.Shards, f.GoVersion)
 }
 
+// ExtraDelta is one custom-metric comparison of a shared benchmark.
+type ExtraDelta struct {
+	Unit       string
+	Base, Cur  float64
+	DeltaPct   float64 // (cur-base)/base * 100; 0 when base is 0
+	Regression bool    // grew beyond the ns/op threshold
+}
+
 // Row is one line of the diff table.
 type Row struct {
 	Key                   string // "package name"
@@ -74,13 +86,24 @@ type Row struct {
 	DeltaPct              float64 // (cur-base)/base * 100; 0 when base is 0
 	Regression            bool    // ns/op grew beyond the threshold
 	BaseAllocs, CurAllocs *float64
-	AllocsDeltaPct        float64 // +Inf when a zero-alloc baseline grew; 0 without data
-	AllocsRegression      bool    // allocs/op grew beyond the threshold
-	Status                string  // "shared" | "new" | "removed"
+	AllocsDeltaPct        float64      // +Inf when a zero-alloc baseline grew; 0 without data
+	AllocsRegression      bool         // allocs/op grew beyond the threshold
+	Extras                []ExtraDelta // custom metrics present in both summaries, by unit
+	Status                string       // "shared" | "new" | "removed"
 }
 
 // Regressed reports whether the row fails the gate on any metric.
-func (r Row) Regressed() bool { return r.Regression || r.AllocsRegression }
+func (r Row) Regressed() bool {
+	if r.Regression || r.AllocsRegression {
+		return true
+	}
+	for _, e := range r.Extras {
+		if e.Regression {
+			return true
+		}
+	}
+	return false
+}
 
 // diff matches benchmarks by (package, name) and flags shared ones
 // whose ns/op grew beyond maxRegressPct or whose allocs/op grew beyond
@@ -125,6 +148,25 @@ func diff(base, cur *File, maxRegressPct, maxAllocRegressPct float64) []Row {
 				row.AllocsRegression = true
 			}
 		}
+		// Custom metrics (evals/write, ms/write, ...) gate exactly like
+		// ns/op when both summaries recorded the unit. Units on one side
+		// only are ignored — adding or retiring a metric is not a
+		// regression, the baseline refresh picks it up.
+		units := make([]string, 0, len(b.Extra))
+		for unit := range b.Extra {
+			if _, ok := r.Extra[unit]; ok {
+				units = append(units, unit)
+			}
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			ed := ExtraDelta{Unit: unit, Base: b.Extra[unit], Cur: r.Extra[unit]}
+			if ed.Base > 0 {
+				ed.DeltaPct = (ed.Cur - ed.Base) / ed.Base * 100
+				ed.Regression = ed.DeltaPct > maxRegressPct
+			}
+			row.Extras = append(row.Extras, ed)
+		}
 		rows = append(rows, row)
 	}
 	for key, b := range baseBy {
@@ -159,6 +201,26 @@ func table(rows []Row) string {
 		sb.WriteString(fmt.Sprintf("| %s | %s | %s | %s | %s | %s | %s | %s |\n",
 			r.Key, fmtNs(r.Base, r.Status == "new"), fmtNs(r.Cur, r.Status == "removed"), delta,
 			fmtAllocs(r.BaseAllocs, r.Status == "new"), fmtAllocs(r.CurAllocs, r.Status == "removed"), allocsDelta, status))
+	}
+	extras := false
+	for _, r := range rows {
+		if len(r.Extras) > 0 {
+			extras = true
+			break
+		}
+	}
+	if extras {
+		sb.WriteString("\n| benchmark | metric | baseline | current | delta |\n")
+		sb.WriteString("|---|---|---:|---:|---:|\n")
+		for _, r := range rows {
+			for _, e := range r.Extras {
+				delta := fmt.Sprintf("%+.1f%%", e.DeltaPct)
+				if e.Regression {
+					delta += " **REGRESSION**"
+				}
+				sb.WriteString(fmt.Sprintf("| %s | %s | %.3g | %.3g | %s |\n", r.Key, e.Unit, e.Base, e.Cur, delta))
+			}
+		}
 	}
 	return sb.String()
 }
@@ -260,6 +322,12 @@ func main() {
 			if r.AllocsRegression {
 				fmt.Fprintf(os.Stderr, "benchdiff: REGRESSION %s: %.0f -> %.0f allocs/op (%s)\n",
 					r.Key, *r.BaseAllocs, *r.CurAllocs, allocsDeltaLabel(r.AllocsDeltaPct))
+			}
+			for _, e := range r.Extras {
+				if e.Regression {
+					fmt.Fprintf(os.Stderr, "benchdiff: REGRESSION %s: %.3g -> %.3g %s (%+.1f%%)\n",
+						r.Key, e.Base, e.Cur, e.Unit, e.DeltaPct)
+				}
 			}
 		}
 		os.Exit(1)

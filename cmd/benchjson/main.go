@@ -39,6 +39,10 @@ type Result struct {
 	NsPerOp     float64  `json:"ns_per_op"`
 	BytesPerOp  float64  `json:"bytes_per_op,omitempty"`
 	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	// Extra holds custom b.ReportMetric units (e.g. "evals/write",
+	// "ms/write" from the subscription fanout benchmark), keyed by
+	// unit. cmd/benchdiff gates shared extra metrics like ns/op.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // File is the whole summary.
@@ -175,6 +179,11 @@ func parseBenchLine(line string) (Result, bool) {
 			r.BytesPerOp = v
 		case "allocs/op":
 			r.AllocsPerOp = &v
+		default:
+			if r.Extra == nil {
+				r.Extra = make(map[string]float64)
+			}
+			r.Extra[fields[i+1]] = v
 		}
 	}
 	return r, seen

@@ -163,6 +163,16 @@ func followQuery(proc *pnn.Processor, req pnn.Request, conf pnn.Confidence, qs, 
 		fmt.Println()
 		resp := e.Payload.(pnn.Response)
 		fatal(resp.Err)
+		if st := resp.Stats; st.GroupSize > 0 {
+			fmt.Printf("sweep: group of %d, %d worlds drawn", st.GroupSize, st.Worlds)
+			if st.WorldFloor > 0 {
+				fmt.Printf(", floor %d worlds", st.WorldFloor)
+			}
+			if st.BudgetReused {
+				fmt.Printf(" (budget reused)")
+			}
+			fmt.Println()
+		}
 		printAnswer(resp, req.Semantics, conf)
 		fmt.Println()
 	}

@@ -95,6 +95,7 @@ func main() {
 		share    = flag.Bool("share-batch", false, "coalesce compatible /v1/batch requests into shared-world groups by default (per-request share_worlds overrides)")
 		capSamp  = flag.Int("max-samples-cap", 0, "largest confidence.max_samples a request may ask for (0: 10x -samples)")
 		maxSubs  = flag.Int("max-subs", 0, "most concurrently registered standing queries (/v1/subscribe; 0: 10000)")
+		sweepIv  = flag.Duration("sweep-interval", pnn.DefaultSweepInterval, "bounded delay before a batched subscription invalidation sweep drains accumulated dirty standing queries (0: sweep immediately per write)")
 		lenient  = flag.Bool("lenient", false, "drop objects with contradicting observations instead of failing")
 		dataDir  = flag.String("data-dir", "", "durable state directory: write-ahead log + snapshot spills, recovered on restart (empty: volatile, in-memory only)")
 		fsync    = flag.Bool("fsync", true, "with -data-dir: fsync the WAL on every acknowledged write (false trades crash durability for throughput)")
@@ -189,6 +190,7 @@ func main() {
 		berr := coord.Bootstrap(bctx)
 		bcancel()
 		fatal(berr)
+		coord.SetSweepInterval(*sweepIv)
 		version, objects, vec := coord.SnapshotDetail()
 		log.Printf("routing over %d peers (%d shards, %d objects, version %d, sample budget %d)",
 			len(peerList), len(vec), objects, version, coord.SampleBudget())
@@ -266,6 +268,7 @@ func main() {
 		}()
 	}
 	proc.SetParallelism(*qpar)
+	proc.SetSweepInterval(*sweepIv)
 	log.Printf("indexed %d objects over %d states in %v (%d shards, batch workers %d, per-query parallelism %d)",
 		proc.NumObjects(), net.NumStates(), time.Since(begin), proc.NumShards(), *workers, *qpar)
 

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bytes"
+	"compress/gzip"
 	"context"
 	"encoding/json"
 	"errors"
@@ -87,12 +88,26 @@ func (p *peerClient) call(ctx context.Context, path string, in, out any) error {
 	if err != nil {
 		return err
 	}
+	// Ask for gzip explicitly (disabling the transport's transparent
+	// handling) so large scatter payloads travel compressed; servers
+	// that ignore the header still answer identity, which decodes the
+	// same below.
+	req.Header.Set("Accept-Encoding", "gzip")
 	resp, err := p.hc.Do(req)
 	if err != nil {
 		return fmt.Errorf("%w: %s: %v", ErrPeerUnavailable, p.name, err)
 	}
 	defer resp.Body.Close()
-	raw, err := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
+	var body io.Reader = io.LimitReader(resp.Body, 256<<20)
+	if resp.Header.Get("Content-Encoding") == "gzip" {
+		gz, gzErr := gzip.NewReader(body)
+		if gzErr != nil {
+			return fmt.Errorf("%w: %s: gzip response: %v", ErrPeerUnavailable, p.name, gzErr)
+		}
+		defer gz.Close()
+		body = io.LimitReader(gz, 256<<20)
+	}
+	raw, err := io.ReadAll(body)
 	if err != nil {
 		return fmt.Errorf("%w: %s: reading response: %v", ErrPeerUnavailable, p.name, err)
 	}

@@ -43,6 +43,11 @@ type Config struct {
 	// (evaluating merged worlds); 0 uses GOMAXPROCS. It never affects
 	// answer bytes.
 	Workers int
+	// SweepInterval bounds how long routed writes may accumulate
+	// standing-query invalidations before one grouped re-evaluation
+	// sweep drains them; 0 uses pnn.DefaultSubscriptionSweepInterval,
+	// negative sweeps on every write.
+	SweepInterval time.Duration
 }
 
 // coordRegion is the coordinator's stored influence region of a
@@ -98,16 +103,35 @@ func NewCoordinator(net *pnn.Network, cfg Config) (*Coordinator, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Coordinator{
+	sweep := cfg.SweepInterval
+	if sweep == 0 {
+		sweep = pnn.DefaultSubscriptionSweepInterval
+	} else if sweep < 0 {
+		sweep = 0
+	}
+	c := &Coordinator{
 		net:     net,
 		cfg:     cfg,
 		ring:    rg,
 		order:   names,
 		clients: clients,
-		subs:    sub.NewRegistry(runtime.GOMAXPROCS(0)),
 		stop:    make(chan struct{}),
-	}, nil
+	}
+	c.subs = sub.New(sub.Options{
+		Workers:       runtime.GOMAXPROCS(0),
+		GroupEval:     c.evalStandingGroup,
+		SweepInterval: sweep,
+	})
+	return c, nil
 }
+
+// SetSweepInterval tunes the sweep scheduler's bounded delay, exactly
+// like pnn.Processor.SetSweepInterval.
+func (c *Coordinator) SetSweepInterval(d time.Duration) { c.subs.SetSweepInterval(d) }
+
+// SetSubscriptionGrouping toggles grouped re-evaluation of compatible
+// standing queries, exactly like pnn.Processor.SetSubscriptionGrouping.
+func (c *Coordinator) SetSubscriptionGrouping(enabled bool) { c.subs.SetGrouping(enabled) }
 
 // Bootstrap probes every peer until it answers (retrying until ctx
 // expires), verifies the static parameters the determinism contract
@@ -630,25 +654,98 @@ func (c *Coordinator) notifyWrite(ctx context.Context, id int, owner string) {
 // Subscribe registers a standing query evaluated through the scatter-
 // gather path; its events carry the same Response bytes a single
 // process would deliver at the same merged snapshot and seed.
+// Compatible standing queries (equal pnn.StandingKey) group into one
+// scatter-gather per sweep, exactly like a single process groups them
+// into one RunShared.
 func (c *Coordinator) Subscribe(req pnn.Request, d pnn.Delivery) (*pnn.Subscription, error) {
 	if _, _, err := pnn.NormalizeRequest(req); err != nil {
 		return nil, err
 	}
-	return c.subs.Subscribe(func() sub.Eval { return c.evalStanding(req) }, d, req), nil
+	return c.subs.SubscribeKeyed(pnn.StandingKey(req), func() sub.Eval { return c.evalStanding(req) }, d, req), nil
 }
 
 func (c *Coordinator) evalStanding(req pnn.Request) sub.Eval {
-	resp, inf, version := c.runStanding(req)
-	ev := sub.Eval{
-		Version:     version,
-		Payload:     resp,
-		Fingerprint: pnn.FingerprintResponse(resp),
+	evals, _ := c.evalStandingGroup("", []any{req}, nil)
+	return evals[0]
+}
+
+// groupState is a standing group's adaptive carry-over: the stop point
+// (worlds drawn) its previous evaluation proved sufficient, used as the
+// next evaluation's early-stop floor.
+type groupState struct {
+	worlds int
+}
+
+// evalStandingGroup is the registry's GroupEval hook: one scatter-
+// gather answers every member of a compatible standing group. Members
+// share the spec by construction of the key; the floor is raised to the
+// group's previously proven budget before gathering, which never
+// changes which worlds are drawn — only how early the replayed
+// executor may stop — so no wire change is needed: peers always
+// pre-draw the full budget.
+func (c *Coordinator) evalStandingGroup(_ string, metas []any, state any) (evals []sub.Eval, newState any) {
+	newState = state
+	reqs := make([]pnn.Request, len(metas))
+	for i, m := range metas {
+		reqs[i], _ = m.(pnn.Request)
 	}
-	if resp.Err == nil {
-		ev.Influencers = inf.IDs
-		ev.Region = &coordRegion{q: encodeQuery(req.Query, req.Ts, req.Te), ts: req.Ts, te: req.Te, bound: inf.PruneDist}
+	evals = make([]sub.Eval, len(reqs))
+	fail := func(vi pnn.VersionInfo, err error) {
+		for i := range evals {
+			resp := pnn.Response{Version: vi, Err: err}
+			evals[i] = sub.Eval{Version: vi.Max, Payload: resp, Fingerprint: pnn.FingerprintResponse(resp)}
+		}
 	}
-	return ev
+	spec, _, err := pnn.NormalizeRequest(reqs[0])
+	if err != nil {
+		fail(c.cachedVersion(), err)
+		return evals, newState
+	}
+	items := make([]shard.GroupItem, len(reqs))
+	for i, req := range reqs {
+		_, item, err := pnn.NormalizeRequest(req)
+		if err != nil {
+			fail(c.cachedVersion(), err)
+			return evals, newState
+		}
+		items[i] = item
+	}
+	reused := false
+	if st, ok := state.(*groupState); ok && spec.Conf.Enabled() && st.worlds > spec.MinWorlds {
+		spec.MinWorlds = st.worlds
+		reused = true
+	}
+	answers, raw, inf, vi, err := c.runGroup(context.Background(), spec, items)
+	if err != nil {
+		fail(vi, err)
+		return evals, newState
+	}
+	if spec.Conf.Enabled() && raw.Worlds > 0 {
+		newState = &groupState{worlds: raw.Worlds}
+	}
+	region := &coordRegion{q: encodeQuery(spec.Q, spec.Ts, spec.Te), ts: spec.Ts, te: spec.Te, bound: inf.PruneDist}
+	for i, a := range answers {
+		resp := pnn.ResponseFromAnswer(items[i].Op, a, raw)
+		resp.Stats.SamplerBuilds = raw.SamplerBuilds
+		resp.Stats.GroupSize = len(reqs)
+		resp.Stats.BudgetReused = reused
+		if spec.Conf.Enabled() {
+			resp.Stats.WorldFloor = spec.MinWorlds
+		}
+		resp.Version = vi
+		ev := sub.Eval{
+			Version:      vi.Max,
+			Payload:      resp,
+			Fingerprint:  pnn.FingerprintResponse(resp),
+			BudgetReused: reused,
+		}
+		if a.Err == nil {
+			ev.Influencers = inf.IDs
+			ev.Region = region
+		}
+		evals[i] = ev
+	}
+	return evals, newState
 }
 
 // Unsubscribe removes a standing query.

@@ -269,6 +269,19 @@ type Plan struct {
 	// draws exactly Samples worlds, as before.
 	Confidence Confidence
 
+	// MinWorlds floors an adaptive pass: Bound polls are skipped while
+	// fewer than MinWorlds worlds have been seen, so the executor cannot
+	// stop below the floor (it still stops at the cap). Because decisions
+	// only happen at the fixed chunk-round boundaries, the effective floor
+	// is the smallest boundary >= MinWorlds and the stop point stays a
+	// pure function of (snapshot, seed, policy, MinWorlds) — the floor
+	// therefore joins the determinism contract surface. Standing queries
+	// use it to restart a re-evaluation at the budget their previous run
+	// already proved sufficient instead of re-escalating from the first
+	// round. Ignored when Confidence is disabled; values above the budget
+	// cap simply disable early stopping.
+	MinWorlds int
+
 	// Space is the geometry distances are computed in; nil means the
 	// executing engine's space.
 	Space *space.Space
@@ -406,6 +419,9 @@ func execute(p *Plan) (ExecStats, error) {
 	if err := p.Confidence.Validate(); err != nil {
 		return ExecStats{}, err
 	}
+	if p.MinWorlds < 0 {
+		return ExecStats{}, fmt.Errorf("query: plan needs min worlds >= 0, got %d", p.MinWorlds)
+	}
 	if p.Workers < 1 {
 		p.Workers = 1
 	}
@@ -540,7 +556,7 @@ func executeBudgetSplitAdaptive(p *Plan, maxN int) int {
 			wg.Wait()
 		}
 		seen += round
-		if allDecided(p.evals, seen) {
+		if seen >= p.MinWorlds && allDecided(p.evals, seen) {
 			break
 		}
 	}
@@ -676,7 +692,7 @@ func executePerRow(p *Plan, maxN int, adaptive bool) int {
 			eg.Wait()
 		}
 		if chunks++; adaptive && chunks%boundEvery == 0 {
-			if seen := w0 + cn; allDecided(p.evals, seen) {
+			if seen := w0 + cn; seen >= p.MinWorlds && allDecided(p.evals, seen) {
 				return seen
 			}
 		}

@@ -1,8 +1,11 @@
 package server
 
 import (
+	"compress/gzip"
+	"encoding/json"
 	"fmt"
 	"net/http"
+	"strings"
 
 	"pnn"
 	"pnn/internal/cluster"
@@ -91,8 +94,45 @@ func (s *Server) handleScatter(local *pnn.Processor) http.HandlerFunc {
 			writeErr(w, http.StatusBadRequest, CodeInvalidQuery, "", err)
 			return
 		}
-		writeJSON(w, http.StatusOK, cluster.ScatterToWire(res))
+		writeJSONMaybeGzip(w, r, http.StatusOK, cluster.ScatterToWire(res))
 	}
+}
+
+// writeJSONMaybeGzip is writeJSON with Content-Encoding negotiation:
+// when the caller advertised gzip in Accept-Encoding, the JSON body is
+// gzip-compressed; otherwise it falls back to identity. Only the
+// scatter answer uses it — world-column payloads are large (one float
+// row per sampled world per candidate) and highly repetitive, so the
+// wire saving is an order of magnitude; the other internal RPC answers
+// are tiny and stay plain.
+func writeJSONMaybeGzip(w http.ResponseWriter, r *http.Request, code int, v interface{}) {
+	if !acceptsGzip(r) {
+		writeJSON(w, code, v)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Encoding", "gzip")
+	w.WriteHeader(code)
+	gz := gzip.NewWriter(w)
+	_ = json.NewEncoder(gz).Encode(v)
+	_ = gz.Close()
+}
+
+// acceptsGzip reports whether the request's Accept-Encoding header
+// names gzip as an acceptable coding (ignoring q-values other than an
+// explicit q=0 refusal).
+func acceptsGzip(r *http.Request) bool {
+	for _, part := range strings.Split(r.Header.Get("Accept-Encoding"), ",") {
+		coding, params, _ := strings.Cut(strings.TrimSpace(part), ";")
+		if coding != "gzip" && coding != "*" {
+			continue
+		}
+		if q := strings.ReplaceAll(params, " ", ""); strings.Contains(q, "q=0") && !strings.Contains(q, "q=0.") {
+			continue
+		}
+		return true
+	}
+	return false
 }
 
 // handleInternalIngest serves POST /internal/ingest: a routed write.

@@ -8,11 +8,15 @@ package server
 
 import (
 	"bytes"
+	"compress/gzip"
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
+	"strings"
 	"testing"
 	"time"
 
@@ -478,5 +482,93 @@ func TestClusterSubscription(t *testing.T) {
 	}
 	if !found {
 		t.Errorf("re-evaluated answer misses the written object: %+v", next.Response.Results)
+	}
+}
+
+// TestScatterGzipNegotiation pins the /internal/scatter transport
+// contract: a caller advertising gzip gets a Content-Encoding: gzip
+// body measurably smaller than the identity payload, and it inflates
+// to the identical JSON bytes; a caller without the header still gets
+// plain JSON — the RPC degrades to identity, never errors.
+func TestScatterGzipNegotiation(t *testing.T) {
+	rig := newClusterRig(t, 1)
+	peer := rig.peers[clusterPeerNames[0]]
+
+	var pts bytes.Buffer
+	for i := 1; i <= 6; i++ {
+		if i > 1 {
+			pts.WriteByte(',')
+		}
+		pts.WriteString(`{"x": 0.5, "y": 0.5}`)
+	}
+	body := fmt.Sprintf(`{"query": {"start": 1, "points": [%s]}, "ts": 1, "te": 6, "k": 1, "seed": 42}`, pts.String())
+
+	fetch := func(acceptGzip bool) (*http.Response, []byte) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPost, peer.URL+"/internal/scatter", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if acceptGzip {
+			req.Header.Set("Accept-Encoding", "gzip")
+		}
+		resp, err := http.DefaultTransport.RoundTrip(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("scatter = %d (%s)", resp.StatusCode, raw)
+		}
+		return resp, raw
+	}
+
+	plainResp, plain := fetch(false)
+	if enc := plainResp.Header.Get("Content-Encoding"); enc != "" {
+		t.Fatalf("identity scatter answered Content-Encoding %q", enc)
+	}
+	gzResp, compressed := fetch(true)
+	if enc := gzResp.Header.Get("Content-Encoding"); enc != "gzip" {
+		t.Fatalf("gzip-accepting scatter answered Content-Encoding %q, want gzip", enc)
+	}
+	// The world-column payload is hundreds of repetitive base64 rows;
+	// anything less than a 2x saving means compression is not actually
+	// applied to the bulk of the body.
+	if len(compressed)*2 >= len(plain) {
+		t.Fatalf("gzip scatter body = %d bytes, want < half of identity's %d", len(compressed), len(plain))
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(compressed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inflated, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The two fetches are separate scatters, so the wall-clock adapt_ns
+	// figure and the sampler-cache warmth (sampler_builds) may differ;
+	// everything else — versions, worlds, the drawn state columns — is
+	// deterministic and must match exactly.
+	canon := func(raw []byte) cluster.ScatterResponse {
+		t.Helper()
+		var sr cluster.ScatterResponse
+		if err := json.Unmarshal(raw, &sr); err != nil {
+			t.Fatal(err)
+		}
+		sr.AdaptNanos = 0
+		sr.SamplerBuilds = 0
+		return sr
+	}
+	want, got := canon(plain), canon(inflated)
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("gzip scatter body inflates to a different answer:\nidentity: %+v\ninflated: %+v", want, got)
+	}
+	if got.Worlds == 0 || len(got.Rows) == 0 {
+		t.Fatalf("scatter answer carries no worlds/rows: worlds=%d rows=%d", got.Worlds, len(got.Rows))
 	}
 }

@@ -174,6 +174,7 @@ type Backend interface {
 	Subscription(id int64) (*pnn.Subscription, bool)
 	Subscriptions() []pnn.SubscriptionInfo
 	NumSubscriptions() int
+	SubscriptionStats() pnn.SubscriptionStats
 	CloseSubscriptions()
 	SnapshotDetail() (version int64, objects int, shardVersions []int64)
 	NumShards() int
@@ -460,12 +461,20 @@ type ConfidenceRangeJSON struct {
 
 // SubCapsJSON advertises, via /healthz, the standing-query capability:
 // whether /v1/subscribe is served, how many subscriptions are live, the
-// registration cap, and the delivery transports the server speaks.
+// registration cap, the delivery transports the server speaks, and the
+// registry's cumulative fanout counters — evaluation passes run,
+// invalidation sweeps drained, grouped passes (one evaluation covering
+// several compatible subscriptions) and passes that started from a
+// reused adaptive world budget.
 type SubCapsJSON struct {
 	Enabled          bool     `json:"enabled"`
 	Active           int      `json:"active"`
 	MaxSubscriptions int      `json:"max_subscriptions"`
 	Transports       []string `json:"transports"`
+	Evaluations      int64    `json:"evaluations"`
+	Sweeps           int64    `json:"sweeps"`
+	Groups           int64    `json:"groups"`
+	ReusedBudget     int64    `json:"reused_budget"`
 }
 
 // ClusterHealthJSON advertises, via /healthz, this node's cluster
@@ -534,6 +543,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	cs := s.proc.CacheStats()
+	ss := s.proc.SubscriptionStats()
 	// One snapshot: version, objects and the shard vector stay mutually
 	// consistent even when writes land between here and the encode.
 	version, objects, shardVersions := s.proc.SnapshotDetail()
@@ -558,6 +568,10 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 			Active:           s.proc.NumSubscriptions(),
 			MaxSubscriptions: s.cfg.MaxSubscriptions,
 			Transports:       []string{TransportSSE, TransportPoll},
+			Evaluations:      ss.Evaluations,
+			Sweeps:           ss.Sweeps,
+			Groups:           ss.Groups,
+			ReusedBudget:     ss.ReusedBudget,
 		},
 		Cluster:       s.clusterHealth(),
 		Durability:    s.durabilityHealth(),

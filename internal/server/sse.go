@@ -67,6 +67,23 @@ type SubEventJSON struct {
 	// consumer it missed intermediate versions.
 	Dropped  int64          `json:"dropped,omitempty"`
 	Response *QueryResponse `json:"response,omitempty"`
+	// Sweep reports how the grouped fanout produced this answer; absent
+	// on bye events and on answers from registries without grouping.
+	Sweep *SubSweepJSON `json:"sweep,omitempty"`
+}
+
+// SubSweepJSON is the per-event fanout diagnostic block: how many
+// compatible standing queries shared this evaluation pass, how many
+// possible worlds the pass drew, the adaptive floor in effect (for
+// confidence queries), and whether that floor was reused from the
+// group's previously proven budget. The embedded QueryResponse stays
+// byte-identical to the one-shot envelope; this block rides on the
+// event wrapper only.
+type SubSweepJSON struct {
+	GroupSize    int  `json:"group_size,omitempty"`
+	Worlds       int  `json:"worlds,omitempty"`
+	WorldFloor   int  `json:"world_floor,omitempty"`
+	BudgetReused bool `json:"budget_reused,omitempty"`
 }
 
 // SubscribeResponse is the body of a poll-transport /v1/subscribe call.
@@ -349,6 +366,14 @@ func eventJSON(subID int64, e pnn.SubEvent) SubEventJSON {
 	if resp, ok := e.Payload.(pnn.Response); ok {
 		qr := toJSON(resp)
 		out.Response = &qr
+		if resp.Stats.GroupSize > 0 {
+			out.Sweep = &SubSweepJSON{
+				GroupSize:    resp.Stats.GroupSize,
+				Worlds:       resp.Stats.Worlds,
+				WorldFloor:   resp.Stats.WorldFloor,
+				BudgetReused: resp.Stats.BudgetReused,
+			}
+		}
 	}
 	return out
 }

@@ -221,6 +221,7 @@ func (g *gather) execute(evs []query.Evaluator) error {
 		Samples:    in.Samples,
 		Workers:    in.Workers,
 		Confidence: g.spec.Conf,
+		MinWorlds:  g.spec.MinWorlds,
 		FillGroups: in.FillGroups,
 	}
 	if len(in.Rows) > 0 && in.Rows[0].States != nil {

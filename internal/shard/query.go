@@ -228,6 +228,13 @@ type GroupSpec struct {
 	K      int
 	Seed   int64
 	Conf   query.Confidence
+	// MinWorlds floors an adaptive group's early-stop decision (see
+	// query.Plan.MinWorlds): Bound polls are skipped below the floor, so
+	// the stop point is a function of (snapshot, spec) including the
+	// floor. Like everything else in the spec it is part of the
+	// coalescing key — requests with different floors stop at different
+	// points and must not share worlds. Ignored when Conf is disabled.
+	MinWorlds int
 }
 
 // RunShared answers every item of a shared-world group over ONE set of

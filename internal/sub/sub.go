@@ -19,12 +19,24 @@
 // worlds. Per-update work is proportional to affected subscriptions,
 // not registered subscriptions.
 //
+// On top of the selective index the registry amortizes two further
+// costs. Subscriptions registered with a compatibility key
+// (SubscribeKeyed) that share the key are re-evaluated as ONE group by
+// the registry's GroupEval hook — cost per sweep scales with distinct
+// keys touched, not subscriptions touched — and each key carries an
+// opaque state value handed from one group evaluation to the next (the
+// facade stores the group's adaptive early-stop point there). Writes
+// themselves are coalesced: NotifyWrite only classifies and marks, and
+// a sweep scheduler drains the accumulated dirty set once per
+// SweepInterval, so a burst of writes pays for one grouped sweep.
+//
 // The package is payload-agnostic — evaluation closures, result
-// payloads, and regions are opaque — so it sits below the pnn facade
-// without an import cycle.
+// payloads, regions, keys and group state are opaque — so it sits
+// below the pnn facade without an import cycle.
 package sub
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -87,30 +99,47 @@ type Eval struct {
 	Payload any
 	// Fingerprint condenses the answer for OnChangeOnly comparison.
 	Fingerprint uint64
+	// BudgetReused marks an evaluation that started from a previously
+	// proven adaptive budget (group-state reuse) instead of escalating
+	// from the first round; counted in Stats.ReusedBudget.
+	BudgetReused bool
 }
 
 // EvalFunc re-evaluates a standing query against the current snapshot.
 // It must be safe for concurrent use with other subscriptions' funcs.
 type EvalFunc func() Eval
 
+// GroupEvalFunc re-evaluates every member of one compatibility group in
+// a single pass. metas holds the members' Subscribe metas in ascending
+// subscription-ID order; the returned evals must align with it. state
+// is the key's opaque carry-over from the previous group evaluation
+// (nil on the first); the returned newState replaces it — return state
+// unchanged to keep it, nil to leave it as-is. It must be safe for
+// concurrent use across distinct keys.
+type GroupEvalFunc func(key string, metas []any, state any) (evals []Eval, newState any)
+
 // TouchFunc tests whether a just-written object may intersect a
 // subscription's influence region. It is resolved once per write (not
 // per subscription) by the registry's caller.
 type TouchFunc func(region any) bool
 
-// Stats are cumulative registry counters. Evaluations is the
-// selective-invalidation scoreboard: with N standing subscriptions and
-// W writes, full re-evaluation would cost N·W; the registry pays
-// Affected instead.
+// Stats are cumulative registry counters. Evaluations vs Affected is
+// the fanout scoreboard: with N standing subscriptions and W writes,
+// full per-sub re-evaluation would cost N·W passes; selective
+// invalidation schedules only Affected, and grouping folds those into
+// Evaluations passes (a group of n compatible subscriptions counts 1).
 type Stats struct {
-	Active      int   // currently registered subscriptions
-	Notifies    int64 // writes seen
-	TouchTests  int64 // region tests run (index misses only)
-	Affected    int64 // subscription re-evaluations scheduled by writes
-	Evaluations int64 // evaluation closures actually run (incl. initial)
-	Emitted     int64 // events handed to consumers (excl. bye)
-	Dropped     int64 // events lost to queue overflow
-	Skipped     int64 // answers suppressed by OnChangeOnly
+	Active       int   // currently registered subscriptions
+	Notifies     int64 // writes seen
+	TouchTests   int64 // region tests run (index misses only)
+	Affected     int64 // subscription re-evaluations scheduled by writes
+	Evaluations  int64 // evaluation passes actually run (incl. initial; a grouped pass counts once)
+	Sweeps       int64 // invalidation sweeps drained (each covers >= 1 write)
+	Groups       int64 // grouped passes that covered > 1 subscription
+	ReusedBudget int64 // passes that started from a reused adaptive budget
+	Emitted      int64 // events handed to consumers (excl. bye)
+	Dropped      int64 // events lost to queue overflow
+	Skipped      int64 // answers suppressed by OnChangeOnly
 }
 
 // Info is a point-in-time description of one subscription.
@@ -148,6 +177,7 @@ type Subscription struct {
 	timer    *time.Timer
 
 	// Scheduling state, guarded by the registry mutex.
+	key         string // compatibility-group key; "" = never grouped
 	region      any
 	influencers map[int]struct{}
 	dirty       bool
@@ -184,42 +214,88 @@ func (s *Subscription) Info() Info {
 	}
 }
 
+// Options tunes a Registry.
+type Options struct {
+	// Workers sizes the evaluation pool (minimum 1).
+	Workers int
+	// GroupEval, when set, evaluates all members of a compatibility
+	// group (SubscribeKeyed) in one pass. When nil, keyed subscriptions
+	// fall back to their per-sub EvalFunc.
+	GroupEval GroupEvalFunc
+	// SweepInterval bounds how long a write's invalidations may sit in
+	// the pending set before a sweep drains them, grouped; further
+	// writes inside the window join the same sweep. Zero (or negative)
+	// sweeps immediately on every write — the pre-sweep behavior.
+	SweepInterval time.Duration
+}
+
+// unit is one queue entry: the members of a compatibility group drained
+// together by a sweep, evaluated in a single pass. Ungrouped
+// subscriptions ride in single-member units.
+type unit struct {
+	subs []*Subscription
+}
+
 // Registry owns every standing subscription: the inverted
-// object→subscriptions index consulted on each write, a FIFO of dirty
-// subscriptions, and the worker pool that re-evaluates them. Writers
-// only classify and enqueue — evaluation is asynchronous, so the
+// object→subscriptions index consulted on each write, the pending
+// dirty set its sweep scheduler drains into a FIFO of grouped
+// evaluation units, and the worker pool that re-evaluates them.
+// Writers only classify and mark — evaluation is asynchronous, so the
 // ingest path never waits for sampling.
 type Registry struct {
-	workers int
+	workers   int
+	groupEval GroupEvalFunc
 
-	mu     sync.Mutex
-	cond   *sync.Cond // queue non-empty or closing
-	subs   map[int64]*Subscription
-	index  map[int]map[int64]struct{} // object ID -> subscription IDs
-	queue  []int64
-	nextID int64
-	closed bool
-	wg     sync.WaitGroup
+	mu            sync.Mutex
+	cond          *sync.Cond // queue non-empty or closing
+	subs          map[int64]*Subscription
+	index         map[int]map[int64]struct{} // object ID -> subscription IDs
+	queue         []*unit
+	pending       map[int64]*Subscription // dirty, awaiting the next sweep
+	sweepTimer    *time.Timer             // non-nil while a sweep is scheduled
+	sweepInterval time.Duration
+	grouping      bool
+	groupStates   map[string]any // key -> opaque GroupEval carry-over
+	keyCount      map[string]int // live subscriptions per key
+	nextID        int64
+	closed        bool
+	wg            sync.WaitGroup
 
 	notifies    atomic.Int64
 	touchTests  atomic.Int64
 	affected    atomic.Int64
 	evaluations atomic.Int64
+	sweeps      atomic.Int64
+	groups      atomic.Int64
+	reused      atomic.Int64
 	emitted     atomic.Int64
 	droppedN    atomic.Int64
 	skipped     atomic.Int64
 }
 
 // NewRegistry returns an empty registry whose evaluations run on
-// `workers` goroutines (minimum 1).
+// `workers` goroutines (minimum 1), with grouping disabled and
+// immediate (per-write) sweeps — the historical behavior.
 func NewRegistry(workers int) *Registry {
+	return New(Options{Workers: workers})
+}
+
+// New returns an empty registry configured by opts.
+func New(opts Options) *Registry {
+	workers := opts.Workers
 	if workers < 1 {
 		workers = 1
 	}
 	r := &Registry{
-		workers: workers,
-		subs:    make(map[int64]*Subscription),
-		index:   make(map[int]map[int64]struct{}),
+		workers:       workers,
+		groupEval:     opts.GroupEval,
+		sweepInterval: opts.SweepInterval,
+		grouping:      true,
+		subs:          make(map[int64]*Subscription),
+		index:         make(map[int]map[int64]struct{}),
+		pending:       make(map[int64]*Subscription),
+		groupStates:   make(map[string]any),
+		keyCount:      make(map[string]int),
 	}
 	r.cond = sync.NewCond(&r.mu)
 	for i := 0; i < workers; i++ {
@@ -227,6 +303,32 @@ func NewRegistry(workers int) *Registry {
 		go r.worker()
 	}
 	return r
+}
+
+// SetSweepInterval changes the sweep scheduler's bounded delay. A
+// non-positive d drains any pending invalidations immediately and makes
+// future writes sweep per write.
+func (r *Registry) SetSweepInterval(d time.Duration) {
+	r.mu.Lock()
+	r.sweepInterval = d
+	if d <= 0 {
+		if r.sweepTimer != nil {
+			r.sweepTimer.Stop()
+			r.sweepTimer = nil
+		}
+		r.drainPendingLocked()
+	}
+	r.mu.Unlock()
+}
+
+// SetGrouping toggles grouped evaluation of keyed subscriptions.
+// Disabled, every sweep enqueues single-member units (the per-sub
+// baseline the fanout benchmark compares against); GroupEval still runs
+// them, so key state carries over either way.
+func (r *Registry) SetGrouping(enabled bool) {
+	r.mu.Lock()
+	r.grouping = enabled
+	r.mu.Unlock()
 }
 
 // Subscribe registers a standing query and synchronously runs its
@@ -237,6 +339,18 @@ func NewRegistry(workers int) *Registry {
 // after) or is already visible in the snapshot the evaluation reads.
 // meta is returned verbatim by Info for API-layer listings.
 func (r *Registry) Subscribe(eval EvalFunc, d Delivery, meta any) *Subscription {
+	return r.SubscribeKeyed("", eval, d, meta)
+}
+
+// SubscribeKeyed is Subscribe with a compatibility-group key: when the
+// registry has a GroupEval hook, all dirty subscriptions sharing a
+// non-empty key are re-evaluated together as one pass per sweep, and
+// the key's opaque state value carries from each pass to the next. The
+// key must imply compatibility — members receive answers from one
+// shared evaluation, so two requests may share a key only if a grouped
+// pass answers each byte-identically to its own single pass. An empty
+// key never groups.
+func (r *Registry) SubscribeKeyed(key string, eval EvalFunc, d Delivery, meta any) *Subscription {
 	if d.QueueCap <= 0 {
 		d.QueueCap = defaultQueueCap
 	}
@@ -247,6 +361,7 @@ func (r *Registry) Subscribe(eval EvalFunc, d Delivery, meta any) *Subscription 
 		d:    d,
 		meta: meta,
 		eval: eval,
+		key:  key,
 		// The terminal bye always fits: eviction keeps one slot usable.
 		events: make(chan Event, d.QueueCap),
 	}
@@ -260,12 +375,15 @@ func (r *Registry) Subscribe(eval EvalFunc, d Delivery, meta any) *Subscription 
 		return s
 	}
 	r.subs[s.id] = s
+	if key != "" {
+		r.keyCount[key]++
+	}
 	// The initial evaluation holds the single-flight slot like any
 	// worker run: a concurrent write marks the subscription dirty and
 	// finish() re-queues it, instead of racing a second evaluation.
 	s.running = true
 	r.mu.Unlock()
-	r.runEval(s)
+	r.evalUnit([]*Subscription{s})
 	r.finish(s)
 	return s
 }
@@ -287,9 +405,12 @@ func (r *Registry) Unsubscribe(id int64) bool {
 	return true
 }
 
-// drop unlinks s from the maps; callers hold r.mu.
+// drop unlinks s from the maps; callers hold r.mu. The last member of
+// a compatibility group takes the key's carried state with it — a
+// later subscription with the same key starts fresh.
 func (r *Registry) drop(s *Subscription) {
 	delete(r.subs, s.id)
+	delete(r.pending, s.id)
 	for oid := range s.influencers {
 		if set := r.index[oid]; set != nil {
 			delete(set, s.id)
@@ -300,6 +421,12 @@ func (r *Registry) drop(s *Subscription) {
 	}
 	s.influencers = nil
 	s.removed = true
+	if s.key != "" {
+		if r.keyCount[s.key]--; r.keyCount[s.key] <= 0 {
+			delete(r.keyCount, s.key)
+			delete(r.groupStates, s.key)
+		}
+	}
 }
 
 // Get returns the subscription with the given ID, if registered.
@@ -343,14 +470,17 @@ func (r *Registry) Stats() Stats {
 	active := len(r.subs)
 	r.mu.Unlock()
 	return Stats{
-		Active:      active,
-		Notifies:    r.notifies.Load(),
-		TouchTests:  r.touchTests.Load(),
-		Affected:    r.affected.Load(),
-		Evaluations: r.evaluations.Load(),
-		Emitted:     r.emitted.Load(),
-		Dropped:     r.droppedN.Load(),
-		Skipped:     r.skipped.Load(),
+		Active:       active,
+		Notifies:     r.notifies.Load(),
+		TouchTests:   r.touchTests.Load(),
+		Affected:     r.affected.Load(),
+		Evaluations:  r.evaluations.Load(),
+		Sweeps:       r.sweeps.Load(),
+		Groups:       r.groups.Load(),
+		ReusedBudget: r.reused.Load(),
+		Emitted:      r.emitted.Load(),
+		Dropped:      r.droppedN.Load(),
+		Skipped:      r.skipped.Load(),
 	}
 }
 
@@ -412,12 +542,89 @@ func (r *Registry) NotifyWrite(objID int, touch TouchFunc) {
 		r.affected.Add(1)
 		s.dirty = true
 		if !s.queued && !s.running {
-			s.queued = true
-			r.queue = append(r.queue, s.id)
-			r.cond.Signal()
+			r.pending[s.id] = s
 		}
 	}
+	r.scheduleSweepLocked()
 	r.mu.Unlock()
+}
+
+// scheduleSweepLocked arranges for the pending dirty set to be drained:
+// immediately when no sweep interval is configured, else by a timer
+// armed when the first invalidation lands — a bounded delay, never
+// reset by further writes, so a steady write stream still sweeps every
+// interval. Callers hold r.mu.
+func (r *Registry) scheduleSweepLocked() {
+	if r.closed || len(r.pending) == 0 {
+		return
+	}
+	if r.sweepInterval <= 0 {
+		r.drainPendingLocked()
+		return
+	}
+	if r.sweepTimer == nil {
+		r.sweepTimer = time.AfterFunc(r.sweepInterval, r.sweep)
+	}
+}
+
+func (r *Registry) sweep() {
+	r.mu.Lock()
+	r.sweepTimer = nil
+	r.drainPendingLocked()
+	r.mu.Unlock()
+}
+
+// drainPendingLocked buckets the accumulated dirty subscriptions into
+// compatibility groups and enqueues one evaluation unit per group (one
+// per subscription with grouping off or for unkeyed subscriptions).
+// Members are ordered by ascending ID so grouped evals see a
+// deterministic meta order. Callers hold r.mu.
+func (r *Registry) drainPendingLocked() {
+	if r.closed || len(r.pending) == 0 {
+		return
+	}
+	r.sweeps.Add(1)
+	byKey := make(map[string][]*Subscription)
+	var keys []string
+	var singles []*Subscription
+	for _, s := range r.pending {
+		if s.removed || s.queued || s.running {
+			continue
+		}
+		if r.grouping && s.key != "" && r.groupEval != nil {
+			if _, seen := byKey[s.key]; !seen {
+				keys = append(keys, s.key)
+			}
+			byKey[s.key] = append(byKey[s.key], s)
+		} else {
+			singles = append(singles, s)
+		}
+	}
+	r.pending = make(map[int64]*Subscription)
+	sortSubsByID(singles)
+	for _, s := range singles {
+		r.enqueueLocked([]*Subscription{s})
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		members := byKey[key]
+		sortSubsByID(members)
+		r.enqueueLocked(members)
+	}
+}
+
+// enqueueLocked appends one evaluation unit; callers hold r.mu.
+func (r *Registry) enqueueLocked(subs []*Subscription) {
+	for _, s := range subs {
+		s.queued = true
+	}
+	r.queue = append(r.queue, &unit{subs: subs})
+	r.cond.Signal()
+}
+
+// sortSubsByID orders members ascending by registration ID.
+func sortSubsByID(subs []*Subscription) {
+	sort.Slice(subs, func(a, b int) bool { return subs[a].id < subs[b].id })
 }
 
 // WaitIdle blocks until no evaluation is queued or running, or the
@@ -460,6 +667,10 @@ func (r *Registry) Close() {
 		return
 	}
 	r.closed = true
+	if r.sweepTimer != nil {
+		r.sweepTimer.Stop()
+		r.sweepTimer = nil
+	}
 	subs := make([]*Subscription, 0, len(r.subs))
 	for _, s := range r.subs {
 		subs = append(subs, s)
@@ -468,6 +679,7 @@ func (r *Registry) Close() {
 		r.drop(s)
 	}
 	r.queue = nil
+	r.pending = make(map[int64]*Subscription)
 	r.cond.Broadcast()
 	r.mu.Unlock()
 	r.wg.Wait()
@@ -476,7 +688,10 @@ func (r *Registry) Close() {
 	}
 }
 
-// worker drains the dirty queue, one evaluation at a time.
+// worker drains the unit queue, one evaluation pass at a time. Members
+// unsubscribed while queued (a sweep racing an Unsubscribe) are
+// filtered here — their terminal bye already went out; evaluating them
+// would deliver past it.
 func (r *Registry) worker() {
 	defer r.wg.Done()
 	for {
@@ -488,42 +703,93 @@ func (r *Registry) worker() {
 			r.mu.Unlock()
 			return
 		}
-		id := r.queue[0]
+		u := r.queue[0]
 		r.queue = r.queue[1:]
-		s := r.subs[id]
-		if s == nil {
-			r.mu.Unlock()
+		members := u.subs[:0]
+		for _, s := range u.subs {
+			s.queued = false
+			if s.removed {
+				continue
+			}
+			s.running = true
+			s.dirty = false
+			members = append(members, s)
+		}
+		r.mu.Unlock()
+		if len(members) == 0 {
 			continue
 		}
-		s.queued = false
-		s.running = true
-		s.dirty = false
-		r.mu.Unlock()
-		r.runEval(s)
-		r.finish(s)
+		r.evalUnit(members)
+		for _, s := range members {
+			r.finish(s)
+		}
 	}
 }
 
-// finish clears s's running flag and re-queues it when writes landed
-// mid-evaluation, so the single-flight rule (at most one evaluation of
-// a subscription at a time) never loses the freshest snapshot.
+// finish clears s's running flag and marks it pending again when writes
+// landed mid-evaluation, so the single-flight rule (at most one
+// evaluation of a subscription at a time) never loses the freshest
+// snapshot.
 func (r *Registry) finish(s *Subscription) {
 	r.mu.Lock()
 	s.running = false
 	if s.dirty && !s.removed && !r.closed && !s.queued {
-		s.queued = true
-		r.queue = append(r.queue, s.id)
-		r.cond.Signal()
+		r.pending[s.id] = s
+		r.scheduleSweepLocked()
 	}
 	r.mu.Unlock()
 }
 
-// runEval runs the evaluation closure (outside all locks), refreshes
-// the inverted index from the reported influencers, and hands the
-// answer to delivery.
-func (r *Registry) runEval(s *Subscription) {
+// evalUnit runs one evaluation pass over the unit's members (outside
+// all locks): one grouped GroupEval call when the members share a key
+// and the hook exists, else the members' own closures. Group-state
+// handling is last-wins — concurrent passes over the same key (only
+// possible around subscribe/unsubscribe churn) race benignly on the
+// opaque value, never on registry structures.
+func (r *Registry) evalUnit(members []*Subscription) {
+	key := members[0].key
+	if r.groupEval == nil || key == "" {
+		for _, s := range members {
+			r.evaluations.Add(1)
+			r.applyEval(s, s.eval())
+		}
+		return
+	}
 	r.evaluations.Add(1)
-	ev := s.eval()
+	if len(members) > 1 {
+		r.groups.Add(1)
+	}
+	metas := make([]any, len(members))
+	for i, s := range members {
+		metas[i] = s.meta
+	}
+	r.mu.Lock()
+	state := r.groupStates[key]
+	r.mu.Unlock()
+	evals, newState := r.groupEval(key, metas, state)
+	r.mu.Lock()
+	if _, live := r.keyCount[key]; live && newState != nil {
+		r.groupStates[key] = newState
+	}
+	r.mu.Unlock()
+	budgetReused := false
+	for i, s := range members {
+		if i >= len(evals) {
+			break
+		}
+		if evals[i].BudgetReused {
+			budgetReused = true
+		}
+		r.applyEval(s, evals[i])
+	}
+	if budgetReused {
+		r.reused.Add(1)
+	}
+}
+
+// applyEval refreshes the inverted index from the reported influencers
+// and hands the answer to delivery.
+func (r *Registry) applyEval(s *Subscription, ev Eval) {
 	r.mu.Lock()
 	if !s.removed {
 		next := make(map[int]struct{}, len(ev.Influencers))

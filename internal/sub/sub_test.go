@@ -308,3 +308,261 @@ func TestVersionsMonotoneUnderConcurrentWrites(t *testing.T) {
 		t.Fatal("consumers did not drain after Close")
 	}
 }
+
+// groupEval returns a GroupEvalFunc that answers every member with the
+// database's current version and threads an int counter through the
+// key's carry-over state (nil -> 1 -> 2 -> ...).
+func (db *fakeDB) groupEval(record func(n int, state any), gate func()) GroupEvalFunc {
+	return func(key string, metas []any, state any) ([]Eval, any) {
+		if record != nil {
+			record(len(metas), state)
+		}
+		if gate != nil {
+			gate()
+		}
+		v := db.version.Load()
+		evals := make([]Eval, len(metas))
+		for i := range evals {
+			evals[i] = Eval{Version: v, Influencers: []int{1}, Region: "r", Payload: v, Fingerprint: uint64(v)}
+		}
+		next := 1
+		if n, ok := state.(int); ok {
+			next = n + 1
+		}
+		return evals, next
+	}
+}
+
+// TestUnsubscribeRacingSweep unsubscribes a group member between a
+// write marking it dirty and the delayed sweep draining it: the sweep
+// must evaluate only the surviving member, and the removed one sees
+// exactly its terminal bye.
+func TestUnsubscribeRacingSweep(t *testing.T) {
+	db := &fakeDB{}
+	db.version.Store(1)
+	r := New(Options{Workers: 1, SweepInterval: 100 * time.Millisecond, GroupEval: db.groupEval(nil, nil)})
+	defer r.Close()
+
+	a := r.SubscribeKeyed("k", nil, Delivery{}, "a")
+	b := r.SubscribeKeyed("k", nil, Delivery{}, "b")
+	collect(t, a, 1)
+	collect(t, b, 1)
+
+	db.version.Store(2)
+	r.NotifyWrite(1, nil) // both dirty, sweep armed 100ms out
+	if !r.Unsubscribe(b.ID()) {
+		t.Fatal("Unsubscribe(b) = false")
+	}
+	if ev := collect(t, b, 1)[0]; !ev.Bye {
+		t.Fatalf("unsubscribed member got %+v, want bye", ev)
+	}
+	if _, ok := <-b.Events(); ok {
+		t.Fatal("channel open after bye")
+	}
+	if !r.WaitIdle(2 * time.Second) {
+		t.Fatal("registry did not quiesce")
+	}
+	if ev := collect(t, a, 1)[0]; ev.Version != 2 {
+		t.Fatalf("surviving member got %+v, want version 2", ev)
+	}
+	st := r.Stats()
+	if st.Evaluations != 3 {
+		t.Fatalf("Evaluations = %d, want 3 (two initial + one single-member sweep pass)", st.Evaluations)
+	}
+	if st.Sweeps != 1 || st.Groups != 0 {
+		t.Fatalf("stats = %+v, want 1 sweep, 0 grouped passes (the group shrank to one)", st)
+	}
+}
+
+// TestQueueOverflowUnderGroupedBurst is the drop-oldest contract on the
+// grouped path: a burst of writes against a two-member group with tiny
+// queues evicts the oldest answers per member, never blocks the writer,
+// and each grouped pass still counts as one evaluation.
+func TestQueueOverflowUnderGroupedBurst(t *testing.T) {
+	db := &fakeDB{}
+	db.version.Store(1)
+	r := New(Options{Workers: 1, GroupEval: db.groupEval(nil, nil)})
+	defer r.Close()
+
+	a := r.SubscribeKeyed("k", nil, Delivery{QueueCap: 2}, "a")
+	b := r.SubscribeKeyed("k", nil, Delivery{QueueCap: 2}, "b")
+	collect(t, a, 1)
+	collect(t, b, 1)
+
+	// Nobody reads: 5 grouped re-evaluations into 2-slot queues.
+	for v := int64(2); v <= 6; v++ {
+		db.version.Store(v)
+		r.NotifyWrite(1, nil)
+		if !r.WaitIdle(2 * time.Second) {
+			t.Fatal("registry did not quiesce — a full member queue blocked the sweep")
+		}
+	}
+	for _, s := range []*Subscription{a, b} {
+		evs := collect(t, s, 2)
+		if last := evs[1]; last.Version != 6 || last.Dropped != 3 {
+			t.Fatalf("sub %d newest event = %+v, want version 6 with 3 dropped", s.ID(), last)
+		}
+	}
+	st := r.Stats()
+	if st.Evaluations != 7 || st.Groups != 5 {
+		t.Fatalf("stats = %+v, want 7 evaluation passes of which 5 grouped", st)
+	}
+	if st.Dropped != 6 {
+		t.Fatalf("Dropped = %d, want 6 (3 per member)", st.Dropped)
+	}
+}
+
+// TestGroupStateChurnAndCleanup pins the carry-over state lifecycle
+// under membership churn: state threads pass-to-pass while the key is
+// live (including a member subscribing while a grouped pass is in
+// flight, and one unsubscribing mid-pass), and the last unsubscribe
+// deletes it so a fresh same-key subscription starts from nil.
+func TestGroupStateChurnAndCleanup(t *testing.T) {
+	db := &fakeDB{}
+	db.version.Store(1)
+	type call struct {
+		n     int
+		state any
+	}
+	var mu sync.Mutex
+	var calls []call
+	var blockOn atomic.Bool
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	ge := db.groupEval(
+		func(n int, state any) {
+			mu.Lock()
+			calls = append(calls, call{n, state})
+			mu.Unlock()
+		},
+		func() {
+			if blockOn.CompareAndSwap(true, false) {
+				entered <- struct{}{}
+				<-release
+			}
+		})
+	r := New(Options{Workers: 1, GroupEval: ge})
+	defer r.Close()
+
+	a := r.SubscribeKeyed("k", nil, Delivery{QueueCap: 8}, "a")
+	b := r.SubscribeKeyed("k", nil, Delivery{QueueCap: 8}, "b")
+	collect(t, a, 1)
+	collect(t, b, 1)
+	mu.Lock()
+	if len(calls) != 2 || calls[0].state != nil || calls[1].state != 1 {
+		t.Fatalf("initial calls = %+v, want state nil then 1", calls)
+	}
+	mu.Unlock()
+
+	// A grouped pass blocks in flight; meanwhile one member leaves and
+	// a new one joins the key.
+	blockOn.Store(true)
+	db.version.Store(2)
+	r.NotifyWrite(1, nil)
+	<-entered
+	if !r.Unsubscribe(b.ID()) {
+		t.Fatal("Unsubscribe(b) = false")
+	}
+	c := r.SubscribeKeyed("k", nil, Delivery{QueueCap: 8}, "c")
+	close(release)
+	if !r.WaitIdle(2 * time.Second) {
+		t.Fatal("registry did not quiesce")
+	}
+	if ev := collect(t, b, 1)[0]; !ev.Bye {
+		t.Fatalf("mid-pass unsubscribed member got %+v, want bye only", ev)
+	}
+	if ev := collect(t, a, 1)[0]; ev.Version != 2 {
+		t.Fatalf("member a got %+v, want the in-flight pass at version 2", ev)
+	}
+	if ev := collect(t, c, 1)[0]; ev.Version != 2 {
+		t.Fatalf("joining member got %+v, want its initial answer at version 2", ev)
+	}
+	// c subscribed while the pass held the state; its initial call must
+	// still see a live int (2 from b's initial pass), not nil.
+	mu.Lock()
+	if n := len(calls); calls[n-1].state == nil && calls[n-2].state == nil {
+		t.Fatalf("mid-churn calls lost the carried state: %+v", calls)
+	}
+	mu.Unlock()
+
+	// Last member out deletes the key's state: a fresh subscription
+	// starts from nil again.
+	r.Unsubscribe(a.ID())
+	r.Unsubscribe(c.ID())
+	d := r.SubscribeKeyed("k", nil, Delivery{QueueCap: 8}, "d")
+	collect(t, d, 1)
+	mu.Lock()
+	if last := calls[len(calls)-1]; last.state != nil {
+		t.Fatalf("post-cleanup call state = %v, want nil", last.state)
+	}
+	mu.Unlock()
+	_ = d
+}
+
+// TestRegistryAccessorsAndSweepToggles covers the read surface (Get,
+// List, Meta) plus the runtime toggles: a pending invalidation drains
+// immediately when the sweep interval drops to zero, and with grouping
+// disabled a keyed pair evaluates as two single-member passes (state
+// still carried).
+func TestRegistryAccessorsAndSweepToggles(t *testing.T) {
+	db := &fakeDB{}
+	db.version.Store(1)
+	r := New(Options{Workers: 1, SweepInterval: time.Hour, GroupEval: db.groupEval(nil, nil)})
+	defer r.Close()
+
+	a := r.SubscribeKeyed("k", nil, Delivery{QueueCap: 8}, "meta-a")
+	b := r.SubscribeKeyed("k", nil, Delivery{QueueCap: 8}, "meta-b")
+	collect(t, a, 1)
+	collect(t, b, 1)
+	if a.Meta() != "meta-a" {
+		t.Fatalf("Meta = %v", a.Meta())
+	}
+	if got, ok := r.Get(a.ID()); !ok || got != a {
+		t.Fatalf("Get(%d) = %v, %v", a.ID(), got, ok)
+	}
+	if _, ok := r.Get(9999); ok {
+		t.Fatal("Get(9999) found a subscription")
+	}
+	if infos := r.List(); len(infos) != 2 || infos[0].ID != a.ID() || infos[1].ID != b.ID() {
+		t.Fatalf("List = %+v, want [a b] ascending", infos)
+	}
+
+	// An hour-long sweep interval parks the write in the pending set;
+	// dropping the interval to zero drains it immediately.
+	db.version.Store(2)
+	r.NotifyWrite(1, nil)
+	select {
+	case e := <-a.Events():
+		t.Fatalf("write swept before the interval elapsed: %+v", e)
+	case <-time.After(20 * time.Millisecond):
+	}
+	r.SetSweepInterval(0)
+	if !r.WaitIdle(2 * time.Second) {
+		t.Fatal("registry did not quiesce after the immediate drain")
+	}
+	if ev := collect(t, a, 1)[0]; ev.Version != 2 {
+		t.Fatalf("drained event = %+v, want version 2", ev)
+	}
+	collect(t, b, 1)
+	grouped := r.Stats()
+	if grouped.Groups == 0 || grouped.Sweeps == 0 {
+		t.Fatalf("stats = %+v, want a grouped pass from the drained sweep", grouped)
+	}
+
+	// Grouping off: the same write shape costs one pass per member.
+	r.SetGrouping(false)
+	db.version.Store(3)
+	r.NotifyWrite(1, nil)
+	if !r.WaitIdle(2 * time.Second) {
+		t.Fatal("registry did not quiesce with grouping disabled")
+	}
+	st := r.Stats()
+	if st.Evaluations-grouped.Evaluations != 2 {
+		t.Fatalf("ungrouped write cost %d passes, want 2", st.Evaluations-grouped.Evaluations)
+	}
+	if st.Groups != grouped.Groups {
+		t.Fatalf("Groups advanced to %d with grouping disabled", st.Groups)
+	}
+	collect(t, a, 1)
+	collect(t, b, 1)
+}

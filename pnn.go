@@ -403,6 +403,20 @@ type Stats struct {
 	ErrorBound    float64 // Hoeffding ε those worlds guarantee; 0 when exact
 	EarlyStopped  bool    // an adaptive query decided before its budget cap
 	SamplerBuilds int     // models adapted by this query; 0 once the cache is warm
+	// WorldFloor is the adaptive early-stop floor in effect (see
+	// Request.MinWorlds): the query could not decide below this many
+	// worlds. 0 when no floor applied. Standing queries raise it to
+	// their group's previously proven budget, so events report the floor
+	// a matching one-shot needs to reproduce their bytes.
+	WorldFloor int
+	// GroupSize is the number of compatible standing queries this answer
+	// was evaluated together with (itself included); 0 for one-shot
+	// answers, 1 for a standing query evaluated alone.
+	GroupSize int
+	// BudgetReused marks a standing re-evaluation whose WorldFloor was
+	// raised to the group's previously proven adaptive budget instead of
+	// escalating from the first round. Always false for one-shots.
+	BudgetReused bool
 }
 
 // CacheStats reports the processor's cumulative sampler-cache traffic:

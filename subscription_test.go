@@ -80,7 +80,13 @@ func TestSubscriptionMatchesOneShot(t *testing.T) {
 					if got.Err != nil {
 						t.Fatalf("%s case %d: %v", stage, i, got.Err)
 					}
-					want := proc.Run(cases[i])
+					// Standing re-evaluations may start from the group's
+					// previously proven adaptive budget; the event's
+					// WorldFloor reports exactly the floor a one-shot
+					// needs to reproduce the bytes.
+					oneShot := cases[i]
+					oneShot.MinWorlds = got.Stats.WorldFloor
+					want := proc.Run(oneShot)
 					if want.Err != nil {
 						t.Fatalf("%s case %d one-shot: %v", stage, i, want.Err)
 					}
